@@ -1,0 +1,222 @@
+// Command smartvlc-figures regenerates every table and figure of the
+// SmartVLC paper's evaluation and prints them as aligned text tables
+// (optionally also as CSV files).
+//
+// Usage:
+//
+//	smartvlc-figures [-only fig15,fig19] [-seconds 0.5] [-duration 67] [-csv DIR] [-seed 1]
+//
+// The analytic figures (4, 6, 8, 9, 10, Table 2) are instantaneous; the
+// measured ones (15, 16, 17, 19) run the full link simulation and take
+// -seconds of simulated air time per data point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"smartvlc/internal/experiments"
+	"smartvlc/internal/mppm"
+	"smartvlc/internal/stats"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset: fig4,fig4mc,fig6,fig8,fig9,fig10,table2,fig15,fig16,fig17,fig19")
+	seconds := flag.Float64("seconds", 0.5, "simulated air time per measured data point")
+	duration := flag.Float64("duration", 67, "dynamic scenario duration (paper: 67 s blind pull)")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	svgDir := flag.String("svg", "", "also render line-chart SVGs into this directory")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	writeSVG := func(name string, c stats.Chart) {
+		if *svgDir == "" {
+			return
+		}
+		path := filepath.Join(*svgDir, name+".svg")
+		if err := os.WriteFile(path, []byte(c.SVG()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  (svg: %s)\n\n", path)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(f))] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	emit := func(name string, t stats.Table) {
+		fmt.Println(t.Render())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  (csv: %s)\n\n", path)
+		}
+	}
+	opt := experiments.LinkOptions{SecondsPerPoint: *seconds, Seed: *seed}
+
+	if sel("fig4") {
+		emit("fig4", experiments.Fig4())
+		var series []stats.Series
+		for _, n := range []int{10, 30, 50, 80, 120} {
+			var s stats.Series
+			s.Name = fmt.Sprintf("N=%d", n)
+			for l := 0.05; l <= 0.951; l += 0.05 {
+				k := int(l*float64(n) + 0.5)
+				s.Add(l, mppm.SER(n, k, experiments.PaperP1, experiments.PaperP2))
+			}
+			series = append(series, s)
+		}
+		writeSVG("fig4", stats.Chart{
+			Title: "Fig. 4 — MPPM SER vs dimming level", XLabel: "dimming level",
+			YLabel: "symbol error rate", Series: series,
+		})
+	}
+	if sel("fig4mc") {
+		_, t, err := experiments.Fig4MonteCarlo(200000, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig4mc", t)
+	}
+	if sel("fig6") {
+		_, _, t := experiments.Fig6()
+		emit("fig6", t)
+	}
+	if sel("fig8") {
+		_, t := experiments.Fig8(2.5e-3)
+		emit("fig8", t)
+	}
+	if sel("fig9") {
+		rows, t := experiments.Fig9()
+		emit("fig9", t)
+		var env, single stats.Series
+		env.Name, single.Name = "AMPPM envelope", "single pattern"
+		for _, r := range rows {
+			env.Add(r.Level, r.EnvelopeRate)
+			if r.SingleRate > 0 {
+				single.Add(r.Level, r.SingleRate)
+			}
+		}
+		writeSVG("fig9", stats.Chart{
+			Title: "Fig. 9 — envelope vs best single pattern", XLabel: "dimming level",
+			YLabel: "normalized rate (bits/slot)", Series: []stats.Series{env, single},
+		})
+	}
+	if sel("fig10") {
+		_, t := experiments.Fig10(0.2, 0.8)
+		emit("fig10", t)
+	}
+	if sel("table2") {
+		ind, dir := experiments.Table2()
+		emit("table2a_indirect", ind)
+		emit("table2b_direct", dir)
+	}
+	if sel("fig15") {
+		res, t, err := experiments.Fig15(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig15", t)
+		fmt.Printf("AMPPM vs OOK-CT: avg %+.0f%%, max %+.0f%%  (paper: +40%%, up to +170%%)\n",
+			res.AvgOverOOKCT*100, res.MaxOverOOKCT*100)
+		fmt.Printf("AMPPM vs MPPM:   avg %+.0f%%, max %+.0f%%  (paper: +12%%, up to +30%%)\n\n",
+			res.AvgOverMPPM*100, res.MaxOverMPPM*100)
+		var a, o, m stats.Series
+		a.Name, o.Name, m.Name = "AMPPM", "OOK-CT", "MPPM(N=20)"
+		for _, r := range res.Rows {
+			a.Add(r.Level, r.AMPPM)
+			o.Add(r.Level, r.OOKCT)
+			m.Add(r.Level, r.MPPMKbps)
+		}
+		writeSVG("fig15", stats.Chart{
+			Title: "Fig. 15 — throughput vs dimming level (3 m, 128 B)", XLabel: "dimming level",
+			YLabel: "throughput (kbps)", Series: []stats.Series{a, o, m},
+		})
+	}
+	if sel("fig16") {
+		rows, t, err := experiments.Fig16(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig16", t)
+		var series []stats.Series
+		for _, level := range []float64{0.18, 0.5, 0.7} {
+			var s stats.Series
+			s.Name = fmt.Sprintf("l=%.2f", level)
+			for _, r := range rows {
+				s.Add(r.DistanceM, r.Kbps[level])
+			}
+			series = append(series, s)
+		}
+		writeSVG("fig16", stats.Chart{
+			Title: "Fig. 16 — throughput vs distance", XLabel: "distance (m)",
+			YLabel: "throughput (kbps)", Series: series,
+		})
+	}
+	if sel("fig17") {
+		rows, t, err := experiments.Fig17(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig17", t)
+		var series []stats.Series
+		for _, d := range []float64{1.3, 2.3, 3.3} {
+			var s stats.Series
+			s.Name = fmt.Sprintf("d=%.1fm", d)
+			for _, r := range rows {
+				s.Add(r.AngleDeg, r.Kbps[d])
+			}
+			series = append(series, s)
+		}
+		writeSVG("fig17", stats.Chart{
+			Title: "Fig. 17 — throughput vs incidence angle", XLabel: "incidence angle (deg)",
+			YLabel: "throughput (kbps)", Series: series,
+		})
+	}
+	if sel("fig19") {
+		res, err := experiments.Fig19(experiments.Fig19Options{Duration: *duration, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		a, b, c := experiments.Fig19Tables(res)
+		emit("fig19a", a)
+		fmt.Println("throughput:", stats.Sparkline(res.Throughput.Values()))
+		emit("fig19b", b)
+		emit("fig19c", c)
+		fmt.Printf("adaptation adjustments: smartvlc=%d existing=%d (%.0f%% fewer; paper: 50%%)\n",
+			res.SmartVLCAdjustments, res.ExistingAdjustments,
+			100*(1-float64(res.SmartVLCAdjustments)/float64(res.ExistingAdjustments)))
+		tp := res.Throughput
+		tp.Name = "goodput (bps)"
+		writeSVG("fig19a", stats.Chart{
+			Title: "Fig. 19(a) — throughput during blind pull", XLabel: "time (s)",
+			YLabel: "throughput (bps)", Series: []stats.Series{tp},
+		})
+		amb, led, sum := res.Ambient, res.LED, res.Sum
+		amb.Name, led.Name, sum.Name = "ambient", "LED", "sum"
+		writeSVG("fig19b", stats.Chart{
+			Title: "Fig. 19(b) — normalized light intensities", XLabel: "time (s)",
+			YLabel: "normalized intensity", Series: []stats.Series{amb, led, sum},
+		})
+		sv, ex := res.SmartVLCAdjust, res.ExistingAdjust
+		sv.Name, ex.Name = "SmartVLC", "existing method"
+		writeSVG("fig19c", stats.Chart{
+			Title: "Fig. 19(c) — cumulative adaptation adjustments", XLabel: "time (s)",
+			YLabel: "adjustments", Series: []stats.Series{ex, sv},
+		})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smartvlc-figures:", err)
+	os.Exit(1)
+}

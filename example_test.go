@@ -1,0 +1,68 @@
+package smartvlc_test
+
+import (
+	"fmt"
+	"log"
+
+	"smartvlc"
+)
+
+// Example shows the minimal plan → frame → channel → parse path.
+func Example() {
+	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
+	if err != nil {
+		log.Fatal(err)
+	}
+	slots, err := sys.BuildFrame(0.37, []byte("hello, visible light"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	payloads, err := sys.Deliver(smartvlc.Aligned(3.0, 0), 8000, 42, slots)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", payloads[0])
+	// Output: hello, visible light
+}
+
+// ExampleSystem_PlanFor shows how AMPPM plans a super-symbol for a
+// dimming level. The selected composition multiplexes two envelope-vertex
+// patterns so the achieved level lands within the dimming resolution.
+func ExampleSystem_PlanFor() {
+	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := sys.PlanFor(0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("level %.4f, %d slots, %d bits\n", plan.Level(), plan.Slots(), plan.Bits())
+	// Output: level 0.1503, 386 slots, 215 bits
+}
+
+// ExampleSystem_OpenStream streams bytes over the link with io.Writer
+// semantics and a mid-stream dimming change.
+func ExampleSystem_OpenStream() {
+	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := sys.OpenStream(smartvlc.Aligned(2.5, 0), 5000, 0.8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := st.Write([]byte("dim the lights, ")); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.SetLevel(0.2); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := st.Write([]byte("keep the bits")); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, _ := st.Read(buf)
+	fmt.Printf("%s\n", buf[:n])
+	// Output: dim the lights, keep the bits
+}

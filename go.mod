@@ -1,0 +1,3 @@
+module smartvlc
+
+go 1.24

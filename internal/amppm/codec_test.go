@@ -1,0 +1,270 @@
+package amppm
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"smartvlc/internal/bitio"
+	"smartvlc/internal/mppm"
+)
+
+func roundTrip(t *testing.T, sc *SuperCodec, data []byte) []bool {
+	t.Helper()
+	slots, err := sc.AppendStream(nil, bitio.NewReader(data))
+	if err != nil {
+		t.Fatalf("AppendStream: %v", err)
+	}
+	if got := sc.SlotsForBits(len(data) * 8); got != len(slots) {
+		t.Fatalf("SlotsForBits = %d, stream = %d", got, len(slots))
+	}
+	w := bitio.NewWriter()
+	se, err := sc.DecodeBits(slots, len(data)*8, w)
+	if err != nil || se != 0 {
+		t.Fatalf("DecodeBits err=%v symbolErrors=%d", err, se)
+	}
+	if !bytes.Equal(w.Bytes()[:len(data)], data) {
+		t.Fatal("payload mismatch")
+	}
+	return slots
+}
+
+func TestSuperCodecRoundTrip(t *testing.T) {
+	tab := defaultTable(t)
+	rng := rand.New(rand.NewPCG(3, 14))
+	for _, level := range []float64{0.1, 0.15, 0.3, 0.5, 0.52, 0.7, 0.9} {
+		s, err := tab.Select(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewSuperCodec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 128)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		roundTrip(t, sc, data)
+	}
+}
+
+func TestSuperCodecDutyCycleNearLevel(t *testing.T) {
+	tab := defaultTable(t)
+	rng := rand.New(rand.NewPCG(5, 5))
+	for _, level := range []float64{0.15, 0.45, 0.81} {
+		s, err := tab.Select(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewSuperCodec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 2048)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		slots := roundTrip(t, sc, data)
+		on := 0
+		for _, sl := range slots {
+			if sl {
+				on++
+			}
+		}
+		duty := float64(on) / float64(len(slots))
+		// Every symbol has a fixed ON count regardless of data, so the
+		// duty matches the super-symbol level up to the truncated tail
+		// (less than one schedule period over the whole stream).
+		if math.Abs(duty-s.Level()) > 0.01 {
+			t.Fatalf("level %v: duty %v vs super level %v", level, duty, s.Level())
+		}
+	}
+}
+
+func TestSuperCodecTailShorterThanFullPeriod(t *testing.T) {
+	// A 1-byte payload must not cost a whole super-symbol when the
+	// schedule is long — this is the padding fix that keeps AMPPM ahead
+	// of fixed MPPM at frame scale.
+	tab := defaultTable(t)
+	s, err := tab.Select(0.62)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewSuperCodec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.SlotsPerSuper() < 100 {
+		t.Skipf("super-symbol too small (%d slots) for this check", sc.SlotsPerSuper())
+	}
+	n := sc.SlotsForBits(8)
+	if n >= sc.SlotsPerSuper() {
+		t.Fatalf("1 byte costs %d slots, full period is %d", n, sc.SlotsPerSuper())
+	}
+}
+
+func TestSuperCodecEfficiencyNearEnvelope(t *testing.T) {
+	// For a 130-byte frame body, slots-per-bit must stay within 7% of the
+	// super-symbol's nominal rate at every evaluation level.
+	tab := defaultTable(t)
+	for i := 0; i <= 16; i++ {
+		level := 0.1 + 0.05*float64(i)
+		s, err := tab.Select(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewSuperCodec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := 130 * 8
+		slots := sc.SlotsForBits(bits)
+		eff := float64(bits) / float64(slots)
+		if eff < s.NormalizedRate()*0.93 {
+			t.Errorf("level %v: stream rate %v vs nominal %v", level, eff, s.NormalizedRate())
+		}
+	}
+}
+
+func TestSuperCodecFlagsCorruptSymbols(t *testing.T) {
+	tab := defaultTable(t)
+	s, err := tab.Select(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewSuperCodec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	slots, err := sc.AppendStream(nil, bitio.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots[0] = !slots[0] // corrupt one slot -> wrong ON count in symbol 1
+	w := bitio.NewWriter()
+	se, err := sc.DecodeBits(slots, len(data)*8, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se == 0 {
+		t.Fatal("expected a symbol error to be counted")
+	}
+}
+
+func TestSuperCodecTruncatedStream(t *testing.T) {
+	tab := defaultTable(t)
+	s, _ := tab.Select(0.5)
+	sc, _ := NewSuperCodec(s)
+	if _, err := sc.DecodeBits(make([]bool, 3), 64, bitio.NewWriter()); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestSuperCodecAnchorMix(t *testing.T) {
+	// Near the dimming extremes the super-symbol mixes a data pattern with
+	// zero-rate anchor symbols; the codec must still round-trip.
+	tab := defaultTable(t)
+	s, err := tab.Select(0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewSuperCodec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.BitsPerSuper() == 0 {
+		t.Skip("level too extreme to carry data with current constraints")
+	}
+	roundTrip(t, sc, []byte{0x42, 0x99})
+}
+
+func TestSlotsForBits(t *testing.T) {
+	sc, err := NewSuperCodec(SuperSymbol{S1: mppm.Pattern{N: 10, K: 5}, M1: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 bits per symbol, 10 slots per symbol.
+	if got := sc.SlotsForBits(7); got != 10 {
+		t.Fatalf("SlotsForBits(7) = %d", got)
+	}
+	if got := sc.SlotsForBits(8); got != 20 {
+		t.Fatalf("SlotsForBits(8) = %d", got)
+	}
+	if got := sc.SlotsForBits(0); got != 0 {
+		t.Fatalf("SlotsForBits(0) = %d", got)
+	}
+}
+
+func TestSuperCodecProperty(t *testing.T) {
+	tab := defaultTable(t)
+	f := func(seed uint64, levelRaw uint16, n uint8) bool {
+		level := 0.08 + float64(levelRaw)/65535*0.84
+		s, err := tab.Select(level)
+		if err != nil {
+			return false
+		}
+		sc, err := NewSuperCodec(s)
+		if err != nil || sc.BitsPerSuper() == 0 {
+			return false
+		}
+		rng := rand.New(rand.NewPCG(seed, 77))
+		data := make([]byte, int(n)+1)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		slots, err := sc.AppendStream(nil, bitio.NewReader(data))
+		if err != nil {
+			return false
+		}
+		w := bitio.NewWriter()
+		se, err := sc.DecodeBits(slots, len(data)*8, w)
+		if err != nil || se != 0 {
+			return false
+		}
+		return bytes.Equal(w.Bytes()[:len(data)], data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	tab, err := NewTable(DefaultConstraints())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.Select(0.1 + float64(i%800)/1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuperCodecEncode128B(b *testing.B) {
+	tab, _ := NewTable(DefaultConstraints())
+	s, _ := tab.Select(0.3)
+	sc, _ := NewSuperCodec(s)
+	data := bytes.Repeat([]byte{0xA7}, 128)
+	var slots []bool
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		slots, err = sc.AppendStream(slots[:0], bitio.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewTable(DefaultConstraints()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package amppm implements Adaptive Multiple Pulse Position Modulation,
+// the core contribution of the SmartVLC paper (CoNEXT'17).
+//
+// AMPPM starts from MPPM symbol patterns S(N, l) and adds three mechanisms:
+//
+//  1. Constraint pruning (paper §4.2, steps 1–2): the super-symbol length is
+//     capped at Nmax = f_tx/f_th so its repetition rate stays above the
+//     Type-I flicker threshold, and patterns whose symbol error rate
+//     (paper Eq. 3) exceeds a bound are discarded.
+//  2. Envelope construction (step 3): among the surviving (dimming level,
+//     normalized rate) points, a slope walk from the peak near l = 0.5
+//     finds the upper concave envelope — the best achievable rate at every
+//     dimming level.
+//  3. Super-symbol multiplexing (step 4): any target level between two
+//     envelope vertices is reached by concatenating m1 symbols of the left
+//     vertex pattern with m2 symbols of the right vertex pattern, giving
+//     semi-continuous dimming without increasing the symbol error rate
+//     (each constituent symbol is decoded independently).
+package amppm
+
+import (
+	"fmt"
+)
+
+// Constraints holds the link parameters that determine which symbol
+// patterns AMPPM may use. The defaults mirror the paper's prototype.
+type Constraints struct {
+	// SlotSeconds is tslot, the minimum ON/OFF switching period of the LED
+	// driver. The paper's Philips LED limits this to 8 µs (f_tx = 125 kHz).
+	SlotSeconds float64
+
+	// FlickerHz is f_th, the minimum super-symbol repetition frequency that
+	// avoids Type-I flicker. The paper's user study found 250 Hz safe
+	// (IEEE 802.15.7 specifies 200 Hz).
+	FlickerHz float64
+
+	// P1 is the probability of decoding an OFF slot incorrectly, P2 the
+	// probability of decoding an ON slot incorrectly. The paper measures
+	// 9e-5 and 8e-5 at its worst-case operating point (3.6 m, bright
+	// ambient).
+	P1, P2 float64
+
+	// SERBound is the symbol-error-rate upper bound used to prune patterns
+	// (paper §4.2 step 2). The paper states 0.001 but the patterns it
+	// actually deploys (MPPM N=20, envelope N up to 21, measured AMPPM
+	// rates at l=0.1) require a looser bound under Eq. 3; see DESIGN.md.
+	SERBound float64
+
+	// MinN and MaxN bound the per-symbol slot count searched. MaxN is
+	// additionally clamped by the SER bound and by Nmax.
+	MinN, MaxN int
+}
+
+// DefaultConstraints returns the paper's prototype parameters.
+func DefaultConstraints() Constraints {
+	return Constraints{
+		SlotSeconds: 8e-6,
+		FlickerHz:   250,
+		P1:          9e-5,
+		P2:          8e-5,
+		SERBound:    5e-3,
+		MinN:        2,
+		MaxN:        64,
+	}
+}
+
+// Validate checks the constraints for internal consistency.
+func (c Constraints) Validate() error {
+	switch {
+	case c.SlotSeconds <= 0:
+		return fmt.Errorf("amppm: SlotSeconds %v must be positive", c.SlotSeconds)
+	case c.FlickerHz <= 0:
+		return fmt.Errorf("amppm: FlickerHz %v must be positive", c.FlickerHz)
+	case c.P1 < 0 || c.P1 >= 1 || c.P2 < 0 || c.P2 >= 1:
+		return fmt.Errorf("amppm: slot error probabilities P1=%v P2=%v outside [0,1)", c.P1, c.P2)
+	case c.SERBound <= 0 || c.SERBound > 1:
+		return fmt.Errorf("amppm: SERBound %v outside (0,1]", c.SERBound)
+	case c.MinN < 1 || c.MaxN < c.MinN:
+		return fmt.Errorf("amppm: invalid N range [%d, %d]", c.MinN, c.MaxN)
+	}
+	if c.NMax() < c.MinN {
+		return fmt.Errorf("amppm: flicker cap Nmax=%d below MinN=%d", c.NMax(), c.MinN)
+	}
+	return nil
+}
+
+// TxHz returns the slot rate f_tx = 1/tslot.
+func (c Constraints) TxHz() float64 { return 1 / c.SlotSeconds }
+
+// NMax returns the flicker-driven cap on super-symbol length in slots,
+// Nmax = f_tx / f_th (paper Eq. 4). With the default parameters this is
+// 125000/250 = 500 slots.
+func (c Constraints) NMax() int {
+	return int(c.TxHz() / c.FlickerHz)
+}

@@ -1,0 +1,70 @@
+package amppm
+
+import (
+	"errors"
+	"fmt"
+
+	"smartvlc/internal/mppm"
+)
+
+// DescriptorSize is the size of the frame header's Pattern field in bytes
+// (paper Table 1).
+const DescriptorSize = 4
+
+// ErrBadDescriptor reports a Pattern field that does not name valid
+// envelope vertices, typically due to channel corruption.
+var ErrBadDescriptor = errors.New("amppm: invalid super-symbol descriptor")
+
+// Descriptor encodes a super-symbol into the 4-byte Pattern field of the
+// frame header: vertex index and multiplicity for each constituent. Both
+// ends derive the same envelope from the shared link constraints, so vertex
+// indices are unambiguous. A single-pattern super-symbol sets m2 = 0.
+func (t *Table) Descriptor(s SuperSymbol) ([DescriptorSize]byte, error) {
+	var d [DescriptorSize]byte
+	i1 := t.vertexIndex(s.S1)
+	if i1 < 0 || !s.Valid() {
+		return d, fmt.Errorf("amppm: super-symbol %v not expressible: %w", s, ErrBadDescriptor)
+	}
+	d[0] = byte(i1)
+	d[1] = byte(s.M1)
+	if s.M2 > 0 {
+		i2 := t.vertexIndex(s.S2)
+		if i2 < 0 {
+			return d, fmt.Errorf("amppm: super-symbol %v not expressible: %w", s, ErrBadDescriptor)
+		}
+		d[2] = byte(i2)
+		d[3] = byte(s.M2)
+	}
+	return d, nil
+}
+
+// ParseDescriptor decodes a Pattern field back into a super-symbol,
+// validating vertex indices, multiplicities and the flicker cap.
+func (t *Table) ParseDescriptor(d [DescriptorSize]byte) (SuperSymbol, error) {
+	i1, m1 := int(d[0]), int(d[1])
+	i2, m2 := int(d[2]), int(d[3])
+	if i1 >= len(t.vertices) || m1 < 1 {
+		return SuperSymbol{}, ErrBadDescriptor
+	}
+	s := SuperSymbol{S1: t.vertices[i1].Pattern, M1: m1}
+	if m2 > 0 {
+		if i2 >= len(t.vertices) {
+			return SuperSymbol{}, ErrBadDescriptor
+		}
+		s.S2 = t.vertices[i2].Pattern
+		s.M2 = m2
+	}
+	if !s.Valid() || s.Slots() > t.cons.NMax() {
+		return SuperSymbol{}, ErrBadDescriptor
+	}
+	return s, nil
+}
+
+func (t *Table) vertexIndex(p mppm.Pattern) int {
+	for i, v := range t.vertices {
+		if v.Pattern == p {
+			return i
+		}
+	}
+	return -1
+}

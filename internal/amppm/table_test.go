@@ -1,0 +1,248 @@
+package amppm
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"smartvlc/internal/mppm"
+)
+
+func defaultTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := NewTable(DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestConstraintsDefaults(t *testing.T) {
+	c := DefaultConstraints()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TxHz(); math.Abs(got-125000) > 1e-6 {
+		t.Fatalf("TxHz = %v", got)
+	}
+	// Paper §6.1: Nmax = 125000/250 = 500.
+	if got := c.NMax(); got != 500 {
+		t.Fatalf("NMax = %d want 500", got)
+	}
+}
+
+func TestConstraintsValidate(t *testing.T) {
+	bad := []func(*Constraints){
+		func(c *Constraints) { c.SlotSeconds = 0 },
+		func(c *Constraints) { c.FlickerHz = -1 },
+		func(c *Constraints) { c.P1 = 1 },
+		func(c *Constraints) { c.P2 = -0.1 },
+		func(c *Constraints) { c.SERBound = 0 },
+		func(c *Constraints) { c.SERBound = 1.5 },
+		func(c *Constraints) { c.MinN = 0 },
+		func(c *Constraints) { c.MaxN = 1; c.MinN = 5 },
+		func(c *Constraints) { c.FlickerHz = 1e9 }, // NMax < MinN
+	}
+	for i, mut := range bad {
+		c := DefaultConstraints()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEnumerateRespectsSERBound(t *testing.T) {
+	cons := DefaultConstraints()
+	tab := defaultTable(t)
+	if len(tab.Patterns()) == 0 {
+		t.Fatal("no patterns")
+	}
+	for _, p := range tab.Patterns() {
+		if ser := p.SER(cons.P1, cons.P2); ser > cons.SERBound {
+			t.Fatalf("pattern %v has SER %v above bound", p, ser)
+		}
+		if p.Bits() == 0 {
+			t.Fatalf("pattern %v carries no data", p)
+		}
+		if p.N > cons.MaxN || p.N < cons.MinN {
+			t.Fatalf("pattern %v outside N range", p)
+		}
+	}
+	// Paper Fig. 8: S(50, 0.3) and S(30, 0.4) are above a tight bound.
+	// With the default bound 5e-3 the SER ordering must still hold:
+	// SER(S(50,0.3)) > SER(S(30,0.4)).
+	if mppm.SER(50, 15, cons.P1, cons.P2) <= mppm.SER(30, 12, cons.P1, cons.P2) {
+		t.Fatal("SER ordering violated")
+	}
+}
+
+func TestEnvelopeSpansFullDimmingRange(t *testing.T) {
+	tab := defaultTable(t)
+	lo, hi := tab.LevelRange()
+	if lo != 0 || hi != 1 {
+		t.Fatalf("LevelRange = [%v, %v], want [0, 1] via anchors", lo, hi)
+	}
+}
+
+func TestEnvelopeIsUpperConcaveHull(t *testing.T) {
+	tab := defaultTable(t)
+	vs := tab.Vertices()
+	if len(vs) < 3 {
+		t.Fatalf("too few vertices: %d", len(vs))
+	}
+	// Strictly increasing levels.
+	for i := 1; i < len(vs); i++ {
+		if vs[i].Level <= vs[i-1].Level {
+			t.Fatalf("levels not increasing at %d: %v then %v", i, vs[i-1].Level, vs[i].Level)
+		}
+	}
+	// Concavity: slopes non-increasing.
+	prev := math.Inf(1)
+	for i := 1; i < len(vs); i++ {
+		s := (vs[i].Rate - vs[i-1].Rate) / (vs[i].Level - vs[i-1].Level)
+		if s > prev+1e-9 {
+			t.Fatalf("slope increases at vertex %d: %v after %v", i, s, prev)
+		}
+		prev = s
+	}
+	// Dominance: every valid pattern lies on or below the envelope.
+	for _, p := range tab.Patterns() {
+		env := tab.EnvelopeRateAt(p.DimmingLevel())
+		if p.NormalizedRate() > env+1e-9 {
+			t.Fatalf("pattern %v (rate %v) above envelope (%v)", p, p.NormalizedRate(), env)
+		}
+	}
+}
+
+// TestSlopeWalkMatchesMonotoneChain verifies the paper's slope walk against
+// an independent upper-concave-hull construction (Andrew monotone chain).
+func TestSlopeWalkMatchesMonotoneChain(t *testing.T) {
+	tab := defaultTable(t)
+	points := bestPerLevel(tab.Patterns())
+	points = addAnchor(points, Vertex{Pattern: mppm.Pattern{N: 1, K: 0}, Level: 0, Rate: 0})
+	points = addAnchor(points, Vertex{Pattern: mppm.Pattern{N: 1, K: 1}, Level: 1, Rate: 0})
+	sort.Slice(points, func(i, j int) bool { return points[i].Level < points[j].Level })
+
+	walk := slopeWalk(points)
+	hull := upperHull(points)
+	// The walk may keep collinear points the strict hull drops, so compare
+	// the interpolated envelopes on a dense grid instead of vertex lists.
+	for i := 0; i <= 1000; i++ {
+		l := float64(i) / 1000
+		w := interpolate(walk, l)
+		h := interpolate(hull, l)
+		if math.Abs(w-h) > 1e-9 {
+			t.Fatalf("envelopes differ at l=%v: walk %v hull %v", l, w, h)
+		}
+	}
+	// Every walk vertex must lie on the hull polyline.
+	for _, v := range walk {
+		if math.Abs(v.Rate-interpolate(hull, v.Level)) > 1e-9 {
+			t.Fatalf("walk vertex %v off the hull", v)
+		}
+	}
+}
+
+func interpolate(vs []Vertex, level float64) float64 {
+	if level < vs[0].Level || level > vs[len(vs)-1].Level {
+		return 0
+	}
+	for i := 1; i < len(vs); i++ {
+		if level <= vs[i].Level {
+			a, b := vs[i-1], vs[i]
+			if a.Level == level {
+				return a.Rate
+			}
+			f := (level - a.Level) / (b.Level - a.Level)
+			return a.Rate + f*(b.Rate-a.Rate)
+		}
+	}
+	return vs[len(vs)-1].Rate
+}
+
+// upperHull is an independent O(n) upper concave hull over points sorted by
+// Level (Andrew monotone chain), used only as a test oracle.
+func upperHull(points []Vertex) []Vertex {
+	var h []Vertex
+	for _, p := range points {
+		for len(h) >= 2 {
+			a, b := h[len(h)-2], h[len(h)-1]
+			// Pop b if it is on or below segment a–p.
+			cross := (b.Level-a.Level)*(p.Rate-a.Rate) - (b.Rate-a.Rate)*(p.Level-a.Level)
+			if cross >= -1e-15 {
+				h = h[:len(h)-1]
+			} else {
+				break
+			}
+		}
+		h = append(h, p)
+	}
+	return h
+}
+
+func TestFig9EnvelopeRegion(t *testing.T) {
+	// Reproduce the conditions of paper Fig. 9: restrict patterns to
+	// N ∈ [10, 21] and look at levels 0.5–0.7. The found vertices around
+	// l≈0.52 and l≈0.57 have N=21 in the paper.
+	cons := DefaultConstraints()
+	cons.MinN, cons.MaxN = 10, 21
+	cons.SERBound = 0.99 // paper Fig. 9 shows the full N range unpruned
+	tab, err := NewTable(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's named peak S(21, 0.524) = S(21,11) must be an envelope
+	// vertex, with rate 18/21 ≈ 0.857 (floor(log2 C(21,11)) = 18).
+	found := false
+	for _, v := range tab.Vertices() {
+		if v.Pattern.N == 21 && v.Pattern.K == 11 {
+			found = true
+			if math.Abs(v.Rate-18.0/21) > 1e-9 {
+				t.Fatalf("S(21,11) rate = %v want 18/21", v.Rate)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("envelope misses the paper's peak S(21, 0.524); vertices: %v", tab.Vertices())
+	}
+	// Envelope at any level must dominate the best single pattern there.
+	for l := 0.5; l <= 0.7; l += 0.01 {
+		if tab.EnvelopeRateAt(l)+1e-9 < tab.BestSingleRateAt(l, 0.005) {
+			t.Fatalf("envelope below single-pattern rate at %v", l)
+		}
+	}
+}
+
+func TestBestSingleRateAt(t *testing.T) {
+	tab := defaultTable(t)
+	// Exactly at l=0.5 many patterns qualify; rate must be positive and
+	// below or equal the envelope.
+	r := tab.BestSingleRateAt(0.5, 1e-9)
+	if r <= 0 || r > tab.EnvelopeRateAt(0.5) {
+		t.Fatalf("BestSingleRateAt(0.5) = %v", r)
+	}
+	if got := tab.BestSingleRateAt(0.5001, 1e-9); got != 0 {
+		t.Fatalf("off-grid level should have no single pattern, got %v", got)
+	}
+}
+
+func TestEnvelopeRateOutside(t *testing.T) {
+	tab := defaultTable(t)
+	if tab.EnvelopeRateAt(-0.1) != 0 || tab.EnvelopeRateAt(1.1) != 0 {
+		t.Fatal("outside-range rate should be 0")
+	}
+}
+
+func TestNewTableErrors(t *testing.T) {
+	cons := DefaultConstraints()
+	cons.SlotSeconds = -1
+	if _, err := NewTable(cons); err == nil {
+		t.Fatal("expected validation error")
+	}
+	cons = DefaultConstraints()
+	cons.SERBound = 1e-9 // nothing survives
+	if _, err := NewTable(cons); err == nil {
+		t.Fatal("expected empty-table error")
+	}
+}

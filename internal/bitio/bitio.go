@@ -1,0 +1,110 @@
+// Package bitio provides MSB-first bit readers and writers over byte
+// slices. The VLC codecs consume payload bytes in symbol-sized bit groups
+// (up to 63 bits per MPPM symbol), and the framer packs header fields at
+// bit granularity; both use this package.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortRead reports an attempt to read past the end of the stream.
+var ErrShortRead = errors.New("bitio: read past end of stream")
+
+// Reader reads bit groups MSB-first from a byte slice.
+type Reader struct {
+	data []byte
+	pos  int // bit position from the start
+	n    int // total bits available
+}
+
+// NewReader returns a Reader over all 8·len(data) bits of data.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data, n: len(data) * 8}
+}
+
+// NewReaderBits returns a Reader over the first nbits bits of data.
+// It panics if nbits exceeds the data length, as that is programmer error.
+func NewReaderBits(data []byte, nbits int) *Reader {
+	if nbits < 0 || nbits > len(data)*8 {
+		panic(fmt.Sprintf("bitio: nbits %d outside data length %d bits", nbits, len(data)*8))
+	}
+	return &Reader{data: data, n: nbits}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return r.n - r.pos }
+
+// ReadBits reads the next n bits (0 ≤ n ≤ 64) as an unsigned integer with
+// the first bit read in the most significant position.
+func (r *Reader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("bitio: invalid read size %d", n)
+	}
+	if r.Remaining() < n {
+		return 0, ErrShortRead
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		byteIdx := r.pos / 8
+		bit := r.data[byteIdx] >> (7 - uint(r.pos%8)) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, nil
+}
+
+// ReadPadded reads up to n bits; if fewer remain, the value is zero-padded
+// on the right (least significant side) as if the stream continued with
+// zeros. It returns the number of real bits consumed. Reading from an
+// exhausted stream returns (0, 0, nil).
+func (r *Reader) ReadPadded(n int) (v uint64, consumed int, err error) {
+	if n < 0 || n > 64 {
+		return 0, 0, fmt.Errorf("bitio: invalid read size %d", n)
+	}
+	consumed = n
+	if rem := r.Remaining(); rem < n {
+		consumed = rem
+	}
+	v, err = r.ReadBits(consumed)
+	if err != nil {
+		return 0, 0, err
+	}
+	v <<= uint(n - consumed)
+	return v, consumed, nil
+}
+
+// Writer accumulates bits MSB-first into a byte slice.
+type Writer struct {
+	data []byte
+	n    int // bits written
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return w.n }
+
+// WriteBits appends the low n bits of v, most significant first.
+func (w *Writer) WriteBits(v uint64, n int) error {
+	if n < 0 || n > 64 {
+		return fmt.Errorf("bitio: invalid write size %d", n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		bit := byte(v >> uint(i) & 1)
+		if w.n%8 == 0 {
+			w.data = append(w.data, 0)
+		}
+		if bit == 1 {
+			w.data[w.n/8] |= 1 << (7 - uint(w.n%8))
+		}
+		w.n++
+	}
+	return nil
+}
+
+// Bytes returns the written bits as a byte slice, zero-padded in the final
+// byte. The slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.data }

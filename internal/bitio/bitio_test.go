@@ -1,0 +1,149 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadBitsBasic(t *testing.T) {
+	r := NewReader([]byte{0b1011_0010, 0b0100_0001})
+	got, err := r.ReadBits(3)
+	if err != nil || got != 0b101 {
+		t.Fatalf("ReadBits(3) = %b, %v", got, err)
+	}
+	got, err = r.ReadBits(8)
+	if err != nil || got != 0b1_0010_010 {
+		t.Fatalf("ReadBits(8) = %b, %v", got, err)
+	}
+	if r.Remaining() != 5 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	got, err = r.ReadBits(5)
+	if err != nil || got != 0b0_0001 {
+		t.Fatalf("ReadBits(5) = %b, %v", got, err)
+	}
+	if _, err := r.ReadBits(1); err != ErrShortRead {
+		t.Fatalf("expected ErrShortRead, got %v", err)
+	}
+}
+
+func TestReadBitsZeroAndBounds(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if v, err := r.ReadBits(0); err != nil || v != 0 {
+		t.Fatalf("ReadBits(0) = %d, %v", v, err)
+	}
+	if _, err := r.ReadBits(65); err == nil {
+		t.Fatal("ReadBits(65) should fail")
+	}
+	if _, err := r.ReadBits(-1); err == nil {
+		t.Fatal("ReadBits(-1) should fail")
+	}
+}
+
+func TestReadBits64(t *testing.T) {
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x23, 0x45, 0x67}
+	r := NewReader(data)
+	v, err := r.ReadBits(64)
+	if err != nil || v != 0xDEADBEEF01234567 {
+		t.Fatalf("ReadBits(64) = %x, %v", v, err)
+	}
+}
+
+func TestNewReaderBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReaderBits([]byte{0}, 9)
+}
+
+func TestReadPadded(t *testing.T) {
+	r := NewReaderBits([]byte{0b1100_0000}, 3) // bits: 110
+	v, consumed, err := r.ReadPadded(5)
+	if err != nil || consumed != 3 || v != 0b11000 {
+		t.Fatalf("ReadPadded = %b, %d, %v", v, consumed, err)
+	}
+	v, consumed, err = r.ReadPadded(4)
+	if err != nil || consumed != 0 || v != 0 {
+		t.Fatalf("exhausted ReadPadded = %b, %d, %v", v, consumed, err)
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	w := NewWriter()
+	if err := w.WriteBits(0b101, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBits(0xFF, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBits(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 13 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	r := NewReaderBits(w.Bytes(), w.Len())
+	for _, c := range []struct {
+		n    int
+		want uint64
+	}{{3, 0b101}, {8, 0xFF}, {2, 0}} {
+		got, err := r.ReadBits(c.n)
+		if err != nil || got != c.want {
+			t.Fatalf("read back %d bits = %b, %v want %b", c.n, got, err, c.want)
+		}
+	}
+}
+
+func TestWriterInvalidSize(t *testing.T) {
+	w := NewWriter()
+	if err := w.WriteBits(0, 65); err == nil {
+		t.Fatal("WriteBits(65) should fail")
+	}
+	if err := w.WriteBits(0, -1); err == nil {
+		t.Fatal("WriteBits(-1) should fail")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, sizes []uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		w := NewWriter()
+		var vals []uint64
+		var ns []int
+		for _, s := range sizes {
+			n := int(s % 65)
+			v := rng.Uint64()
+			if n < 64 {
+				v &= 1<<uint(n) - 1
+			}
+			if err := w.WriteBits(v, n); err != nil {
+				return false
+			}
+			vals = append(vals, v)
+			ns = append(ns, n)
+		}
+		r := NewReaderBits(w.Bytes(), w.Len())
+		for i, n := range ns {
+			got, err := r.ReadBits(n)
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesPadding(t *testing.T) {
+	w := NewWriter()
+	_ = w.WriteBits(1, 1)
+	if !bytes.Equal(w.Bytes(), []byte{0x80}) {
+		t.Fatalf("Bytes = %x", w.Bytes())
+	}
+}

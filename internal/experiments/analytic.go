@@ -1,0 +1,221 @@
+// Package experiments regenerates every table and figure of the SmartVLC
+// paper's evaluation from this repository's implementation. Each runner
+// returns structured rows plus a rendered stats.Table, so the same code
+// feeds cmd/smartvlc-figures, the benchmark harness in bench_test.go, and
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"smartvlc/internal/amppm"
+	"smartvlc/internal/flicker"
+	"smartvlc/internal/light"
+	"smartvlc/internal/mppm"
+	"smartvlc/internal/stats"
+)
+
+// PaperP1 and PaperP2 are the slot error probabilities the paper measured
+// at its worst-case operating point and uses throughout its analysis.
+const (
+	PaperP1 = 9e-5
+	PaperP2 = 8e-5
+)
+
+// Fig4 reproduces paper Fig. 4: MPPM symbol error rate (Eq. 3) as a
+// function of the dimming level for several symbol lengths N.
+func Fig4() stats.Table {
+	ns := []int{10, 30, 50, 80, 120}
+	t := stats.Table{Title: "Fig. 4 — MPPM SER vs dimming level (P1=9e-5, P2=8e-5)"}
+	t.Headers = []string{"level"}
+	for _, n := range ns {
+		t.Headers = append(t.Headers, fmt.Sprintf("N=%d", n))
+	}
+	for l := 0.05; l <= 0.951; l += 0.05 {
+		cells := []interface{}{l}
+		for _, n := range ns {
+			k := int(l*float64(n) + 0.5)
+			cells = append(cells, mppm.SER(n, k, PaperP1, PaperP2))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Fig6Row is one point of Fig. 6.
+type Fig6Row struct {
+	Level float64
+	Rate  float64 // normalized data rate, bits/slot
+}
+
+// Fig6 reproduces paper Fig. 6: the dimming levels N=10 MPPM supports
+// before multiplexing (9 discrete points) and the semi-continuous levels
+// available after multiplexing.
+func Fig6() (before, after []Fig6Row, tbl stats.Table) {
+	for k := 1; k <= 9; k++ {
+		p := mppm.Pattern{N: 10, K: k}
+		before = append(before, Fig6Row{Level: p.DimmingLevel(), Rate: p.NormalizedRate()})
+	}
+	cons := amppm.DefaultConstraints()
+	cons.MinN, cons.MaxN = 10, 10
+	cons.SERBound = 0.99 // Fig. 6 illustrates multiplexing, not pruning
+	table, err := amppm.NewTable(cons)
+	if err != nil {
+		panic(err) // constraints are fixed and valid by construction
+	}
+	for l := 0.1; l <= 0.901; l += 0.025 {
+		s, err := table.Select(l)
+		if err != nil {
+			continue
+		}
+		after = append(after, Fig6Row{Level: s.Level(), Rate: s.NormalizedRate()})
+	}
+	tbl = stats.Table{
+		Title:   "Fig. 6 — dimming levels before/after multiplexing (N=10)",
+		Headers: []string{"set", "level", "normalized rate"},
+	}
+	for _, r := range before {
+		tbl.AddRow("before", r.Level, r.Rate)
+	}
+	for _, r := range after {
+		tbl.AddRow("after", r.Level, r.Rate)
+	}
+	return before, after, tbl
+}
+
+// Fig8Row is one symbol pattern of Fig. 8 with its SER and pruning
+// verdict.
+type Fig8Row struct {
+	Pattern mppm.Pattern
+	SER     float64
+	Kept    bool
+}
+
+// Fig8 reproduces paper Fig. 8: symbol patterns below/above the SER upper
+// bound. The paper's example names S(50, 0.3) and S(30, 0.4) as abandoned.
+func Fig8(bound float64) ([]Fig8Row, stats.Table) {
+	var rows []Fig8Row
+	t := stats.Table{
+		Title:   fmt.Sprintf("Fig. 8 — patterns vs SER bound %.4g", bound),
+		Headers: []string{"pattern", "level", "SER", "kept"},
+	}
+	for _, n := range []int{10, 30, 50} {
+		for k := 1; k < n; k++ {
+			p := mppm.Pattern{N: n, K: k}
+			ser := p.SER(PaperP1, PaperP2)
+			r := Fig8Row{Pattern: p, SER: ser, Kept: ser <= bound}
+			rows = append(rows, r)
+			t.AddRow(p.String(), p.DimmingLevel(), ser, fmt.Sprintf("%v", r.Kept))
+		}
+	}
+	return rows, t
+}
+
+// Fig9Row is one envelope point of Fig. 9.
+type Fig9Row struct {
+	Level        float64
+	EnvelopeRate float64
+	SingleRate   float64 // best fixed pattern at this exact level (0 if none)
+}
+
+// Fig9 reproduces paper Fig. 9: the slope-walk envelope over patterns with
+// N in [10, 21] between dimming levels 0.5 and 0.7, against the
+// "without multiplexing" step curve.
+func Fig9() ([]Fig9Row, stats.Table) {
+	cons := amppm.DefaultConstraints()
+	cons.MinN, cons.MaxN = 10, 21
+	cons.SERBound = 0.99
+	table, err := amppm.NewTable(cons)
+	if err != nil {
+		panic(err)
+	}
+	var rows []Fig9Row
+	t := stats.Table{
+		Title:   "Fig. 9 — envelope (AMPPM) vs best single pattern, N in [10,21]",
+		Headers: []string{"level", "AMPPM envelope", "single pattern"},
+	}
+	for l := 0.50; l <= 0.701; l += 0.005 {
+		r := Fig9Row{
+			Level:        l,
+			EnvelopeRate: table.EnvelopeRateAt(l),
+			SingleRate:   table.BestSingleRateAt(l, 0.0025),
+		}
+		rows = append(rows, r)
+		t.AddRow(r.Level, r.EnvelopeRate, r.SingleRate)
+	}
+	return rows, t
+}
+
+// Fig10Row is one adaptation step in Fig. 10.
+type Fig10Row struct {
+	Step                 int
+	MeasuredDomainLevel  float64 // the "existing method" trajectory
+	PerceivedDomainLevel float64 // SmartVLC's trajectory
+}
+
+// Fig10 reproduces paper Fig. 10: the same brightness transition executed
+// with a fixed measured-domain step (left plot) and a fixed
+// perceived-domain step (right plot). The perceived-domain trajectory
+// takes larger measured steps at high brightness.
+func Fig10(from, to float64) ([]Fig10Row, stats.Table) {
+	measured := light.SafeMeasuredStepper(light.DefaultTauP, min(from, to))
+	perceived := light.PerceivedStepper{TauP: light.DefaultTauP}
+	pm := measured.Plan(from, to)
+	pp := perceived.Plan(from, to)
+	n := len(pm)
+	if len(pp) > n {
+		n = len(pp)
+	}
+	rows := make([]Fig10Row, n)
+	t := stats.Table{
+		Title:   fmt.Sprintf("Fig. 10 — adaptation %0.2f → %0.2f: measured vs perceived stepping", from, to),
+		Headers: []string{"step", "measured-domain", "perceived-domain"},
+	}
+	for i := 0; i < n; i++ {
+		r := Fig10Row{Step: i + 1, MeasuredDomainLevel: to, PerceivedDomainLevel: to}
+		if i < len(pm) {
+			r.MeasuredDomainLevel = pm[i]
+		}
+		if i < len(pp) {
+			r.PerceivedDomainLevel = pp[i]
+		}
+		rows[i] = r
+		t.AddRow(r.Step, r.MeasuredDomainLevel, r.PerceivedDomainLevel)
+	}
+	return rows, t
+}
+
+// Table2 reproduces paper Table 2: the fraction of the 20-subject panel
+// perceiving flicker at each dimming resolution under the three ambient
+// conditions, for both viewing manners.
+func Table2() (indirect, direct stats.Table) {
+	p := flicker.NewPopulation(20)
+	conds := []struct {
+		name string
+		c    flicker.Condition
+	}{{"L1", flicker.L1}, {"L2", flicker.L2}, {"L3", flicker.L3}}
+
+	indirect = stats.Table{
+		Title:   "Table 2(a) — perception under indirect viewing (% of 20 subjects)",
+		Headers: []string{"resolution", "L1", "L2", "L3"},
+	}
+	for _, res := range []float64{0.04, 0.05, 0.06, 0.07, 0.08} {
+		cells := []interface{}{res}
+		for _, c := range conds {
+			cells = append(cells, 100*p.PerceivingFraction(res, flicker.Indirect, c.c))
+		}
+		indirect.AddRow(cells...)
+	}
+	direct = stats.Table{
+		Title:   "Table 2(b) — perception under direct viewing (% of 20 subjects)",
+		Headers: []string{"resolution", "L1", "L2", "L3"},
+	}
+	for _, res := range []float64{0.003, 0.004, 0.005, 0.006, 0.007} {
+		cells := []interface{}{res}
+		for _, c := range conds {
+			cells = append(cells, 100*p.PerceivingFraction(res, flicker.Direct, c.c))
+		}
+		direct.AddRow(cells...)
+	}
+	return indirect, direct
+}

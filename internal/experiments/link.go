@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"smartvlc/internal/amppm"
+	"smartvlc/internal/optics"
+	"smartvlc/internal/scheme"
+	"smartvlc/internal/sim"
+	"smartvlc/internal/stats"
+)
+
+// parallelFor runs f(0..n-1) across a bounded worker pool. Each index is
+// an independent seeded simulation, so results are deterministic
+// regardless of scheduling; only wall-clock time changes.
+func parallelFor(n int, f func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LinkOptions tune the measured-throughput experiments. Zero values take
+// the paper's settings; SecondsPerPoint trades precision for runtime.
+type LinkOptions struct {
+	// SecondsPerPoint is the simulated air time per data point
+	// (default 0.6 s; each paper point is a 30 s run).
+	SecondsPerPoint float64
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+func (o LinkOptions) seconds() float64 {
+	if o.SecondsPerPoint > 0 {
+		return o.SecondsPerPoint
+	}
+	return 0.6
+}
+
+// Schemes builds the three evaluation schemes exactly as the paper
+// configures them: AMPPM with default constraints, OOK-CT, and MPPM with
+// N = 20.
+func Schemes() (a *scheme.AMPPM, o *scheme.OOKCT, m *scheme.MPPM, err error) {
+	a, err = scheme.NewAMPPM(amppm.DefaultConstraints())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m, err = scheme.NewMPPM(20)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return a, scheme.NewOOKCT(), m, nil
+}
+
+// Fig15Row is one dimming level of Fig. 15.
+type Fig15Row struct {
+	Level                  float64
+	AMPPM, OOKCT, MPPMKbps float64
+}
+
+// Fig15Result carries the rows plus the summary the paper quotes in §6.2.
+type Fig15Result struct {
+	Rows []Fig15Row
+	// Average and maximum relative improvement of AMPPM over each
+	// baseline across the 17 levels.
+	AvgOverOOKCT, MaxOverOOKCT float64
+	AvgOverMPPM, MaxOverMPPM   float64
+}
+
+// Fig15 reproduces paper Fig. 15: throughput vs dimming level for AMPPM,
+// OOK-CT and MPPM(N=20) at 3 m with 128-byte payloads, over the paper's
+// 17 levels 0.1, 0.15, …, 0.9.
+func Fig15(opt LinkOptions) (Fig15Result, stats.Table, error) {
+	a, o, m, err := Schemes()
+	if err != nil {
+		return Fig15Result{}, stats.Table{}, err
+	}
+	run := func(s scheme.Scheme, level float64, seed uint64) (float64, error) {
+		cfg := sim.DefaultConfig(s)
+		cfg.FixedLevel = level
+		cfg.Seed = opt.Seed*1000 + seed
+		r, err := sim.Run(cfg, opt.seconds())
+		if err != nil {
+			return 0, err
+		}
+		return r.GoodputBps / 1000, nil
+	}
+	var res Fig15Result
+	t := stats.Table{
+		Title:   "Fig. 15 — throughput (kbps) vs dimming level, 3 m, 128 B payload",
+		Headers: []string{"level", "AMPPM", "OOK-CT", "MPPM(N=20)"},
+	}
+	rows := make([]Fig15Row, 17)
+	err = parallelFor(17, func(i int) error {
+		level := 0.1 + 0.05*float64(i)
+		row := Fig15Row{Level: level}
+		var err error
+		if row.AMPPM, err = run(a, level, uint64(i)); err != nil {
+			return fmt.Errorf("AMPPM level %v: %w", level, err)
+		}
+		if row.OOKCT, err = run(o, level, uint64(100+i)); err != nil {
+			return fmt.Errorf("OOK-CT level %v: %w", level, err)
+		}
+		if row.MPPMKbps, err = run(m, level, uint64(200+i)); err != nil {
+			return fmt.Errorf("MPPM level %v: %w", level, err)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return res, t, err
+	}
+	var sumO, sumM, maxO, maxM float64
+	for _, row := range rows {
+		res.Rows = append(res.Rows, row)
+		t.AddRow(row.Level, row.AMPPM, row.OOKCT, row.MPPMKbps)
+		if row.OOKCT > 0 {
+			g := row.AMPPM/row.OOKCT - 1
+			sumO += g
+			if g > maxO {
+				maxO = g
+			}
+		}
+		if row.MPPMKbps > 0 {
+			g := row.AMPPM/row.MPPMKbps - 1
+			sumM += g
+			if g > maxM {
+				maxM = g
+			}
+		}
+	}
+	n := float64(len(res.Rows))
+	res.AvgOverOOKCT, res.MaxOverOOKCT = sumO/n, maxO
+	res.AvgOverMPPM, res.MaxOverMPPM = sumM/n, maxM
+	return res, t, nil
+}
+
+// Fig16Row is one distance point for one dimming level.
+type Fig16Row struct {
+	DistanceM float64
+	Kbps      map[float64]float64 // by dimming level
+}
+
+// Fig16 reproduces paper Fig. 16: throughput vs distance at dimming
+// levels 0.18, 0.5 and 0.7. The paper observes a flat plateau out to
+// 3.6 m, a sharp collapse beyond, and no dependence on the dimming level.
+func Fig16(opt LinkOptions) ([]Fig16Row, stats.Table, error) {
+	a, _, _, err := Schemes()
+	if err != nil {
+		return nil, stats.Table{}, err
+	}
+	levels := []float64{0.18, 0.5, 0.7}
+	t := stats.Table{
+		Title:   "Fig. 16 — throughput (kbps) vs distance",
+		Headers: []string{"distance_m", "l=0.18", "l=0.5", "l=0.7"},
+	}
+	var distances []float64
+	for d := 0.5; d <= 5.01; d += 0.25 {
+		distances = append(distances, d)
+	}
+	rows := make([]Fig16Row, len(distances))
+	err = parallelFor(len(distances), func(j int) error {
+		d := distances[j]
+		row := Fig16Row{DistanceM: d, Kbps: map[float64]float64{}}
+		for i, level := range levels {
+			cfg := sim.DefaultConfig(a)
+			cfg.Geometry = optics.Aligned(d, 0)
+			cfg.FixedLevel = level
+			cfg.Seed = opt.Seed*10000 + uint64(d*100)*10 + uint64(i)
+			r, err := sim.Run(cfg, opt.seconds())
+			if err != nil {
+				return err
+			}
+			row.Kbps[level] = r.GoodputBps / 1000
+		}
+		rows[j] = row
+		return nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, row := range rows {
+		t.AddRow(row.DistanceM, row.Kbps[0.18], row.Kbps[0.5], row.Kbps[0.7])
+	}
+	return rows, t, nil
+}
+
+// Fig17Row is one incidence angle point for one distance.
+type Fig17Row struct {
+	AngleDeg float64
+	Kbps     map[float64]float64 // by distance
+}
+
+// Fig17 reproduces paper Fig. 17: throughput vs incidence angle at
+// distances 1.3, 2.3 and 3.3 m. Longer distances have smaller cut-off
+// angles because they sit closer to the link budget's edge.
+func Fig17(opt LinkOptions) ([]Fig17Row, stats.Table, error) {
+	a, _, _, err := Schemes()
+	if err != nil {
+		return nil, stats.Table{}, err
+	}
+	distances := []float64{1.3, 2.3, 3.3}
+	t := stats.Table{
+		Title:   "Fig. 17 — throughput (kbps) vs incidence angle",
+		Headers: []string{"angle_deg", "d=1.3m", "d=2.3m", "d=3.3m"},
+	}
+	var angles []float64
+	for ang := 0.0; ang <= 16.01; ang += 2 {
+		angles = append(angles, ang)
+	}
+	rows := make([]Fig17Row, len(angles))
+	err = parallelFor(len(angles), func(j int) error {
+		ang := angles[j]
+		row := Fig17Row{AngleDeg: ang, Kbps: map[float64]float64{}}
+		for i, d := range distances {
+			cfg := sim.DefaultConfig(a)
+			cfg.Geometry = optics.Aligned(d, ang)
+			cfg.FixedLevel = 0.5
+			cfg.Seed = opt.Seed*20000 + uint64(ang*10) + uint64(i)
+			r, err := sim.Run(cfg, opt.seconds())
+			if err != nil {
+				return err
+			}
+			row.Kbps[d] = r.GoodputBps / 1000
+		}
+		rows[j] = row
+		return nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+	for _, row := range rows {
+		t.AddRow(row.AngleDeg, row.Kbps[1.3], row.Kbps[2.3], row.Kbps[3.3])
+	}
+	return rows, t, nil
+}

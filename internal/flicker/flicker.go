@@ -1,0 +1,88 @@
+// Package flicker models both flicker types of the SmartVLC paper (§2.2)
+// and the 20-subject user study of §6.3 (Table 2).
+//
+// Type-I flicker is a visible brightness fluctuation caused by ON/OFF
+// modulation slower than the eye's fusion threshold f_th; AMPPM prevents
+// it by bounding super-symbols to Nmax = f_tx/f_th slots. Type-II flicker
+// is a perceivable *step* between consecutive dimming levels; SmartVLC
+// prevents it by stepping at τ_p in the perceived domain. This package
+// provides waveform analyzers for the first and a calibrated human
+// population model for the second, replacing the paper's physical
+// volunteers (see DESIGN.md §2 for the substitution).
+package flicker
+
+import (
+	"math"
+
+	"smartvlc/internal/light"
+)
+
+// Analysis summarizes the low-frequency brightness content of a slot
+// waveform.
+type Analysis struct {
+	// WindowSlots is the averaging window, one fusion period 1/f_th.
+	WindowSlots int
+	// MeanDuty is the global duty cycle (the dimming level delivered).
+	MeanDuty float64
+	// MinDuty and MaxDuty are the extreme window duties.
+	MinDuty, MaxDuty float64
+}
+
+// Ripple returns the peak-to-peak low-frequency brightness variation,
+// the quantity the eye can perceive as Type-I flicker.
+func (a Analysis) Ripple() float64 { return a.MaxDuty - a.MinDuty }
+
+// AnalyzeSlots slides a 1/f_th window across the waveform. Fluctuations
+// faster than f_th average out inside the window and are invisible; what
+// remains in MinDuty..MaxDuty is what the eye sees.
+func AnalyzeSlots(slots []bool, slotSeconds, fthHz float64) Analysis {
+	w := int(math.Round(1 / (fthHz * slotSeconds)))
+	if w < 1 {
+		w = 1
+	}
+	if w > len(slots) {
+		w = len(slots)
+	}
+	a := Analysis{WindowSlots: w, MinDuty: math.Inf(1), MaxDuty: math.Inf(-1)}
+	if len(slots) == 0 {
+		a.MinDuty, a.MaxDuty = 0, 0
+		return a
+	}
+	on := 0
+	total := 0
+	for i, s := range slots {
+		if s {
+			on++
+			total++
+		}
+		if i >= w {
+			if slots[i-w] {
+				on--
+			}
+		}
+		if i >= w-1 {
+			d := float64(on) / float64(w)
+			a.MinDuty = math.Min(a.MinDuty, d)
+			a.MaxDuty = math.Max(a.MaxDuty, d)
+		}
+	}
+	a.MeanDuty = float64(total) / float64(len(slots))
+	return a
+}
+
+// TypeIVisible reports whether the waveform's low-frequency ripple around
+// level would be perceivable: the excursion from the mean, taken to the
+// perceived domain, must stay below the population threshold.
+func (a Analysis) TypeIVisible(thresholdP float64) bool {
+	hi := math.Abs(light.ToPerceived(a.MaxDuty) - light.ToPerceived(a.MeanDuty))
+	lo := math.Abs(light.ToPerceived(a.MeanDuty) - light.ToPerceived(a.MinDuty))
+	return math.Max(hi, lo) > thresholdP
+}
+
+// StepVisible reports whether a single dimming-level change from a to b
+// (measured domain) would be perceived as Type-II flicker by the most
+// sensitive viewer, i.e. whether its perceived-domain size exceeds
+// thresholdP.
+func StepVisible(a, b, thresholdP float64) bool {
+	return math.Abs(light.ToPerceived(b)-light.ToPerceived(a)) > thresholdP
+}

@@ -1,0 +1,195 @@
+package flicker
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smartvlc/internal/light"
+)
+
+func TestAnalyzeUniformWaveform(t *testing.T) {
+	// A fast 50% square wave (1 slot ON, 1 OFF) has no visible ripple.
+	slots := make([]bool, 4000)
+	for i := range slots {
+		slots[i] = i%2 == 0
+	}
+	a := AnalyzeSlots(slots, 8e-6, 250)
+	if a.WindowSlots != 500 {
+		t.Fatalf("window = %d", a.WindowSlots)
+	}
+	if math.Abs(a.MeanDuty-0.5) > 1e-9 {
+		t.Fatalf("mean duty %v", a.MeanDuty)
+	}
+	if a.Ripple() > 0.003 {
+		t.Fatalf("ripple %v on a fast square wave", a.Ripple())
+	}
+	if a.TypeIVisible(light.DefaultTauP) {
+		t.Fatal("fast square wave flagged as flicker")
+	}
+}
+
+func TestAnalyzeSlowWaveformFlickers(t *testing.T) {
+	// 100 Hz square wave at 125 kHz slot rate: 625 slots ON, 625 OFF —
+	// below the 250 Hz fusion threshold, clearly visible.
+	slots := make([]bool, 12500)
+	for i := range slots {
+		slots[i] = (i/625)%2 == 0
+	}
+	a := AnalyzeSlots(slots, 8e-6, 250)
+	if a.Ripple() < 0.5 {
+		t.Fatalf("ripple %v, expected large", a.Ripple())
+	}
+	if !a.TypeIVisible(light.DefaultTauP) {
+		t.Fatal("slow square wave not flagged")
+	}
+}
+
+func TestAnalyzeEdgeCases(t *testing.T) {
+	a := AnalyzeSlots(nil, 8e-6, 250)
+	if a.Ripple() != 0 {
+		t.Fatal("empty waveform ripple")
+	}
+	// Waveform shorter than the window: single window equals the mean.
+	short := []bool{true, false, true}
+	a = AnalyzeSlots(short, 8e-6, 250)
+	if math.Abs(a.MeanDuty-2.0/3) > 1e-9 || a.Ripple() > 1e-9 {
+		t.Fatalf("short waveform analysis: %+v", a)
+	}
+}
+
+func TestStepVisible(t *testing.T) {
+	// A 0.003 perceived step at the threshold is invisible; 0.01 is not.
+	a := 0.5
+	b := light.ToMeasured(light.ToPerceived(a) + 0.0029)
+	if StepVisible(a, b, light.DefaultTauP) {
+		t.Fatal("sub-threshold step flagged")
+	}
+	c := light.ToMeasured(light.ToPerceived(a) + 0.01)
+	if !StepVisible(a, c, light.DefaultTauP) {
+		t.Fatal("large step not flagged")
+	}
+}
+
+func TestPopulationMonotonicity(t *testing.T) {
+	p := NewPopulation(20)
+	if p.Size() != 20 {
+		t.Fatalf("size %d", p.Size())
+	}
+	for _, v := range []Viewing{Direct, Indirect} {
+		for _, c := range []Condition{L1, L2, L3} {
+			prev := -1.0
+			for res := 0.001; res <= 0.1; res += 0.001 {
+				f := p.PerceivingFraction(res, v, c)
+				if f < prev-1e-12 {
+					t.Fatalf("fraction not monotone in resolution")
+				}
+				if f < 0 || f > 1 {
+					t.Fatalf("fraction %v out of range", f)
+				}
+				prev = f
+			}
+		}
+	}
+}
+
+// TestTable2Shape pins the qualitative structure of paper Table 2.
+func TestTable2Shape(t *testing.T) {
+	p := NewPopulation(20)
+
+	// Direct viewing: 0.003 invisible everywhere, 0.007 visible to all.
+	for _, c := range []Condition{L1, L2, L3} {
+		if f := p.PerceivingFraction(0.003, Direct, c); f != 0 {
+			t.Errorf("direct 0.003 under %+v: %v", c, f)
+		}
+		if f := p.PerceivingFraction(0.0075, Direct, c); f != 1 {
+			t.Errorf("direct 0.0075 under %+v: %v", c, f)
+		}
+	}
+	// Indirect viewing: 0.04 invisible everywhere, 0.08 visible to all.
+	for _, c := range []Condition{L1, L2, L3} {
+		if f := p.PerceivingFraction(0.04, Indirect, c); f != 0 {
+			t.Errorf("indirect 0.04 under %+v: %v", c, f)
+		}
+		if f := p.PerceivingFraction(0.08, Indirect, c); f != 1 {
+			t.Errorf("indirect 0.08 under %+v: %v", c, f)
+		}
+	}
+	// Darker ambient makes subjects at least as sensitive, at the
+	// mid-scale resolutions where the table differentiates.
+	for _, res := range []float64{0.005, 0.006} {
+		f1 := p.PerceivingFraction(res, Direct, L1)
+		f2 := p.PerceivingFraction(res, Direct, L2)
+		f3 := p.PerceivingFraction(res, Direct, L3)
+		if !(f1 <= f2 && f2 <= f3) {
+			t.Errorf("res %v: sensitivity ordering L1=%v L2=%v L3=%v", res, f1, f2, f3)
+		}
+	}
+	// L3 direct at 0.005 splits the panel roughly in half (paper: 50%).
+	if f := p.PerceivingFraction(0.005, Direct, L3); f < 0.2 || f > 0.7 {
+		t.Errorf("L3 direct 0.005: %v, paper reports 0.5", f)
+	}
+	// Indirect viewing needs roughly 10x the step.
+	d := p.Threshold(10, Direct, L2)
+	i := p.Threshold(10, Indirect, L2)
+	if i/d < 8 || i/d > 13 {
+		t.Errorf("indirect/direct threshold ratio %v", i/d)
+	}
+}
+
+// TestSafeResolutionNearPaperTauP verifies the procedure that selects
+// τ_p: the largest universally invisible step should land at the paper's
+// 0.003.
+func TestSafeResolutionNearPaperTauP(t *testing.T) {
+	p := NewPopulation(20)
+	safe := p.SafeResolution()
+	if safe < 0.003-1e-9 || safe > 0.004+1e-9 {
+		t.Fatalf("SafeResolution = %v, paper picks 0.003", safe)
+	}
+	// Nobody perceives it under any condition or viewing manner.
+	for _, v := range []Viewing{Direct, Indirect} {
+		for _, c := range []Condition{L1, L2, L3} {
+			if f := p.PerceivingFraction(safe, v, c); f != 0 {
+				t.Fatalf("safe resolution perceived: %v under %+v/%v", f, c, v)
+			}
+		}
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:   0,
+		0.975: 1.959964,
+		0.025: -1.959964,
+		0.999: 3.090232,
+	}
+	for p, want := range cases {
+		if got := normQuantile(p); math.Abs(got-want) > 1e-4 {
+			t.Errorf("normQuantile(%v) = %v want %v", p, got, want)
+		}
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("boundary quantiles")
+	}
+}
+
+func TestAnalyzeRippleProperty(t *testing.T) {
+	f := func(seed uint64, duty uint8) bool {
+		// Any waveform made of whole AMPPM-style blocks shorter than the
+		// window has ripple bounded by block-level variation; just check
+		// invariants: 0 ≤ min ≤ mean ≤ max ≤ 1.
+		n := 5000
+		slots := make([]bool, n)
+		s := seed
+		for i := range slots {
+			s = s*6364136223846793005 + 1442695040888963407
+			slots[i] = byte(s>>57) < duty
+		}
+		a := AnalyzeSlots(slots, 8e-6, 250)
+		return a.MinDuty >= 0 && a.MinDuty <= a.MeanDuty+1e-9 &&
+			a.MeanDuty <= a.MaxDuty+1e-9 && a.MaxDuty <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

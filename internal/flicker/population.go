@@ -1,0 +1,165 @@
+package flicker
+
+import (
+	"math"
+)
+
+// Viewing is the manner in which a subject observes the luminaire
+// (paper Fig. 18).
+type Viewing int
+
+// Viewing manners from the user study.
+const (
+	// Direct: the subject looks straight at the LED.
+	Direct Viewing = iota
+	// Indirect: the subject judges from the light reflected off the desk,
+	// which dilutes the modulation roughly tenfold.
+	Indirect
+)
+
+// Condition is one ambient setting of the user study.
+type Condition struct {
+	// Lux is the ambient illuminance.
+	Lux float64
+	// CeilingOn marks the paper's L1 condition, where the ceiling lights
+	// shine directly into the subjects' field of view and mask small LED
+	// steps beyond what the illuminance alone explains.
+	CeilingOn bool
+}
+
+// The paper's three study conditions.
+var (
+	L1 = Condition{Lux: 9300, CeilingOn: true}
+	L2 = Condition{Lux: 8080}
+	L3 = Condition{Lux: 16}
+)
+
+// Population is a deterministic panel of simulated subjects. Each subject
+// has a base perception threshold for direct viewing under bright ambient;
+// viewing manner and ambient darkness scale it. Thresholds are placed at
+// normal quantiles, so a Population of a given size is reproducible.
+type Population struct {
+	base []float64 // per-subject direct-viewing threshold, measured domain
+}
+
+// Study-model calibration (fit to paper Table 2; see EXPERIMENTS.md).
+const (
+	baseMean = 0.0059
+	baseSD   = 0.0005
+	// indirectFactor is how much larger a step must be to be seen in the
+	// desk reflection rather than by looking at the LED.
+	indirectFactor = 10.5
+	// darkestFactor scales thresholds down in darkness (dilated pupils).
+	darkestFactor = 0.86
+	// luxSpan and ceilingBonus split the remaining sensitivity between
+	// illuminance and direct ceiling-light glare.
+	luxGain      = 0.07
+	ceilingBonus = 0.07
+)
+
+// NewPopulation creates n simulated subjects. The paper's panel is 20
+// volunteers (10 male, 10 female, aged 19–41).
+func NewPopulation(n int) Population {
+	base := make([]float64, n)
+	for i := range base {
+		q := (float64(i) + 0.5) / float64(n)
+		base[i] = baseMean + baseSD*normQuantile(q)
+	}
+	return Population{base: base}
+}
+
+// Size returns the panel size.
+func (p Population) Size() int { return len(p.base) }
+
+// ambientFactor maps a condition to a threshold multiplier in
+// [darkestFactor, 1]: darker rooms dilate pupils and make steps easier to
+// see, ceiling glare masks them.
+func ambientFactor(c Condition) float64 {
+	x := c.Lux / 9300
+	if x > 1 {
+		x = 1
+	}
+	if x < 0 {
+		x = 0
+	}
+	f := darkestFactor + luxGain*x
+	if c.CeilingOn {
+		f += ceilingBonus
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Threshold returns subject i's perception threshold (measured-domain
+// resolution) under the given viewing manner and condition.
+func (p Population) Threshold(i int, v Viewing, c Condition) float64 {
+	t := p.base[i] * ambientFactor(c)
+	if v == Indirect {
+		t *= indirectFactor
+	}
+	return t
+}
+
+// PerceivingFraction returns the fraction of the panel that perceives a
+// dimming-level resolution (step size, measured domain, max intensity 1)
+// as flicker — the cell values of paper Table 2.
+func (p Population) PerceivingFraction(resolution float64, v Viewing, c Condition) float64 {
+	if len(p.base) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range p.base {
+		if resolution >= p.Threshold(i, v, c) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.base))
+}
+
+// SafeResolution returns the largest step no panel member perceives under
+// the worst condition (direct viewing, darkest ambient) — the paper's
+// procedure for choosing τ_p = 0.003.
+func (p Population) SafeResolution() float64 {
+	worst := math.Inf(1)
+	for i := range p.base {
+		if t := p.Threshold(i, Direct, L3); t < worst {
+			worst = t
+		}
+	}
+	// Step just below the most sensitive subject's threshold, with one
+	// significant-digit floor like the paper's reported 0.003.
+	return math.Floor(worst*1000*0.999) / 1000
+}
+
+// normQuantile is Acklam's rational approximation to the standard normal
+// inverse CDF (relative error < 1.2e-9), enough to place panel quantiles.
+func normQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

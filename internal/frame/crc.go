@@ -1,0 +1,44 @@
+// Package frame implements the SmartVLC frame format of paper Table 1:
+//
+//	Preamble | Length | Pattern | Compensation | Sync | Payload | CRC
+//	3 bytes  | 2 B    | 4 B     | x slots      | 1 b  | 0–MAX B | 2 B
+//
+// The preamble is an alternating ON/OFF slot sequence. The header (Length
+// and Pattern) is Manchester-coded so its duty cycle is exactly 50 %
+// independent of content. The compensation field is a run of consecutive
+// ONs or OFFs sized so the frame prefix matches the payload's dimming
+// level, avoiding intra-frame (Type-II) flicker; the sync slot provides a
+// known edge to re-align slot timing after the unmodulated compensation
+// run. Payload and CRC are modulated by a scheme-specific PayloadCodec
+// (AMPPM, OOK-CT, MPPM or VPPM).
+package frame
+
+// crcTable is the CRC-16/CCITT-FALSE table (polynomial 0x1021).
+var crcTable [256]uint16
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+		crcTable[i] = crc
+	}
+}
+
+// CRC16 returns the CRC-16/CCITT-FALSE checksum (init 0xFFFF) of data.
+// The paper's 2-byte CRC field uses this to reject frames with residual
+// symbol errors.
+func CRC16(data ...[]byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, chunk := range data {
+		for _, b := range chunk {
+			crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
+		}
+	}
+	return crc
+}

@@ -1,0 +1,70 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+// bitsToSlots expands fuzz bytes into a slot waveform.
+func bitsToSlots(data []byte) []bool {
+	slots := make([]bool, len(data)*8)
+	for i := range slots {
+		slots[i] = data[i/8]>>(7-uint(i%8))&1 == 1
+	}
+	return slots
+}
+
+// FuzzParse feeds arbitrary slot waveforms to the frame parser: it must
+// never panic and never return success with an inconsistent result.
+func FuzzParse(f *testing.F) {
+	codec := fakeCodec{level: 0.4}
+	good, _ := Build(codec, []byte("seed payload"))
+	packed := make([]byte, (len(good)+7)/8)
+	for i, s := range good {
+		if s {
+			packed[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	f.Add(packed)
+	f.Add([]byte{0xAA, 0xAA, 0xAA, 0xFF, 0x00})
+	f.Add(bytes.Repeat([]byte{0xAA}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		slots := bitsToSlots(data)
+		res, err := Parse(slots, fakeFactory(0.4))
+		if err != nil {
+			return
+		}
+		if res.SlotsConsumed <= 0 || res.SlotsConsumed > len(slots) {
+			t.Fatalf("consumed %d of %d", res.SlotsConsumed, len(slots))
+		}
+		if len(res.Payload) != res.Header.Length {
+			t.Fatalf("payload %d vs header %d", len(res.Payload), res.Header.Length)
+		}
+	})
+}
+
+// FuzzBuildParseRoundTrip builds a frame from fuzzed payload/level and
+// requires an exact round trip.
+func FuzzBuildParseRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"), uint16(30000))
+	f.Add([]byte{}, uint16(0))
+	f.Fuzz(func(t *testing.T, payload []byte, levelRaw uint16) {
+		if len(payload) > 2048 {
+			return
+		}
+		level := 0.1 + float64(levelRaw)/65535*0.8
+		codec := fakeCodec{level: level}
+		slots, err := Build(codec, payload)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		res, err := Parse(slots, fakeFactory(level))
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		if !bytes.Equal(res.Payload, payload) {
+			t.Fatal("payload mismatch")
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package frame
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Field sizes from paper Table 1.
+const (
+	PreambleBytes = 3 // alternating ON/OFF slots
+	LengthBytes   = 2
+	PatternBytes  = 4
+	CRCBytes      = 2
+	PreambleSlots = PreambleBytes * 8
+	headerBytes   = LengthBytes + PatternBytes
+	HeaderSlots   = headerBytes * 8 * 2 // Manchester: 2 slots per bit
+	prefixSlots   = PreambleSlots + HeaderSlots
+	// MaxPayload is the largest payload the 2-byte Length field can name.
+	MaxPayload = 1<<16 - 1
+)
+
+// Header is the decoded frame header.
+type Header struct {
+	// Length is the payload size in bytes (CRC excluded).
+	Length int
+	// Pattern carries the scheme-specific super-symbol descriptor.
+	Pattern [PatternBytes]byte
+}
+
+// Header/stream parse errors.
+var (
+	ErrNoPreamble     = errors.New("frame: preamble mismatch")
+	ErrBadManchester  = errors.New("frame: invalid Manchester pair in header")
+	ErrTruncated      = errors.New("frame: slot stream truncated")
+	ErrBadSync        = errors.New("frame: sync slot mismatch")
+	ErrCRC            = errors.New("frame: CRC mismatch")
+	ErrPayloadTooLong = fmt.Errorf("frame: payload exceeds %d bytes", MaxPayload)
+)
+
+// AppendPreamble appends the 24-slot alternating preamble, starting with ON.
+func AppendPreamble(dst []bool) []bool {
+	for i := 0; i < PreambleSlots; i++ {
+		dst = append(dst, i%2 == 0)
+	}
+	return dst
+}
+
+// PreambleAt reports whether the alternating preamble starts at slots[0].
+func PreambleAt(slots []bool) bool {
+	if len(slots) < PreambleSlots {
+		return false
+	}
+	for i := 0; i < PreambleSlots; i++ {
+		if slots[i] != (i%2 == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendManchester appends one byte as 16 slots: bit 1 → ON,OFF and
+// bit 0 → OFF,ON. Both polarities spend one ON slot per bit, so the header
+// duty cycle is exactly 50 % for any content.
+func appendManchester(dst []bool, b byte) []bool {
+	for i := 7; i >= 0; i-- {
+		bit := b>>uint(i)&1 == 1
+		dst = append(dst, bit, !bit)
+	}
+	return dst
+}
+
+// decodeManchester decodes 16 slots into one byte. Pairs ON,ON and OFF,OFF
+// are invalid and reported as ErrBadManchester — this catches most single
+// slot errors in the header immediately.
+func decodeManchester(slots []bool) (byte, error) {
+	var b byte
+	for i := 0; i < 8; i++ {
+		first, second := slots[2*i], slots[2*i+1]
+		if first == second {
+			return 0, ErrBadManchester
+		}
+		if first {
+			b |= 1 << uint(7-i)
+		}
+	}
+	return b, nil
+}
+
+// AppendHeader appends the Manchester-coded Length and Pattern fields.
+func (h Header) AppendHeader(dst []bool) ([]bool, error) {
+	if h.Length < 0 || h.Length > MaxPayload {
+		return nil, ErrPayloadTooLong
+	}
+	dst = appendManchester(dst, byte(h.Length>>8))
+	dst = appendManchester(dst, byte(h.Length))
+	for _, b := range h.Pattern {
+		dst = appendManchester(dst, b)
+	}
+	return dst, nil
+}
+
+// ParseHeader decodes the header from HeaderSlots slots.
+func ParseHeader(slots []bool) (Header, error) {
+	if len(slots) < HeaderSlots {
+		return Header{}, ErrTruncated
+	}
+	var raw [headerBytes]byte
+	for i := range raw {
+		b, err := decodeManchester(slots[i*16 : (i+1)*16])
+		if err != nil {
+			return Header{}, err
+		}
+		raw[i] = b
+	}
+	h := Header{Length: int(raw[0])<<8 | int(raw[1])}
+	copy(h.Pattern[:], raw[LengthBytes:])
+	return h, nil
+}

@@ -1,0 +1,156 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLEDStepRise(t *testing.T) {
+	l := LED{RiseSeconds: 2e-6, FallSeconds: 2e-6}
+	// After half the rise time from 0, intensity is 0.5.
+	got := l.Step(0, 1, 1e-6)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Step = %v", got)
+	}
+	// Never overshoots.
+	if got := l.Step(0.9, 1, 1e-5); got != 1 {
+		t.Fatalf("overshoot: %v", got)
+	}
+	if got := l.Step(0.3, 0, 1e-6); math.Abs(got-(0.3-0.5)) > 1e-12 && got != 0 {
+		t.Fatalf("fall step = %v", got)
+	}
+	if got := l.Step(0.8, 0, 0.4e-6); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("fall step = %v", got)
+	}
+}
+
+func TestLEDStepInstantWhenZeroSlew(t *testing.T) {
+	l := LED{}
+	if l.Step(0, 1, 1e-9) != 1 || l.Step(1, 0, 1e-9) != 0 {
+		t.Fatal("zero-slew LED should switch instantly")
+	}
+	if l.Step(0.5, 1, 0) != 0.5 {
+		t.Fatal("zero dt should not move")
+	}
+}
+
+func TestLEDStepBounded(t *testing.T) {
+	l := DefaultLED()
+	f := func(curRaw, dtRaw uint16, up bool) bool {
+		cur := float64(curRaw) / 65535
+		dt := float64(dtRaw) / 65535 * 1e-5
+		target := 0.0
+		if up {
+			target = 1
+		}
+		next := l.Step(cur, target, dt)
+		if next < 0 || next > 1 {
+			return false
+		}
+		// Moves toward target, never past it.
+		if up {
+			return next >= cur && next <= 1
+		}
+		return next <= cur && next >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinSlotMatchesPaper(t *testing.T) {
+	// The default LED must be consistent with the paper's tslot = 8 µs
+	// choice: the minimum supported slot is at most 8 µs, and not absurdly
+	// smaller (otherwise the 8 µs bottleneck story wouldn't hold).
+	l := DefaultLED()
+	min := l.MinSlotSeconds()
+	if min > 8e-6 {
+		t.Fatalf("MinSlotSeconds %v exceeds the paper's 8 µs", min)
+	}
+	if min < 2e-6 {
+		t.Fatalf("MinSlotSeconds %v implausibly fast for this LED", min)
+	}
+}
+
+func TestFilterConverges(t *testing.T) {
+	f := NewFilter(OPT101())
+	// Feed a constant; output converges to it.
+	var out float64
+	for i := 0; i < 1000; i++ {
+		out = f.Step(3.7, 1e-5)
+	}
+	if math.Abs(out-3.7) > 1e-6 {
+		t.Fatalf("filter did not converge: %v", out)
+	}
+	if f.Output() != out {
+		t.Fatal("Output() mismatch")
+	}
+}
+
+func TestFilterFirstSampleInitializes(t *testing.T) {
+	f := NewFilter(OPT101())
+	if got := f.Step(5, 1e-6); got != 5 {
+		t.Fatalf("first sample = %v", got)
+	}
+}
+
+func TestFilterSpeedDifference(t *testing.T) {
+	// SFH206K must track a step much faster than OPT101 — the reason the
+	// paper uses different photodiodes at the two ends.
+	fast := NewFilter(SFH206K())
+	slow := NewFilter(OPT101())
+	fast.Step(0, 1e-6)
+	slow.Step(0, 1e-6)
+	dt := 2e-6 // one RX sample period
+	f := fast.Step(1, dt)
+	s := slow.Step(1, dt)
+	if f < 0.99 {
+		t.Fatalf("SFH206K too slow: %v after one sample", f)
+	}
+	if s > 0.05 {
+		t.Fatalf("OPT101 too fast: %v after one sample", s)
+	}
+}
+
+func TestADCQuantize(t *testing.T) {
+	a := DefaultADC()
+	if a.Quantize(-5) != 0 {
+		t.Fatal("negative count")
+	}
+	if a.Quantize(100) != 100 {
+		t.Fatal("in-range count altered")
+	}
+	if a.Quantize(10000) != 4095 {
+		t.Fatal("saturation")
+	}
+	unbounded := ADC{SampleRateHz: 1, MaxCode: 0}
+	if unbounded.Quantize(10000) != 10000 {
+		t.Fatal("MaxCode=0 should disable saturation")
+	}
+}
+
+func TestClockDrift(t *testing.T) {
+	c := Clock{NominalHz: 500e3, OffsetPPM: 25}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.EffectiveHz(); math.Abs(got-500e3*1.000025) > 1e-6 {
+		t.Fatalf("EffectiveHz = %v", got)
+	}
+	// Drift accumulates to one slot (8 µs) in 1/(125k*25e-6) slot times.
+	period := c.TickSeconds()
+	nominal := 1 / 500e3
+	driftPerTick := math.Abs(period - nominal)
+	ticksPerSlotSlip := nominal / driftPerTick / 4 // 4 ticks per slot
+	if ticksPerSlotSlip < 5000 || ticksPerSlotSlip > 50000 {
+		t.Fatalf("slip after %v slots, expected ~10k (per-frame resync is enough)", ticksPerSlotSlip)
+	}
+	bad := Clock{NominalHz: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+	if !math.IsInf(bad.TickSeconds(), 1) {
+		t.Fatal("zero clock period should be +Inf")
+	}
+}

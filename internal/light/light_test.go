@@ -1,0 +1,264 @@
+package light
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerceptionRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		im := float64(raw) / 65535
+		back := ToMeasured(ToPerceived(im))
+		return math.Abs(back-im) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if ToPerceived(-0.5) != 0 || ToPerceived(1.5) != 1 {
+		t.Fatal("clamping broken")
+	}
+	if ToMeasured(-1) != 0 || ToMeasured(2) != 1 {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestPerceptionMatchesPaperFormula(t *testing.T) {
+	// Paper: Ip = 100·sqrt(Im/100) on a 0–100 scale. At Im = 25 % the
+	// perceived brightness is 50 %.
+	if got := ToPerceived(0.25); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ToPerceived(0.25) = %v", got)
+	}
+}
+
+func TestPerceivedStepperStepsAreImperceptible(t *testing.T) {
+	s := PerceivedStepper{TauP: DefaultTauP}
+	plan := s.Plan(0.1, 0.9)
+	cur := 0.1
+	for _, next := range plan {
+		dIp := math.Abs(ToPerceived(next) - ToPerceived(cur))
+		if dIp > DefaultTauP+1e-9 {
+			t.Fatalf("perceived step %v exceeds tauP", dIp)
+		}
+		cur = next
+	}
+	if math.Abs(cur-0.9) > 1e-12 {
+		t.Fatalf("plan does not end at target: %v", cur)
+	}
+}
+
+func TestMeasuredStepperStepsAreImperceptibleInRange(t *testing.T) {
+	s := SafeMeasuredStepper(DefaultTauP, 0.1)
+	plan := s.Plan(0.1, 0.9)
+	cur := 0.1
+	for _, next := range plan {
+		dIp := math.Abs(ToPerceived(next) - ToPerceived(cur))
+		if dIp > DefaultTauP+1e-9 {
+			t.Fatalf("perceived step %v exceeds tauP at level %v", dIp, cur)
+		}
+		cur = next
+	}
+}
+
+// TestFig19cStepCountHalved pins the paper's headline adaptation result:
+// over the same sweep, the perception-domain stepper needs about half the
+// adjustments of the safe fixed measured-domain stepper.
+func TestFig19cStepCountHalved(t *testing.T) {
+	measured := SafeMeasuredStepper(DefaultTauP, 0.1)
+	perceived := PerceivedStepper{TauP: DefaultTauP}
+	nm := len(measured.Plan(0.1, 0.9))
+	np := len(perceived.Plan(0.1, 0.9))
+	ratio := float64(np) / float64(nm)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("perceived/measured step ratio = %v (np=%d, nm=%d), paper reports ≈0.5", ratio, np, nm)
+	}
+}
+
+func TestPlanDirectionality(t *testing.T) {
+	s := PerceivedStepper{TauP: 0.01}
+	down := s.Plan(0.9, 0.1)
+	for i := 1; i < len(down); i++ {
+		if down[i] >= down[i-1] {
+			t.Fatal("downward plan not monotone")
+		}
+	}
+	if len(s.Plan(0.5, 0.5)) != 0 {
+		t.Fatal("no-op plan should be empty")
+	}
+	up := s.Plan(0.1, 0.11)
+	if len(up) == 0 || math.Abs(up[len(up)-1]-0.11) > 1e-12 {
+		t.Fatalf("small move plan wrong: %v", up)
+	}
+}
+
+func TestStepperPanicsOnBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MeasuredStepper{Tau: 0}.Plan(0, 1)
+}
+
+func TestControllerHoldsSumConstant(t *testing.T) {
+	c, err := NewController(1.0, PerceivedStepper{TauP: DefaultTauP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ambient values chosen so the required LED level stays inside the
+	// [0.1, 0.9] operating range; clamping outside it is tested separately.
+	for _, ambient := range []float64{0.15, 0.2, 0.5, 0.8, 0.3} {
+		c.Observe(ambient)
+		sum := c.Level() + ambient
+		if math.Abs(sum-1.0) > 1e-9 {
+			t.Fatalf("ambient %v: sum %v", ambient, sum)
+		}
+	}
+}
+
+func TestControllerClampsToOperatingRange(t *testing.T) {
+	c, _ := NewController(1.0, PerceivedStepper{TauP: DefaultTauP})
+	c.Observe(0.99) // would need LED at 0.01 < MinLevel
+	if c.Level() != 0.1 {
+		t.Fatalf("level %v, want clamp at 0.1", c.Level())
+	}
+	c.Observe(0.0) // would need 1.0 > MaxLevel
+	if c.Level() != 0.9 {
+		t.Fatalf("level %v, want clamp at 0.9", c.Level())
+	}
+}
+
+func TestControllerDeadbandSuppressesJitter(t *testing.T) {
+	c, _ := NewController(1.0, PerceivedStepper{TauP: DefaultTauP})
+	c.Observe(0.5)
+	base := c.Adjustments()
+	for i := 0; i < 100; i++ {
+		if plan := c.Observe(0.5 + 1e-6*float64(i%2)); len(plan) != 0 {
+			t.Fatal("deadband failed to suppress jitter")
+		}
+	}
+	if c.Adjustments() != base {
+		t.Fatal("adjustments counted inside deadband")
+	}
+}
+
+func TestControllerCountsAdjustments(t *testing.T) {
+	c, _ := NewController(1.0, PerceivedStepper{TauP: DefaultTauP})
+	c.Observe(0.1) // initializes at 0.9
+	if c.Adjustments() != 0 {
+		t.Fatal("initialization should not count")
+	}
+	plan := c.Observe(0.3) // move 0.9 -> 0.7
+	if len(plan) == 0 || c.Adjustments() != len(plan) {
+		t.Fatalf("adjustments %d, plan %d", c.Adjustments(), len(plan))
+	}
+	if c.Retargets() != 1 {
+		t.Fatalf("retargets %d", c.Retargets())
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(0, PerceivedStepper{TauP: 1}); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := NewController(1, nil); err == nil {
+		t.Fatal("nil stepper accepted")
+	}
+}
+
+func TestBlindPullEndpointsAndMonotonicity(t *testing.T) {
+	b := BlindPull{StartLux: 50, EndLux: 8000, Duration: 67}
+	if got := b.LuxAt(0); math.Abs(got-50) > 1 {
+		t.Fatalf("start %v", got)
+	}
+	if got := b.LuxAt(67); math.Abs(got-8000) > 1 {
+		t.Fatalf("end %v", got)
+	}
+	if b.LuxAt(-5) != b.LuxAt(0) || b.LuxAt(100) != b.LuxAt(67) {
+		t.Fatal("clamping outside duration broken")
+	}
+	prev := -1.0
+	for ts := 0.0; ts <= 67; ts += 0.5 {
+		v := b.LuxAt(ts)
+		if v < prev {
+			t.Fatalf("wobble-free blind pull must be monotone, dropped at %v", ts)
+		}
+		prev = v
+	}
+}
+
+func TestBlindPullWobbleBounded(t *testing.T) {
+	plain := BlindPull{StartLux: 50, EndLux: 8000, Duration: 67}
+	wobbly := BlindPull{StartLux: 50, EndLux: 8000, Duration: 67, WobbleFraction: 0.05}
+	for ts := 0.0; ts <= 67; ts += 0.1 {
+		d := math.Abs(wobbly.LuxAt(ts) - plain.LuxAt(ts))
+		if d > 0.05*7950*0.5+1e-9 {
+			t.Fatalf("wobble %v out of bounds at %v", d, ts)
+		}
+		if wobbly.LuxAt(ts) < 0 {
+			t.Fatal("negative lux")
+		}
+	}
+}
+
+func TestCloudsStayWithinRange(t *testing.T) {
+	c := Clouds{BaseLux: 9000, DipFraction: 0.6, PeriodSeconds: 30}
+	minSeen := math.Inf(1)
+	for ts := 0.0; ts < 600; ts += 0.25 {
+		v := c.LuxAt(ts)
+		if v > 9000+1e-9 || v < 9000*(1-0.6)-1e-9 {
+			t.Fatalf("clouds out of range: %v", v)
+		}
+		minSeen = math.Min(minSeen, v)
+	}
+	if minSeen > 9000*0.6 {
+		t.Fatalf("clouds never dip meaningfully: min %v", minSeen)
+	}
+	if (Clouds{BaseLux: 100}).LuxAt(5) != 100 {
+		t.Fatal("zero period should be constant")
+	}
+}
+
+func TestDayCycle(t *testing.T) {
+	d := DayCycle{PeakLux: 10000, DayLengthSeconds: 36000}
+	if d.LuxAt(0) != 0 || d.LuxAt(36000) > 1e-9 {
+		t.Fatal("day must start and end dark")
+	}
+	if got := d.LuxAt(18000); math.Abs(got-10000) > 1e-6 {
+		t.Fatalf("midday %v", got)
+	}
+	if d.LuxAt(-1) != 0 || d.LuxAt(40000) != 0 {
+		t.Fatal("outside day should be dark")
+	}
+}
+
+func TestStepsTrace(t *testing.T) {
+	s := Steps{Levels: []float64{10, 20, 30}, StepSeconds: 5}
+	cases := map[float64]float64{0: 10, 4.9: 10, 5: 20, 12: 30, 100: 30}
+	for ts, want := range cases {
+		if got := s.LuxAt(ts); got != want {
+			t.Fatalf("LuxAt(%v) = %v want %v", ts, got, want)
+		}
+	}
+	if (Steps{}).LuxAt(1) != 0 {
+		t.Fatal("empty steps")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize(250, 500) != 0.5 {
+		t.Fatal("normalize")
+	}
+	if Normalize(1, 0) != 0 {
+		t.Fatal("zero full-LED lux should not divide")
+	}
+}
+
+func TestPaperAmbientConstants(t *testing.T) {
+	if !(L1Lux > L2Lux && L2Lux > L3Lux) {
+		t.Fatal("ambient condition ordering broken")
+	}
+	if L3Lux < 12 || L3Lux > 21 {
+		t.Fatal("L3 outside the paper's measured band")
+	}
+}

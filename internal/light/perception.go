@@ -1,0 +1,32 @@
+// Package light implements the smart-lighting half of SmartVLC: ambient
+// light traces, the perception-domain model of human brightness response,
+// the two adaptation steppers compared in paper Fig. 19(c), and the
+// controller that keeps ambient + LED illumination constant (paper §4.3).
+package light
+
+import "math"
+
+// ToPerceived converts a measured (photometric) intensity in [0, 1] to the
+// perceived brightness in [0, 1]. The paper (citing the IESNA handbook)
+// uses Ip = 100·sqrt(Im/100) on a 0–100 scale, i.e. a square root:
+// human eyes are far more sensitive to absolute changes in dim light.
+func ToPerceived(measured float64) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	if measured >= 1 {
+		return 1
+	}
+	return math.Sqrt(measured)
+}
+
+// ToMeasured is the inverse of ToPerceived.
+func ToMeasured(perceived float64) float64 {
+	if perceived <= 0 {
+		return 0
+	}
+	if perceived >= 1 {
+		return 1
+	}
+	return perceived * perceived
+}

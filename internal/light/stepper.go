@@ -1,0 +1,141 @@
+package light
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultTauP is the perception-domain step size that the paper's user
+// study (Table 2) found invisible to all 20 subjects under every ambient
+// condition and viewing manner: 0.003 of the full perceived range.
+const DefaultTauP = 0.003
+
+// stepHysteresis is the anti-hunting margin of StepFrom: a step is taken
+// only once the remaining distance exceeds this many steps. Without it,
+// sensor noise comparable to one step makes the controller oscillate,
+// inflating the adjustment counts the paper wants minimized.
+const stepHysteresis = 1.5
+
+// Stepper plans the intermediate LED levels of a brightness adaptation so
+// that no single step is perceivable (Type-II flicker, paper §2.2).
+//
+// The LED only ever moves in whole steps of the stepper's grid: the
+// "existing method" baseline uses a fixed measured-domain step τ, while
+// SmartVLC uses a fixed perceived-domain step τ_p. Quantizing to whole
+// steps is what makes the adjustment counts of paper Fig. 19(c)
+// comparable — each adjustment costs a super-symbol re-selection
+// regardless of its size.
+type Stepper interface {
+	// Name identifies the stepper in experiment output.
+	Name() string
+	// Plan returns the measured-domain levels visited when moving from cur
+	// to target, excluding cur and including target. An empty plan means
+	// cur already equals target.
+	Plan(cur, target float64) []float64
+	// StepFrom advances cur by exactly one full step toward target and
+	// reports whether a step was warranted; it returns cur unchanged when
+	// the remaining distance is below one step.
+	StepFrom(cur, target float64) (float64, bool)
+}
+
+// MeasuredStepper is the paper's "existing method" baseline: a fixed step
+// τ in the measured domain. To be safe it must use the step size that is
+// imperceptible at the most sensitive point of the operating range, which
+// wastes steps everywhere else.
+type MeasuredStepper struct {
+	// Tau is the fixed measured-domain step.
+	Tau float64
+}
+
+// SafeMeasuredStepper returns the measured stepper whose fixed τ is safe
+// across [minLevel, 1]: since dIp = dIm / (2·sqrt(Im)), the constraint
+// dIp ≤ tauP is tightest at minLevel, giving τ = 2·tauP·sqrt(minLevel).
+func SafeMeasuredStepper(tauP, minLevel float64) MeasuredStepper {
+	if minLevel < 1e-6 {
+		minLevel = 1e-6
+	}
+	return MeasuredStepper{Tau: 2 * tauP * math.Sqrt(minLevel)}
+}
+
+// Name implements Stepper.
+func (s MeasuredStepper) Name() string { return "fixed-measured" }
+
+// Plan implements Stepper.
+func (s MeasuredStepper) Plan(cur, target float64) []float64 {
+	if s.Tau <= 0 {
+		panic(fmt.Sprintf("light: non-positive step %v", s.Tau))
+	}
+	return planLinear(cur, target, s.Tau, func(x float64) float64 { return x })
+}
+
+// StepFrom implements Stepper.
+func (s MeasuredStepper) StepFrom(cur, target float64) (float64, bool) {
+	if s.Tau <= 0 {
+		panic(fmt.Sprintf("light: non-positive step %v", s.Tau))
+	}
+	d := target - cur
+	switch {
+	case d >= stepHysteresis*s.Tau:
+		return cur + s.Tau, true
+	case d <= -stepHysteresis*s.Tau:
+		return cur - s.Tau, true
+	default:
+		return cur, false
+	}
+}
+
+// PerceivedStepper is SmartVLC's method: a fixed step τp in the perceived
+// domain, which translates to a variable measured-domain step — large when
+// the LED is bright, small when dim — halving the number of adjustments
+// (paper Fig. 19(c)) while staying exactly at the perception limit.
+type PerceivedStepper struct {
+	// TauP is the fixed perceived-domain step.
+	TauP float64
+}
+
+// Name implements Stepper.
+func (s PerceivedStepper) Name() string { return "smartvlc-perceived" }
+
+// Plan implements Stepper.
+func (s PerceivedStepper) Plan(cur, target float64) []float64 {
+	if s.TauP <= 0 {
+		panic(fmt.Sprintf("light: non-positive step %v", s.TauP))
+	}
+	return planLinear(ToPerceived(cur), ToPerceived(target), s.TauP, ToMeasured)
+}
+
+// StepFrom implements Stepper.
+func (s PerceivedStepper) StepFrom(cur, target float64) (float64, bool) {
+	if s.TauP <= 0 {
+		panic(fmt.Sprintf("light: non-positive step %v", s.TauP))
+	}
+	pc, pt := ToPerceived(cur), ToPerceived(target)
+	d := pt - pc
+	switch {
+	case d >= stepHysteresis*s.TauP:
+		return ToMeasured(pc + s.TauP), true
+	case d <= -stepHysteresis*s.TauP:
+		return ToMeasured(pc - s.TauP), true
+	default:
+		return cur, false
+	}
+}
+
+// planLinear walks from a to b in steps of tau (in the walk's own domain)
+// and maps each visited point through conv into the measured domain.
+func planLinear(a, b, tau float64, conv func(float64) float64) []float64 {
+	if a == b {
+		return nil
+	}
+	var out []float64
+	if b > a {
+		for x := a + tau; x < b; x += tau {
+			out = append(out, conv(x))
+		}
+	} else {
+		for x := a - tau; x > b; x -= tau {
+			out = append(out, conv(x))
+		}
+	}
+	return append(out, conv(b))
+}

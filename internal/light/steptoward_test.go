@@ -1,0 +1,66 @@
+package light
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStepTowardConvergesOneStepAtATime(t *testing.T) {
+	c, err := NewController(1.0, PerceivedStepper{TauP: DefaultTauP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StepToward(0.5) // initialize at 0.5
+	if c.Level() != 0.5 {
+		t.Fatalf("init level %v", c.Level())
+	}
+	// Ambient drops to 0.3 -> target 0.7; each call moves at most tauP in
+	// the perceived domain.
+	steps := 0
+	prev := c.Level()
+	for {
+		lvl, stepped := c.StepToward(0.3)
+		if !stepped {
+			break
+		}
+		dIp := math.Abs(ToPerceived(lvl) - ToPerceived(prev))
+		if dIp > DefaultTauP+1e-9 {
+			t.Fatalf("step %v exceeds tauP", dIp)
+		}
+		prev = lvl
+		steps++
+		if steps > 10000 {
+			t.Fatal("did not converge")
+		}
+	}
+	// Whole-step quantization leaves a residual below one step
+	// (≈ 2·τp·sqrt(0.7) ≈ 0.005 in the measured domain).
+	if math.Abs(c.Level()-0.7) > 0.006 {
+		t.Fatalf("converged to %v", c.Level())
+	}
+	if c.Adjustments() != steps {
+		t.Fatalf("adjustments %d, steps %d", c.Adjustments(), steps)
+	}
+}
+
+func TestStepTowardTracksMovingTarget(t *testing.T) {
+	c, _ := NewController(1.0, PerceivedStepper{TauP: DefaultTauP})
+	c.StepToward(0.5)
+	// Ambient ramps; the level must follow monotonically downward.
+	prev := c.Level()
+	for a := 0.5; a <= 0.8; a += 0.01 {
+		lvl, _ := c.StepToward(a)
+		if lvl > prev+1e-12 {
+			t.Fatalf("level moved away from target: %v after %v", lvl, prev)
+		}
+		prev = lvl
+	}
+}
+
+func TestStepTowardDeadband(t *testing.T) {
+	c, _ := NewController(1.0, PerceivedStepper{TauP: DefaultTauP})
+	c.StepToward(0.5)
+	if _, stepped := c.StepToward(0.5 + c.Deadband/2); stepped {
+		t.Fatal("stepped inside deadband")
+	}
+}

@@ -1,0 +1,88 @@
+// Package mac implements the link layer of SmartVLC: a sliding-window ARQ
+// whose acknowledgements and ambient-light reports travel over the
+// prototype's ESP8266 Wi-Fi side channel (paper §5.1 — the photodiode
+// downlink is VLC, the uplink is Wi-Fi because mobile nodes lack a strong
+// enough LED).
+package mac
+
+import (
+	"math/rand/v2"
+	"sort"
+)
+
+// MessageKind discriminates side-channel messages.
+type MessageKind int
+
+// Side-channel message kinds.
+const (
+	// KindAck acknowledges one VLC frame by sequence number.
+	KindAck MessageKind = iota
+	// KindAmbientReport carries the receiver's sensed ambient level, used
+	// by the transmitter's dimming controller (paper Fig. 2).
+	KindAmbientReport
+)
+
+// Message is one side-channel datagram.
+type Message struct {
+	// At is the delivery time in seconds (stamped by the channel).
+	At float64
+	// Kind selects the payload field.
+	Kind MessageKind
+	// From identifies the sending receiver in multi-receiver sessions.
+	From int
+	// Seq is the acknowledged frame sequence (KindAck).
+	Seq uint16
+	// Lux is the reported ambient illuminance (KindAmbientReport).
+	Lux float64
+}
+
+// SideChannel is the simulated Wi-Fi uplink: per-message latency with
+// jitter and independent loss. Delivery order follows delivery time, which
+// may reorder messages — receivers must tolerate that, as with real UDP
+// datagrams.
+type SideChannel struct {
+	// LatencySeconds is the base one-way delay (ESP8266 over a busy office
+	// WLAN: a few milliseconds).
+	LatencySeconds float64
+	// JitterSeconds is the uniform extra delay bound.
+	JitterSeconds float64
+	// LossProb is the independent drop probability.
+	LossProb float64
+
+	rng   *rand.Rand
+	queue []Message
+}
+
+// NewSideChannel builds a channel with its own deterministic RNG stream.
+func NewSideChannel(latency, jitter, loss float64, rng *rand.Rand) *SideChannel {
+	return &SideChannel{LatencySeconds: latency, JitterSeconds: jitter, LossProb: loss, rng: rng}
+}
+
+// Send enqueues a message at time now; it may silently drop it.
+func (s *SideChannel) Send(now float64, m Message) {
+	if s.LossProb > 0 && s.rng.Float64() < s.LossProb {
+		return
+	}
+	d := s.LatencySeconds
+	if s.JitterSeconds > 0 {
+		d += s.rng.Float64() * s.JitterSeconds
+	}
+	m.At = now + d
+	s.queue = append(s.queue, m)
+}
+
+// Receive removes and returns all messages delivered by time now, in
+// delivery order.
+func (s *SideChannel) Receive(now float64) []Message {
+	sort.SliceStable(s.queue, func(i, j int) bool { return s.queue[i].At < s.queue[j].At })
+	n := 0
+	for n < len(s.queue) && s.queue[n].At <= now {
+		n++
+	}
+	out := append([]Message(nil), s.queue[:n]...)
+	s.queue = s.queue[n:]
+	return out
+}
+
+// Pending returns the number of undelivered messages.
+func (s *SideChannel) Pending() int { return len(s.queue) }

@@ -1,0 +1,123 @@
+// Package mppm implements Multiple Pulse Position Modulation: symbol
+// patterns S(N, l), the data-rate and symbol-error-rate models of the
+// SmartVLC paper (Eq. 2 and Eq. 3), and the exhaustion-free combinadic
+// encoder/decoder of paper Algorithms 1 and 2.
+//
+// In MPPM a symbol occupies N time slots of which exactly K carry an ON
+// pulse; the information is in the positions of the ONs, so one symbol
+// carries floor(log2 C(N,K)) bits. The dimming level of the symbol is
+// l = K/N.
+package mppm
+
+import (
+	"math"
+	"math/big"
+	"sync"
+)
+
+// maxFastN is the largest N for which every C(N,K) fits in a uint64.
+// C(61,30) < 2^63 < C(62,31), and C(62..66, K) overflow only near K=N/2;
+// we keep the fast path conservative and exact.
+const maxFastN = 61
+
+// MaxStreamN is the largest symbol length N for which Codec.Fast is
+// guaranteed, i.e. for which the streaming (uint64) encode/decode path
+// works for every K. Larger patterns require the big.Int codec.
+const MaxStreamN = maxFastN
+
+var (
+	binomMu    sync.Mutex
+	binomBig   = map[uint64]*big.Int{} // key: N<<32 | K
+	binomFast  [][]uint64              // Pascal triangle rows 0..maxFastN
+	binomBuilt bool
+)
+
+func buildFast() {
+	binomFast = make([][]uint64, maxFastN+1)
+	for n := 0; n <= maxFastN; n++ {
+		row := make([]uint64, n+1)
+		row[0], row[n] = 1, 1
+		for k := 1; k < n; k++ {
+			row[k] = binomFast[n-1][k-1] + binomFast[n-1][k]
+		}
+		binomFast[n] = row
+	}
+	binomBuilt = true
+}
+
+// Binomial returns C(n, k) as a big.Int. The result is shared and must not
+// be mutated by the caller. It returns zero for k < 0 or k > n.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n || n < 0 {
+		return big.NewInt(0)
+	}
+	binomMu.Lock()
+	defer binomMu.Unlock()
+	if !binomBuilt {
+		buildFast()
+	}
+	if n <= maxFastN {
+		return new(big.Int).SetUint64(binomFast[n][k])
+	}
+	key := uint64(n)<<32 | uint64(k)
+	if v, ok := binomBig[key]; ok {
+		return v
+	}
+	v := new(big.Int).Binomial(int64(n), int64(k))
+	binomBig[key] = v
+	return v
+}
+
+// BinomialU64 returns C(n, k) as a uint64 and true when it fits exactly;
+// otherwise it returns 0 and false. This is the hot path used by the codec.
+func BinomialU64(n, k int) (uint64, bool) {
+	if k < 0 || k > n || n < 0 {
+		return 0, true // C = 0 fits
+	}
+	binomMu.Lock()
+	if !binomBuilt {
+		buildFast()
+	}
+	binomMu.Unlock()
+	if n <= maxFastN {
+		return binomFast[n][k], true
+	}
+	v := Binomial(n, k)
+	if v.BitLen() <= 64 {
+		return v.Uint64(), true
+	}
+	return 0, false
+}
+
+// Log2Binomial returns log2(C(n,k)) as a float64, accurate enough for rate
+// plotting and envelope construction at any N. It returns -Inf for C = 0.
+func Log2Binomial(n, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	if n <= maxFastN {
+		c, _ := BinomialU64(n, k)
+		if c < 1<<53 {
+			return math.Log2(float64(c))
+		}
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x) + 1)
+		return v
+	}
+	return (lg(n) - lg(k) - lg(n-k)) / math.Ln2
+}
+
+// SymbolBits returns the exact number of data bits one S(N, K-of-N) symbol
+// carries: floor(log2 C(N,K)). It is 0 when the symbol carries no data
+// (K = 0 or K = N).
+func SymbolBits(n, k int) int {
+	if k <= 0 || k >= n {
+		return 0
+	}
+	c := Binomial(n, k)
+	return c.BitLen() - 1 // floor(log2 c) since c >= 1
+}

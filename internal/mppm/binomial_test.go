@@ -1,0 +1,142 @@
+package mppm
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialSmallValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want uint64
+	}{
+		{0, 0, 1},
+		{1, 0, 1},
+		{1, 1, 1},
+		{5, 2, 10},
+		{10, 3, 120},
+		{20, 10, 184756},
+		{50, 25, 126410606437752},
+		{61, 30, 232714176627630544},
+	}
+	for _, c := range cases {
+		got, ok := BinomialU64(c.n, c.k)
+		if !ok || got != c.want {
+			t.Errorf("BinomialU64(%d,%d) = %d,%v want %d", c.n, c.k, got, ok, c.want)
+		}
+		if b := Binomial(c.n, c.k); b.Uint64() != c.want {
+			t.Errorf("Binomial(%d,%d) = %v want %d", c.n, c.k, b, c.want)
+		}
+	}
+}
+
+func TestBinomialOutOfRange(t *testing.T) {
+	for _, c := range [][2]int{{5, -1}, {5, 6}, {-1, 0}} {
+		if Binomial(c[0], c[1]).Sign() != 0 {
+			t.Errorf("Binomial(%d,%d) should be 0", c[0], c[1])
+		}
+		if v, ok := BinomialU64(c[0], c[1]); !ok || v != 0 {
+			t.Errorf("BinomialU64(%d,%d) = %d,%v want 0,true", c[0], c[1], v, ok)
+		}
+	}
+}
+
+func TestBinomialLargeN(t *testing.T) {
+	// C(500, 250) must match math/big's own computation and exceed uint64.
+	want := new(big.Int).Binomial(500, 250)
+	if got := Binomial(500, 250); got.Cmp(want) != 0 {
+		t.Fatalf("Binomial(500,250) mismatch")
+	}
+	if _, ok := BinomialU64(500, 250); ok {
+		t.Fatalf("BinomialU64(500,250) should overflow")
+	}
+}
+
+func TestBinomialPascalIdentityProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%80) + 2
+		k := int(kRaw) % n
+		lhs := Binomial(n, k)
+		rhs := new(big.Int).Add(Binomial(n-1, k-1), Binomial(n-1, k))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialSymmetryProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw % 120)
+		k := 0
+		if n > 0 {
+			k = int(kRaw) % (n + 1)
+		}
+		return Binomial(n, k).Cmp(Binomial(n, n-k)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog2Binomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{10, 5, math.Log2(252)},
+		{20, 10, math.Log2(184756)},
+		{20, 2, math.Log2(190)},
+	}
+	for _, c := range cases {
+		got := Log2Binomial(c.n, c.k)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Log2Binomial(%d,%d) = %v want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if got := Log2Binomial(200, 100); math.Abs(got-float64(Binomial(200, 100).BitLen())) > 1.0 {
+		t.Errorf("Log2Binomial(200,100) = %v far from BitLen %d", got, Binomial(200, 100).BitLen())
+	}
+	if !math.IsInf(Log2Binomial(5, 9), -1) {
+		t.Errorf("Log2Binomial out of range should be -Inf")
+	}
+}
+
+func TestSymbolBits(t *testing.T) {
+	cases := []struct {
+		n, k, want int
+	}{
+		{20, 10, 17}, // floor(log2 184756) = 17
+		{20, 2, 7},   // floor(log2 190) = 7
+		{10, 5, 7},   // floor(log2 252) = 7
+		{10, 0, 0},
+		{10, 10, 0},
+		{8, 4, 6}, // C(8,4)=70 -> 6 bits
+	}
+	for _, c := range cases {
+		if got := SymbolBits(c.n, c.k); got != c.want {
+			t.Errorf("SymbolBits(%d,%d) = %d want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestSymbolBitsNeverExceedsLog2(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		k := int(kRaw) % (n + 1)
+		bits := SymbolBits(n, k)
+		// 2^bits must be <= C(N,K), and 2^(bits+1) > C(N,K).
+		c := Binomial(n, k)
+		lo := new(big.Int).Lsh(big.NewInt(1), uint(bits))
+		hi := new(big.Int).Lsh(big.NewInt(1), uint(bits+1))
+		if k <= 0 || k >= n {
+			return bits == 0
+		}
+		return lo.Cmp(c) <= 0 && hi.Cmp(c) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

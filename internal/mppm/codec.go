@@ -1,0 +1,244 @@
+package mppm
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Codec maps data values to MPPM codewords and back for one symbol pattern,
+// using the combinatorial-dichotomy method of paper Algorithms 1 and 2.
+// Unlike tabulation- or constellation-based mappings it needs no table of
+// all C(N,K) codewords: each slot decision costs one binomial lookup, so
+// memory stays O(N·K) (the cached binomial rows) instead of O(C(N,K)).
+//
+// A Codec is safe for concurrent use after construction.
+type Codec struct {
+	pattern Pattern
+	bits    int
+
+	// choose[i][j] = C(i, j) for i ≤ N, j ≤ K.
+	fast   [][]uint64 // valid when fastOK
+	fastOK bool
+	big    [][]*big.Int
+}
+
+// Codeword decoding errors.
+var (
+	// ErrWrongLength reports a codeword whose slot count differs from N.
+	ErrWrongLength = errors.New("mppm: codeword length differs from pattern N")
+	// ErrWrongWeight reports a codeword whose ON count differs from K; this
+	// is how a slot-level detection error usually surfaces.
+	ErrWrongWeight = errors.New("mppm: codeword ON count differs from pattern K")
+	// ErrRankOverflow reports a codeword that is a valid K-of-N combination
+	// but whose rank exceeds the encodable range 2^Bits − 1. Such codewords
+	// are never transmitted, so receiving one indicates slot errors.
+	ErrRankOverflow = errors.New("mppm: codeword rank outside encodable range")
+	// ErrValueRange reports an encode value outside [0, 2^Bits).
+	ErrValueRange = errors.New("mppm: value outside encodable range")
+)
+
+// NewCodec builds a codec for the pattern. It panics on invalid patterns.
+func NewCodec(p Pattern) *Codec {
+	if !p.Valid() {
+		panic(fmt.Sprintf("mppm: invalid pattern %+v", p))
+	}
+	c := &Codec{pattern: p, bits: p.Bits()}
+	if p.N <= maxFastN {
+		c.fastOK = true
+		c.fast = make([][]uint64, p.N+1)
+		for i := 0; i <= p.N; i++ {
+			row := make([]uint64, p.K+1)
+			for j := 0; j <= p.K && j <= i; j++ {
+				row[j], _ = BinomialU64(i, j)
+			}
+			c.fast[i] = row
+		}
+		return c
+	}
+	c.big = make([][]*big.Int, p.N+1)
+	for i := 0; i <= p.N; i++ {
+		row := make([]*big.Int, p.K+1)
+		for j := 0; j <= p.K; j++ {
+			row[j] = Binomial(i, j)
+		}
+		c.big[i] = row
+	}
+	return c
+}
+
+// Pattern returns the symbol pattern the codec was built for.
+func (c *Codec) Pattern() Pattern { return c.pattern }
+
+// Bits returns the number of data bits carried per symbol.
+func (c *Codec) Bits() int { return c.bits }
+
+// Fast reports whether the codec can use the uint64 path, i.e. whether
+// Encode/Decode (as opposed to EncodeBig/DecodeBig) are usable.
+func (c *Codec) Fast() bool { return c.fastOK && c.bits < 64 }
+
+// Encode writes the codeword for value into dst (true = ON slot) and
+// returns dst. dst must have length N; if it is nil a fresh slice is
+// allocated. Only values in [0, 2^Bits) are encodable.
+//
+// This is paper Algorithm 1: walking slots from the first, the number of
+// completions that put an ON in the current slot is C(remaining−1, onsLeft−1);
+// values below that threshold take the ON branch, others subtract it and
+// take the OFF branch.
+func (c *Codec) Encode(value uint64, dst []bool) ([]bool, error) {
+	if !c.Fast() {
+		return nil, fmt.Errorf("mppm: pattern %v requires EncodeBig", c.pattern)
+	}
+	if c.bits == 0 && value != 0 || c.bits > 0 && value >= 1<<uint(c.bits) {
+		return nil, ErrValueRange
+	}
+	n, k := c.pattern.N, c.pattern.K
+	if dst == nil {
+		dst = make([]bool, n)
+	}
+	if len(dst) != n {
+		return nil, ErrWrongLength
+	}
+	v := value
+	onsLeft := k
+	for i := 0; i < n; i++ {
+		remaining := n - i - 1
+		if onsLeft == 0 {
+			dst[i] = false
+			continue
+		}
+		if remaining < onsLeft { // all remaining slots must be ON
+			dst[i] = true
+			onsLeft--
+			continue
+		}
+		withOn := c.fast[remaining][onsLeft-1]
+		if v < withOn {
+			dst[i] = true
+			onsLeft--
+		} else {
+			dst[i] = false
+			v -= withOn
+		}
+	}
+	return dst, nil
+}
+
+// Decode recovers the value from a codeword. It reverses Algorithm 1
+// (paper Algorithm 2) and validates the codeword shape, reporting
+// ErrWrongLength, ErrWrongWeight or ErrRankOverflow on corruption.
+func (c *Codec) Decode(codeword []bool) (uint64, error) {
+	if !c.Fast() {
+		return 0, fmt.Errorf("mppm: pattern %v requires DecodeBig", c.pattern)
+	}
+	n, k := c.pattern.N, c.pattern.K
+	if len(codeword) != n {
+		return 0, ErrWrongLength
+	}
+	ons := 0
+	for _, s := range codeword {
+		if s {
+			ons++
+		}
+	}
+	if ons != k {
+		return 0, ErrWrongWeight
+	}
+	var v uint64
+	onsLeft := k
+	for i := 0; i < n && onsLeft > 0; i++ {
+		remaining := n - i - 1
+		if codeword[i] {
+			onsLeft--
+			continue
+		}
+		if remaining >= onsLeft {
+			v += c.fast[remaining][onsLeft-1]
+		}
+	}
+	if c.bits < 64 && v >= 1<<uint(c.bits) {
+		return 0, ErrRankOverflow
+	}
+	return v, nil
+}
+
+// EncodeBig is Encode for patterns whose rank space exceeds uint64.
+// value is not modified.
+func (c *Codec) EncodeBig(value *big.Int, dst []bool) ([]bool, error) {
+	if value.Sign() < 0 || value.BitLen() > c.bits {
+		return nil, ErrValueRange
+	}
+	if c.Fast() {
+		return c.Encode(value.Uint64(), dst)
+	}
+	n, k := c.pattern.N, c.pattern.K
+	if dst == nil {
+		dst = make([]bool, n)
+	}
+	if len(dst) != n {
+		return nil, ErrWrongLength
+	}
+	v := new(big.Int).Set(value)
+	onsLeft := k
+	for i := 0; i < n; i++ {
+		remaining := n - i - 1
+		if onsLeft == 0 {
+			dst[i] = false
+			continue
+		}
+		if remaining < onsLeft {
+			dst[i] = true
+			onsLeft--
+			continue
+		}
+		withOn := c.big[remaining][onsLeft-1]
+		if v.Cmp(withOn) < 0 {
+			dst[i] = true
+			onsLeft--
+		} else {
+			dst[i] = false
+			v.Sub(v, withOn)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeBig is Decode for patterns whose rank space exceeds uint64.
+func (c *Codec) DecodeBig(codeword []bool) (*big.Int, error) {
+	if c.Fast() {
+		v, err := c.Decode(codeword)
+		if err != nil {
+			return nil, err
+		}
+		return new(big.Int).SetUint64(v), nil
+	}
+	n, k := c.pattern.N, c.pattern.K
+	if len(codeword) != n {
+		return nil, ErrWrongLength
+	}
+	ons := 0
+	for _, s := range codeword {
+		if s {
+			ons++
+		}
+	}
+	if ons != k {
+		return nil, ErrWrongWeight
+	}
+	v := new(big.Int)
+	onsLeft := k
+	for i := 0; i < n && onsLeft > 0; i++ {
+		remaining := n - i - 1
+		if codeword[i] {
+			onsLeft--
+			continue
+		}
+		if remaining >= onsLeft {
+			v.Add(v, c.big[remaining][onsLeft-1])
+		}
+	}
+	if v.BitLen() > c.bits {
+		return nil, ErrRankOverflow
+	}
+	return v, nil
+}

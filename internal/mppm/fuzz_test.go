@@ -1,0 +1,56 @@
+package mppm
+
+import "testing"
+
+// FuzzDecode feeds arbitrary codewords to the combinadic decoder: every
+// outcome must be either a clean error or a value that re-encodes to the
+// identical codeword (the bijection property under adversarial input).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint8(10), uint8(5), []byte{0b10101_010, 0b10000000})
+	f.Add(uint8(20), uint8(2), []byte{0xFF, 0xFF, 0x00})
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint8, bits []byte) {
+		n := int(nRaw)%59 + 2
+		k := int(kRaw) % (n + 1)
+		c := NewCodec(Pattern{N: n, K: k})
+		cw := make([]bool, n)
+		for i := 0; i < n && i < len(bits)*8; i++ {
+			cw[i] = bits[i/8]>>(7-uint(i%8))&1 == 1
+		}
+		v, err := c.Decode(cw)
+		if err != nil {
+			return // rejected input is fine; it must just not panic
+		}
+		back, err := c.Encode(v, nil)
+		if err != nil {
+			t.Fatalf("re-encode of decoded value %d failed: %v", v, err)
+		}
+		for i := range cw {
+			if back[i] != cw[i] {
+				t.Fatalf("decode/encode not a bijection at slot %d", i)
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecodeValue checks the full value range mapping for fuzzed
+// patterns.
+func FuzzEncodeDecodeValue(f *testing.F) {
+	f.Add(uint8(20), uint8(10), uint64(12345))
+	f.Fuzz(func(t *testing.T, nRaw, kRaw uint8, vRaw uint64) {
+		n := int(nRaw)%59 + 2
+		k := int(kRaw)%(n-1) + 1
+		c := NewCodec(Pattern{N: n, K: k})
+		if c.Bits() == 0 {
+			return
+		}
+		v := vRaw & (1<<uint(c.Bits()) - 1)
+		cw, err := c.Encode(v, nil)
+		if err != nil {
+			t.Fatalf("Encode(%d): %v", v, err)
+		}
+		got, err := c.Decode(cw)
+		if err != nil || got != v {
+			t.Fatalf("Decode = %d, %v; want %d", got, err, v)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package mppm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pattern is a symbol pattern S(N, l) as defined in the paper: N time slots
+// of which K = l·N are ON. A Pattern identifies the (N, K) pair only; it
+// does not fix the positions of the ONs (those carry the data).
+type Pattern struct {
+	N int // number of time slots in the symbol
+	K int // number of ON slots in the symbol
+}
+
+// S returns the pattern S(N, l) with K rounded to the nearest slot count.
+// It panics if l is outside [0, 1] or N is not positive, as those indicate
+// programmer error.
+func S(n int, l float64) Pattern {
+	if n <= 0 {
+		panic(fmt.Sprintf("mppm: invalid symbol length N=%d", n))
+	}
+	if l < 0 || l > 1 {
+		panic(fmt.Sprintf("mppm: dimming level %v outside [0,1]", l))
+	}
+	k := int(math.Round(l * float64(n)))
+	return Pattern{N: n, K: k}
+}
+
+// Valid reports whether the pattern is well-formed: N ≥ 1 and 0 ≤ K ≤ N.
+func (p Pattern) Valid() bool {
+	return p.N >= 1 && p.K >= 0 && p.K <= p.N
+}
+
+// DimmingLevel returns l = K/N, the fraction of ON slots (paper Eq. 1).
+func (p Pattern) DimmingLevel() float64 {
+	return float64(p.K) / float64(p.N)
+}
+
+// Bits returns the number of data bits one symbol of this pattern carries,
+// floor(log2 C(N,K)) per paper Eq. 2.
+func (p Pattern) Bits() int {
+	return SymbolBits(p.N, p.K)
+}
+
+// NormalizedRate returns bits per slot, Bits()/N. This is the quantity the
+// paper plots on the y-axis of Figs. 6 and 9.
+func (p Pattern) NormalizedRate() float64 {
+	return float64(p.Bits()) / float64(p.N)
+}
+
+// Rate returns the achievable data rate in bit/s for the given slot duration
+// and symbol error rate, per paper Eq. 2:
+//
+//	R = floor(log2 C(N,K)) / (N · tslot) · (1 − P_SER)
+func (p Pattern) Rate(tslotSeconds, ser float64) float64 {
+	if tslotSeconds <= 0 {
+		return 0
+	}
+	return float64(p.Bits()) / (float64(p.N) * tslotSeconds) * (1 - ser)
+}
+
+// SER returns the symbol error rate per paper Eq. 3, where p1 is the
+// probability of decoding an OFF slot incorrectly and p2 the probability of
+// decoding an ON slot incorrectly:
+//
+//	P_SER = 1 − (1−p1)^(N−K) · (1−p2)^K
+func (p Pattern) SER(p1, p2 float64) float64 {
+	return SER(p.N, p.K, p1, p2)
+}
+
+// SER computes paper Eq. 3 for a symbol with n slots of which k are ON.
+func SER(n, k int, p1, p2 float64) float64 {
+	if n <= 0 || k < 0 || k > n {
+		return 1
+	}
+	// Compute in log space for numerical robustness at large N.
+	logOK := float64(n-k)*math.Log1p(-p1) + float64(k)*math.Log1p(-p2)
+	return -math.Expm1(logOK) // 1 - exp(logOK)
+}
+
+// String implements fmt.Stringer, e.g. "S(20, 0.50)".
+func (p Pattern) String() string {
+	return fmt.Sprintf("S(%d, %.3f)", p.N, p.DimmingLevel())
+}

@@ -1,0 +1,147 @@
+package mppm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSConstructor(t *testing.T) {
+	p := S(10, 0.2)
+	if p.N != 10 || p.K != 2 {
+		t.Fatalf("S(10,0.2) = %+v", p)
+	}
+	if got := p.DimmingLevel(); got != 0.2 {
+		t.Fatalf("DimmingLevel = %v", got)
+	}
+	if s := p.String(); s != "S(10, 0.200)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestSPanicsOnBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { S(0, 0.5) },
+		func() { S(-3, 0.5) },
+		func() { S(10, -0.1) },
+		func() { S(10, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPatternValid(t *testing.T) {
+	cases := []struct {
+		p    Pattern
+		want bool
+	}{
+		{Pattern{10, 5}, true},
+		{Pattern{1, 0}, true},
+		{Pattern{1, 1}, true},
+		{Pattern{0, 0}, false},
+		{Pattern{10, 11}, false},
+		{Pattern{10, -1}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("%+v.Valid() = %v want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// TestSERMatchesPaperFig4 pins Eq. 3 to the paper's parameters: P1=9e-5,
+// P2=8e-5 (measured in the paper's experiments). Fig. 4 shows SER growing
+// with N, reaching ~1e-2 region at N=120 and ~8.5e-4 at N=10, l=0.5.
+func TestSERMatchesPaperFig4(t *testing.T) {
+	const p1, p2 = 9e-5, 8e-5
+	got := SER(10, 5, p1, p2)
+	want := 1 - math.Pow(1-p1, 5)*math.Pow(1-p2, 5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SER(10,5) = %v want %v", got, want)
+	}
+	if math.Abs(got-8.5e-4) > 2e-5 {
+		t.Fatalf("SER(10,5) = %v, expected about 8.5e-4", got)
+	}
+	// Monotone in N at fixed l.
+	prev := 0.0
+	for _, n := range []int{10, 30, 50, 80, 120} {
+		s := SER(n, n/2, p1, p2)
+		if s <= prev {
+			t.Fatalf("SER not increasing with N: N=%d SER=%v prev=%v", n, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestSERSlopeWithDimming(t *testing.T) {
+	// With P1 > P2, symbols with more OFF slots (lower l) have higher SER.
+	const p1, p2 = 9e-5, 8e-5
+	if SER(30, 3, p1, p2) <= SER(30, 27, p1, p2) {
+		t.Fatalf("expected low-l symbol to have higher SER when P1 > P2")
+	}
+}
+
+func TestSERBounds(t *testing.T) {
+	f := func(nRaw, kRaw uint8, p1Raw, p2Raw uint16) bool {
+		n := int(nRaw%200) + 1
+		k := int(kRaw) % (n + 1)
+		p1 := float64(p1Raw) / float64(math.MaxUint16) * 0.01
+		p2 := float64(p2Raw) / float64(math.MaxUint16) * 0.01
+		s := SER(n, k, p1, p2)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if SER(-1, 0, 1e-4, 1e-4) != 1 || SER(5, 9, 1e-4, 1e-4) != 1 {
+		t.Error("invalid shapes should have SER 1")
+	}
+}
+
+func TestRateEq2(t *testing.T) {
+	// Paper's MPPM baseline: N=20, l=0.5, tslot=8µs -> 17 bits / 160µs
+	// = 106.25 kbps before SER penalty.
+	p := S(20, 0.5)
+	got := p.Rate(8e-6, 0)
+	if math.Abs(got-106250) > 1e-6 {
+		t.Fatalf("Rate = %v want 106250", got)
+	}
+	// l=0.1: 7 bits / 160µs = 43.75 kbps (paper measures 44.3 incl. their
+	// frame accounting).
+	p = S(20, 0.1)
+	if got := p.Rate(8e-6, 0); math.Abs(got-43750) > 1e-6 {
+		t.Fatalf("Rate = %v want 43750", got)
+	}
+	// SER penalty scales linearly.
+	if got := p.Rate(8e-6, 0.5); math.Abs(got-43750*0.5) > 1e-6 {
+		t.Fatalf("Rate with SER = %v", got)
+	}
+	if got := p.Rate(0, 0); got != 0 {
+		t.Fatalf("Rate with zero tslot = %v", got)
+	}
+}
+
+func TestNormalizedRatePeaksAtHalf(t *testing.T) {
+	// For fixed N the normalized rate is maximal at K = floor(N/2)
+	// (footnote 1 in the paper).
+	for _, n := range []int{8, 10, 15, 20, 33, 61} {
+		best := -1.0
+		for k := 0; k <= n; k++ {
+			if r := (Pattern{n, k}).NormalizedRate(); r > best {
+				best = r
+			}
+		}
+		// floor(log2) creates ties, so assert K=floor(N/2) attains the max
+		// value rather than being the unique argmax.
+		if r := (Pattern{n, n / 2}).NormalizedRate(); r != best {
+			t.Errorf("N=%d: rate at K=N/2 is %v, max is %v", n, r, best)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package ookct implements the compensation-based baseline of the SmartVLC
+// paper: On-Off Keying with Compensation Time (OOK-CT).
+//
+// Data bits are modulated directly as ON (1) / OFF (0) slots, so the data
+// portion of the stream has a duty cycle of ~50 % (the paper assumes equal
+// probability of 0s and 1s; a scrambler enforces this in practice). To hit a
+// target dimming level l, every encoding unit of data slots is followed by a
+// compensation field of consecutive ONs (l > 0.5) or OFFs (l < 0.5) that
+// carries no information. The achievable slot efficiency is therefore
+// min(2l, 2(1−l)): it collapses toward 0 at both dimming extremes, which is
+// exactly the weakness AMPPM removes.
+package ookct
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Modulator converts data bits to OOK-CT slot streams at a fixed dimming
+// level. The zero value is not usable; use NewModulator.
+//
+// The stream is organised in encoding units: UnitDataSlots data slots
+// followed by a compensation run. Compensation lengths are dithered between
+// consecutive units (Bresenham-style) so the long-run duty cycle converges
+// to the target level exactly, not just to the nearest integer per unit.
+type Modulator struct {
+	level         float64
+	unitDataSlots int
+
+	compPerUnit float64 // exact compensation slots per unit
+	compOn      bool    // compensation polarity: true = ON filler
+	emittedComp float64 // accumulated fractional compensation debt
+	unitsOut    int
+}
+
+// DefaultUnitDataSlots is the default number of data slots per encoding
+// unit. At tslot = 8 µs a unit plus its compensation stays far shorter than
+// the 1/250 Hz Type-I flicker period for all dimming levels in [0.1, 0.9].
+const DefaultUnitDataSlots = 100
+
+// ErrLevelOutOfRange reports a dimming level that OOK-CT cannot reach:
+// compensation can only darken below the 50 % data duty or brighten above
+// it within the unit budget, so l must lie in (0, 1).
+var ErrLevelOutOfRange = errors.New("ookct: dimming level must be in (0, 1)")
+
+// NewModulator creates a modulator for the target dimming level.
+// unitDataSlots ≤ 0 selects DefaultUnitDataSlots.
+func NewModulator(level float64, unitDataSlots int) (*Modulator, error) {
+	if level <= 0 || level >= 1 {
+		return nil, ErrLevelOutOfRange
+	}
+	if unitDataSlots <= 0 {
+		unitDataSlots = DefaultUnitDataSlots
+	}
+	m := &Modulator{level: level, unitDataSlots: unitDataSlots}
+	d := float64(unitDataSlots)
+	if level >= 0.5 {
+		m.compOn = true
+		m.compPerUnit = d * (level - 0.5) / (1 - level)
+	} else {
+		m.compOn = false
+		m.compPerUnit = d * (0.5 - level) / level
+	}
+	return m, nil
+}
+
+// Level returns the target dimming level.
+func (m *Modulator) Level() float64 { return m.level }
+
+// UnitDataSlots returns the number of data slots per encoding unit.
+func (m *Modulator) UnitDataSlots() int { return m.unitDataSlots }
+
+// Efficiency returns the fraction of slots that carry data at this level,
+// min(2l, 2(1−l)).
+func (m *Modulator) Efficiency() float64 {
+	return Efficiency(m.level)
+}
+
+// Efficiency returns the OOK-CT slot efficiency min(2l, 2(1−l)) for a
+// dimming level l, clamped to [0, 1].
+func Efficiency(level float64) float64 {
+	e := math.Min(2*level, 2*(1-level))
+	return math.Max(0, math.Min(1, e))
+}
+
+// compFor returns the integer compensation length for the next unit,
+// carrying fractional debt across units.
+func (m *Modulator) compFor() int {
+	target := float64(m.unitsOut+1) * m.compPerUnit
+	c := int(math.Round(target - m.emittedComp))
+	if c < 0 {
+		c = 0
+	}
+	m.emittedComp += float64(c)
+	m.unitsOut++
+	return c
+}
+
+// AppendBits appends the slot stream for the data bits to dst and returns
+// it. Bits are consumed most-significant-first from each byte; nbits may
+// end mid-byte. Complete encoding units are emitted; a final partial unit
+// is also compensated so the tail preserves the dimming level.
+func (m *Modulator) AppendBits(dst []bool, data []byte, nbits int) ([]bool, error) {
+	if nbits < 0 || nbits > len(data)*8 {
+		return nil, fmt.Errorf("ookct: nbits %d outside data length %d bits", nbits, len(data)*8)
+	}
+	inUnit := 0
+	for i := 0; i < nbits; i++ {
+		bit := data[i/8]>>(7-uint(i%8))&1 == 1
+		dst = append(dst, bit)
+		inUnit++
+		if inUnit == m.unitDataSlots {
+			dst = m.appendComp(dst, m.compFor())
+			inUnit = 0
+		}
+	}
+	if inUnit > 0 {
+		// Scale compensation for the partial unit.
+		frac := float64(inUnit) / float64(m.unitDataSlots)
+		c := int(math.Round(m.compPerUnit * frac))
+		dst = m.appendComp(dst, c)
+	}
+	return dst, nil
+}
+
+func (m *Modulator) appendComp(dst []bool, n int) []bool {
+	for i := 0; i < n; i++ {
+		dst = append(dst, m.compOn)
+	}
+	return dst
+}
+
+// Reset clears the compensation debt so the modulator can start a new
+// independent stream.
+func (m *Modulator) Reset() {
+	m.emittedComp = 0
+	m.unitsOut = 0
+}
+
+// Demodulator strips compensation and recovers data bits from an OOK-CT
+// slot stream produced by a Modulator with identical parameters.
+type Demodulator struct {
+	m *Modulator
+}
+
+// NewDemodulator creates a demodulator matched to the given level and unit
+// size.
+func NewDemodulator(level float64, unitDataSlots int) (*Demodulator, error) {
+	m, err := NewModulator(level, unitDataSlots)
+	if err != nil {
+		return nil, err
+	}
+	return &Demodulator{m: m}, nil
+}
+
+// DecodeBits recovers nbits data bits from the slot stream, writing them
+// MSB-first into a fresh byte slice. It returns an error if the stream is
+// shorter than the encoding of nbits.
+func (d *Demodulator) DecodeBits(slots []bool, nbits int) ([]byte, error) {
+	d.m.Reset()
+	out := make([]byte, (nbits+7)/8)
+	pos := 0
+	inUnit := 0
+	for i := 0; i < nbits; i++ {
+		if pos >= len(slots) {
+			return nil, fmt.Errorf("ookct: slot stream truncated at bit %d of %d", i, nbits)
+		}
+		if slots[pos] {
+			out[i/8] |= 1 << (7 - uint(i%8))
+		}
+		pos++
+		inUnit++
+		if inUnit == d.m.unitDataSlots {
+			pos += d.m.compFor()
+			inUnit = 0
+		}
+	}
+	return out, nil
+}
+
+// StreamLength returns the total number of slots AppendBits would emit for
+// nbits data bits, including compensation.
+func StreamLength(level float64, unitDataSlots, nbits int) (int, error) {
+	m, err := NewModulator(level, unitDataSlots)
+	if err != nil {
+		return 0, err
+	}
+	out, err := m.AppendBits(nil, make([]byte, (nbits+7)/8), nbits)
+	if err != nil {
+		return 0, err
+	}
+	return len(out), nil
+}

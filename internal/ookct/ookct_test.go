@@ -1,0 +1,196 @@
+package ookct
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestEfficiencyShape(t *testing.T) {
+	cases := []struct {
+		l, want float64
+	}{
+		{0.5, 1.0},
+		{0.1, 0.2},
+		{0.9, 0.2},
+		{0.25, 0.5},
+		{0.75, 0.5},
+	}
+	for _, c := range cases {
+		if got := Efficiency(c.l); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Efficiency(%v) = %v want %v", c.l, got, c.want)
+		}
+	}
+}
+
+func TestNewModulatorRejectsExtremes(t *testing.T) {
+	for _, l := range []float64{0, 1, -0.1, 1.5} {
+		if _, err := NewModulator(l, 0); err != ErrLevelOutOfRange {
+			t.Errorf("NewModulator(%v) err = %v", l, err)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for _, level := range []float64{0.1, 0.3, 0.5, 0.62, 0.9} {
+		data := make([]byte, 257)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		nbits := len(data)*8 - 3 // end mid-byte on purpose
+		m, err := NewModulator(level, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots, err := m.AppendBits(nil, data, nbits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDemodulator(level, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.DecodeBits(slots, nbits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]byte(nil), data...)
+		want[len(want)-1] &^= 0x07 // the 3 unsent bits decode as zero
+		if !bytes.Equal(got, want) {
+			t.Fatalf("level %v: round trip mismatch", level)
+		}
+	}
+}
+
+func TestDutyCycleConvergesToLevel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, level := range []float64{0.1, 0.18, 0.5, 0.7, 0.9} {
+		m, err := NewModulator(level, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Use balanced data (alternating bits) so the data duty is exactly
+		// 0.5 and the only error source is compensation rounding.
+		data := bytes.Repeat([]byte{0xAA}, 4000)
+		_ = rng
+		slots, err := m.AppendBits(nil, data, len(data)*8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		on := 0
+		for _, s := range slots {
+			if s {
+				on++
+			}
+		}
+		duty := float64(on) / float64(len(slots))
+		if math.Abs(duty-level) > 0.005 {
+			t.Errorf("level %v: long-run duty %v", level, duty)
+		}
+	}
+}
+
+func TestStreamLengthMatchesEfficiency(t *testing.T) {
+	for _, level := range []float64{0.1, 0.25, 0.5, 0.8, 0.9} {
+		nbits := 80000
+		n, err := StreamLength(level, 0, nbits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotEff := float64(nbits) / float64(n)
+		if math.Abs(gotEff-Efficiency(level)) > 0.01 {
+			t.Errorf("level %v: stream efficiency %v want %v", level, gotEff, Efficiency(level))
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, levelRaw uint16, n uint8) bool {
+		level := 0.05 + float64(levelRaw)/float64(math.MaxUint16)*0.9
+		rng := rand.New(rand.NewPCG(seed, 42))
+		data := make([]byte, int(n)+1)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		nbits := len(data) * 8
+		m, err := NewModulator(level, 32)
+		if err != nil {
+			return false
+		}
+		slots, err := m.AppendBits(nil, data, nbits)
+		if err != nil {
+			return false
+		}
+		d, err := NewDemodulator(level, 32)
+		if err != nil {
+			return false
+		}
+		got, err := d.DecodeBits(slots, nbits)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	m, _ := NewModulator(0.3, 0)
+	slots, _ := m.AppendBits(nil, []byte{0xFF, 0x00}, 16)
+	d, _ := NewDemodulator(0.3, 0)
+	if _, err := d.DecodeBits(slots[:5], 16); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestAppendBitsRejectsBadNBits(t *testing.T) {
+	m, _ := NewModulator(0.5, 0)
+	if _, err := m.AppendBits(nil, []byte{1}, 9); err == nil {
+		t.Fatal("expected error for nbits > len(data)*8")
+	}
+	if _, err := m.AppendBits(nil, []byte{1}, -1); err == nil {
+		t.Fatal("expected error for negative nbits")
+	}
+}
+
+func TestCompensationPolarity(t *testing.T) {
+	// Below 0.5 the compensation must be OFF runs; above, ON runs.
+	mLow, _ := NewModulator(0.2, 10)
+	slots, _ := mLow.AppendBits(nil, bytes.Repeat([]byte{0xAA}, 10), 80)
+	// Data duty is 0.5; overall duty must be pulled DOWN.
+	if duty(slots) >= 0.5 {
+		t.Fatalf("low level: duty %v not below 0.5", duty(slots))
+	}
+	mHigh, _ := NewModulator(0.8, 10)
+	slots, _ = mHigh.AppendBits(nil, bytes.Repeat([]byte{0xAA}, 10), 80)
+	if duty(slots) <= 0.5 {
+		t.Fatalf("high level: duty %v not above 0.5", duty(slots))
+	}
+}
+
+func duty(slots []bool) float64 {
+	on := 0
+	for _, s := range slots {
+		if s {
+			on++
+		}
+	}
+	return float64(on) / float64(len(slots))
+}
+
+func BenchmarkModulate128B(b *testing.B) {
+	m, _ := NewModulator(0.3, 0)
+	data := bytes.Repeat([]byte{0x5C}, 128)
+	buf := make([]bool, 0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		var err error
+		buf, err = m.AppendBits(buf[:0], data, len(data)*8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

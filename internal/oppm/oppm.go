@@ -1,0 +1,150 @@
+// Package oppm implements Overlapping Pulse Position Modulation, the
+// compensation-free dimming scheme of Bai et al. (paper reference [8],
+// also cited via [35]) that SmartVLC's related-work section groups with
+// MPPM.
+//
+// An OPPM symbol spans N slots and carries a single contiguous ON run of
+// W slots whose starting position encodes the data; runs may start at any
+// of the N−W+1 positions (they "overlap" in the sense that consecutive
+// codewords share slots, unlike classical PPM's disjoint chips). Dimming
+// is set by the run width: l = W/N. One symbol carries
+// floor(log2(N−W+1)) bits, always fewer than MPPM's floor(log2 C(N,K)) —
+// which is precisely why the paper builds on MPPM instead.
+package oppm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"smartvlc/internal/bitio"
+)
+
+// Codec modulates and demodulates OPPM symbols for one (N, W) geometry.
+type Codec struct {
+	n, w      int
+	positions int // N − W + 1
+	bitsPer   int
+}
+
+// ErrGeometry reports an (N, W) pair with fewer than two codewords.
+var ErrGeometry = errors.New("oppm: geometry admits fewer than two codewords")
+
+// NewCodec builds a codec with N slots per symbol and an ON run of W.
+func NewCodec(n, w int) (*Codec, error) {
+	if n < 2 || w < 1 || w >= n {
+		return nil, fmt.Errorf("oppm: invalid geometry N=%d W=%d", n, w)
+	}
+	positions := n - w + 1
+	if positions < 2 {
+		return nil, ErrGeometry
+	}
+	return &Codec{n: n, w: w, positions: positions, bitsPer: bits.Len(uint(positions)) - 1}, nil
+}
+
+// ForLevel picks the run width for a dimming level: W = round(l·N).
+func ForLevel(n int, level float64) (*Codec, error) {
+	return NewCodec(n, int(math.Round(level*float64(n))))
+}
+
+// SymbolSlots returns N.
+func (c *Codec) SymbolSlots() int { return c.n }
+
+// PulseWidth returns W.
+func (c *Codec) PulseWidth() int { return c.w }
+
+// DimmingLevel returns W/N.
+func (c *Codec) DimmingLevel() float64 { return float64(c.w) / float64(c.n) }
+
+// Bits returns the data bits per symbol.
+func (c *Codec) Bits() int { return c.bitsPer }
+
+// NormalizedRate returns bits per slot.
+func (c *Codec) NormalizedRate() float64 { return float64(c.bitsPer) / float64(c.n) }
+
+// AppendStream encodes all bits remaining in r as OPPM symbols.
+func (c *Codec) AppendStream(dst []bool, r *bitio.Reader) ([]bool, error) {
+	if c.bitsPer == 0 {
+		return nil, fmt.Errorf("oppm: geometry N=%d W=%d carries no data", c.n, c.w)
+	}
+	for r.Remaining() > 0 {
+		v, _, err := r.ReadPadded(c.bitsPer)
+		if err != nil {
+			return nil, err
+		}
+		start := int(v)
+		for s := 0; s < c.n; s++ {
+			dst = append(dst, s >= start && s < start+c.w)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeBits recovers nbits from the slot stream. Each symbol decodes by
+// maximum-correlation run placement, tolerant of isolated slot errors;
+// symbols whose ON count deviates from W are counted as symbolErrors
+// (the frame CRC arbitrates, as elsewhere in the system).
+func (c *Codec) DecodeBits(slots []bool, nbits int, w *bitio.Writer) (symbolErrors int, err error) {
+	if c.bitsPer == 0 {
+		return 0, fmt.Errorf("oppm: geometry carries no data")
+	}
+	off, written := 0, 0
+	for written < nbits {
+		if off+c.n > len(slots) {
+			return symbolErrors, fmt.Errorf("oppm: slot stream truncated")
+		}
+		sym := slots[off : off+c.n]
+		off += c.n
+
+		ons := 0
+		for _, s := range sym {
+			if s {
+				ons++
+			}
+		}
+		if ons != c.w {
+			symbolErrors++
+		}
+		// Correlate the W-wide window over all start positions.
+		bestStart, bestScore := 0, -1
+		score := 0
+		for s := 0; s < c.w; s++ {
+			if sym[s] {
+				score++
+			}
+		}
+		bestScore = score
+		for s := 1; s < c.positions; s++ {
+			if sym[s-1] {
+				score--
+			}
+			if sym[s+c.w-1] {
+				score++
+			}
+			if score > bestScore {
+				bestScore, bestStart = score, s
+			}
+		}
+		v := uint64(bestStart)
+		if c.bitsPer < 64 && v >= 1<<uint(c.bitsPer) {
+			// Positions beyond the encodable range are never transmitted.
+			symbolErrors++
+			v = 0
+		}
+		if err := w.WriteBits(v, c.bitsPer); err != nil {
+			return symbolErrors, err
+		}
+		written += c.bitsPer
+	}
+	return symbolErrors, nil
+}
+
+// SlotsForBits returns the slot cost of nbits.
+func (c *Codec) SlotsForBits(nbits int) int {
+	if c.bitsPer == 0 || nbits <= 0 {
+		return 0
+	}
+	syms := (nbits + c.bitsPer - 1) / c.bitsPer
+	return syms * c.n
+}

@@ -1,0 +1,155 @@
+package oppm
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"smartvlc/internal/bitio"
+	"smartvlc/internal/mppm"
+)
+
+func TestNewCodecValidation(t *testing.T) {
+	if _, err := NewCodec(1, 1); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	if _, err := NewCodec(10, 0); err == nil {
+		t.Fatal("W=0 accepted")
+	}
+	if _, err := NewCodec(10, 10); err == nil {
+		t.Fatal("W=N accepted")
+	}
+	if _, err := NewCodec(10, 9); err != nil {
+		t.Fatal("W=N-1 has 2 positions and should work")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c, err := NewCodec(20, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15 positions -> 3 bits per symbol.
+	if c.Bits() != 3 {
+		t.Fatalf("bits = %d", c.Bits())
+	}
+	if c.DimmingLevel() != 0.3 {
+		t.Fatalf("level = %v", c.DimmingLevel())
+	}
+	if c.NormalizedRate() != 3.0/20 {
+		t.Fatalf("rate = %v", c.NormalizedRate())
+	}
+	if c.SlotsForBits(7) != 60 { // ceil(7/3)=3 symbols
+		t.Fatalf("SlotsForBits = %d", c.SlotsForBits(7))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, wRaw uint8, nbytes uint8) bool {
+		n := int(nRaw)%40 + 4
+		w := int(wRaw)%(n-1) + 1
+		c, err := NewCodec(n, w)
+		if err != nil || c.Bits() == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewPCG(seed, 23))
+		data := make([]byte, int(nbytes)+1)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		slots, err := c.AppendStream(nil, bitio.NewReader(data))
+		if err != nil {
+			return false
+		}
+		out := bitio.NewWriter()
+		se, err := c.DecodeBits(slots, len(data)*8, out)
+		if err != nil || se != 0 {
+			return false
+		}
+		return bytes.Equal(out.Bytes()[:len(data)], data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDutyCycleExact(t *testing.T) {
+	c, _ := NewCodec(16, 8)
+	data := bytes.Repeat([]byte{0xB7}, 64)
+	slots, err := c.AppendStream(nil, bitio.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := 0
+	for _, s := range slots {
+		if s {
+			on++
+		}
+	}
+	if got := float64(on) / float64(len(slots)); got != 0.5 {
+		t.Fatalf("duty %v", got)
+	}
+}
+
+func TestDecodeToleratesSlotError(t *testing.T) {
+	c, _ := NewCodec(16, 6)
+	data := []byte{0x3C, 0x5A}
+	slots, _ := c.AppendStream(nil, bitio.NewReader(data))
+	slots[2] = !slots[2] // one slot error in the first symbol
+	out := bitio.NewWriter()
+	se, err := c.DecodeBits(slots, 16, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se != 1 {
+		t.Fatalf("symbolErrors = %d", se)
+	}
+	if !bytes.Equal(out.Bytes()[:2], data) {
+		t.Fatal("correlation decode failed to absorb one slot error")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	c, _ := NewCodec(10, 3)
+	if _, err := c.DecodeBits(make([]bool, 5), 8, bitio.NewWriter()); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+// TestOPPMInferiorToMPPM pins the related-work claim that motivates the
+// paper's choice of MPPM as AMPPM's basis: at every dimming level and
+// equal symbol length, OPPM carries no more bits than MPPM.
+func TestOPPMInferiorToMPPM(t *testing.T) {
+	for n := 8; n <= 40; n += 4 {
+		for w := 1; w < n; w++ {
+			c, err := NewCodec(n, w)
+			if err != nil {
+				continue
+			}
+			mp := mppm.Pattern{N: n, K: w}
+			if c.Bits() > mp.Bits() {
+				t.Fatalf("N=%d W=%d: OPPM %d bits > MPPM %d bits", n, w, c.Bits(), mp.Bits())
+			}
+		}
+	}
+	// And strictly fewer near l = 0.5 for nontrivial N.
+	c, _ := NewCodec(20, 10)
+	if c.Bits() >= (mppm.Pattern{N: 20, K: 10}).Bits() {
+		t.Fatal("OPPM should be strictly worse at l=0.5")
+	}
+}
+
+func TestForLevel(t *testing.T) {
+	c, err := ForLevel(20, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.DimmingLevel()-0.3) > 1e-12 {
+		t.Fatalf("level %v", c.DimmingLevel())
+	}
+	if _, err := ForLevel(20, 0.0); err == nil {
+		t.Fatal("level 0 accepted")
+	}
+}

@@ -1,0 +1,390 @@
+// Package phy is the physical layer of the simulated SmartVLC link: it
+// turns slot waveforms into photon-count sample streams (transmit side:
+// LED slew, propagation, Poisson detection, ADC) and sample streams back
+// into parsed frames (receive side: threshold slicing, preamble hunting,
+// 4× oversampled slot folding).
+//
+// The receive design mirrors the prototype: the receiver samples at four
+// times the slot rate and integrates three of the four samples of each
+// slot, which tolerates the sub-sample phase offset and slow drift caused
+// by the independent TX/RX PRU oscillators; absolute alignment is
+// recovered from the preamble of every frame.
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"smartvlc/internal/frame"
+	"smartvlc/internal/hw"
+	"smartvlc/internal/photon"
+)
+
+// Oversample is the RX samples per TX slot (500 kHz / 125 kHz).
+const Oversample = 4
+
+// Link is the analog path from LED slots to ADC counts at one operating
+// point (fixed geometry and ambient).
+type Link struct {
+	// TxClock ticks once per slot (nominal 125 kHz).
+	TxClock hw.Clock
+	// RxClock ticks once per sample (nominal 500 kHz).
+	RxClock hw.Clock
+	// LED is the luminaire slew model.
+	LED hw.LED
+	// Channel is the Poisson detection channel.
+	Channel photon.Channel
+	// ADC quantizes the counts.
+	ADC hw.ADC
+	// StartPhase offsets the transmitter's slot grid relative to the
+	// receiver's sample grid, as a fraction of one sample period [0, 1).
+	// The two ends are never phase-aligned in reality; the middle-two-
+	// sample integration absorbs it.
+	StartPhase float64
+}
+
+// DefaultLink assembles the paper's prototype parameters around a channel.
+// TX and RX run from independent oscillators with a small relative error.
+func DefaultLink(ch photon.Channel) Link {
+	return Link{
+		TxClock: hw.Clock{NominalHz: 125e3, OffsetPPM: 8},
+		RxClock: hw.Clock{NominalHz: 500e3, OffsetPPM: -8},
+		LED:     hw.DefaultLED(),
+		Channel: ch,
+		ADC:     hw.DefaultADC(),
+	}
+}
+
+// Transmit converts a slot waveform into the RX's photon-count samples.
+// It models the LED's finite rise/fall, the clock offset between the two
+// ends, and per-sample Poisson detection noise. The returned slice has
+// one entry per RX sample covering the waveform's duration.
+func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
+	tslot := l.TxClock.TickSeconds()
+	tsamp := l.RxClock.TickSeconds()
+	t0 := l.StartPhase * tsamp // slot grid shift relative to sample grid
+	total := float64(len(slots))*tslot + t0
+	// Cover the full waveform plus a short tail during which the LED
+	// holds its final state — otherwise the last slot of the last frame
+	// loses its integration window to sample-count truncation.
+	nSamples := int(math.Ceil(total/tsamp)) + 8
+	out := make([]int, 0, nSamples)
+
+	intensity := 0.0 // LED optical output at the time cursor
+	if len(slots) > 0 && slots[0] {
+		intensity = 1 // assume the stream starts from a settled state
+	}
+	// Slot cursor: slotIdx is the slot active at the time cursor; its end
+	// is slotEnd = t0 + (slotIdx+1)·tslot, advanced monotonically so
+	// float rounding can never re-assign a window remainder to a stale
+	// slot.
+	slotIdx := 0
+	slotEnd := t0 + tslot
+	cursor := 0.0
+	for j := 0; j < nSamples; j++ {
+		winEnd := cursor + tsamp
+		lambda := 0.0
+		t := cursor
+		for t < winEnd-1e-15 {
+			for slotEnd <= t+1e-15 && slotIdx < len(slots) {
+				slotIdx++
+				slotEnd += tslot
+			}
+			segEnd := slotEnd
+			if slotIdx >= len(slots) {
+				segEnd = winEnd // past the waveform: LED holds its state
+			}
+			if segEnd > winEnd {
+				segEnd = winEnd
+			}
+			dt := segEnd - t
+			target := 0.0
+			idx := slotIdx
+			if idx >= len(slots) {
+				idx = len(slots) - 1
+			}
+			if idx >= 0 && slots[idx] {
+				target = 1
+			}
+			next := l.LED.Step(intensity, target, dt)
+			avg := (intensity + next) / 2
+			lambda += l.Channel.MeanFor(avg, dt/tslot)
+			intensity = next
+			t = segEnd
+		}
+		count := photon.Sample(rng, lambda)
+		out = append(out, l.ADC.Quantize(count))
+		cursor = winEnd
+	}
+	return out
+}
+
+// DetectionFraction is the share of each slot the receiver integrates:
+// samples 1..3 of the 4 per slot. Skipping sample 0 makes the window
+// immune to any sub-sample phase offset in [0, 1) between the PRU clocks
+// while keeping 75 % of the photons.
+const DetectionFraction = 0.75
+
+// Receiver folds sample streams into slots and parses frames. It also
+// estimates the ambient light level from the OFF windows it sees — the
+// paper's receiver senses ambient light and reports it to the transmitter
+// over the Wi-Fi uplink (Fig. 2), and the LED's own emission must be
+// excluded from that estimate, which the OFF windows do for free.
+type Receiver struct {
+	factory frame.CodecFactory
+	// thr is the detection threshold for the three-sample window.
+	thr int
+
+	// ambient estimate state: an EMA over the per-block medians of
+	// OFF-classified window sums.
+	ambientEMA float64
+	ambientSet bool
+}
+
+// NewReceiver builds a receiver for a channel operating point. The
+// detection threshold is tuned to the channel (the prototype calibrates it
+// from the measured signal and ambient levels). The Poisson-optimal
+// threshold is floored at 30 % of the ON-window mean: in dark rooms the
+// optimal value drops so low that LED slew leakage at slot boundaries
+// (up to ~17 % of one ON sample) would flip OFF windows.
+func NewReceiver(ch photon.Channel, factory frame.CodecFactory) *Receiver {
+	w := ch.Scaled(DetectionFraction)
+	thr := w.OptimalThreshold()
+	if floor := int(0.3*(w.SignalPerSlot+w.AmbientPerSlot) + 0.5); thr < floor {
+		thr = floor
+	}
+	return &Receiver{factory: factory, thr: thr}
+}
+
+// Threshold returns the three-sample detection threshold in counts.
+func (r *Receiver) Threshold() int { return r.thr }
+
+// slotAt integrates samples 1..3 of slot s (frame phase given by offset,
+// in samples) and compares with the threshold.
+func slotAt(samples []int, offset, s, thr int) (bool, bool) {
+	base := offset + s*Oversample
+	if base+3 >= len(samples) {
+		return false, false
+	}
+	return samples[base+1]+samples[base+2]+samples[base+3] >= thr, true
+}
+
+// preambleAt reports whether a frame preamble starts at sample offset.
+func (r *Receiver) preambleAt(samples []int, offset int) bool {
+	for s := 0; s < frame.PreambleSlots; s++ {
+		v, ok := slotAt(samples, offset, s, r.thr)
+		if !ok || v != (s%2 == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// preambleScore is the alternating-preamble correlation at a sample
+// offset: ON-slot window energy minus OFF-slot window energy. It peaks
+// when the integration windows sit fully inside their slots.
+func preambleScore(samples []int, offset int) int {
+	score := 0
+	for s := 0; s < frame.PreambleSlots; s++ {
+		base := offset + s*Oversample
+		if base < 0 || base+3 >= len(samples) {
+			return math.MinInt
+		}
+		w := samples[base+1] + samples[base+2] + samples[base+3]
+		if s%2 == 0 {
+			score += w
+		} else {
+			score -= w
+		}
+	}
+	return score
+}
+
+// lockOffset refines a passing preamble position by maximizing the
+// correlation over nearby sample offsets. This is the per-frame clock
+// recovery: the TX and RX PRU oscillators drift slowly, so each frame's
+// preamble re-centers the slot phase before the payload is folded.
+func lockOffset(samples []int, i int) int {
+	best, bestScore := i, math.MinInt
+	for cand := i - 1; cand <= i+2; cand++ {
+		if s := preambleScore(samples, cand); s > bestScore {
+			best, bestScore = cand, s
+		}
+	}
+	return best
+}
+
+// retrackEvery is the slot interval of the decision-directed phase
+// tracker in foldSlots. At the worst PRU drift (±25 ppm each) the phase
+// slips one sample every ~5000 slots, so re-tracking every 256 slots sees
+// at most ~0.05 samples of movement per evaluation.
+const retrackEvery = 256
+
+// phaseScore rates slot alignment at a sample offset over a span of
+// slots: well-aligned windows sit confidently far from the threshold,
+// misaligned ones collapse toward it. This is a decision-directed
+// early-late gate that needs no knowledge of the slot contents.
+func (r *Receiver) phaseScore(samples []int, offset, fromSlot, nSlots int) int {
+	score := 0
+	for s := fromSlot; s < fromSlot+nSlots; s++ {
+		base := offset + s*Oversample
+		if base < 0 || base+3 >= len(samples) {
+			break
+		}
+		w := samples[base+1] + samples[base+2] + samples[base+3]
+		d := w - r.thr
+		if d < 0 {
+			d = -d
+		}
+		score += d
+	}
+	return score
+}
+
+// foldSlots converts samples starting at offset into at most maxSlots
+// slot decisions, re-tracking the slot phase periodically so the TX/RX
+// oscillator drift cannot walk the integration window out of its slot
+// within long frames.
+func (r *Receiver) foldSlots(samples []int, offset, maxSlots int) []bool {
+	out := make([]bool, 0, maxSlots)
+	cur := offset
+	for s := 0; s < maxSlots; s++ {
+		if s > 0 && s%retrackEvery == 0 {
+			// Shift by ±1 sample only on a clear improvement; ties keep
+			// the current phase (hysteresis against noise).
+			const span = 32
+			best, bestScore := 0, r.phaseScore(samples, cur, s, span)
+			for _, shift := range []int{-1, 1} {
+				if sc := r.phaseScore(samples, cur+shift, s, span); sc > bestScore+bestScore/16 {
+					best, bestScore = shift, sc
+				}
+			}
+			cur += best
+		}
+		v, ok := slotAt(samples, cur, s, r.thr)
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Stats aggregates receiver-side outcomes.
+type Stats struct {
+	// FramesOK counts frames that passed all checks.
+	FramesOK int
+	// FramesBad counts preamble hits that failed header, sync, length or
+	// CRC validation (noise hits and genuinely corrupt frames).
+	FramesBad int
+	// SymbolErrors sums constituent symbol anomalies across good frames.
+	SymbolErrors int
+	// Errors tallies parse failures by error text.
+	Errors map[string]int
+}
+
+func (s *Stats) count(err error) {
+	if s.Errors == nil {
+		s.Errors = map[string]int{}
+	}
+	s.Errors[err.Error()]++
+}
+
+// AmbientWindowFraction is the slot share of the ambient-measurement
+// window (samples 1 and 2 only). Narrower than the detection window, it
+// stays inside its slot for phase errors up to a full sample in either
+// direction, so slow intra-frame clock drift cannot leak neighbouring
+// slots' light into the ambient estimate.
+const AmbientWindowFraction = 0.5
+
+// AmbientWindowCounts returns the receiver's running estimate of the
+// ambient contribution to one measurement window (AmbientWindowFraction
+// of a slot), in counts. ok is false until enough OFF windows were seen.
+func (r *Receiver) AmbientWindowCounts() (counts float64, ok bool) {
+	return r.ambientEMA, r.ambientSet
+}
+
+// updateAmbientFromFrame refines the ambient estimate using a frame that
+// passed its CRC: the decoded slot values identify the OFF slots whose
+// predecessor was also OFF, i.e. measurement windows guaranteed free of
+// LED slew leakage. Averaging those is an unbiased ambient measurement no
+// matter the dimming level.
+func (r *Receiver) updateAmbientFromFrame(samples []int, offset int, slots []bool, consumed int) {
+	sum, n := 0.0, 0
+	for s := 1; s < consumed && s < len(slots); s++ {
+		if slots[s] || slots[s-1] {
+			continue
+		}
+		base := offset + s*Oversample
+		if base+2 >= len(samples) {
+			break
+		}
+		sum += float64(samples[base+1] + samples[base+2])
+		n++
+	}
+	if n < 4 {
+		return
+	}
+	est := sum / float64(n)
+	if !r.ambientSet {
+		r.ambientEMA, r.ambientSet = est, true
+		return
+	}
+	// Slow EMA: the estimate feeds the dimming controller, whose step
+	// size is small, so photon noise must be averaged well below it.
+	r.ambientEMA += 0.05 * (est - r.ambientEMA)
+}
+
+// Process scans a sample stream, parses every frame it can find, and
+// returns the payloads in order.
+func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
+	var results []frame.Result
+	var stats Stats
+	i := 0
+	for i+frame.PreambleSlots*Oversample < len(samples) {
+		if !r.preambleAt(samples, i) {
+			i++
+			continue
+		}
+		locked := lockOffset(samples, i)
+		maxSlots := (len(samples) - locked) / Oversample
+		slots := r.foldSlots(samples, locked, maxSlots)
+		res, err := frame.Parse(slots, r.factory)
+		if err != nil {
+			stats.FramesBad++
+			stats.count(err)
+			i++ // resume hunting just past this false/failed lock
+			continue
+		}
+		stats.FramesOK++
+		stats.SymbolErrors += res.SymbolErrors
+		results = append(results, res)
+		r.updateAmbientFromFrame(samples, locked, slots, res.SlotsConsumed)
+		// Jump to just before the expected next preamble: one slot of
+		// slack lets the next lock absorb accumulated clock drift in
+		// either direction.
+		next := locked + res.SlotsConsumed*Oversample - Oversample
+		if next <= i {
+			next = i + 1
+		}
+		i = next
+	}
+	return results, stats
+}
+
+// String implements fmt.Stringer for quick experiment logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("ok=%d bad=%d symErrs=%d", s.FramesOK, s.FramesBad, s.SymbolErrors)
+}
+
+// NewReceiverWithThreshold builds a receiver with an explicitly chosen
+// detection threshold instead of deriving one from a channel model —
+// used by offline tools decoding recorded sample streams whose channel
+// parameters are unknown.
+func NewReceiverWithThreshold(threshold int, factory frame.CodecFactory) *Receiver {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Receiver{factory: factory, thr: threshold}
+}

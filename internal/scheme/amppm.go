@@ -1,0 +1,99 @@
+package scheme
+
+import (
+	"fmt"
+
+	"smartvlc/internal/amppm"
+	"smartvlc/internal/bitio"
+	"smartvlc/internal/frame"
+)
+
+// AMPPM is the paper's scheme: adaptive super-symbols selected from the
+// throughput envelope.
+type AMPPM struct {
+	table *amppm.Table
+}
+
+// NewAMPPM builds the scheme from link constraints (both sides must use
+// identical constraints so their envelope vertex tables agree).
+func NewAMPPM(cons amppm.Constraints) (*AMPPM, error) {
+	t, err := amppm.NewTable(cons)
+	if err != nil {
+		return nil, err
+	}
+	return &AMPPM{table: t}, nil
+}
+
+// Table exposes the planning table (for inspection tools and experiments).
+func (a *AMPPM) Table() *amppm.Table { return a.table }
+
+// Name implements Scheme.
+func (a *AMPPM) Name() string { return "AMPPM" }
+
+// LevelRange implements Scheme.
+func (a *AMPPM) LevelRange() (float64, float64) { return a.table.LevelRange() }
+
+// CodecFor implements Scheme.
+func (a *AMPPM) CodecFor(level float64) (frame.PayloadCodec, error) {
+	s, err := a.table.Select(level)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrLevelUnsupported, err)
+	}
+	return a.codecForSuper(s)
+}
+
+func (a *AMPPM) codecForSuper(s amppm.SuperSymbol) (frame.PayloadCodec, error) {
+	sc, err := amppm.NewSuperCodec(s)
+	if err != nil {
+		return nil, err
+	}
+	if sc.BitsPerSuper() == 0 {
+		return nil, fmt.Errorf("%w: super-symbol %v carries no data", ErrLevelUnsupported, s)
+	}
+	desc, err := a.table.Descriptor(s)
+	if err != nil {
+		return nil, err
+	}
+	return &amppmCodec{sc: sc, desc: desc}, nil
+}
+
+// Factory implements Scheme.
+func (a *AMPPM) Factory() frame.CodecFactory {
+	return func(d [frame.PatternBytes]byte) (frame.PayloadCodec, error) {
+		s, err := a.table.ParseDescriptor(d)
+		if err != nil {
+			return nil, err
+		}
+		return a.codecForSuper(s)
+	}
+}
+
+type amppmCodec struct {
+	sc   *amppm.SuperCodec
+	desc [frame.PatternBytes]byte
+}
+
+func (c *amppmCodec) Level() float64 { return c.sc.Super().Level() }
+
+func (c *amppmCodec) Descriptor() [frame.PatternBytes]byte { return c.desc }
+
+func (c *amppmCodec) PayloadSlots(nbytes int) int {
+	return c.sc.SlotsForBits(nbytes * 8)
+}
+
+func (c *amppmCodec) AppendPayload(dst []bool, data []byte) ([]bool, error) {
+	return c.sc.AppendStream(dst, bitio.NewReader(data))
+}
+
+func (c *amppmCodec) DecodePayload(slots []bool, nbytes int) ([]byte, int, error) {
+	w := bitio.NewWriter()
+	symErrs, err := c.sc.DecodeBits(slots, nbytes*8, w)
+	if err != nil {
+		return nil, symErrs, err
+	}
+	out := w.Bytes()
+	if len(out) < nbytes {
+		return nil, symErrs, fmt.Errorf("scheme: amppm decoded %d bytes, need %d", len(out), nbytes)
+	}
+	return out[:nbytes], symErrs, nil
+}

@@ -1,0 +1,33 @@
+// Package scheme adapts the four modulation schemes (AMPPM and the
+// baselines OOK-CT, fixed-N MPPM, VPPM) to the frame layer's PayloadCodec
+// interface, so the same framer, PHY and MAC run any of them — exactly the
+// comparison setup of the paper's evaluation (§6.2).
+//
+// A Scheme picks a transmitter-side codec for a target dimming level and
+// provides the factory that rebuilds the matching receiver-side codec from
+// the 4-byte Pattern field of the frame header.
+package scheme
+
+import (
+	"fmt"
+
+	"smartvlc/internal/frame"
+)
+
+// Scheme is one dimmable modulation scheme.
+type Scheme interface {
+	// Name returns the scheme's evaluation label ("AMPPM", "OOK-CT", ...).
+	Name() string
+	// CodecFor returns the payload codec to use at a target dimming level.
+	// The codec's Level() reports the exactly achieved level, which may
+	// differ from the target by the scheme's dimming resolution.
+	CodecFor(level float64) (frame.PayloadCodec, error)
+	// Factory rebuilds a receiver codec from a frame's Pattern field.
+	Factory() frame.CodecFactory
+	// LevelRange returns the dimming levels the scheme supports.
+	LevelRange() (lo, hi float64)
+}
+
+// ErrLevelUnsupported reports a requested dimming level outside a
+// scheme's range.
+var ErrLevelUnsupported = fmt.Errorf("scheme: dimming level unsupported")

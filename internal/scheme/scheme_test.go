@@ -1,0 +1,278 @@
+package scheme
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"smartvlc/internal/amppm"
+	"smartvlc/internal/frame"
+)
+
+func allSchemes(t *testing.T) []Scheme {
+	t.Helper()
+	a, err := NewAMPPM(amppm.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMPPM(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Scheme{a, m, NewOOKCT(), NewVPPM()}
+}
+
+func TestSchemesFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 12))
+	for _, s := range allSchemes(t) {
+		for _, level := range []float64{0.1, 0.15, 0.3, 0.5, 0.7, 0.9} {
+			codec, err := s.CodecFor(level)
+			if err != nil {
+				t.Fatalf("%s CodecFor(%v): %v", s.Name(), level, err)
+			}
+			payload := make([]byte, 128)
+			for i := range payload {
+				payload[i] = byte(rng.Uint64())
+			}
+			slots, err := frame.Build(codec, payload)
+			if err != nil {
+				t.Fatalf("%s level %v: Build: %v", s.Name(), level, err)
+			}
+			res, err := frame.Parse(slots, s.Factory())
+			if err != nil {
+				t.Fatalf("%s level %v: Parse: %v", s.Name(), level, err)
+			}
+			if !bytes.Equal(res.Payload, payload) {
+				t.Fatalf("%s level %v: payload mismatch", s.Name(), level)
+			}
+			if res.SlotsConsumed != len(slots) {
+				t.Fatalf("%s level %v: consumed %d of %d", s.Name(), level, res.SlotsConsumed, len(slots))
+			}
+		}
+	}
+}
+
+func TestSchemesAchievedLevelAccuracy(t *testing.T) {
+	for _, s := range allSchemes(t) {
+		lo, hi := s.LevelRange()
+		if lo >= hi {
+			t.Fatalf("%s: bad level range [%v, %v]", s.Name(), lo, hi)
+		}
+		worst := 0.0
+		for _, level := range []float64{0.1, 0.18, 0.33, 0.5, 0.62, 0.9} {
+			codec, err := s.CodecFor(level)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			if e := math.Abs(codec.Level() - level); e > worst {
+				worst = e
+			}
+		}
+		// AMPPM and OOK-CT achieve fine resolution; MPPM N=20 and VPPM
+		// N=10 are limited by 1/(2N).
+		var bound float64
+		switch s.Name() {
+		case "AMPPM":
+			bound = 0.004
+		case "OOK-CT":
+			bound = 0.0001
+		case "MPPM":
+			bound = 0.025
+		case "VPPM":
+			bound = 0.05
+		}
+		if worst > bound {
+			t.Errorf("%s: worst level error %v exceeds %v", s.Name(), worst, bound)
+		}
+	}
+}
+
+func TestSchemeWaveformDutyMatchesLevel(t *testing.T) {
+	// The slot waveform of a whole frame must average to the codec's
+	// level closely — that is the illumination contract.
+	rng := rand.New(rand.NewPCG(9, 9))
+	for _, s := range allSchemes(t) {
+		for _, level := range []float64{0.2, 0.5, 0.8} {
+			codec, err := s.CodecFor(level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := make([]byte, 256)
+			for i := range payload {
+				payload[i] = byte(rng.Uint64())
+			}
+			slots, err := frame.Build(codec, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			on := 0
+			for _, sl := range slots {
+				if sl {
+					on++
+				}
+			}
+			duty := float64(on) / float64(len(slots))
+			// OOK-CT's data portion depends on payload content, so allow
+			// a looser band there.
+			tol := 0.01
+			if s.Name() == "OOK-CT" {
+				tol = 0.03
+			}
+			if math.Abs(duty-codec.Level()) > tol {
+				t.Errorf("%s level %v: frame duty %v vs codec level %v", s.Name(), level, duty, codec.Level())
+			}
+		}
+	}
+}
+
+func TestAMPPMOutperformsBaselinesInSlots(t *testing.T) {
+	// Fewer slots per frame = higher throughput. At the extreme dimming
+	// levels AMPPM must beat both baselines (paper Fig. 15); near 0.5
+	// OOK-CT may win slightly.
+	schemes := allSchemes(t)
+	a, m, o := schemes[0], schemes[1], schemes[2]
+	slotsFor := func(s Scheme, level float64) int {
+		c, err := s.CodecFor(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frame.Slots(c, 128)
+	}
+	for _, level := range []float64{0.1, 0.9} {
+		sa, sm, so := slotsFor(a, level), slotsFor(m, level), slotsFor(o, level)
+		if sa >= sm {
+			t.Errorf("level %v: AMPPM %d slots vs MPPM %d", level, sa, sm)
+		}
+		if sa >= so {
+			t.Errorf("level %v: AMPPM %d slots vs OOK-CT %d", level, sa, so)
+		}
+	}
+	// Near 0.5, OOK-CT's almost-zero overhead wins (paper's observation).
+	if slotsFor(o, 0.5) >= slotsFor(a, 0.5) {
+		t.Errorf("level 0.5: OOK-CT should be at least as compact")
+	}
+}
+
+func TestFactoriesRejectGarbageDescriptors(t *testing.T) {
+	for _, s := range allSchemes(t) {
+		if _, err := s.Factory()([frame.PatternBytes]byte{0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+			t.Errorf("%s: garbage descriptor accepted", s.Name())
+		}
+	}
+}
+
+func TestCodecForOutOfRange(t *testing.T) {
+	a, _ := NewAMPPM(amppm.DefaultConstraints())
+	if _, err := a.CodecFor(-0.2); !errors.Is(err, ErrLevelUnsupported) {
+		t.Fatalf("err = %v", err)
+	}
+	o := NewOOKCT()
+	if _, err := o.CodecFor(0); !errors.Is(err, ErrLevelUnsupported) {
+		t.Fatalf("err = %v", err)
+	}
+	v := NewVPPM()
+	if _, err := v.CodecFor(0.01); !errors.Is(err, ErrLevelUnsupported) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewMPPMValidation(t *testing.T) {
+	if _, err := NewMPPM(1); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	if _, err := NewMPPM(200); err == nil {
+		t.Fatal("N=200 accepted")
+	}
+}
+
+func TestMPPMQuantizesToGrid(t *testing.T) {
+	m, _ := NewMPPM(20)
+	c, err := m.CodecFor(0.13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.13 * 20 = 2.6 -> K=3 -> level 0.15.
+	if math.Abs(c.Level()-0.15) > 1e-12 {
+		t.Fatalf("level %v", c.Level())
+	}
+	// Extreme targets clamp to K=1 / K=N-1.
+	c, _ = m.CodecFor(0.001)
+	if math.Abs(c.Level()-0.05) > 1e-12 {
+		t.Fatalf("clamped level %v", c.Level())
+	}
+}
+
+func TestDescriptorRoundTripAllSchemes(t *testing.T) {
+	for _, s := range allSchemes(t) {
+		c, err := s.CodecFor(0.37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := s.Factory()(c.Descriptor())
+		if err != nil {
+			t.Fatalf("%s: factory: %v", s.Name(), err)
+		}
+		if c2.Level() != c.Level() {
+			t.Fatalf("%s: levels differ after descriptor round trip: %v vs %v", s.Name(), c2.Level(), c.Level())
+		}
+		if c2.PayloadSlots(130) != c.PayloadSlots(130) {
+			t.Fatalf("%s: payload slots differ", s.Name())
+		}
+	}
+}
+
+func TestOPPMScheme(t *testing.T) {
+	o, err := NewOPPM(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOPPM(2); err == nil {
+		t.Fatal("N=2 accepted")
+	}
+	codec, err := o.CodecFor(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("overlapping ppm baseline frame")
+	slots, err := frame.Build(codec, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := frame.Parse(slots, o.Factory())
+	if err != nil || !bytes.Equal(res.Payload, payload) {
+		t.Fatalf("round trip: %v", err)
+	}
+	// Descriptor round trip.
+	c2, err := o.Factory()(codec.Descriptor())
+	if err != nil || c2.Level() != codec.Level() {
+		t.Fatalf("descriptor: %v", err)
+	}
+	if _, err := o.Factory()([frame.PatternBytes]byte{99, 1, 0, 0}); err == nil {
+		t.Fatal("foreign descriptor accepted")
+	}
+}
+
+// TestSchemeRateOrdering pins the rate hierarchy the paper's related-work
+// discussion implies at l = 0.5: AMPPM ≥ MPPM > OPPM > VPPM.
+func TestSchemeRateOrdering(t *testing.T) {
+	a, err := NewAMPPM(amppm.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMPPM(20)
+	o, _ := NewOPPM(20)
+	v := NewVPPM()
+	slotsFor := func(s Scheme) int {
+		c, err := s.CodecFor(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.PayloadSlots(130)
+	}
+	sa, sm, so, sv := slotsFor(a), slotsFor(m), slotsFor(o), slotsFor(v)
+	if !(sa <= sm && sm < so && so < sv) {
+		t.Fatalf("slot costs: AMPPM=%d MPPM=%d OPPM=%d VPPM=%d", sa, sm, so, sv)
+	}
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"smartvlc/internal/frame"
+	"smartvlc/internal/light"
+	"smartvlc/internal/mac"
+	"smartvlc/internal/optics"
+	"smartvlc/internal/phy"
+	"smartvlc/internal/stats"
+)
+
+// ReceiverPose places one receiver of a broadcast session.
+type ReceiverPose struct {
+	// Geometry is this receiver's pose relative to the luminaire.
+	Geometry optics.Geometry
+	// AmbientScale scales the session's ambient trace at this desk (a
+	// receiver near the window sees more sunlight than one in a corner).
+	// Zero means 1.
+	AmbientScale float64
+}
+
+func (p ReceiverPose) scale() float64 {
+	if p.AmbientScale <= 0 {
+		return 1
+	}
+	return p.AmbientScale
+}
+
+// BroadcastConfig extends Config to several receivers under one
+// luminaire — the paper's architecture (Fig. 2) has receivers plural:
+// each senses ambient light and acknowledges frames over the Wi-Fi
+// uplink. The embedded Config's Geometry is ignored.
+type BroadcastConfig struct {
+	Config
+	// Receivers lists the receiver poses; at least one is required.
+	Receivers []ReceiverPose
+}
+
+// ReceiverOutcome summarizes one receiver's session.
+type ReceiverOutcome struct {
+	// FramesOK counts frames this receiver decoded.
+	FramesOK int
+	// DeliveredBps is this receiver's unique-payload rate.
+	DeliveredBps float64
+	// MeanSum is the mean of ambient+LED at this desk, in LED units.
+	MeanSum float64
+}
+
+// BroadcastResult aggregates a broadcast session.
+type BroadcastResult struct {
+	// Duration is the simulated air time.
+	Duration float64
+	// ReliableGoodputBps counts only frames acknowledged by EVERY
+	// receiver (reliable multicast semantics).
+	ReliableGoodputBps float64
+	// PerReceiver holds each receiver's outcome.
+	PerReceiver []ReceiverOutcome
+	// Adjustments is the cumulative LED step count.
+	Adjustments int
+	// FramesSent includes retransmissions.
+	FramesSent int
+	// LED is the luminaire level over time.
+	LED stats.Series
+}
+
+// RunBroadcast simulates a multi-receiver session. The dimming controller
+// follows the *minimum* ambient reported across receivers, so every desk
+// reaches at least the target illumination; frames are retransmitted
+// until all receivers acknowledge them.
+func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error) {
+	if len(cfg.Receivers) == 0 {
+		return BroadcastResult{}, fmt.Errorf("sim: broadcast needs at least one receiver")
+	}
+	if cfg.Scheme == nil || duration <= 0 || cfg.PayloadBytes <= 0 {
+		return BroadcastResult{}, fmt.Errorf("sim: invalid broadcast config")
+	}
+	for _, p := range cfg.Receivers {
+		if err := p.Geometry.Validate(); err != nil {
+			return BroadcastResult{}, err
+		}
+	}
+
+	nRx := len(cfg.Receivers)
+	macRng := rand.New(rand.NewPCG(cfg.Seed, 0xACED2))
+	sideRng := rand.New(rand.NewPCG(cfg.Seed, 0x51DE2))
+	sender, err := mac.NewSender(cfg.Window, cfg.PayloadBytes, cfg.AckTimeoutSeconds, macRng)
+	if err != nil {
+		return BroadcastResult{}, err
+	}
+	side := mac.NewSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb, sideRng)
+
+	var controller *light.Controller
+	if cfg.Trace != nil {
+		stepper := cfg.Stepper
+		if stepper == nil {
+			stepper = light.PerceivedStepper{TauP: light.DefaultTauP}
+		}
+		controller, err = light.NewController(cfg.TargetSum, stepper)
+		if err != nil {
+			return BroadcastResult{}, err
+		}
+	}
+
+	type rxState struct {
+		rng      *rand.Rand
+		link     phy.Link
+		rx       *phy.Receiver
+		macRx    *mac.Receiver
+		lastLux  float64
+		remote   float64 // last reported ambient lux
+		reported bool
+		sumAcc   float64
+		sumN     int
+	}
+	rxs := make([]*rxState, nRx)
+	for i := range rxs {
+		rxs[i] = &rxState{
+			rng:     rand.New(rand.NewPCG(cfg.Seed, 0xBEEF00+uint64(i))),
+			macRx:   mac.NewReceiverSide(cfg.PayloadBytes),
+			lastLux: math.Inf(-1),
+		}
+	}
+	ensure := func(i int, lux float64) error {
+		st := rxs[i]
+		if st.lastLux > 0 && math.Abs(lux-st.lastLux) <= 0.02*st.lastLux {
+			return nil
+		}
+		ch, err := cfg.Budget.ChannelAt(cfg.Receivers[i].Geometry, lux)
+		if err != nil {
+			return err
+		}
+		st.link = phy.DefaultLink(ch)
+		st.rx = phy.NewReceiver(ch, cfg.Scheme.Factory())
+		st.lastLux = lux
+		return nil
+	}
+
+	// Reliable multicast bookkeeping: which receivers acked each frame.
+	acked := map[uint16]map[int]bool{}
+	complete := map[uint16]bool{}
+	reliableBytes := int64(0)
+
+	level := cfg.FixedLevel
+	codecs := map[float64]frame.PayloadCodec{}
+	smoothed, smoothedSet := 0.0, false
+	lastT := 0.0
+
+	var res BroadcastResult
+	now := 0.0
+	lastRecord := -1.0
+
+	for now < duration {
+		baseLux := cfg.AmbientLux
+		if cfg.Trace != nil {
+			baseLux = cfg.Trace.LuxAt(now)
+		}
+		// The controller follows the minimum ambient across desks, using
+		// remote reports where available.
+		minAmb := math.Inf(1)
+		for i, p := range cfg.Receivers {
+			lux := baseLux * p.scale()
+			if err := ensure(i, lux); err != nil {
+				return BroadcastResult{}, err
+			}
+			amb := light.Normalize(lux, cfg.FullLEDLux)
+			if rxs[i].reported {
+				amb = light.Normalize(rxs[i].remote, cfg.FullLEDLux)
+			}
+			minAmb = math.Min(minAmb, amb)
+		}
+		if !smoothedSet {
+			smoothed, smoothedSet = minAmb, true
+		} else {
+			alpha := 1 - math.Exp(-(now-lastT)/0.2)
+			smoothed += alpha * (minAmb - smoothed)
+		}
+		lastT = now
+		if controller != nil {
+			level, _ = controller.StepToward(smoothed)
+		}
+
+		if now-lastRecord >= 0.25 {
+			lastRecord = now
+			res.LED.Add(now, level)
+			for i, p := range cfg.Receivers {
+				amb := light.Normalize(baseLux*p.scale(), cfg.FullLEDLux)
+				rxs[i].sumAcc += amb + level
+				rxs[i].sumN++
+			}
+		}
+
+		for _, m := range side.Receive(now) {
+			switch m.Kind {
+			case mac.KindAck:
+				if complete[m.Seq] {
+					continue
+				}
+				set := acked[m.Seq]
+				if set == nil {
+					set = map[int]bool{}
+					acked[m.Seq] = set
+				}
+				set[m.From] = true
+				if len(set) == nRx {
+					complete[m.Seq] = true
+					delete(acked, m.Seq)
+					reliableBytes += int64(cfg.PayloadBytes)
+					sender.OnAck(m.Seq)
+				}
+			case mac.KindAmbientReport:
+				rxs[m.From].remote, rxs[m.From].reported = m.Lux, true
+			}
+		}
+
+		_, body, ok := sender.NextFrame(now)
+		if !ok {
+			now += cfg.AckTimeoutSeconds / 8
+			continue
+		}
+		codec, ok2 := codecs[level]
+		if !ok2 {
+			var err error
+			codec, err = cfg.Scheme.CodecFor(level)
+			if err != nil {
+				return BroadcastResult{}, err
+			}
+			codecs[level] = codec
+		}
+		slots, err := frame.Build(codec, body)
+		if err != nil {
+			return BroadcastResult{}, err
+		}
+		slots = frame.AppendIdle(slots, codec.Level(), cfg.IdleGapSlots)
+		airtime := float64(len(slots)) * 8e-6
+
+		for i := range rxs {
+			st := rxs[i]
+			st.link.StartPhase = st.rng.Float64()
+			samples := st.link.Transmit(st.rng, slots)
+			results, _ := st.rx.Process(samples)
+			for _, r := range results {
+				if seq, ackIt := st.macRx.OnFrame(r.Payload); ackIt {
+					side.Send(now+airtime, mac.Message{Kind: mac.KindAck, From: i, Seq: seq})
+				}
+			}
+			if counts, okA := st.rx.AmbientWindowCounts(); okA {
+				amb := counts/phy.AmbientWindowFraction - cfg.Budget.DarkCounts
+				if amb < 0 {
+					amb = 0
+				}
+				side.Send(now+airtime, mac.Message{
+					Kind: mac.KindAmbientReport,
+					From: i,
+					Lux:  amb / cfg.Budget.AmbientCountsPerLux,
+				})
+			}
+		}
+		now += airtime
+	}
+	for _, m := range side.Receive(now + 1) {
+		if m.Kind != mac.KindAck || complete[m.Seq] {
+			continue
+		}
+		set := acked[m.Seq]
+		if set == nil {
+			set = map[int]bool{}
+			acked[m.Seq] = set
+		}
+		set[m.From] = true
+		if len(set) == nRx {
+			complete[m.Seq] = true
+			reliableBytes += int64(cfg.PayloadBytes)
+		}
+	}
+
+	res.Duration = now
+	res.FramesSent = sender.FramesSent()
+	res.ReliableGoodputBps = float64(reliableBytes) * 8 / now
+	if controller != nil {
+		res.Adjustments = controller.Adjustments()
+	}
+	for i := range rxs {
+		o := ReceiverOutcome{
+			DeliveredBps: float64(rxs[i].macRx.DeliveredPayload()) * 8 / now,
+		}
+		if rxs[i].sumN > 0 {
+			o.MeanSum = rxs[i].sumAcc / float64(rxs[i].sumN)
+		}
+		o.FramesOK = int(rxs[i].macRx.DeliveredPayload()) / cfg.PayloadBytes
+		res.PerReceiver = append(res.PerReceiver, o)
+	}
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"smartvlc/internal/light"
+	"smartvlc/internal/optics"
+)
+
+func broadcastConfig(t *testing.T, poses ...ReceiverPose) BroadcastConfig {
+	t.Helper()
+	return BroadcastConfig{
+		Config:    DefaultConfig(amppmScheme(t)),
+		Receivers: poses,
+	}
+}
+
+func TestBroadcastValidation(t *testing.T) {
+	if _, err := RunBroadcast(BroadcastConfig{Config: DefaultConfig(amppmScheme(t))}, 1); err == nil {
+		t.Fatal("no receivers accepted")
+	}
+	cfg := broadcastConfig(t, ReceiverPose{Geometry: optics.Geometry{}})
+	if _, err := RunBroadcast(cfg, 1); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+	cfg = broadcastConfig(t, ReceiverPose{Geometry: optics.Aligned(2, 0)})
+	if _, err := RunBroadcast(cfg, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestBroadcastAllReceiversDeliver(t *testing.T) {
+	cfg := broadcastConfig(t,
+		ReceiverPose{Geometry: optics.Aligned(1.5, 0)},
+		ReceiverPose{Geometry: optics.Aligned(3.0, 3)},
+		ReceiverPose{Geometry: optics.Aligned(3.3, 5)},
+	)
+	cfg.FixedLevel = 0.4
+	res, err := RunBroadcast(cfg, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerReceiver) != 3 {
+		t.Fatalf("outcomes: %d", len(res.PerReceiver))
+	}
+	// The reliable rate is bounded by the slowest receiver.
+	slowest := math.Inf(1)
+	for i, o := range res.PerReceiver {
+		if o.DeliveredBps < 30e3 {
+			t.Fatalf("receiver %d delivered only %v bps", i, o.DeliveredBps)
+		}
+		slowest = math.Min(slowest, o.DeliveredBps)
+	}
+	if res.ReliableGoodputBps > slowest+1e-9 {
+		t.Fatalf("reliable %v above slowest receiver %v", res.ReliableGoodputBps, slowest)
+	}
+	if res.ReliableGoodputBps < 30e3 {
+		t.Fatalf("reliable goodput %v", res.ReliableGoodputBps)
+	}
+}
+
+func TestBroadcastRetransmitsForWeakReceiver(t *testing.T) {
+	// One receiver sits near the range cliff: the sender must retransmit
+	// until it too acknowledges, costing reliable throughput.
+	strong := broadcastConfig(t, ReceiverPose{Geometry: optics.Aligned(1.5, 0)})
+	strong.FixedLevel = 0.5
+	rs, err := RunBroadcast(strong, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := broadcastConfig(t,
+		ReceiverPose{Geometry: optics.Aligned(1.5, 0)},
+		ReceiverPose{Geometry: optics.Aligned(3.7, 0)},
+	)
+	mixed.FixedLevel = 0.5
+	rm, err := RunBroadcast(mixed, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.ReliableGoodputBps >= rs.ReliableGoodputBps {
+		t.Fatalf("weak receiver should cost reliable throughput: %v vs %v",
+			rm.ReliableGoodputBps, rs.ReliableGoodputBps)
+	}
+}
+
+func TestBroadcastDimmingFollowsDarkestDesk(t *testing.T) {
+	// Two desks, one near the window (2x ambient): the controller must
+	// satisfy the darker desk, so the sunnier one ends up brighter than
+	// the target while the darker one stays at it.
+	cfg := broadcastConfig(t,
+		ReceiverPose{Geometry: optics.Aligned(2.0, 0), AmbientScale: 0.5},
+		ReceiverPose{Geometry: optics.Aligned(2.5, 0), AmbientScale: 2.0},
+	)
+	cfg.Trace = light.Static{Lux: 150}
+	cfg.FullLEDLux = 500
+	cfg.TargetSum = 1.0
+	res, err := RunBroadcast(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dark, sunny := res.PerReceiver[0], res.PerReceiver[1]
+	if math.Abs(dark.MeanSum-1.0) > 0.08 {
+		t.Fatalf("dark desk sum %v, want ≈1.0", dark.MeanSum)
+	}
+	if sunny.MeanSum < dark.MeanSum+0.2 {
+		t.Fatalf("sunny desk %v should exceed dark desk %v", sunny.MeanSum, dark.MeanSum)
+	}
+}

@@ -1,0 +1,351 @@
+// Package sim runs complete SmartVLC sessions: it wires the ambient-light
+// trace, the smart-lighting controller, the modulation scheme, the framer,
+// the sample-level PHY and the ARQ MAC with its Wi-Fi side channel into a
+// single deterministic time-driven simulation, and reports the metrics the
+// paper's evaluation plots (per-second throughput, light intensity traces,
+// cumulative adaptation counts).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"smartvlc/internal/frame"
+	"smartvlc/internal/hw"
+	"smartvlc/internal/light"
+	"smartvlc/internal/mac"
+	"smartvlc/internal/optics"
+	"smartvlc/internal/photon"
+	"smartvlc/internal/phy"
+	"smartvlc/internal/scheme"
+	"smartvlc/internal/stats"
+)
+
+// Config describes one session.
+type Config struct {
+	// Scheme is the modulation under test.
+	Scheme scheme.Scheme
+	// Geometry is the TX→RX pose.
+	Geometry optics.Geometry
+	// Budget converts geometry and ambient into a detection channel.
+	Budget photon.LinkBudget
+
+	// FixedLevel runs the link at a constant dimming level (static
+	// experiments). Used when Trace is nil.
+	FixedLevel float64
+	// AmbientLux is the constant ambient level for fixed-level runs.
+	AmbientLux float64
+
+	// Trace, when non-nil, drives smart-lighting adaptation: the LED level
+	// follows TargetSum − ambient.
+	Trace light.Trace
+	// TargetSum is the desired total illumination in LED units.
+	TargetSum float64
+	// FullLEDLux converts the trace's lux to LED units.
+	FullLEDLux float64
+	// Stepper plans flicker-free level changes (default: perception-domain
+	// τ_p = 0.003).
+	Stepper light.Stepper
+
+	// PayloadBytes is the application payload per frame (paper: 128).
+	PayloadBytes int
+	// Window is the ARQ window (frames in flight).
+	Window int
+	// AckTimeoutSeconds triggers retransmission.
+	AckTimeoutSeconds float64
+	// Side-channel (Wi-Fi uplink) parameters.
+	SideLatencySeconds, SideJitterSeconds float64
+	SideLossProb                          float64
+	// UplinkVLCBitRate, when positive, replaces the Wi-Fi side channel
+	// with a serialized VLC return link at this bit rate — the paper's
+	// future-work configuration (§5 footnote 2) once mobile nodes carry
+	// capable LEDs.
+	UplinkVLCBitRate float64
+	// UplinkVLCRangeM is the VLC uplink's reach (0 selects 2.5 m); the
+	// weak mobile-node LED is the reason the prototype used Wi-Fi.
+	UplinkVLCRangeM float64
+	// IdleGapSlots separates consecutive frames on air.
+	IdleGapSlots int
+	// Seed makes the session reproducible.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's evaluation settings for a scheme:
+// 3 m on-axis link, 128-byte payloads, static office ambient.
+func DefaultConfig(s scheme.Scheme) Config {
+	return Config{
+		Scheme:             s,
+		Geometry:           optics.Aligned(3.0, 0),
+		Budget:             photon.DefaultLinkBudget(),
+		FixedLevel:         0.5,
+		AmbientLux:         8000,
+		TargetSum:          1.0,
+		FullLEDLux:         500,
+		Stepper:            light.PerceivedStepper{TauP: light.DefaultTauP},
+		PayloadBytes:       128,
+		Window:             8,
+		AckTimeoutSeconds:  0.25,
+		SideLatencySeconds: 0.003,
+		SideJitterSeconds:  0.002,
+		SideLossProb:       0.01,
+		IdleGapSlots:       24,
+		Seed:               1,
+	}
+}
+
+// Result aggregates a session's outcome.
+type Result struct {
+	// Duration is the simulated air time in seconds.
+	Duration float64
+	// GoodputBps is acknowledged unique payload bits per second — the
+	// throughput the paper reports.
+	GoodputBps float64
+	// FramesSent, FramesOK, FramesBad count transmissions and receiver
+	// outcomes; Retransmits counts ARQ repeats.
+	FramesSent, FramesOK, FramesBad, Retransmits int
+	// SymbolErrors sums abnormal constituent symbols in accepted frames.
+	SymbolErrors int
+	// Adjustments is the cumulative count of LED brightness steps.
+	Adjustments int
+
+	// Throughput is the per-second goodput series (paper Fig. 19a).
+	Throughput stats.Series
+	// Ambient, LED and Sum are normalized intensity series (Fig. 19b).
+	Ambient, LED, Sum stats.Series
+	// AdjustCum is the cumulative adjustment count over time (Fig. 19c).
+	AdjustCum stats.Series
+}
+
+// Run simulates a session for the given air-time duration.
+func Run(cfg Config, duration float64) (Result, error) {
+	if cfg.Scheme == nil {
+		return Result{}, fmt.Errorf("sim: nil scheme")
+	}
+	if duration <= 0 {
+		return Result{}, fmt.Errorf("sim: duration %v must be positive", duration)
+	}
+	if cfg.PayloadBytes <= 0 {
+		return Result{}, fmt.Errorf("sim: payload %d bytes", cfg.PayloadBytes)
+	}
+	if err := cfg.Geometry.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	chanRng := rand.New(rand.NewPCG(cfg.Seed, 0xC0FFEE))
+	sideRng := rand.New(rand.NewPCG(cfg.Seed, 0x51DE))
+	macRng := rand.New(rand.NewPCG(cfg.Seed, 0xACED))
+
+	sender, err := mac.NewSender(cfg.Window, cfg.PayloadBytes, cfg.AckTimeoutSeconds, macRng)
+	if err != nil {
+		return Result{}, err
+	}
+	rxSide := mac.NewReceiverSide(cfg.PayloadBytes)
+	var side mac.Uplink = mac.NewSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb, sideRng)
+	if cfg.UplinkVLCBitRate > 0 {
+		rangeM := cfg.UplinkVLCRangeM
+		if rangeM <= 0 {
+			rangeM = 2.5
+		}
+		side = mac.NewVLCUplink(cfg.UplinkVLCBitRate, 96, rangeM, cfg.Geometry.DistanceM)
+	}
+
+	var controller *light.Controller
+	if cfg.Trace != nil {
+		stepper := cfg.Stepper
+		if stepper == nil {
+			stepper = light.PerceivedStepper{TauP: light.DefaultTauP}
+		}
+		controller, err = light.NewController(cfg.TargetSum, stepper)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	sensor := hw.NewFilter(hw.OPT101())
+
+	tslot := 8e-6
+	level := cfg.FixedLevel
+	codecs := map[float64]frame.PayloadCodec{}
+	codecFor := func(l float64) (frame.PayloadCodec, error) {
+		if c, ok := codecs[l]; ok {
+			return c, nil
+		}
+		c, err := cfg.Scheme.CodecFor(l)
+		if err != nil {
+			return nil, err
+		}
+		codecs[l] = c
+		return c, nil
+	}
+
+	// Channel state, rebuilt when ambient moves by >2 %.
+	var link phy.Link
+	var rx *phy.Receiver
+	lastLux := math.Inf(-1)
+	ensureChannel := func(lux float64) error {
+		if lastLux > 0 && math.Abs(lux-lastLux) <= 0.02*lastLux {
+			return nil
+		}
+		ch, err := cfg.Budget.ChannelAt(cfg.Geometry, lux)
+		if err != nil {
+			return err
+		}
+		link = phy.DefaultLink(ch)
+		rx = phy.NewReceiver(ch, cfg.Scheme.Factory())
+		lastLux = lux
+		return nil
+	}
+
+	var res Result
+	deliveredAt := []float64{} // ack times for the per-second series
+
+	now := 0.0
+	lastRecord := -1.0
+	const recordEvery = 0.25
+
+	// Latest ambient report received from the receiver over the Wi-Fi
+	// side channel (paper Fig. 2). The transmitter prefers it over its
+	// own (OPT101) reading because the receiver sits in the area of
+	// interest; it falls back to local sensing when reports go stale.
+	// Reports carry photon noise, so the firmware averages them over
+	// ~0.3 s before they drive the dimming controller — the controller's
+	// step is only ~0.005, far below the raw report jitter.
+	remoteLux, remoteAt := 0.0, -1.0
+	smoothed, smoothedSet := 0.0, false
+	lastStep := 0.0
+
+	for now < duration {
+		// Ambient and adaptation at this frame boundary.
+		lux := cfg.AmbientLux
+		if cfg.Trace != nil {
+			lux = cfg.Trace.LuxAt(now)
+		}
+		if err := ensureChannel(lux); err != nil {
+			return Result{}, err
+		}
+		ambientNorm := light.Normalize(lux, cfg.FullLEDLux)
+		src := sensor.Step(ambientNorm, 0.01)
+		if remoteAt >= 0 && now-remoteAt < 0.5 {
+			src = light.Normalize(remoteLux, cfg.FullLEDLux)
+		}
+		if !smoothedSet {
+			smoothed, smoothedSet = src, true
+		} else {
+			alpha := 1 - math.Exp(-(now-lastStep)/0.3)
+			smoothed += alpha * (src - smoothed)
+		}
+		lastStep = now
+		if controller != nil {
+			level, _ = controller.StepToward(smoothed)
+		}
+
+		// Record series.
+		if now-lastRecord >= recordEvery {
+			lastRecord = now
+			res.Ambient.Add(now, ambientNorm)
+			res.LED.Add(now, level)
+			res.Sum.Add(now, ambientNorm+level)
+			adj := 0
+			if controller != nil {
+				adj = controller.Adjustments()
+			}
+			res.AdjustCum.Add(now, float64(adj))
+		}
+
+		// Side-channel deliveries.
+		for _, m := range side.Receive(now) {
+			switch m.Kind {
+			case mac.KindAck:
+				sender.OnAck(m.Seq)
+			case mac.KindAmbientReport:
+				remoteLux, remoteAt = m.Lux, m.At
+			}
+		}
+
+		seq, body, ok := sender.NextFrame(now)
+		if !ok {
+			// Window full: the LED idles at the dimming level.
+			now += cfg.AckTimeoutSeconds / 8
+			continue
+		}
+		codec, err := codecFor(level)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: level %v: %w", level, err)
+		}
+		slots, err := frame.Build(codec, body)
+		if err != nil {
+			return Result{}, err
+		}
+		slots = frame.AppendIdle(slots, codec.Level(), cfg.IdleGapSlots)
+		airtime := float64(len(slots)) * tslot
+
+		link.StartPhase = chanRng.Float64()
+		samples := link.Transmit(chanRng, slots)
+		results, st := rx.Process(samples)
+		res.FramesOK += st.FramesOK
+		res.FramesBad += st.FramesBad
+		res.SymbolErrors += st.SymbolErrors
+		for _, r := range results {
+			before := rxSide.DeliveredPayload()
+			gotSeq, ackIt := rxSide.OnFrame(r.Payload)
+			if !ackIt {
+				continue
+			}
+			side.Send(now+airtime, mac.Message{Kind: mac.KindAck, Seq: gotSeq})
+			if d := rxSide.DeliveredPayload() - before; d > 0 {
+				deliveredAt = append(deliveredAt, now+airtime)
+			}
+		}
+		_ = seq
+		// The receiver reports its sensed ambient level (estimated from
+		// OFF detection windows) back over the Wi-Fi uplink.
+		if counts, ok := rx.AmbientWindowCounts(); ok {
+			amb := counts/phy.AmbientWindowFraction - cfg.Budget.DarkCounts
+			if amb < 0 {
+				amb = 0
+			}
+			estLux := amb / cfg.Budget.AmbientCountsPerLux
+			side.Send(now+airtime, mac.Message{Kind: mac.KindAmbientReport, Lux: estLux})
+		}
+		now += airtime
+	}
+
+	// Drain trailing acks so goodput reflects everything delivered.
+	for _, m := range side.Receive(now + 1) {
+		if m.Kind == mac.KindAck {
+			sender.OnAck(m.Seq)
+		}
+	}
+
+	res.Duration = now
+	res.FramesSent = sender.FramesSent()
+	res.Retransmits = sender.Retransmits()
+	res.GoodputBps = float64(sender.AckedPayload()) * 8 / now
+	if controller != nil {
+		res.Adjustments = controller.Adjustments()
+	}
+	res.Throughput = throughputSeries(deliveredAt, cfg.PayloadBytes, now)
+	return res, nil
+}
+
+// throughputSeries buckets delivery events into one-second bins, the way
+// the paper's prototype "reports the average throughput every second".
+func throughputSeries(deliveredAt []float64, payloadBytes int, duration float64) stats.Series {
+	s := stats.Series{Name: "throughput_bps"}
+	nBins := int(math.Ceil(duration))
+	if nBins == 0 {
+		return s
+	}
+	bins := make([]float64, nBins)
+	for _, t := range deliveredAt {
+		b := int(t)
+		if b >= nBins {
+			b = nBins - 1
+		}
+		bins[b] += float64(payloadBytes) * 8
+	}
+	for i, v := range bins {
+		s.Add(float64(i), v)
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("%+v", s)
+	}
+	if math.Abs(s.Std-1.2909944) > 1e-6 {
+		t.Fatalf("std %v", s.Std)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Fatalf("%+v", empty)
+	}
+	one := Summarize([]float64{7})
+	if one.Mean != 7 || one.Std != 0 {
+		t.Fatalf("%+v", one)
+	}
+}
+
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip inputs whose sum overflows float64.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(0, 1)
+	s.Add(1, 2)
+	if s.Last() != 2 || len(s.Values()) != 2 {
+		t.Fatalf("%+v", s)
+	}
+	if (&Series{}).Last() != 0 {
+		t.Fatal("empty Last")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "demo", Headers: []string{"a", "bb"}}
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer", 22)
+	out := tb.Render()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title: %s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("line count %d: %s", len(lines), out)
+	}
+	// Alignment: all rows equal width.
+	if len(lines[2]) != len(lines[3]) && len(lines[3]) != len(lines[4]) {
+		t.Fatalf("misaligned: %s", out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") || !strings.Contains(csv, "x,1.5") {
+		t.Fatalf("csv: %s", csv)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline runes: %q", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if flat != "▁▁▁" {
+		t.Fatalf("flat sparkline: %q", flat)
+	}
+}
+
+func TestChartSVG(t *testing.T) {
+	var s1, s2 Series
+	s1.Name = "AMPPM"
+	s2.Name = "OOK-CT"
+	for i := 0; i <= 10; i++ {
+		s1.Add(float64(i)/10, float64(i*i))
+		s2.Add(float64(i)/10, float64(100-i*i))
+	}
+	c := Chart{Title: "demo <chart>", XLabel: "x", YLabel: "y", Series: []Series{s1, s2}}
+	svg := c.SVG()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "AMPPM", "OOK-CT", "demo &lt;chart&gt;"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("SVG contains non-finite coordinates")
+	}
+	// Empty chart must not blow up.
+	empty := Chart{Title: "empty"}.SVG()
+	if !strings.Contains(empty, "</svg>") || strings.Contains(empty, "NaN") {
+		t.Fatalf("empty chart broken")
+	}
+	// Flat series (zero y-range).
+	var flat Series
+	flat.Add(0, 5)
+	flat.Add(1, 5)
+	if f := (Chart{Series: []Series{flat}}).SVG(); strings.Contains(f, "NaN") {
+		t.Fatal("flat chart produced NaN")
+	}
+}

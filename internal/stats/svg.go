@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders one or more series as a standalone SVG line chart, so the
+// reproduced paper figures can be eyeballed without any plotting stack.
+type Chart struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int
+	Series         []Series
+	// YMin/YMax fix the y-range; both zero = auto.
+	YMin, YMax float64
+}
+
+// chartPalette holds the line colors, cycled per series.
+var chartPalette = []string{"#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2"}
+
+// SVG renders the chart.
+func (c Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 420
+	}
+	const mLeft, mRight, mTop, mBottom = 64, 16, 36, 48
+	pw, ph := float64(w-mLeft-mRight), float64(h-mTop-mBottom)
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.T), math.Max(xmax, p.T)
+			ymin, ymax = math.Min(ymin, p.V), math.Max(ymax, p.V)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	// Pad the y-range slightly for readability.
+	pad := (ymax - ymin) * 0.06
+	ymin, ymax = ymin-pad, ymax+pad
+
+	X := func(x float64) float64 { return float64(mLeft) + (x-xmin)/(xmax-xmin)*pw }
+	Y := func(y float64) float64 { return float64(mTop) + (1-(y-ymin)/(ymax-ymin))*ph }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`, mLeft, escape(c.Title))
+
+	// Gridlines and ticks.
+	for i := 0; i <= 5; i++ {
+		gy := ymin + (ymax-ymin)*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#e5e7eb"/>`, mLeft, Y(gy), w-mRight, Y(gy))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" fill="#374151">%s</text>`, mLeft-6, Y(gy)+4, fmtTick(gy))
+	}
+	for i := 0; i <= 6; i++ {
+		gx := xmin + (xmax-xmin)*float64(i)/6
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle" fill="#374151">%s</text>`, X(gx), h-mBottom+18, fmtTick(gx))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#111827"/>`, mLeft, h-mBottom, w-mRight, h-mBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#111827"/>`, mLeft, mTop, mLeft, h-mBottom)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle" fill="#111827">%s</text>`, mLeft+int(pw/2), h-10, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" text-anchor="middle" fill="#111827" transform="rotate(-90 16 %d)">%s</text>`, mTop+int(ph/2), mTop+int(ph/2), escape(c.YLabel))
+
+	// Series.
+	for i, s := range c.Series {
+		color := chartPalette[i%len(chartPalette)]
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", X(p.T), Y(p.V)))
+		}
+		if len(pts) > 0 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`, strings.Join(pts, " "), color)
+		}
+		// Legend.
+		lx, ly := w-mRight-150, mTop+10+18*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`, lx, ly, lx+22, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="#111827">%s</text>`, lx+28, ly+4, escape(s.Name))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.0fk", v/1000)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,91 @@
+package vlcdump
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the capture reader: it must never
+// panic, never allocate unboundedly, and always terminate.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 8e-6)
+	_ = w.WriteNote("seed")
+	_ = w.WriteSlots([]bool{true, false, true, true})
+	_ = w.WriteSamples([]int{5, 9, 2})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("VLCD\x01\x00\x00\x00\x00\x00"))
+	f.Add([]byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			rec, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(rec.Slots) > maxElems || len(rec.Samples) > maxElems {
+				t.Fatal("record exceeds element cap")
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip writes fuzz-derived records and requires exact recovery.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{0xA5, 0x3C}, []byte{1, 2, 200})
+	f.Fuzz(func(t *testing.T, slotBits, sampleBytes []byte) {
+		slots := make([]bool, len(slotBits)*8)
+		for i := range slots {
+			slots[i] = slotBits[i/8]>>(7-uint(i%8))&1 == 1
+		}
+		samples := make([]int, len(sampleBytes))
+		for i, b := range sampleBytes {
+			samples[i] = int(b) * 17
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 8e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteSlots(slots); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteSamples(samples); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := r.Next()
+		if err != nil || len(rec.Slots) != len(slots) {
+			t.Fatalf("slots: %v", err)
+		}
+		for i := range slots {
+			if rec.Slots[i] != slots[i] {
+				t.Fatal("slot mismatch")
+			}
+		}
+		rec, err = r.Next()
+		if err != nil || len(rec.Samples) != len(samples) {
+			t.Fatalf("samples: %v", err)
+		}
+		for i := range samples {
+			if rec.Samples[i] != samples[i] {
+				t.Fatal("sample mismatch")
+			}
+		}
+	})
+}

@@ -1,0 +1,304 @@
+// Package vlcdump defines a small capture format for SmartVLC waveforms —
+// the VLC analogue of pcap. A capture holds slot waveforms (what the
+// transmitter drove onto the LED) and/or photon-count sample streams
+// (what the receiver's ADC saw), so link problems can be recorded once
+// and replayed through the decoder offline.
+//
+// Layout (all integers little-endian):
+//
+//	header : magic "VLCD" | version u8 | reserved u8 | tslot_ns u32
+//	record : kind u8 | payload
+//	  kind 1 (slots)   : count u32 | first u8 | uvarint run lengths,
+//	                     alternating values starting at `first`
+//	  kind 2 (samples) : count u32 | uvarint zigzag deltas
+//	  kind 3 (note)    : len u16 | utf-8 bytes
+//
+// Slot waveforms are run-length encoded (VLC waveforms have long ON/OFF
+// runs in compensation and idle fields); sample streams are delta coded.
+package vlcdump
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic identifies a capture stream.
+const Magic = "VLCD"
+
+// Version is the current format version.
+const Version = 1
+
+// RecordKind discriminates capture records.
+type RecordKind uint8
+
+// Record kinds.
+const (
+	// KindSlots is a transmitter slot waveform.
+	KindSlots RecordKind = 1
+	// KindSamples is a receiver photon-count sample stream.
+	KindSamples RecordKind = 2
+	// KindNote is a free-form annotation.
+	KindNote RecordKind = 3
+)
+
+// Record is one decoded capture record; exactly one payload field is set
+// according to Kind.
+type Record struct {
+	Kind    RecordKind
+	Slots   []bool
+	Samples []int
+	Note    string
+}
+
+// Format errors.
+var (
+	ErrBadMagic   = errors.New("vlcdump: bad magic")
+	ErrBadVersion = errors.New("vlcdump: unsupported version")
+	ErrCorrupt    = errors.New("vlcdump: corrupt record")
+)
+
+// Writer writes a capture stream.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes the header and returns a Writer. SlotSeconds is the
+// slot duration recorded in the header (8 µs for the paper's prototype).
+func NewWriter(w io.Writer, slotSeconds float64) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	hdr := []byte{Version, 0, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(slotSeconds*1e9))
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func (w *Writer) setErr(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// WriteSlots appends a slot-waveform record.
+func (w *Writer) WriteSlots(slots []bool) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.WriteByte(byte(KindSlots)); err != nil {
+		return w.setErr(err)
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(slots)))
+	if _, err := w.w.Write(n[:]); err != nil {
+		return w.setErr(err)
+	}
+	first := byte(0)
+	if len(slots) > 0 && slots[0] {
+		first = 1
+	}
+	if err := w.w.WriteByte(first); err != nil {
+		return w.setErr(err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	i := 0
+	for i < len(slots) {
+		v := slots[i]
+		run := 0
+		for i < len(slots) && slots[i] == v {
+			run++
+			i++
+		}
+		k := binary.PutUvarint(buf[:], uint64(run))
+		if _, err := w.w.Write(buf[:k]); err != nil {
+			return w.setErr(err)
+		}
+	}
+	return nil
+}
+
+// WriteSamples appends a sample-stream record.
+func (w *Writer) WriteSamples(samples []int) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.WriteByte(byte(KindSamples)); err != nil {
+		return w.setErr(err)
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(samples)))
+	if _, err := w.w.Write(n[:]); err != nil {
+		return w.setErr(err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	prev := 0
+	for _, s := range samples {
+		d := int64(s - prev)
+		prev = s
+		k := binary.PutVarint(buf[:], d)
+		if _, err := w.w.Write(buf[:k]); err != nil {
+			return w.setErr(err)
+		}
+	}
+	return nil
+}
+
+// WriteNote appends an annotation record.
+func (w *Writer) WriteNote(note string) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(note) > 1<<16-1 {
+		return w.setErr(fmt.Errorf("vlcdump: note too long"))
+	}
+	if err := w.w.WriteByte(byte(KindNote)); err != nil {
+		return w.setErr(err)
+	}
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(note)))
+	if _, err := w.w.Write(n[:]); err != nil {
+		return w.setErr(err)
+	}
+	if _, err := w.w.WriteString(note); err != nil {
+		return w.setErr(err)
+	}
+	return nil
+}
+
+// Flush flushes buffered output; call it before closing the underlying
+// writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader reads a capture stream.
+type Reader struct {
+	r *bufio.Reader
+	// SlotSeconds is the slot duration from the header.
+	SlotSeconds float64
+}
+
+// maxElems bounds a single record's element count (1<<28 slots ≈ 35
+// minutes of air time) so corrupt counts cannot exhaust memory.
+const maxElems = 1 << 28
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 10)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(hdr[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return nil, ErrBadVersion
+	}
+	tslotNs := binary.LittleEndian.Uint32(hdr[6:])
+	return &Reader{r: br, SlotSeconds: float64(tslotNs) * 1e-9}, nil
+}
+
+// Next reads the next record, or io.EOF at the end of the capture.
+func (r *Reader) Next() (Record, error) {
+	kind, err := r.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	switch RecordKind(kind) {
+	case KindSlots:
+		return r.readSlots()
+	case KindSamples:
+		return r.readSamples()
+	case KindNote:
+		return r.readNote()
+	default:
+		return Record{}, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, kind)
+	}
+}
+
+func (r *Reader) readCount() (int, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r.r, n[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	c := binary.LittleEndian.Uint32(n[:])
+	if c > maxElems {
+		return 0, fmt.Errorf("%w: count %d too large", ErrCorrupt, c)
+	}
+	return int(c), nil
+}
+
+func (r *Reader) readSlots() (Record, error) {
+	count, err := r.readCount()
+	if err != nil {
+		return Record{}, err
+	}
+	first, err := r.r.ReadByte()
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	slots := make([]bool, 0, count)
+	v := first == 1
+	for len(slots) < count {
+		run, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if run == 0 || run > uint64(count-len(slots)) {
+			return Record{}, fmt.Errorf("%w: bad run length %d", ErrCorrupt, run)
+		}
+		for i := uint64(0); i < run; i++ {
+			slots = append(slots, v)
+		}
+		v = !v
+	}
+	return Record{Kind: KindSlots, Slots: slots}, nil
+}
+
+func (r *Reader) readSamples() (Record, error) {
+	count, err := r.readCount()
+	if err != nil {
+		return Record{}, err
+	}
+	samples := make([]int, 0, count)
+	prev := int64(0)
+	for len(samples) < count {
+		d, err := binary.ReadVarint(r.r)
+		if err != nil {
+			return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		prev += d
+		if prev < 0 || prev > 1<<30 {
+			return Record{}, fmt.Errorf("%w: sample %d out of range", ErrCorrupt, prev)
+		}
+		samples = append(samples, int(prev))
+	}
+	return Record{Kind: KindSamples, Samples: samples}, nil
+}
+
+func (r *Reader) readNote() (Record, error) {
+	var n [2]byte
+	if _, err := io.ReadFull(r.r, n[:]); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	buf := make([]byte, binary.LittleEndian.Uint16(n[:]))
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return Record{Kind: KindNote, Note: string(buf)}, nil
+}

@@ -1,0 +1,223 @@
+package vlcdump
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllKinds(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 8e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := []bool{true, true, false, true, false, false, false}
+	samples := []int{10, 12, 9, 300, 0, 4095}
+	if err := w.WriteNote("test capture"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSlots(slots); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSamples(samples); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The header stores nanoseconds, so expect ns-rounded equality.
+	if math.Abs(r.SlotSeconds-8e-6) > 1e-9 {
+		t.Fatalf("SlotSeconds = %v", r.SlotSeconds)
+	}
+	rec, err := r.Next()
+	if err != nil || rec.Kind != KindNote || rec.Note != "test capture" {
+		t.Fatalf("note: %+v %v", rec, err)
+	}
+	rec, err = r.Next()
+	if err != nil || rec.Kind != KindSlots {
+		t.Fatalf("slots: %+v %v", rec, err)
+	}
+	for i := range slots {
+		if rec.Slots[i] != slots[i] {
+			t.Fatalf("slot %d mismatch", i)
+		}
+	}
+	rec, err = r.Next()
+	if err != nil || rec.Kind != KindSamples {
+		t.Fatalf("samples: %+v %v", rec, err)
+	}
+	for i := range samples {
+		if rec.Samples[i] != samples[i] {
+			t.Fatalf("sample %d mismatch", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nSlots, nSamples uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		slots := make([]bool, nSlots)
+		for i := range slots {
+			slots[i] = rng.Uint64()%3 == 0
+		}
+		samples := make([]int, nSamples)
+		for i := range samples {
+			samples[i] = int(rng.Uint64() % 4096)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 8e-6)
+		if err != nil {
+			return false
+		}
+		if w.WriteSlots(slots) != nil || w.WriteSamples(samples) != nil || w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		rec, err := r.Next()
+		if err != nil || len(rec.Slots) != len(slots) {
+			return false
+		}
+		for i := range slots {
+			if rec.Slots[i] != slots[i] {
+				return false
+			}
+		}
+		rec, err = r.Next()
+		if err != nil || len(rec.Samples) != len(samples) {
+			return false
+		}
+		for i := range samples {
+			if rec.Samples[i] != samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressionOnRuns(t *testing.T) {
+	// A waveform with long runs (compensation fields) compresses far
+	// below one bit per slot.
+	slots := make([]bool, 100000)
+	for i := 50000; i < 100000; i++ {
+		slots[i] = true
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 8e-6)
+	if err := w.WriteSlots(slots); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Flush()
+	if buf.Len() > 64 {
+		t.Fatalf("RLE failed: %d bytes for 100k slots in 2 runs", buf.Len())
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("nope"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("magic: %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("VLCD\x09\x00\x00\x00\x00\x00"))); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	// Unknown record kind.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 8e-6)
+	_ = w.Flush()
+	buf.WriteByte(99)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("kind: %v", err)
+	}
+}
+
+func TestReaderRejectsTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 8e-6)
+	_ = w.WriteSlots(make([]bool, 100))
+	_ = w.Flush()
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestReaderRejectsHugeCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 8e-6)
+	_ = w.Flush()
+	buf.WriteByte(byte(KindSlots))
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // count = 4 billion
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge count: %v", err)
+	}
+}
+
+func TestEmptyRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 8e-6)
+	_ = w.WriteSlots(nil)
+	_ = w.WriteSamples(nil)
+	_ = w.Flush()
+	r, _ := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil || len(rec.Slots) != 0 {
+		t.Fatalf("empty slots: %v %v", rec, err)
+	}
+	rec, err = r.Next()
+	if err != nil || len(rec.Samples) != 0 {
+		t.Fatalf("empty samples: %v %v", rec, err)
+	}
+}
+
+// TestGoldenFormat pins the on-disk byte layout so future changes cannot
+// silently break captures written by older versions.
+func TestGoldenFormat(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 8e-6)
+	_ = w.WriteNote("hi")
+	_ = w.WriteSlots([]bool{true, true, false})
+	_ = w.WriteSamples([]int{7, 5})
+	_ = w.Flush()
+	want := []byte{
+		'V', 'L', 'C', 'D', // magic
+		1, 0, // version, reserved
+		0x40, 0x1F, 0, 0, // tslot 8000 ns LE
+		3, 2, 0, 'h', 'i', // note record
+		1, 3, 0, 0, 0, 1, 2, 1, // slots: count=3, first=1, runs 2,1
+		2, 2, 0, 0, 0, 14, 3, // samples: count=2, zigzag(+7)=14, zigzag(-2)=3
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("format drift:\n got % x\nwant % x", buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,104 @@
+// Package vppm implements Variable Pulse Position Modulation, the IEEE
+// 802.15.7 dimming-capable scheme the SmartVLC paper cites as related work
+// (reference [1]) and uses as an ablation baseline.
+//
+// VPPM is binary PPM with dimming encoded in the pulse width: every symbol
+// spans N slots and contains a single contiguous ON run of w = round(l·N)
+// slots. Bit 0 places the run at the start of the symbol, bit 1 at the end.
+// One bit per symbol makes VPPM strictly slower than MPPM at every dimming
+// level (the paper's footnote 5), but it supports N−1 dimming steps with a
+// trivially simple demodulator.
+package vppm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DefaultSymbolSlots is the default VPPM symbol length in slots.
+const DefaultSymbolSlots = 10
+
+// ErrLevelOutOfRange reports a dimming level whose pulse width would round
+// to an empty or full symbol, leaving the two bit values indistinguishable.
+var ErrLevelOutOfRange = errors.New("vppm: dimming level yields indistinguishable symbols")
+
+// Codec modulates and demodulates VPPM symbols at a fixed dimming level.
+type Codec struct {
+	n int // slots per symbol
+	w int // ON slots per symbol (pulse width)
+}
+
+// NewCodec creates a VPPM codec with n slots per symbol (n ≤ 0 selects
+// DefaultSymbolSlots) at the given dimming level.
+func NewCodec(n int, level float64) (*Codec, error) {
+	if n <= 0 {
+		n = DefaultSymbolSlots
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("vppm: symbol length %d too short", n)
+	}
+	w := int(math.Round(level * float64(n)))
+	if w <= 0 || w >= n {
+		return nil, ErrLevelOutOfRange
+	}
+	return &Codec{n: n, w: w}, nil
+}
+
+// SymbolSlots returns the symbol length in slots.
+func (c *Codec) SymbolSlots() int { return c.n }
+
+// PulseWidth returns the ON-run length in slots.
+func (c *Codec) PulseWidth() int { return c.w }
+
+// DimmingLevel returns the exact dimming level the codec produces, w/n.
+func (c *Codec) DimmingLevel() float64 { return float64(c.w) / float64(c.n) }
+
+// NormalizedRate returns bits per slot (always 1/n for VPPM).
+func (c *Codec) NormalizedRate() float64 { return 1 / float64(c.n) }
+
+// AppendBits appends the VPPM slot stream for nbits data bits (MSB-first
+// per byte) to dst and returns it.
+func (c *Codec) AppendBits(dst []bool, data []byte, nbits int) ([]bool, error) {
+	if nbits < 0 || nbits > len(data)*8 {
+		return nil, fmt.Errorf("vppm: nbits %d outside data length %d bits", nbits, len(data)*8)
+	}
+	for i := 0; i < nbits; i++ {
+		bit := data[i/8]>>(7-uint(i%8))&1 == 1
+		for s := 0; s < c.n; s++ {
+			if bit {
+				dst = append(dst, s >= c.n-c.w) // pulse at the end
+			} else {
+				dst = append(dst, s < c.w) // pulse at the start
+			}
+		}
+	}
+	return dst, nil
+}
+
+// DecodeBits recovers nbits bits from the slot stream. Each symbol is
+// decided by correlating against the two pulse templates (a maximum-
+// likelihood decision under symmetric slot noise), which tolerates
+// isolated slot errors.
+func (c *Codec) DecodeBits(slots []bool, nbits int) ([]byte, error) {
+	if len(slots) < nbits*c.n {
+		return nil, fmt.Errorf("vppm: slot stream truncated: have %d slots, need %d", len(slots), nbits*c.n)
+	}
+	out := make([]byte, (nbits+7)/8)
+	for i := 0; i < nbits; i++ {
+		sym := slots[i*c.n : (i+1)*c.n]
+		score0, score1 := 0, 0
+		for s, on := range sym {
+			if on == (s < c.w) { // matches bit-0 template (pulse at start)
+				score0++
+			}
+			if on == (s >= c.n-c.w) { // matches bit-1 template (pulse at end)
+				score1++
+			}
+		}
+		if score1 > score0 {
+			out[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return out, nil
+}

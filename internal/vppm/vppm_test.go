@@ -1,0 +1,126 @@
+package vppm
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCodecValidation(t *testing.T) {
+	if _, err := NewCodec(10, 0.01); err != ErrLevelOutOfRange {
+		t.Errorf("tiny level: err = %v", err)
+	}
+	if _, err := NewCodec(10, 0.99); err != ErrLevelOutOfRange {
+		t.Errorf("huge level: err = %v", err)
+	}
+	if _, err := NewCodec(1, 0.5); err == nil {
+		t.Error("n=1 should fail")
+	}
+	c, err := NewCodec(0, 0.5)
+	if err != nil || c.SymbolSlots() != DefaultSymbolSlots {
+		t.Errorf("default n: %v %v", c, err)
+	}
+}
+
+func TestSymbolShapes(t *testing.T) {
+	c, err := NewCodec(10, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PulseWidth() != 3 {
+		t.Fatalf("width = %d", c.PulseWidth())
+	}
+	slots, err := c.AppendBits(nil, []byte{0x80}, 2) // bits: 1, 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{
+		false, false, false, false, false, false, false, true, true, true, // bit 1: pulse at end
+		true, true, true, false, false, false, false, false, false, false, // bit 0: pulse at start
+	}
+	if len(slots) != len(want) {
+		t.Fatalf("len = %d", len(slots))
+	}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("slot %d = %v want %v", i, slots[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, levelRaw uint8, nbytes uint8) bool {
+		n := int(nRaw%30) + 4
+		level := 0.15 + float64(levelRaw)/255*0.7
+		c, err := NewCodec(n, level)
+		if err != nil {
+			return true // level rounded to an edge for this n; skip
+		}
+		rng := rand.New(rand.NewPCG(seed, 3))
+		data := make([]byte, int(nbytes)+1)
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		slots, err := c.AppendBits(nil, data, len(data)*8)
+		if err != nil {
+			return false
+		}
+		got, err := c.DecodeBits(slots, len(data)*8)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDutyCycleMatchesLevel(t *testing.T) {
+	for _, level := range []float64{0.2, 0.5, 0.8} {
+		c, err := NewCodec(10, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots, _ := c.AppendBits(nil, bytes.Repeat([]byte{0xC5}, 100), 800)
+		on := 0
+		for _, s := range slots {
+			if s {
+				on++
+			}
+		}
+		got := float64(on) / float64(len(slots))
+		if math.Abs(got-level) > 1e-9 {
+			t.Errorf("level %v: duty %v", level, got)
+		}
+	}
+}
+
+func TestDecodeToleratesSingleSlotError(t *testing.T) {
+	c, _ := NewCodec(10, 0.4)
+	slots, _ := c.AppendBits(nil, []byte{0xF0}, 8)
+	slots[3] = !slots[3] // corrupt one slot of the first symbol (width 4)
+	got, err := c.DecodeBits(slots, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xF0 {
+		t.Fatalf("decode = %#x want 0xF0", got[0])
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	c, _ := NewCodec(10, 0.5)
+	if _, err := c.DecodeBits(make([]bool, 9), 1); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestRateIsOneBitPerSymbol(t *testing.T) {
+	c, _ := NewCodec(10, 0.5)
+	if got := c.NormalizedRate(); got != 0.1 {
+		t.Fatalf("NormalizedRate = %v", got)
+	}
+	if got := c.DimmingLevel(); got != 0.5 {
+		t.Fatalf("DimmingLevel = %v", got)
+	}
+}

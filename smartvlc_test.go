@@ -1,0 +1,202 @@
+package smartvlc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func newSystem(t testing.TB) *System {
+	t.Helper()
+	sys, err := New(DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestNewRejectsBadConstraints(t *testing.T) {
+	c := DefaultConstraints()
+	c.SlotSeconds = -1
+	if _, err := New(c); err == nil {
+		t.Fatal("bad constraints accepted")
+	}
+}
+
+func TestBuildParseFrameRoundTrip(t *testing.T) {
+	sys := newSystem(t)
+	for _, level := range []float64{0.1, 0.33, 0.5, 0.9} {
+		payload := []byte("smartvlc public api payload")
+		slots, err := sys.BuildFrame(level, payload)
+		if err != nil {
+			t.Fatalf("level %v: %v", level, err)
+		}
+		got, err := sys.ParseFrame(slots)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("level %v: %v, %v", level, got, err)
+		}
+		n, err := sys.FrameSlots(level, len(payload))
+		if err != nil || n != len(slots) {
+			t.Fatalf("FrameSlots = %d want %d (%v)", n, len(slots), err)
+		}
+	}
+}
+
+func TestPlanAndEnvelope(t *testing.T) {
+	sys := newSystem(t)
+	lo, hi := sys.LevelRange()
+	if lo != 0 || hi != 1 {
+		t.Fatalf("level range [%v, %v]", lo, hi)
+	}
+	s, err := sys.PlanFor(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Level()-0.3) > 0.005 {
+		t.Fatalf("plan level %v", s.Level())
+	}
+	if sys.EnvelopeRateAt(0.5) < 0.9 {
+		t.Fatalf("envelope at 0.5 = %v", sys.EnvelopeRateAt(0.5))
+	}
+	if len(sys.Vertices()) < 10 {
+		t.Fatal("too few vertices")
+	}
+	if r := sys.DimmingResolution(100); r > 0.005 {
+		t.Fatalf("resolution %v", r)
+	}
+	// Ideal PHY rate at l=0.5 ≈ 0.93 × 125 kHz ≈ 116 kbps.
+	if tp := sys.Throughput(0.5); tp < 100e3 || tp > 125e3 {
+		t.Fatalf("Throughput(0.5) = %v", tp)
+	}
+}
+
+func TestLinkQuality(t *testing.T) {
+	// The paper's measured worst case.
+	p1, p2, err := LinkQuality(Aligned(3.6, 0), 9700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 < 1e-5 || p1 > 1e-3 || p2 < 1e-5 || p2 > 1e-3 {
+		t.Fatalf("P1=%v P2=%v", p1, p2)
+	}
+	if _, _, err := LinkQuality(Geometry{}, 100); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}
+
+func TestSchemeConstructors(t *testing.T) {
+	if NewOOKCT().Name() != "OOK-CT" {
+		t.Fatal("OOKCT")
+	}
+	if NewVPPM().Name() != "VPPM" {
+		t.Fatal("VPPM")
+	}
+	m, err := NewMPPM(20)
+	if err != nil || m.Name() != "MPPM" {
+		t.Fatal("MPPM")
+	}
+	a, err := NewAMPPMScheme(DefaultConstraints())
+	if err != nil || a.Name() != "AMPPM" {
+		t.Fatal("AMPPM")
+	}
+}
+
+func TestRunSessionSmoke(t *testing.T) {
+	sys := newSystem(t)
+	cfg := DefaultSessionConfig(sys.Scheme())
+	cfg.FixedLevel = 0.5
+	res, err := RunSession(cfg, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoodputBps < 50e3 {
+		t.Fatalf("goodput %v", res.GoodputBps)
+	}
+}
+
+func TestDynamicSessionWithPublicHelpers(t *testing.T) {
+	sys := newSystem(t)
+	cfg := DefaultSessionConfig(sys.Scheme())
+	cfg.Trace = BlindPull(50, 450, 5)
+	cfg.FullLEDLux = 500
+	cfg.Stepper = PerceivedStepper
+	res, err := RunSession(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adjustments == 0 {
+		t.Fatal("no adaptation happened")
+	}
+	if StaticAmbient(123).LuxAt(0) != 123 {
+		t.Fatal("StaticAmbient")
+	}
+	if MeasuredStepper.Name() == PerceivedStepper.Name() {
+		t.Fatal("steppers should differ")
+	}
+}
+
+func TestSBuildsPatterns(t *testing.T) {
+	p := S(20, 0.5)
+	if p.N != 20 || p.K != 10 {
+		t.Fatalf("%+v", p)
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	if CloudyAmbient(1000, 0.5, 10).LuxAt(0) <= 0 {
+		t.Fatal("cloudy trace")
+	}
+	d := DayCycleAmbient(800, 100, 0.4, 7)
+	if d.LuxAt(0) != 0 || d.LuxAt(50) <= 0 {
+		t.Fatal("day cycle trace")
+	}
+	clear := DayCycleAmbient(800, 100, 0, 0)
+	if clear.LuxAt(50) != 800 {
+		t.Fatalf("clear midday = %v", clear.LuxAt(50))
+	}
+}
+
+func TestNewOPPMFacade(t *testing.T) {
+	o, err := NewOPPM(20)
+	if err != nil || o.Name() != "OPPM" {
+		t.Fatalf("NewOPPM: %v", err)
+	}
+}
+
+func TestFrameSlotsErrorPath(t *testing.T) {
+	sys := newSystem(t)
+	if _, err := sys.FrameSlots(-1, 10); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := sys.BuildFrame(-1, nil); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := sys.ParseFrame(make([]bool, 10)); err == nil {
+		t.Fatal("garbage slots accepted")
+	}
+}
+
+func TestDeliverValidation(t *testing.T) {
+	sys := newSystem(t)
+	if _, err := sys.Deliver(Geometry{}, 100, 1, make([]bool, 100)); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+}
+
+func TestRunBroadcastFacade(t *testing.T) {
+	sys := newSystem(t)
+	cfg := BroadcastConfig{
+		Config:    DefaultSessionConfig(sys.Scheme()),
+		Receivers: []ReceiverPose{{Geometry: Aligned(2, 0)}},
+	}
+	res, err := RunBroadcast(cfg, 0.3)
+	if err != nil || res.ReliableGoodputBps <= 0 {
+		t.Fatalf("broadcast: %v %v", res.ReliableGoodputBps, err)
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version == "" {
+		t.Fatal("version")
+	}
+}

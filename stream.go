@@ -1,0 +1,144 @@
+package smartvlc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Stream is a reliable, ordered byte pipe over a simulated SmartVLC link,
+// implementing io.Writer and io.Reader: bytes written at the transmitter
+// side come out of Read at the receiver side, carried by AMPPM frames
+// over the optical channel with per-chunk retransmission.
+//
+// A Stream is synchronous and single-threaded: Write drives the channel
+// simulation to completion before returning, and Read drains what has
+// been delivered so far (returning io.EOF when the buffer is empty).
+// The dimming level may change between writes — mid-stream adaptation is
+// exactly what AMPPM is for.
+type Stream struct {
+	sys      *System
+	geometry Geometry
+	ambient  float64
+	level    float64
+	seed     uint64
+
+	// MaxAttempts bounds retransmissions per chunk before Write fails.
+	MaxAttempts int
+	// ChunkBytes is the payload per frame (header adds 2 bytes).
+	ChunkBytes int
+
+	rx    bytes.Buffer
+	chunk uint32
+
+	// Stats.
+	framesSent    int
+	retries       int
+	airtimeSlots  int
+	bytesDeliverd int64
+}
+
+// OpenStream returns a byte pipe over the given link operating point at
+// an initial dimming level.
+func (s *System) OpenStream(g Geometry, ambientLux, level float64, seed uint64) (*Stream, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := s.LevelRange()
+	if level < lo || level > hi {
+		return nil, fmt.Errorf("smartvlc: level %v outside [%v, %v]", level, lo, hi)
+	}
+	return &Stream{
+		sys:         s,
+		geometry:    g,
+		ambient:     ambientLux,
+		level:       level,
+		seed:        seed,
+		MaxAttempts: 20,
+		ChunkBytes:  126,
+	}, nil
+}
+
+// SetLevel changes the dimming level for subsequent writes.
+func (st *Stream) SetLevel(level float64) error {
+	lo, hi := st.sys.LevelRange()
+	if level < lo || level > hi {
+		return fmt.Errorf("smartvlc: level %v outside [%v, %v]", level, lo, hi)
+	}
+	st.level = level
+	return nil
+}
+
+// Level returns the current dimming level.
+func (st *Stream) Level() float64 { return st.level }
+
+// Write segments p into frames and pushes them through the optical
+// channel, retransmitting lost chunks until everything is delivered (or
+// MaxAttempts is exceeded). It returns the number of bytes accepted.
+func (st *Stream) Write(p []byte) (int, error) {
+	written := 0
+	for len(p) > 0 {
+		n := st.ChunkBytes
+		if n > len(p) {
+			n = len(p)
+		}
+		if err := st.sendChunk(p[:n]); err != nil {
+			return written, err
+		}
+		p = p[n:]
+		written += n
+	}
+	return written, nil
+}
+
+func (st *Stream) sendChunk(data []byte) error {
+	body := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(body, st.chunk)
+	copy(body[4:], data)
+	st.chunk++
+
+	for attempt := 0; attempt < st.MaxAttempts; attempt++ {
+		slots, err := st.sys.BuildFrame(st.level, body)
+		if err != nil {
+			return err
+		}
+		st.framesSent++
+		st.airtimeSlots += len(slots)
+		st.seed++
+		payloads, err := st.sys.Deliver(st.geometry, st.ambient, st.seed, slots)
+		if err != nil {
+			return err
+		}
+		for _, pl := range payloads {
+			if len(pl) >= 4 && bytes.Equal(pl[:4], body[:4]) {
+				st.rx.Write(pl[4:])
+				st.bytesDeliverd += int64(len(pl) - 4)
+				return nil
+			}
+		}
+		st.retries++
+	}
+	return fmt.Errorf("smartvlc: chunk %d undeliverable after %d attempts", st.chunk-1, st.MaxAttempts)
+}
+
+// Read drains delivered bytes; it returns io.EOF once the buffer is
+// empty (more bytes may appear after further writes).
+func (st *Stream) Read(p []byte) (int, error) {
+	if st.rx.Len() == 0 {
+		return 0, io.EOF
+	}
+	return st.rx.Read(p)
+}
+
+// Buffered returns how many delivered bytes await Read.
+func (st *Stream) Buffered() int { return st.rx.Len() }
+
+// AirtimeSeconds returns the total simulated air time spent, including
+// retransmissions.
+func (st *Stream) AirtimeSeconds() float64 { return float64(st.airtimeSlots) * 8e-6 }
+
+// Stats returns frames sent, retransmissions, and delivered bytes.
+func (st *Stream) Stats() (frames, retries int, delivered int64) {
+	return st.framesSent, st.retries, st.bytesDeliverd
+}
