@@ -1,0 +1,251 @@
+// Command phybench runs the PHY fast-path micro-benchmarks in-process and
+// writes results/BENCH_phy.json, the machine-readable record of the
+// sample-domain optimization (see DESIGN.md and EXPERIMENTS.md). Each
+// entry carries the pre-optimization baseline measured on the same
+// benchmark body before the fast paths landed, so the speedup trajectory
+// survives in the repo.
+//
+// Usage:
+//
+//	go run ./cmd/phybench [-benchtime 2s] [-out results/BENCH_phy.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"smartvlc"
+	"smartvlc/internal/amppm"
+	"smartvlc/internal/frame"
+	"smartvlc/internal/optics"
+	"smartvlc/internal/photon"
+	"smartvlc/internal/phy"
+	"smartvlc/internal/scheme"
+)
+
+// baselinesNs holds the pre-fast-path numbers measured on the same
+// benchmark bodies (Intel Xeon @ 2.10GHz, go1.24): the denominators of
+// the recorded speedups. Zero means the benchmark has no meaningful
+// "before" (table construction itself was not changed, only memoized).
+var baselinesNs = map[string]float64{
+	"phy_transmit":       1859565,
+	"receiver_process":   374470,
+	"receiver_hunt":      270909,
+	"end_to_end_frame":   598991,
+	"table_construction": 0,
+}
+
+type entry struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BaselineNsOp  float64 `json:"baseline_ns_per_op,omitempty"`
+	SpeedupVsSeed float64 `json:"speedup_vs_baseline,omitempty"`
+	Iterations    int     `json:"iterations"`
+}
+
+type report struct {
+	GeneratedBy string  `json:"generated_by"`
+	Date        string  `json:"date"`
+	GoVersion   string  `json:"go_version"`
+	Benchtime   string  `json:"benchtime"`
+	Benchmarks  []entry `json:"benchmarks"`
+}
+
+func buildSlots(level float64, nFrames, idleGap int) ([]bool, *scheme.AMPPM, error) {
+	sch, err := scheme.NewAMPPM(amppm.DefaultConstraints())
+	if err != nil {
+		return nil, nil, err
+	}
+	codec, err := sch.CodecFor(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload := make([]byte, 128)
+	for i := range payload {
+		payload[i] = byte(i * 37)
+	}
+	slots := frame.AppendIdle(nil, codec.Level(), idleGap)
+	for f := 0; f < nFrames; f++ {
+		fs, err := frame.Build(codec, payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		slots = append(slots, fs...)
+		slots = frame.AppendIdle(slots, codec.Level(), idleGap)
+	}
+	return slots, sch, nil
+}
+
+func main() {
+	benchtime := flag.Duration("benchtime", 2*time.Second, "minimum time per benchmark")
+	out := flag.String("out", filepath.Join("results", "BENCH_phy.json"), "output path")
+	flag.Parse()
+
+	ch, err := photon.DefaultLinkBudget().ChannelAt(optics.Aligned(3.0, 0), 8000)
+	if err != nil {
+		fatal(err)
+	}
+	link := phy.DefaultLink(ch)
+
+	txSlots, sch, err := buildSlots(0.5, 4, 24)
+	if err != nil {
+		fatal(err)
+	}
+	rxSlots, _, err := buildSlots(0.5, 4, 600)
+	if err != nil {
+		fatal(err)
+	}
+
+	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
+	if err != nil {
+		fatal(err)
+	}
+	e2eSlots, err := sys.BuildFrame(0.5, make([]byte, 128))
+	if err != nil {
+		fatal(err)
+	}
+
+	benches := []struct {
+		name string
+		body func(b *testing.B)
+	}{
+		{"phy_transmit", func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(1, 2))
+			l := link
+			for i := 0; i < b.N; i++ {
+				l.StartPhase = rng.Float64()
+				samples := l.Transmit(rng, txSlots)
+				phy.RecycleSamples(samples)
+			}
+		}},
+		{"receiver_process", func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(3, 4))
+			l := link
+			l.StartPhase = rng.Float64()
+			samples := l.Transmit(rng, rxSlots)
+			rx := phy.NewReceiver(ch, sch.Factory())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, stats := rx.Process(samples)
+				if len(results) != 4 || stats.FramesOK != 4 {
+					b.Fatalf("decoded %d frames (stats %v)", len(results), stats)
+				}
+			}
+		}},
+		{"receiver_hunt", func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(5, 6))
+			samples := link.Transmit(rng, make([]bool, 20000))
+			rx := phy.NewReceiver(ch, sch.Factory())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if results, _ := rx.Process(samples); len(results) != 0 {
+					b.Fatal("found frames in noise")
+				}
+			}
+		}},
+		{"table_construction", func(b *testing.B) {
+			cons := amppm.DefaultConstraints()
+			for i := 0; i < b.N; i++ {
+				// Perturb a constraint below any physical significance so
+				// every iteration misses the NewTable memo and pays the
+				// full planning stage.
+				c := cons
+				c.P1 = cons.P1 * (1 + float64(i+1)*1e-12)
+				t, err := amppm.NewTable(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(t.Vertices()) < 3 {
+					b.Fatal("degenerate envelope")
+				}
+			}
+		}},
+		{"end_to_end_frame", func(b *testing.B) {
+			misses := 0
+			for i := 0; i < b.N; i++ {
+				got, err := sys.Deliver(smartvlc.Aligned(3, 0), 8000, uint64(i), e2eSlots)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got) != 1 {
+					misses++ // rare phase corners lose a frame; ARQ covers them
+				}
+			}
+			if misses > b.N/20+1 {
+				b.Fatalf("%d/%d frames lost", misses, b.N)
+			}
+		}},
+	}
+
+	rep := report{
+		GeneratedBy: "cmd/phybench",
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		Benchtime:   benchtime.String(),
+	}
+	for _, bm := range benches {
+		r := measure(*benchtime, bm.body)
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		e := entry{
+			Name:        bm.name,
+			NsPerOp:     nsPerOp,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		if base := baselinesNs[bm.name]; base > 0 {
+			e.BaselineNsOp = base
+			e.SpeedupVsSeed = base / nsPerOp
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		fmt.Printf("%-20s %12.0f ns/op  %8d B/op  %5d allocs/op", bm.name, nsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		if e.SpeedupVsSeed > 0 {
+			fmt.Printf("  %.2fx vs baseline", e.SpeedupVsSeed)
+		}
+		fmt.Println()
+	}
+
+	if err := os.MkdirAll(filepath.Dir(*out), 0o755); err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// measure runs the benchmark body under testing.Benchmark (which targets
+// ~1 s per run) repeatedly until the requested benchtime is accumulated,
+// then merges the runs into one result.
+func measure(benchtime time.Duration, body func(b *testing.B)) testing.BenchmarkResult {
+	var total testing.BenchmarkResult
+	for total.T < benchtime {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			body(b)
+		})
+		total.N += r.N
+		total.T += r.T
+		total.MemAllocs += r.MemAllocs
+		total.MemBytes += r.MemBytes
+	}
+	return total
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "phybench:", err)
+	os.Exit(1)
+}

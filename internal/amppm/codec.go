@@ -27,12 +27,12 @@ func NewSuperCodec(s SuperSymbol) (*SuperCodec, error) {
 	if !s.Valid() {
 		return nil, fmt.Errorf("amppm: invalid super-symbol %v", s)
 	}
-	sc := &SuperCodec{super: s, c1: mppm.NewCodec(s.S1)}
+	sc := &SuperCodec{super: s, c1: mppm.CodecFor(s.S1)}
 	if !sc.c1.Fast() {
 		return nil, fmt.Errorf("amppm: pattern %v too large for streaming codec", s.S1)
 	}
 	if s.M2 > 0 {
-		sc.c2 = mppm.NewCodec(s.S2)
+		sc.c2 = mppm.CodecFor(s.S2)
 		if !sc.c2.Fast() {
 			return nil, fmt.Errorf("amppm: pattern %v too large for streaming codec", s.S2)
 		}

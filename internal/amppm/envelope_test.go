@@ -1,0 +1,72 @@
+package amppm
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEnvelopeRateAtVertices checks the interpolation at exact vertex
+// levels: the envelope must return each vertex's own rate (no off-by-one
+// in the bracketing search), the extreme anchors included.
+func TestEnvelopeRateAtVertices(t *testing.T) {
+	tab, err := NewTable(DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range tab.Vertices() {
+		if got := tab.EnvelopeRateAt(v.Level); got != v.Rate {
+			t.Errorf("vertex %d (level %v): EnvelopeRateAt = %v, want %v", i, v.Level, got, v.Rate)
+		}
+	}
+
+	lo, hi := tab.LevelRange()
+	if got := tab.EnvelopeRateAt(lo); got != tab.Vertices()[0].Rate {
+		t.Errorf("EnvelopeRateAt(lo=%v) = %v, want first vertex rate", lo, got)
+	}
+	if got := tab.EnvelopeRateAt(hi); got != tab.Vertices()[len(tab.Vertices())-1].Rate {
+		t.Errorf("EnvelopeRateAt(hi=%v) = %v, want last vertex rate", hi, got)
+	}
+
+	// Just outside the span: zero, not an extrapolation.
+	for _, level := range []float64{lo - 1e-9, hi + 1e-9, -0.5, 1.5} {
+		if got := tab.EnvelopeRateAt(level); got != 0 {
+			t.Errorf("EnvelopeRateAt(%v) = %v, want 0 outside the envelope", level, got)
+		}
+	}
+
+	// Mid-segment values interpolate between the bracketing vertices.
+	vs := tab.Vertices()
+	for i := 0; i+1 < len(vs); i++ {
+		mid := (vs[i].Level + vs[i+1].Level) / 2
+		got := tab.EnvelopeRateAt(mid)
+		lo, hi := math.Min(vs[i].Rate, vs[i+1].Rate), math.Max(vs[i].Rate, vs[i+1].Rate)
+		if got < lo-1e-12 || got > hi+1e-12 {
+			t.Errorf("EnvelopeRateAt(%v) = %v outside segment [%v, %v]", mid, got, lo, hi)
+		}
+	}
+}
+
+// TestNewTableMemoized checks the Constraints-keyed memo returns a shared
+// instance for equal constraints and distinct ones otherwise.
+func TestNewTableMemoized(t *testing.T) {
+	a, err := NewTable(DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTable(DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("NewTable returned distinct tables for identical constraints")
+	}
+	cons := DefaultConstraints()
+	cons.SERBound *= 2
+	c, err := NewTable(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("NewTable conflated distinct constraints")
+	}
+}

@@ -111,7 +111,24 @@ func (s SuperSymbol) String() string {
 // reaches the target dimming level as closely as possible while maximizing
 // throughput, under the flicker cap Nmax and the descriptor limits. The
 // chosen constituents are always envelope vertices bracketing the target.
+// Results are memoized per level; safe for concurrent use.
 func (t *Table) Select(level float64) (SuperSymbol, error) {
+	if v, ok := t.selCache.Load(level); ok {
+		return v.(SuperSymbol), nil
+	}
+	s, err := t.selectUncached(level)
+	if err != nil {
+		return s, err
+	}
+	if t.selSize.Load() < selCacheMax {
+		if _, loaded := t.selCache.LoadOrStore(level, s); !loaded {
+			t.selSize.Add(1)
+		}
+	}
+	return s, nil
+}
+
+func (t *Table) selectUncached(level float64) (SuperSymbol, error) {
 	lo, hi := t.LevelRange()
 	if level < lo || level > hi {
 		return SuperSymbol{}, fmt.Errorf("amppm: level %.4f outside supported range [%.4f, %.4f]", level, lo, hi)

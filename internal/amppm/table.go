@@ -3,6 +3,8 @@ package amppm
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"smartvlc/internal/mppm"
 )
@@ -25,11 +27,43 @@ type Table struct {
 	cons     Constraints
 	patterns []mppm.Pattern // all valid data-bearing patterns after pruning
 	vertices []Vertex       // envelope, strictly increasing in Level
+
+	// selCache memoizes Select results by target level: the session loop
+	// asks for the same quantized dimming levels over and over, and the
+	// multiplicity search is far more expensive than a map hit. Bounded
+	// by selCacheMax so adversarial level streams cannot grow it without
+	// limit.
+	selCache sync.Map // float64 → SuperSymbol
+	selSize  atomic.Int64
 }
 
+const selCacheMax = 1 << 14
+
+// tableCache memoizes NewTable by its Constraints: every scheme instance
+// and every experiment point derives the identical planning table from
+// the shared link constants, and the SER enumeration plus slope walk is
+// by far the most expensive part of constructing one. Tables are
+// immutable, so sharing one instance across callers is safe.
+var tableCache sync.Map // Constraints → *Table
+
 // NewTable runs steps 1–3 of paper §4.2: computes Nmax, prunes patterns by
-// the SER bound, and builds the envelope with the slope walk.
+// the SER bound, and builds the envelope with the slope walk. Results are
+// memoized per Constraints value; callers receive a shared immutable
+// Table. Safe for concurrent use.
 func NewTable(cons Constraints) (*Table, error) {
+	if v, ok := tableCache.Load(cons); ok {
+		return v.(*Table), nil
+	}
+	t, err := buildTable(cons)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := tableCache.LoadOrStore(cons, t)
+	return v.(*Table), nil
+}
+
+// buildTable is the uncached planning stage.
+func buildTable(cons Constraints) (*Table, error) {
 	if err := cons.Validate(); err != nil {
 		return nil, err
 	}

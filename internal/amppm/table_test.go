@@ -246,3 +246,32 @@ func TestNewTableErrors(t *testing.T) {
 		t.Fatal("expected empty-table error")
 	}
 }
+
+// BenchmarkTableConstruction measures the full offline planning stage —
+// SER enumeration, per-level reduction and the slope walk — bypassing the
+// NewTable memo so construction cost itself is what is timed.
+func BenchmarkTableConstruction(b *testing.B) {
+	cons := DefaultConstraints()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t, err := buildTable(cons)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.vertices) < 3 {
+			b.Fatal("degenerate envelope")
+		}
+	}
+}
+
+// BenchmarkTableMemoized measures the cached NewTable path that every
+// scheme instance and experiment point actually hits.
+func BenchmarkTableMemoized(b *testing.B) {
+	cons := DefaultConstraints()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewTable(cons); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

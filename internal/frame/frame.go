@@ -58,12 +58,18 @@ func SyncSlot(level float64) bool { return level <= 0.5 }
 // fields as well as the payload, so header corruption that survives the
 // Manchester check is still caught.
 func Build(codec PayloadCodec, payload []byte) ([]bool, error) {
+	return BuildAppend(nil, codec, payload)
+}
+
+// BuildAppend is Build appending onto dst, letting session loops reuse one
+// slot buffer across frames (pass buf[:0] to overwrite in place).
+func BuildAppend(dst []bool, codec PayloadCodec, payload []byte) ([]bool, error) {
 	if len(payload) > MaxPayload {
 		return nil, ErrPayloadTooLong
 	}
 	h := Header{Length: len(payload), Pattern: codec.Descriptor()}
 
-	dst := AppendPreamble(nil)
+	dst = AppendPreamble(dst)
 	dst, err := h.AppendHeader(dst)
 	if err != nil {
 		return nil, err

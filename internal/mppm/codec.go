@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 )
 
 // Codec maps data values to MPPM codewords and back for one symbol pattern,
@@ -37,6 +38,23 @@ var (
 	// ErrValueRange reports an encode value outside [0, 2^Bits).
 	ErrValueRange = errors.New("mppm: value outside encodable range")
 )
+
+// codecCache memoizes CodecFor: codecs are immutable after construction
+// and the binomial-row tables they precompute are the expensive part of
+// building one. Patterns that reach CodecFor come from planning tables,
+// so the key space is small.
+var codecCache sync.Map // Pattern → *Codec
+
+// CodecFor returns a shared codec for the pattern, building one on first
+// use. Like NewCodec it panics on invalid patterns. Safe for concurrent
+// use; the returned codec is immutable.
+func CodecFor(p Pattern) *Codec {
+	if v, ok := codecCache.Load(p); ok {
+		return v.(*Codec)
+	}
+	v, _ := codecCache.LoadOrStore(p, NewCodec(p))
+	return v.(*Codec)
+}
 
 // NewCodec builds a codec for the pattern. It panics on invalid patterns.
 func NewCodec(p Pattern) *Codec {

@@ -116,11 +116,20 @@ func sampleKnuth(rng *rand.Rand, lambda float64) int {
 // samplePTRS implements Hörmann (1993), "The transformed rejection method
 // for generating Poisson random variables", valid for lambda ≥ 10.
 func samplePTRS(rng *rand.Rand, lambda float64) int {
-	logLambda := math.Log(lambda)
 	b := 0.931 + 2.53*math.Sqrt(lambda)
 	a := -0.059 + 0.02483*b
 	invAlpha := 1.1239 + 1.1328/(b-3.4)
 	vr := 0.9277 - 3.6224/(b-2)
+	// The squeeze accept below resolves most draws without ever needing
+	// log(lambda), so it is computed lazily on the first rejection test.
+	// The acceptance inequality is evaluated in its exponentiated form,
+	//   v·α/(a/us² + b) ≤ exp(k·lnλ − λ − ln k!),
+	// whose right side depends only on k — which is what lets Sampler
+	// pretabulate it and skip the log and Lgamma entirely. Sample and
+	// Sampler must keep using the identical expression so their draws
+	// stay bit-for-bit in lockstep.
+	logLambda := 0.0
+	haveLog := false
 	for {
 		u := rng.Float64() - 0.5
 		v := rng.Float64()
@@ -134,7 +143,10 @@ func samplePTRS(rng *rand.Rand, lambda float64) int {
 		}
 		k := int(kf)
 		lg, _ := math.Lgamma(kf + 1)
-		if math.Log(v*invAlpha/(a/(us*us)+b)) <= kf*logLambda-lambda-lg {
+		if !haveLog {
+			logLambda, haveLog = math.Log(lambda), true
+		}
+		if v*invAlpha/(a/(us*us)+b) <= math.Exp(kf*logLambda-lambda-lg) {
 			return k
 		}
 	}

@@ -1,0 +1,122 @@
+package photon
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+)
+
+// Sampler draws Poisson variates for one fixed mean with all
+// lambda-dependent constants precomputed. Sample recomputes log(lambda),
+// the PTRS envelope constants and (in the rejection branch) a log-
+// factorial on every call; at one draw per RX sample that arithmetic
+// dominates the transmit path. A Sampler hoists it: the draws consume the
+// rng identically and return bit-identical variates to Sample for the
+// same mean.
+//
+// A Sampler is immutable after construction and safe for concurrent use
+// (each call still needs its own rng, as with Sample).
+type Sampler struct {
+	lambda float64
+
+	// Knuth path (lambda < 10).
+	expNegLambda float64
+
+	// PTRS path (lambda >= 10): Hörmann's envelope constants and the
+	// pretabulated acceptance bound exp(k·lnλ − λ − ln k!) covering the
+	// plausible candidate range (beyond it the bound is recomputed, via
+	// the identical expression, so draws stay bit-identical to Sample).
+	logLambda, b, a, invAlpha, vr float64
+	accept                        []float64 // accept[k] = exp(k·lnλ − λ − ln k!)
+}
+
+// NewSampler builds a sampler for the mean. Non-positive means always
+// sample zero, mirroring Sample.
+func NewSampler(lambda float64) *Sampler {
+	s := &Sampler{lambda: lambda}
+	switch {
+	case lambda <= 0:
+	case lambda < 10:
+		s.expNegLambda = math.Exp(-lambda)
+	default:
+		s.logLambda = math.Log(lambda)
+		s.b = 0.931 + 2.53*math.Sqrt(lambda)
+		s.a = -0.059 + 0.02483*s.b
+		s.invAlpha = 1.1239 + 1.1328/(s.b-3.4)
+		s.vr = 0.9277 - 3.6224/(s.b-2)
+		// Rejection candidates concentrate within a few σ of the mean;
+		// cover a generous range and fall back to recomputing beyond it.
+		n := int(lambda+12*math.Sqrt(lambda)) + 32
+		s.accept = make([]float64, n)
+		for k := 0; k < n; k++ {
+			s.accept[k] = s.acceptAt(float64(k))
+		}
+	}
+	return s
+}
+
+// acceptAt computes the PTRS acceptance bound exp(k·lnλ − λ − ln k!) with
+// the exact expression Sample uses, keeping the two bit-identical.
+func (s *Sampler) acceptAt(kf float64) float64 {
+	lg, _ := math.Lgamma(kf + 1)
+	return math.Exp(kf*s.logLambda - s.lambda - lg)
+}
+
+// Lambda returns the mean the sampler was built for.
+func (s *Sampler) Lambda() float64 { return s.lambda }
+
+// Sample draws one Poisson(lambda) variate, consuming the rng exactly as
+// Sample(rng, lambda) would.
+func (s *Sampler) Sample(rng *rand.Rand) int {
+	switch {
+	case s.lambda <= 0:
+		return 0
+	case s.lambda < 10:
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= s.expNegLambda {
+				return k
+			}
+			k++
+		}
+	}
+	for {
+		u := rng.Float64() - 0.5
+		v := rng.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*s.a/us+s.b)*u + s.lambda + 0.43)
+		if us >= 0.07 && v <= s.vr {
+			return int(kf)
+		}
+		if kf < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		k := int(kf)
+		var bound float64
+		if k < len(s.accept) {
+			bound = s.accept[k]
+		} else {
+			bound = s.acceptAt(kf)
+		}
+		if v*s.invAlpha/(s.a/(us*us)+s.b) <= bound {
+			return k
+		}
+	}
+}
+
+// samplerCache memoizes Samplers by mean. A simulated link reuses the
+// same handful of means (one per settled LED state per operating point),
+// so the cache stays small while the sweeps hit it constantly.
+var samplerCache sync.Map // float64 → *Sampler
+
+// SamplerFor returns a shared Sampler for the mean, building it on first
+// use. Safe for concurrent use.
+func SamplerFor(lambda float64) *Sampler {
+	if v, ok := samplerCache.Load(lambda); ok {
+		return v.(*Sampler)
+	}
+	v, _ := samplerCache.LoadOrStore(lambda, NewSampler(lambda))
+	return v.(*Sampler)
+}

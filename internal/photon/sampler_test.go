@@ -1,0 +1,61 @@
+package photon
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestSamplerMatchesSample locks the Sampler fast path to the reference
+// Sample: for any mean, both must consume the rng identically and return
+// bit-identical variate sequences. This is what lets the transmitter's
+// settled-slot fast path swap one in without perturbing a seeded session.
+func TestSamplerMatchesSample(t *testing.T) {
+	lambdas := []float64{0, -3, 0.05, 0.7, 3.2, 9.999, 10, 25.5, 120, 4096.25, 85000}
+	const draws = 2000
+	for _, lambda := range lambdas {
+		s := NewSampler(lambda)
+		if s.Lambda() != lambda {
+			t.Fatalf("Lambda() = %v, want %v", s.Lambda(), lambda)
+		}
+		rngA := rand.New(rand.NewPCG(42, 7))
+		rngB := rand.New(rand.NewPCG(42, 7))
+		for i := 0; i < draws; i++ {
+			want := Sample(rngA, lambda)
+			got := s.Sample(rngB)
+			if got != want {
+				t.Fatalf("lambda=%v draw %d: Sampler=%d Sample=%d", lambda, i, got, want)
+			}
+		}
+		// The rng streams must stay in lockstep too.
+		if a, b := rngA.Uint64(), rngB.Uint64(); a != b {
+			t.Fatalf("lambda=%v: rng streams diverged (%d vs %d)", lambda, a, b)
+		}
+	}
+}
+
+// TestSamplerForShares checks the memo returns one shared instance per mean.
+func TestSamplerForShares(t *testing.T) {
+	a := SamplerFor(37.25)
+	b := SamplerFor(37.25)
+	if a != b {
+		t.Fatal("SamplerFor returned distinct instances for the same mean")
+	}
+	if c := SamplerFor(37.5); c == a {
+		t.Fatal("SamplerFor conflated distinct means")
+	}
+}
+
+// TestSamplerLogFactFallback exercises candidates beyond the precomputed
+// log-factorial table (tiny table via a mean just over the PTRS cutoff,
+// forced far tail through many draws).
+func TestSamplerLogFactFallback(t *testing.T) {
+	const lambda = 10.0
+	s := NewSampler(lambda)
+	rngA := rand.New(rand.NewPCG(9, 9))
+	rngB := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 50000; i++ {
+		if got, want := s.Sample(rngB), Sample(rngA, lambda); got != want {
+			t.Fatalf("draw %d: Sampler=%d Sample=%d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package phy
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"smartvlc/internal/frame"
+	"smartvlc/internal/optics"
+	"smartvlc/internal/photon"
+	"smartvlc/internal/scheme"
+)
+
+// eqOperatingPoint is a robust short link (high SNR) so decode outcomes
+// are deterministic per seed and insensitive to platform float quirks.
+func eqOperatingPoint(t *testing.T) (Link, photon.Channel, frame.CodecFactory, *scheme.AMPPM) {
+	t.Helper()
+	ch, err := photon.DefaultLinkBudget().ChannelAt(optics.Aligned(1.5, 0), 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := scheme.NewAMPPM(benchConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DefaultLink(ch), ch, sch.Factory(), sch
+}
+
+func eqFrameStream(t *testing.T, sch *scheme.AMPPM, level float64, nFrames, idleGap int, seed uint64) []bool {
+	t.Helper()
+	codec, err := sch.CodecFor(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xF00D))
+	slots := frame.AppendIdle(nil, codec.Level(), idleGap)
+	for f := 0; f < nFrames; f++ {
+		payload := make([]byte, 96)
+		for i := range payload {
+			payload[i] = byte(rng.Uint64())
+		}
+		fs, err := frame.Build(codec, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, fs...)
+		slots = frame.AppendIdle(slots, codec.Level(), idleGap)
+	}
+	return slots
+}
+
+// TestProcessMatchesReference pins the window-sum receiver to the original
+// per-sample implementation: the fast path is pure integer arithmetic over
+// the same sums, so Results and Stats must match bit for bit — on clean
+// streams, noisy streams and arbitrary sample garbage alike.
+func TestProcessMatchesReference(t *testing.T) {
+	link, ch, factory, sch := eqOperatingPoint(t)
+
+	type stream struct {
+		name    string
+		samples []int
+	}
+	var streams []stream
+
+	for _, level := range []float64{0.3, 0.5, 0.72} {
+		slots := eqFrameStream(t, sch, level, 3, 80, uint64(level*1000))
+		rng := rand.New(rand.NewPCG(uint64(level*64), 11))
+		link.StartPhase = rng.Float64()
+		streams = append(streams, stream{"clean-frames", link.referenceTransmit(rng, slots)})
+	}
+	// Signal-free air: the hunt path only.
+	rng := rand.New(rand.NewPCG(77, 78))
+	streams = append(streams, stream{"dark-air", link.referenceTransmit(rng, make([]bool, 6000))})
+	// Arbitrary garbage, including values that straddle the threshold and
+	// tease partial preambles.
+	garbage := make([]int, 40000)
+	for i := range garbage {
+		garbage[i] = int(rng.Uint64() % 64)
+	}
+	streams = append(streams, stream{"garbage", garbage})
+	// Degenerate lengths around the preamble-window bound.
+	streams = append(streams, stream{"empty", nil}, stream{"tiny", []int{5, 9, 2}})
+
+	for _, s := range streams {
+		fastRx := NewReceiver(ch, factory)
+		refRx := NewReceiver(ch, factory)
+		gotRes, gotStats := fastRx.Process(s.samples)
+		wantRes, wantStats := refRx.referenceProcess(s.samples)
+		if !reflect.DeepEqual(gotRes, wantRes) {
+			t.Fatalf("%s: results diverge:\nfast %+v\nref  %+v", s.name, gotRes, wantRes)
+		}
+		if !reflect.DeepEqual(gotStats, wantStats) {
+			t.Fatalf("%s: stats diverge: fast %+v ref %+v", s.name, gotStats, wantStats)
+		}
+		if fa, fok := fastRx.AmbientWindowCounts(); true {
+			ra, rok := refRx.AmbientWindowCounts()
+			if fa != ra || fok != rok {
+				t.Fatalf("%s: ambient estimate diverges: fast (%v,%v) ref (%v,%v)", s.name, fa, fok, ra, rok)
+			}
+		}
+	}
+}
+
+// TestTransmitDecodeMatchesReference is the end-to-end equivalence guard:
+// a fixed-seed session pushed through the settled-slot transmitter must
+// decode byte-identical payloads to the same session pushed through the
+// original per-segment transmitter. The fast path's cached lambda can
+// differ from the reference's accumulated one by float ulps, so the
+// contract is decode-level, at an operating point with SNR headroom.
+func TestTransmitDecodeMatchesReference(t *testing.T) {
+	link, ch, factory, sch := eqOperatingPoint(t)
+
+	for _, level := range []float64{0.25, 0.5, 0.8} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			slots := eqFrameStream(t, sch, level, 4, 120, seed*13)
+
+			fastRng := rand.New(rand.NewPCG(seed, 0xAB))
+			refRng := rand.New(rand.NewPCG(seed, 0xAB))
+			link.StartPhase = fastRng.Float64()
+			fastSamples := link.Transmit(fastRng, slots)
+			link.StartPhase = refRng.Float64()
+			refSamples := link.referenceTransmit(refRng, slots)
+
+			if len(fastSamples) != len(refSamples) {
+				t.Fatalf("level %v seed %d: sample count %d vs %d", level, seed, len(fastSamples), len(refSamples))
+			}
+
+			fastRx := NewReceiver(ch, factory)
+			refRx := NewReceiver(ch, factory)
+			fastRes, fastStats := fastRx.Process(fastSamples)
+			refRes, refStats := refRx.referenceProcess(refSamples)
+			RecycleSamples(fastSamples)
+
+			if fastStats.FramesOK != 4 || refStats.FramesOK != 4 {
+				t.Fatalf("level %v seed %d: decode loss (fast %v, ref %v)", level, seed, fastStats, refStats)
+			}
+			if len(fastRes) != len(refRes) {
+				t.Fatalf("level %v seed %d: %d vs %d frames", level, seed, len(fastRes), len(refRes))
+			}
+			for i := range fastRes {
+				if !bytes.Equal(fastRes[i].Payload, refRes[i].Payload) {
+					t.Fatalf("level %v seed %d frame %d: payloads differ", level, seed, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSettledWindow pins the fast-path gate itself: it must fire exactly
+// when the LED sits on a rail and every slot the window touches holds that
+// rail's value, including the hold-state past the end of the waveform.
+func TestSettledWindow(t *testing.T) {
+	const tslot = 8e-6
+	const winEnd = 3 * tslot // window spanning slots 0..2 from t=0
+
+	cases := []struct {
+		name       string
+		slots      []bool
+		slotIdx    int
+		slotEnd    float64
+		intensity  float64
+		wantOn     bool
+		wantSettle bool
+	}{
+		{"all-on", []bool{true, true, true, true}, 0, tslot, 1, true, true},
+		{"all-off", []bool{false, false, false, false}, 0, tslot, 0, false, true},
+		{"mid-slew", []bool{true, true, true, true}, 0, tslot, 0.4, false, false},
+		{"transition", []bool{true, true, false, true}, 0, tslot, 1, true, false},
+		{"wrong-rail", []bool{false, false, false}, 0, tslot, 1, true, false},
+		{"hold-past-end", []bool{true, true}, 0, tslot, 1, true, true},
+		{"empty-stream", nil, 0, tslot, 0, false, true},
+	}
+	for _, c := range cases {
+		on, settled := settledWindow(c.slots, c.slotIdx, c.slotEnd, winEnd, tslot, c.intensity)
+		if settled != c.wantSettle || (settled && on != c.wantOn) {
+			t.Errorf("%s: settledWindow = (%v, %v), want (%v, %v)", c.name, on, settled, c.wantOn, c.wantSettle)
+		}
+	}
+}

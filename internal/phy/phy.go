@@ -9,12 +9,21 @@
 // slot, which tolerates the sub-sample phase offset and slow drift caused
 // by the independent TX/RX PRU oscillators; absolute alignment is
 // recovered from the preamble of every frame.
+//
+// Both directions run on a sample-domain fast path (see DESIGN.md):
+// Transmit skips the per-segment slew integration for windows where the
+// LED sits settled on a rail, and Process precomputes all three-sample
+// window sums once so every preamble probe, lock refinement and slot fold
+// is an O(1) lookup. reference.go keeps the original per-sample
+// implementations; equivalence tests pin the fast paths to them.
 package phy
 
 import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 
 	"smartvlc/internal/frame"
 	"smartvlc/internal/hw"
@@ -59,7 +68,14 @@ func DefaultLink(ch photon.Channel) Link {
 // Transmit converts a slot waveform into the RX's photon-count samples.
 // It models the LED's finite rise/fall, the clock offset between the two
 // ends, and per-sample Poisson detection noise. The returned slice has
-// one entry per RX sample covering the waveform's duration.
+// one entry per RX sample covering the waveform's duration; pass it to
+// RecycleSamples when done to avoid reallocating it for the next frame.
+//
+// Most sample windows fall entirely inside a run of equal-valued slots
+// with the LED settled on its rail, where the Poisson mean is a constant
+// of the link: those windows skip the slew integration and draw from a
+// cached per-state sampler. Only windows that touch a value transition
+// (and therefore possibly a slew ramp) take the exact per-segment path.
 func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
 	tslot := l.TxClock.TickSeconds()
 	tsamp := l.RxClock.TickSeconds()
@@ -69,7 +85,14 @@ func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
 	// holds its final state — otherwise the last slot of the last frame
 	// loses its integration window to sample-count truncation.
 	nSamples := int(math.Ceil(total/tsamp)) + 8
-	out := make([]int, 0, nSamples)
+	out := newSampleBuf(nSamples)
+
+	// Per-state means and samplers for the settled fast path.
+	fracWin := tsamp / tslot
+	onMean := l.Channel.MeanFor(1, fracWin)
+	offMean := l.Channel.MeanFor(0, fracWin)
+	onSampler := photon.SamplerFor(onMean)
+	offSampler := photon.SamplerFor(offMean)
 
 	intensity := 0.0 // LED optical output at the time cursor
 	if len(slots) > 0 && slots[0] {
@@ -84,6 +107,23 @@ func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
 	cursor := 0.0
 	for j := 0; j < nSamples; j++ {
 		winEnd := cursor + tsamp
+		// Advance the slot cursor to the slot active at the window start
+		// (the per-segment path below re-checks this and is then a no-op).
+		for slotEnd <= cursor+1e-15 && slotIdx < len(slots) {
+			slotIdx++
+			slotEnd += tslot
+		}
+		if on, settled := settledWindow(slots, slotIdx, slotEnd, winEnd, tslot, intensity); settled {
+			var count int
+			if on {
+				count = onSampler.Sample(rng)
+			} else {
+				count = offSampler.Sample(rng)
+			}
+			out = append(out, l.ADC.Quantize(count))
+			cursor = winEnd
+			continue
+		}
 		lambda := 0.0
 		t := cursor
 		for t < winEnd-1e-15 {
@@ -120,6 +160,35 @@ func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
 	return out
 }
 
+// settledWindow reports whether the sample window ending at winEnd can
+// take the constant-mean fast path: the LED must sit exactly on a rail
+// (intensity 0 or 1) and every slot the window touches — under the same
+// epsilon bookkeeping as the per-segment integration — must hold that
+// same value. slotIdx/slotEnd identify the slot active at the window
+// start; past the waveform the LED holds the last slot's state.
+func settledWindow(slots []bool, slotIdx int, slotEnd, winEnd, tslot, intensity float64) (on, settled bool) {
+	if intensity != 0 && intensity != 1 {
+		return false, false
+	}
+	on = intensity == 1
+	idx, end := slotIdx, slotEnd
+	for {
+		i := idx
+		if i >= len(slots) {
+			i = len(slots) - 1
+		}
+		v := i >= 0 && slots[i]
+		if v != on {
+			return on, false
+		}
+		if idx >= len(slots) || end >= winEnd-1e-15 {
+			return on, true
+		}
+		idx++
+		end += tslot
+	}
+}
+
 // DetectionFraction is the share of each slot the receiver integrates:
 // samples 1..3 of the 4 per slot. Skipping sample 0 makes the window
 // immune to any sub-sample phase offset in [0, 1) between the PRU clocks
@@ -131,6 +200,9 @@ const DetectionFraction = 0.75
 // paper's receiver senses ambient light and reports it to the transmitter
 // over the Wi-Fi uplink (Fig. 2), and the LED's own emission must be
 // excluded from that estimate, which the OFF windows do for free.
+//
+// A Receiver carries decode state (the ambient EMA and scratch buffers)
+// and must not be shared between goroutines; build one per session.
 type Receiver struct {
 	factory frame.CodecFactory
 	// thr is the detection threshold for the three-sample window.
@@ -140,7 +212,20 @@ type Receiver struct {
 	// OFF-classified window sums.
 	ambientEMA float64
 	ambientSet bool
+
+	// slotScratch is reused across frames by foldSlots; frame.Parse does
+	// not retain the slot slice, so one buffer per receiver suffices.
+	slotScratch []bool
 }
+
+// thrCache memoizes the tuned detection threshold per channel operating
+// point: NewReceiver is called per frame by System.Deliver and per
+// channel rebuild by the session loop, and the Poisson tail scan behind
+// OptimalThreshold is far more expensive than a map hit.
+var thrCache sync.Map // photon.Channel → int
+var thrCacheSize atomic.Int64
+
+const thrCacheMax = 1 << 12
 
 // NewReceiver builds a receiver for a channel operating point. The
 // detection threshold is tuned to the channel (the prototype calibrates it
@@ -149,10 +234,18 @@ type Receiver struct {
 // optimal value drops so low that LED slew leakage at slot boundaries
 // (up to ~17 % of one ON sample) would flip OFF windows.
 func NewReceiver(ch photon.Channel, factory frame.CodecFactory) *Receiver {
+	if v, ok := thrCache.Load(ch); ok {
+		return &Receiver{factory: factory, thr: v.(int)}
+	}
 	w := ch.Scaled(DetectionFraction)
 	thr := w.OptimalThreshold()
 	if floor := int(0.3*(w.SignalPerSlot+w.AmbientPerSlot) + 0.5); thr < floor {
 		thr = floor
+	}
+	if thrCacheSize.Load() < thrCacheMax {
+		if _, loaded := thrCache.LoadOrStore(ch, thr); !loaded {
+			thrCacheSize.Add(1)
+		}
 	}
 	return &Receiver{factory: factory, thr: thr}
 }
@@ -160,20 +253,21 @@ func NewReceiver(ch photon.Channel, factory frame.CodecFactory) *Receiver {
 // Threshold returns the three-sample detection threshold in counts.
 func (r *Receiver) Threshold() int { return r.thr }
 
-// slotAt integrates samples 1..3 of slot s (frame phase given by offset,
-// in samples) and compares with the threshold.
-func slotAt(samples []int, offset, s, thr int) (bool, bool) {
+// slotAt looks up the integrated detection window of slot s (frame phase
+// given by offset, in samples) and compares with the threshold. win3 is
+// the precomputed window-sum array: win3[i] = samples[i+1..i+3].
+func slotAt(win3 []int, offset, s, thr int) (bool, bool) {
 	base := offset + s*Oversample
-	if base+3 >= len(samples) {
+	if base < 0 || base >= len(win3) {
 		return false, false
 	}
-	return samples[base+1]+samples[base+2]+samples[base+3] >= thr, true
+	return win3[base] >= thr, true
 }
 
 // preambleAt reports whether a frame preamble starts at sample offset.
-func (r *Receiver) preambleAt(samples []int, offset int) bool {
+func (r *Receiver) preambleAt(win3 []int, offset int) bool {
 	for s := 0; s < frame.PreambleSlots; s++ {
-		v, ok := slotAt(samples, offset, s, r.thr)
+		v, ok := slotAt(win3, offset, s, r.thr)
 		if !ok || v != (s%2 == 0) {
 			return false
 		}
@@ -184,18 +278,17 @@ func (r *Receiver) preambleAt(samples []int, offset int) bool {
 // preambleScore is the alternating-preamble correlation at a sample
 // offset: ON-slot window energy minus OFF-slot window energy. It peaks
 // when the integration windows sit fully inside their slots.
-func preambleScore(samples []int, offset int) int {
+func preambleScore(win3 []int, offset int) int {
 	score := 0
 	for s := 0; s < frame.PreambleSlots; s++ {
 		base := offset + s*Oversample
-		if base < 0 || base+3 >= len(samples) {
+		if base < 0 || base >= len(win3) {
 			return math.MinInt
 		}
-		w := samples[base+1] + samples[base+2] + samples[base+3]
 		if s%2 == 0 {
-			score += w
+			score += win3[base]
 		} else {
-			score -= w
+			score -= win3[base]
 		}
 	}
 	return score
@@ -205,10 +298,10 @@ func preambleScore(samples []int, offset int) int {
 // correlation over nearby sample offsets. This is the per-frame clock
 // recovery: the TX and RX PRU oscillators drift slowly, so each frame's
 // preamble re-centers the slot phase before the payload is folded.
-func lockOffset(samples []int, i int) int {
+func lockOffset(win3 []int, i int) int {
 	best, bestScore := i, math.MinInt
 	for cand := i - 1; cand <= i+2; cand++ {
-		if s := preambleScore(samples, cand); s > bestScore {
+		if s := preambleScore(win3, cand); s > bestScore {
 			best, bestScore = cand, s
 		}
 	}
@@ -225,15 +318,14 @@ const retrackEvery = 256
 // slots: well-aligned windows sit confidently far from the threshold,
 // misaligned ones collapse toward it. This is a decision-directed
 // early-late gate that needs no knowledge of the slot contents.
-func (r *Receiver) phaseScore(samples []int, offset, fromSlot, nSlots int) int {
+func (r *Receiver) phaseScore(win3 []int, offset, fromSlot, nSlots int) int {
 	score := 0
 	for s := fromSlot; s < fromSlot+nSlots; s++ {
 		base := offset + s*Oversample
-		if base < 0 || base+3 >= len(samples) {
+		if base < 0 || base >= len(win3) {
 			break
 		}
-		w := samples[base+1] + samples[base+2] + samples[base+3]
-		d := w - r.thr
+		d := win3[base] - r.thr
 		if d < 0 {
 			d = -d
 		}
@@ -242,32 +334,37 @@ func (r *Receiver) phaseScore(samples []int, offset, fromSlot, nSlots int) int {
 	return score
 }
 
-// foldSlots converts samples starting at offset into at most maxSlots
+// foldSlots converts window sums starting at offset into at most maxSlots
 // slot decisions, re-tracking the slot phase periodically so the TX/RX
 // oscillator drift cannot walk the integration window out of its slot
-// within long frames.
-func (r *Receiver) foldSlots(samples []int, offset, maxSlots int) []bool {
-	out := make([]bool, 0, maxSlots)
+// within long frames. The returned slice aliases the receiver's scratch
+// buffer and is valid until the next foldSlots call.
+func (r *Receiver) foldSlots(win3 []int, offset, maxSlots int) []bool {
+	if cap(r.slotScratch) < maxSlots {
+		r.slotScratch = make([]bool, 0, maxSlots)
+	}
+	out := r.slotScratch[:0]
 	cur := offset
 	for s := 0; s < maxSlots; s++ {
 		if s > 0 && s%retrackEvery == 0 {
 			// Shift by ±1 sample only on a clear improvement; ties keep
 			// the current phase (hysteresis against noise).
 			const span = 32
-			best, bestScore := 0, r.phaseScore(samples, cur, s, span)
+			best, bestScore := 0, r.phaseScore(win3, cur, s, span)
 			for _, shift := range []int{-1, 1} {
-				if sc := r.phaseScore(samples, cur+shift, s, span); sc > bestScore+bestScore/16 {
+				if sc := r.phaseScore(win3, cur+shift, s, span); sc > bestScore+bestScore/16 {
 					best, bestScore = shift, sc
 				}
 			}
 			cur += best
 		}
-		v, ok := slotAt(samples, cur, s, r.thr)
+		v, ok := slotAt(win3, cur, s, r.thr)
 		if !ok {
 			break
 		}
 		out = append(out, v)
 	}
+	r.slotScratch = out
 	return out
 }
 
@@ -338,18 +435,34 @@ func (r *Receiver) updateAmbientFromFrame(samples []int, offset int, slots []boo
 
 // Process scans a sample stream, parses every frame it can find, and
 // returns the payloads in order.
+//
+// It first folds the stream into the window-sum array win3 (one rolling
+// pass: win3[i] = samples[i+1]+samples[i+2]+samples[i+3]), so the
+// preamble hunt, the lock refinement and the slot folding all reduce to
+// O(1) array lookups instead of re-summing three samples at every one of
+// the ~500k offsets a simulated second contains.
 func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 	var results []frame.Result
 	var stats Stats
+	var win3 []int
+	if n := len(samples) - 3; n > 0 {
+		win3 = newWin3Buf(n)[:n]
+		w := samples[1] + samples[2] + samples[3]
+		win3[0] = w
+		for i := 1; i < n; i++ {
+			w += samples[i+3] - samples[i]
+			win3[i] = w
+		}
+	}
 	i := 0
 	for i+frame.PreambleSlots*Oversample < len(samples) {
-		if !r.preambleAt(samples, i) {
+		if !r.preambleAt(win3, i) {
 			i++
 			continue
 		}
-		locked := lockOffset(samples, i)
+		locked := lockOffset(win3, i)
 		maxSlots := (len(samples) - locked) / Oversample
-		slots := r.foldSlots(samples, locked, maxSlots)
+		slots := r.foldSlots(win3, locked, maxSlots)
 		res, err := frame.Parse(slots, r.factory)
 		if err != nil {
 			stats.FramesBad++
@@ -370,6 +483,7 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 		}
 		i = next
 	}
+	recycleWin3(win3)
 	return results, stats
 }
 
@@ -381,7 +495,9 @@ func (s Stats) String() string {
 // NewReceiverWithThreshold builds a receiver with an explicitly chosen
 // detection threshold instead of deriving one from a channel model —
 // used by offline tools decoding recorded sample streams whose channel
-// parameters are unknown.
+// parameters are unknown. Thresholds below 1 are clamped to 1 (a zero or
+// negative threshold would classify every window, even an all-zero one,
+// as ON).
 func NewReceiverWithThreshold(threshold int, factory frame.CodecFactory) *Receiver {
 	if threshold < 1 {
 		threshold = 1

@@ -1,0 +1,56 @@
+package phy
+
+import "sync"
+
+// The PHY recycles its two large per-frame scratch slices — the RX sample
+// stream a Transmit produces and the window-sum array Process derives from
+// it — through sync.Pools. One 0.25 s simulated point moves ~500k samples
+// through each, and without pooling every frame allocates fresh
+// megabyte-class slices that the GC must then chase.
+
+var samplePool sync.Pool // of []int, len 0
+
+// newSampleBuf returns a zero-length sample buffer with at least the given
+// capacity, reusing a recycled one when available.
+func newSampleBuf(capacity int) []int {
+	if v := samplePool.Get(); v != nil {
+		buf := v.([]int)
+		if cap(buf) >= capacity {
+			return buf[:0]
+		}
+	}
+	return make([]int, 0, capacity)
+}
+
+// RecycleSamples returns a sample stream obtained from Link.Transmit to
+// the PHY's buffer pool. Callers that are done with the samples (after
+// Receiver.Process) should recycle them so steady-state simulation stops
+// allocating; passing a slice not obtained from Transmit is also fine.
+// The caller must not touch the slice afterwards.
+func RecycleSamples(samples []int) {
+	if cap(samples) == 0 {
+		return
+	}
+	samplePool.Put(samples[:0])
+}
+
+var win3Pool sync.Pool // of []int, len 0
+
+// newWin3Buf returns a zero-length window-sum buffer with at least the
+// given capacity.
+func newWin3Buf(capacity int) []int {
+	if v := win3Pool.Get(); v != nil {
+		buf := v.([]int)
+		if cap(buf) >= capacity {
+			return buf[:0]
+		}
+	}
+	return make([]int, 0, capacity)
+}
+
+func recycleWin3(buf []int) {
+	if cap(buf) == 0 {
+		return
+	}
+	win3Pool.Put(buf[:0])
+}

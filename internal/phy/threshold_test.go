@@ -1,0 +1,53 @@
+package phy
+
+import (
+	"testing"
+
+	"smartvlc/internal/frame"
+	"smartvlc/internal/optics"
+	"smartvlc/internal/photon"
+)
+
+// TestNewReceiverWithThresholdClamp checks the explicit-threshold
+// constructor floors non-positive thresholds at 1: a threshold of 0 would
+// classify every window — even an all-zero one — as ON.
+func TestNewReceiverWithThresholdClamp(t *testing.T) {
+	factory := func(d [frame.PatternBytes]byte) (frame.PayloadCodec, error) { return nil, nil }
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {-5, 1}, {1, 1}, {7, 7}, {5000, 5000},
+	} {
+		if got := NewReceiverWithThreshold(tc.in, factory).Threshold(); got != tc.want {
+			t.Errorf("NewReceiverWithThreshold(%d).Threshold() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestNewReceiverThresholdMemo checks the channel-keyed threshold memo:
+// equal operating points must yield the same threshold as an uncached
+// computation, and distinct channels must not collide.
+func TestNewReceiverThresholdMemo(t *testing.T) {
+	factory := func(d [frame.PatternBytes]byte) (frame.PayloadCodec, error) { return nil, nil }
+	compute := func(ch photon.Channel) int {
+		w := ch.Scaled(DetectionFraction)
+		thr := w.OptimalThreshold()
+		if floor := int(0.3*(w.SignalPerSlot+w.AmbientPerSlot) + 0.5); thr < floor {
+			thr = floor
+		}
+		return thr
+	}
+	for _, op := range []struct {
+		d   float64
+		lux float64
+	}{
+		{1.5, 800}, {3.0, 8000}, {3.6, 9700}, {1.5, 800}, // repeat hits the memo
+	} {
+		ch, err := photon.DefaultLinkBudget().ChannelAt(optics.Aligned(op.d, 0), op.lux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := compute(ch)
+		if got := NewReceiver(ch, factory).Threshold(); got != want {
+			t.Errorf("%.1fm/%.0flux: Threshold() = %d, want %d", op.d, op.lux, got, want)
+		}
+	}
+}

@@ -2,16 +2,31 @@ package scheme
 
 import (
 	"fmt"
+	"sync"
 
 	"smartvlc/internal/amppm"
 	"smartvlc/internal/bitio"
 	"smartvlc/internal/frame"
 )
 
+// maxCodecCache bounds each of the AMPPM codec caches. Genuine traffic
+// touches a few dozen levels and descriptors; the caps only matter when
+// channel corruption synthesizes many distinct-but-valid descriptors, in
+// which case extra codecs are simply built uncached.
+const maxCodecCache = 1 << 12
+
 // AMPPM is the paper's scheme: adaptive super-symbols selected from the
 // throughput envelope.
+//
+// An AMPPM is safe for concurrent use: the planning table is immutable
+// and the codec caches are lock-protected. Codecs themselves are
+// stateless after construction and may be shared freely.
 type AMPPM struct {
 	table *amppm.Table
+
+	mu      sync.RWMutex
+	byLevel map[float64]frame.PayloadCodec
+	byDesc  map[[frame.PatternBytes]byte]frame.PayloadCodec
 }
 
 // NewAMPPM builds the scheme from link constraints (both sides must use
@@ -21,7 +36,11 @@ func NewAMPPM(cons amppm.Constraints) (*AMPPM, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &AMPPM{table: t}, nil
+	return &AMPPM{
+		table:   t,
+		byLevel: map[float64]frame.PayloadCodec{},
+		byDesc:  map[[frame.PatternBytes]byte]frame.PayloadCodec{},
+	}, nil
 }
 
 // Table exposes the planning table (for inspection tools and experiments).
@@ -33,13 +52,31 @@ func (a *AMPPM) Name() string { return "AMPPM" }
 // LevelRange implements Scheme.
 func (a *AMPPM) LevelRange() (float64, float64) { return a.table.LevelRange() }
 
-// CodecFor implements Scheme.
+// CodecFor implements Scheme. Codecs are memoized per dimming level, so
+// the per-frame lookup the session loop performs is a map hit.
 func (a *AMPPM) CodecFor(level float64) (frame.PayloadCodec, error) {
+	a.mu.RLock()
+	c, ok := a.byLevel[level]
+	a.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
 	s, err := a.table.Select(level)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrLevelUnsupported, err)
 	}
-	return a.codecForSuper(s)
+	c, err = a.codecForSuper(s)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	if cached, ok := a.byLevel[level]; ok {
+		c = cached // keep one canonical codec per level
+	} else if len(a.byLevel) < maxCodecCache {
+		a.byLevel[level] = c
+	}
+	a.mu.Unlock()
+	return c, nil
 }
 
 func (a *AMPPM) codecForSuper(s amppm.SuperSymbol) (frame.PayloadCodec, error) {
@@ -57,14 +94,34 @@ func (a *AMPPM) codecForSuper(s amppm.SuperSymbol) (frame.PayloadCodec, error) {
 	return &amppmCodec{sc: sc, desc: desc}, nil
 }
 
-// Factory implements Scheme.
+// Factory implements Scheme. Reconstructed codecs are memoized per
+// descriptor: the receiver invokes the factory for every frame header it
+// parses, and rebuilding the constituent combinadic codecs each time
+// dominates the parse cost.
 func (a *AMPPM) Factory() frame.CodecFactory {
 	return func(d [frame.PatternBytes]byte) (frame.PayloadCodec, error) {
+		a.mu.RLock()
+		c, ok := a.byDesc[d]
+		a.mu.RUnlock()
+		if ok {
+			return c, nil
+		}
 		s, err := a.table.ParseDescriptor(d)
 		if err != nil {
 			return nil, err
 		}
-		return a.codecForSuper(s)
+		c, err = a.codecForSuper(s)
+		if err != nil {
+			return nil, err
+		}
+		a.mu.Lock()
+		if cached, ok := a.byDesc[d]; ok {
+			c = cached
+		} else if len(a.byDesc) < maxCodecCache {
+			a.byDesc[d] = c
+		}
+		a.mu.Unlock()
+		return c, nil
 	}
 }
 

@@ -150,6 +150,7 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	lastT := 0.0
 
 	var res BroadcastResult
+	var slotBuf []bool // frame slot waveform, reused across frames
 	now := 0.0
 	lastRecord := -1.0
 
@@ -230,11 +231,12 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			}
 			codecs[level] = codec
 		}
-		slots, err := frame.Build(codec, body)
+		slots, err := frame.BuildAppend(slotBuf[:0], codec, body)
 		if err != nil {
 			return BroadcastResult{}, err
 		}
 		slots = frame.AppendIdle(slots, codec.Level(), cfg.IdleGapSlots)
+		slotBuf = slots
 		airtime := float64(len(slots)) * 8e-6
 
 		for i := range rxs {
@@ -242,6 +244,7 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			st.link.StartPhase = st.rng.Float64()
 			samples := st.link.Transmit(st.rng, slots)
 			results, _ := st.rx.Process(samples)
+			phy.RecycleSamples(samples)
 			for _, r := range results {
 				if seq, ackIt := st.macRx.OnFrame(r.Payload); ackIt {
 					side.Send(now+airtime, mac.Message{Kind: mac.KindAck, From: i, Seq: seq})

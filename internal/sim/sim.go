@@ -198,6 +198,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 
 	var res Result
 	deliveredAt := []float64{} // ack times for the per-second series
+	var slotBuf []bool         // frame slot waveform, reused across frames
 
 	now := 0.0
 	lastRecord := -1.0
@@ -272,16 +273,18 @@ func Run(cfg Config, duration float64) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: level %v: %w", level, err)
 		}
-		slots, err := frame.Build(codec, body)
+		slots, err := frame.BuildAppend(slotBuf[:0], codec, body)
 		if err != nil {
 			return Result{}, err
 		}
 		slots = frame.AppendIdle(slots, codec.Level(), cfg.IdleGapSlots)
+		slotBuf = slots
 		airtime := float64(len(slots)) * tslot
 
 		link.StartPhase = chanRng.Float64()
 		samples := link.Transmit(chanRng, slots)
 		results, st := rx.Process(samples)
+		phy.RecycleSamples(samples)
 		res.FramesOK += st.FramesOK
 		res.FramesBad += st.FramesBad
 		res.SymbolErrors += st.SymbolErrors

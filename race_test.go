@@ -1,0 +1,95 @@
+package smartvlc_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"smartvlc"
+)
+
+// TestConcurrentSystemUse exercises the System facade — and through it the
+// planning-table, codec, threshold and sampler caches — from many
+// goroutines at once. It is only meaningful under `go test -race`, which
+// CI runs: the caches must be populated and shared without data races, and
+// every goroutine must still observe correct frames.
+func TestConcurrentSystemUse(t *testing.T) {
+	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := sys.LevelRange()
+
+	const workers = 8
+	const iters = 40
+	levels := make([]float64, workers)
+	for i := range levels {
+		levels[i] = lo + (hi-lo)*(0.15+0.7*float64(i)/float64(workers-1))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			level := levels[w]
+			for i := 0; i < iters; i++ {
+				if _, err := sys.PlanFor(level); err != nil {
+					errs <- fmt.Errorf("worker %d: PlanFor: %w", w, err)
+					return
+				}
+				if r := sys.EnvelopeRateAt(level); r <= 0 {
+					errs <- fmt.Errorf("worker %d: EnvelopeRateAt(%v) = %v", w, level, r)
+					return
+				}
+				payload := []byte(fmt.Sprintf("worker %d frame %d payload", w, i))
+				slots, err := sys.BuildFrame(level, payload)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: BuildFrame: %w", w, err)
+					return
+				}
+				got, err := sys.ParseFrame(slots)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: ParseFrame: %w", w, err)
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errs <- fmt.Errorf("worker %d iter %d: payload corrupted", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	// A couple of goroutines drive the full physical path concurrently,
+	// covering the sampler, threshold and pool paths under contention.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			payload := []byte("over the air")
+			for i := 0; i < 6; i++ {
+				slots, err := sys.BuildFrame(0.5, payload)
+				if err != nil {
+					errs <- fmt.Errorf("deliver %d: BuildFrame: %w", w, err)
+					return
+				}
+				got, err := sys.Deliver(smartvlc.Aligned(1.5, 0), 800, uint64(w*100+i+1), slots)
+				if err != nil {
+					errs <- fmt.Errorf("deliver %d: %w", w, err)
+					return
+				}
+				if len(got) != 1 || !bytes.Equal(got[0], payload) {
+					errs <- fmt.Errorf("deliver %d iter %d: got %d frames", w, i, len(got))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

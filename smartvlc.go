@@ -253,6 +253,7 @@ func (s *System) Deliver(g Geometry, ambientLux float64, seed uint64, slots []bo
 	samples := link.Transmit(rng, slots)
 	rx := phy.NewReceiver(ch, s.sch.Factory())
 	results, _ := rx.Process(samples)
+	phy.RecycleSamples(samples)
 	out := make([][]byte, 0, len(results))
 	for _, r := range results {
 		out = append(out, r.Payload)

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"smartvlc/internal/frame"
 )
 
 // Stream is a reliable, ordered byte pipe over a simulated SmartVLC link,
@@ -32,11 +34,16 @@ type Stream struct {
 	rx    bytes.Buffer
 	chunk uint32
 
+	// Reused per-chunk buffers: the synchronous Write loop would otherwise
+	// allocate a frame body and slot waveform per attempt.
+	body    []byte
+	slotBuf []bool
+
 	// Stats.
-	framesSent    int
-	retries       int
-	airtimeSlots  int
-	bytesDeliverd int64
+	framesSent     int
+	retries        int
+	airtimeSlots   int
+	bytesDelivered int64
 }
 
 // OpenStream returns a byte pipe over the given link operating point at
@@ -93,16 +100,22 @@ func (st *Stream) Write(p []byte) (int, error) {
 }
 
 func (st *Stream) sendChunk(data []byte) error {
-	body := make([]byte, 4+len(data))
+	body := append(st.body[:0], 0, 0, 0, 0)
 	binary.BigEndian.PutUint32(body, st.chunk)
-	copy(body[4:], data)
+	body = append(body, data...)
+	st.body = body
 	st.chunk++
 
+	codec, err := st.sys.sch.CodecFor(st.level)
+	if err != nil {
+		return err
+	}
 	for attempt := 0; attempt < st.MaxAttempts; attempt++ {
-		slots, err := st.sys.BuildFrame(st.level, body)
+		slots, err := frame.BuildAppend(st.slotBuf[:0], codec, body)
 		if err != nil {
 			return err
 		}
+		st.slotBuf = slots
 		st.framesSent++
 		st.airtimeSlots += len(slots)
 		st.seed++
@@ -113,7 +126,7 @@ func (st *Stream) sendChunk(data []byte) error {
 		for _, pl := range payloads {
 			if len(pl) >= 4 && bytes.Equal(pl[:4], body[:4]) {
 				st.rx.Write(pl[4:])
-				st.bytesDeliverd += int64(len(pl) - 4)
+				st.bytesDelivered += int64(len(pl) - 4)
 				return nil
 			}
 		}
@@ -140,5 +153,5 @@ func (st *Stream) AirtimeSeconds() float64 { return float64(st.airtimeSlots) * 8
 
 // Stats returns frames sent, retransmissions, and delivered bytes.
 func (st *Stream) Stats() (frames, retries int, delivered int64) {
-	return st.framesSent, st.retries, st.bytesDeliverd
+	return st.framesSent, st.retries, st.bytesDelivered
 }
