@@ -1,0 +1,143 @@
+// Command benchguard is the CI gate for the telemetry layer's zero-cost
+// claim: it re-runs the end-to-end frame benchmark with the default
+// (no-op, nil-registry) telemetry and fails when the measured ns/op
+// regresses more than the tolerance over the recorded baseline in
+// results/BENCH_phy.json. It can also capture a deterministic metrics
+// snapshot from a short instrumented session, for upload as a CI
+// artifact.
+//
+// Usage:
+//
+//	go run ./cmd/benchguard [-baseline results/BENCH_phy.json]
+//	    [-tolerance 0.10] [-benchtime 2s] [-snapshot-out metrics.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"smartvlc"
+)
+
+type baselineEntry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type baselineFile struct {
+	Benchmarks []baselineEntry `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "results/BENCH_phy.json", "recorded benchmark baseline")
+	benchName := flag.String("bench", "end_to_end_frame", "baseline entry to guard")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression over baseline")
+	benchtime := flag.Duration("benchtime", 2*time.Second, "minimum measurement time")
+	snapshotOut := flag.String("snapshot-out", "", "also run a short instrumented session and write its telemetry snapshot JSON here")
+	flag.Parse()
+
+	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *snapshotOut != "" {
+		if err := captureSnapshot(*snapshotOut, sys); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *snapshotOut)
+	}
+
+	base, err := loadBaseline(*baselinePath, *benchName)
+	if err != nil {
+		fatal(err)
+	}
+
+	slots, err := sys.BuildFrame(0.5, make([]byte, 128))
+	if err != nil {
+		fatal(err)
+	}
+	// The guarded configuration is the default one: no registry attached,
+	// every metric handle nil — the telemetry layer must cost nothing here.
+	nsPerOp := measure(*benchtime, func(b *testing.B) {
+		misses := 0
+		for i := 0; i < b.N; i++ {
+			got, err := sys.Deliver(smartvlc.Aligned(3, 0), 8000, uint64(i), slots)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != 1 {
+				misses++ // rare phase corners lose a frame; ARQ covers them
+			}
+		}
+		if misses > b.N/20+1 {
+			b.Fatalf("%d/%d frames lost", misses, b.N)
+		}
+	})
+
+	limit := base * (1 + *tolerance)
+	fmt.Printf("%s: measured %.0f ns/op, baseline %.0f ns/op, limit %.0f ns/op (+%.0f%%)\n",
+		*benchName, nsPerOp, base, limit, *tolerance*100)
+	if nsPerOp > limit {
+		fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %.0f ns/op exceeds %.0f ns/op (%.1f%% over baseline)\n",
+			nsPerOp, limit, (nsPerOp/base-1)*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: OK")
+}
+
+func loadBaseline(path, name string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("benchguard: parse %s: %w", path, err)
+	}
+	for _, e := range f.Benchmarks {
+		if e.Name == name && e.NsPerOp > 0 {
+			return e.NsPerOp, nil
+		}
+	}
+	return 0, fmt.Errorf("benchguard: no %q entry in %s", name, path)
+}
+
+// captureSnapshot runs one short fully-instrumented session and writes
+// its deterministic telemetry snapshot — the CI artifact that lets a
+// reviewer inspect every metric the pipeline recorded for this commit.
+func captureSnapshot(path string, sys *smartvlc.System) error {
+	cfg := smartvlc.DefaultSessionConfig(sys.Scheme())
+	cfg.FixedLevel = 0.5
+	cfg.Telemetry = smartvlc.NewTelemetry()
+	res, err := smartvlc.RunSession(cfg, 0.5)
+	if err != nil {
+		return err
+	}
+	j, err := res.Telemetry.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, j, 0o644)
+}
+
+// measure accumulates testing.Benchmark runs until benchtime is reached,
+// as cmd/phybench does, and returns the merged ns/op.
+func measure(benchtime time.Duration, body func(b *testing.B)) float64 {
+	var total testing.BenchmarkResult
+	for total.T < benchtime {
+		r := testing.Benchmark(body)
+		total.N += r.N
+		total.T += r.T
+	}
+	return float64(total.T.Nanoseconds()) / float64(total.N)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

@@ -9,11 +9,17 @@
 //
 // With -dynamic the session replays the paper's blind-pull scenario: the
 // ambient light ramps up while the LED adapts to keep the room constant.
+//
+// Telemetry: -metrics-out FILE writes the session's deterministic metrics
+// snapshot as JSON ("-" for stdout, or a .prom suffix for Prometheus text
+// exposition); -metrics-addr HOST:PORT additionally serves the snapshot
+// over HTTP at /metrics (Prometheus) and /metrics.json after the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -31,6 +37,8 @@ func main() {
 	seconds := flag.Float64("seconds", 2.0, "simulated air time")
 	dynamic := flag.Bool("dynamic", false, "run the dynamic blind-pull scenario instead of a static level")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	metricsOut := flag.String("metrics-out", "", "write the telemetry snapshot to FILE (\"-\" for stdout; .prom suffix selects Prometheus text format)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the snapshot over HTTP at this address after the run (/metrics, /metrics.json)")
 	flag.Parse()
 
 	var sch smartvlc.Scheme
@@ -62,6 +70,9 @@ func main() {
 		cfg.FullLEDLux = 500
 		cfg.Stepper = smartvlc.PerceivedStepper
 	}
+	if *metricsOut != "" || *metricsAddr != "" {
+		cfg.Telemetry = smartvlc.NewTelemetry()
+	}
 
 	res, err := smartvlc.RunSession(cfg, *seconds)
 	if err != nil {
@@ -86,6 +97,64 @@ func main() {
 		fmt.Printf("sum         : %s\n", stats.Sparkline(res.Sum.Values()))
 		sum := stats.Summarize(res.Sum.Values())
 		fmt.Printf("sum stats   : mean=%.3f std=%.3f (constant-illumination check)\n", sum.Mean, sum.Std)
+	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, cfg.Telemetry, res.Telemetry); err != nil {
+			fatal(err)
+		}
+	}
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, cfg.Telemetry, res.Telemetry)
+	}
+}
+
+// writeMetrics exports the session snapshot: Prometheus exposition when
+// the path ends in .prom, canonical JSON otherwise.
+func writeMetrics(path string, reg *smartvlc.Telemetry, snap *smartvlc.TelemetrySnapshot) error {
+	var out []byte
+	if strings.HasSuffix(path, ".prom") {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			return err
+		}
+		out = []byte(sb.String())
+	} else {
+		var err error
+		out, err = snap.JSON()
+		if err != nil {
+			return err
+		}
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// serveMetrics blocks, exposing the finished run's snapshot for scrapes —
+// useful for pointing a Prometheus/Grafana dev stack at a simulation.
+func serveMetrics(addr string, reg *smartvlc.Telemetry, snap *smartvlc.TelemetrySnapshot) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		j, err := snap.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(j)
+	})
+	fmt.Printf("metrics     : serving on http://%s/metrics (ctrl-c to stop)\n", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fatal(err)
 	}
 }
 

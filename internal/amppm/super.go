@@ -114,8 +114,10 @@ func (s SuperSymbol) String() string {
 // Results are memoized per level; safe for concurrent use.
 func (t *Table) Select(level float64) (SuperSymbol, error) {
 	if v, ok := t.selCache.Load(level); ok {
+		selectCacheHits.Inc()
 		return v.(SuperSymbol), nil
 	}
+	selectCacheMisses.Inc()
 	s, err := t.selectUncached(level)
 	if err != nil {
 		return s, err

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smartvlc/internal/mppm"
 )
@@ -52,12 +53,16 @@ var tableCache sync.Map // Constraints → *Table
 // Table. Safe for concurrent use.
 func NewTable(cons Constraints) (*Table, error) {
 	if v, ok := tableCache.Load(cons); ok {
+		tableCacheHits.Inc()
 		return v.(*Table), nil
 	}
+	tableCacheMisses.Inc()
+	start := time.Now()
 	t, err := buildTable(cons)
 	if err != nil {
 		return nil, err
 	}
+	tableBuildMicros.Observe(float64(time.Since(start).Microseconds()))
 	v, _ := tableCache.LoadOrStore(cons, t)
 	return v.(*Table), nil
 }

@@ -25,6 +25,9 @@ type Controller struct {
 	Deadband float64
 	// Stepper plans the flicker-free path to each new target.
 	Stepper Stepper
+	// Metrics, when non-nil, records steps, retargets and the perceived-
+	// domain error. Nil (the default) is a no-op.
+	Metrics *Metrics
 
 	level       float64
 	initialized bool
@@ -78,15 +81,25 @@ func (c *Controller) Observe(ambient float64) []float64 {
 	if !c.initialized {
 		c.initialized = true
 		c.level = target
+		c.Metrics.onInit(target)
+		c.Metrics.observeError(c.level, target)
 		return []float64{target}
 	}
 	if math.Abs(target-c.level) <= c.Deadband {
+		c.Metrics.observeError(c.level, target)
 		return nil
 	}
 	plan := c.Stepper.Plan(c.level, target)
+	prev := c.level
+	for _, step := range plan {
+		c.Metrics.onStep(prev, step)
+		prev = step
+	}
 	c.level = target
 	c.adjustments += len(plan)
 	c.retargets++
+	c.Metrics.onRetarget()
+	c.Metrics.observeError(c.level, target)
 	return plan
 }
 
@@ -100,13 +113,18 @@ func (c *Controller) StepToward(ambient float64) (float64, bool) {
 	if !c.initialized {
 		c.initialized = true
 		c.level = target
+		c.Metrics.onInit(target)
+		c.Metrics.observeError(c.level, target)
 		return c.level, true
 	}
 	next, stepped := c.Stepper.StepFrom(c.level, target)
 	if !stepped {
+		c.Metrics.observeError(c.level, target)
 		return c.level, false
 	}
+	c.Metrics.onStep(c.level, next)
 	c.level = next
 	c.adjustments++
+	c.Metrics.observeError(c.level, target)
 	return c.level, true
 }

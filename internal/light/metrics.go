@@ -1,0 +1,75 @@
+package light
+
+import (
+	"math"
+
+	"smartvlc/internal/telemetry"
+)
+
+// Metrics instruments the smart-lighting controller. A nil *Metrics (the
+// default) is a no-op.
+type Metrics struct {
+	// Adjustments counts brightness steps taken (paper Fig. 19c's y axis).
+	Adjustments *telemetry.Counter
+	// Retargets counts target changes beyond the deadband (Observe path).
+	Retargets *telemetry.Counter
+	// Level tracks the LED's current measured-domain level.
+	Level *telemetry.Gauge
+	// StepPerceived observes each step's magnitude in the perceived
+	// domain — the quantity the flicker threshold bounds, so the whole
+	// distribution sitting below the perception limit is the controller's
+	// correctness claim.
+	StepPerceived *telemetry.Histogram
+	// PerceivedError tracks |perceived(target) − perceived(level)| after
+	// each observation: how far the room currently is from the constant-
+	// illumination goal, in the domain users actually see.
+	PerceivedError *telemetry.Gauge
+}
+
+// NewMetrics builds the controller instrument handles on a registry.
+// Returns nil on a nil registry — the no-op default.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	r.Help("light_adjustments_total", "Cumulative LED brightness steps (paper Fig. 19c).")
+	r.Help("light_step_perceived", "Per-step magnitude in the perceived domain.")
+	r.Help("light_perceived_error", "Distance from the illumination target in the perceived domain.")
+	return &Metrics{
+		Adjustments:    r.Counter("light_adjustments_total"),
+		Retargets:      r.Counter("light_retargets_total"),
+		Level:          r.Gauge("light_led_level"),
+		StepPerceived:  r.Histogram("light_step_perceived"),
+		PerceivedError: r.Gauge("light_perceived_error"),
+	}
+}
+
+// onInit records the initialization jump to the first required level,
+// which the controller does not count as an adjustment (the LED turns on
+// at that level; nothing visible steps).
+func (m *Metrics) onInit(level float64) {
+	if m != nil {
+		m.Level.Set(level)
+	}
+}
+
+func (m *Metrics) onStep(from, to float64) {
+	if m == nil {
+		return
+	}
+	m.Adjustments.Inc()
+	m.Level.Set(to)
+	m.StepPerceived.Observe(math.Abs(ToPerceived(to) - ToPerceived(from)))
+}
+
+func (m *Metrics) onRetarget() {
+	if m != nil {
+		m.Retargets.Inc()
+	}
+}
+
+func (m *Metrics) observeError(level, target float64) {
+	if m != nil {
+		m.PerceivedError.Set(math.Abs(ToPerceived(target) - ToPerceived(level)))
+	}
+}

@@ -22,6 +22,9 @@ type Sender struct {
 	// PayloadBytes is the application payload per frame (128 in the
 	// paper's evaluation), excluding the sequence header.
 	PayloadBytes int
+	// Metrics, when non-nil, records timeouts, window occupancy and ACK
+	// arrivals. Nil (the default) is a no-op.
+	Metrics *Metrics
 
 	rng      *rand.Rand
 	nextSeq  uint16
@@ -71,6 +74,7 @@ func (s *Sender) payloadFor(seq uint16) []byte {
 // a timed-out retransmission if any, else a new frame if the window
 // allows. ok is false when the sender must idle.
 func (s *Sender) NextFrame(now float64) (seq uint16, body []byte, ok bool) {
+	s.Metrics.observeWindow(len(s.inflight))
 	// Oldest timed-out frame first.
 	found := false
 	var oldest uint16
@@ -84,9 +88,11 @@ func (s *Sender) NextFrame(now float64) (seq uint16, body []byte, ok bool) {
 		s.inflight[oldest] = now
 		s.framesSent++
 		s.retransmits++
+		s.Metrics.onTimeout()
 		return oldest, s.payloadFor(oldest), true
 	}
 	if len(s.inflight) >= s.Window {
+		s.Metrics.onStall()
 		return 0, nil, false
 	}
 	seq = s.nextSeq
@@ -98,6 +104,7 @@ func (s *Sender) NextFrame(now float64) (seq uint16, body []byte, ok bool) {
 
 // OnAck processes an acknowledgement.
 func (s *Sender) OnAck(seq uint16) {
+	s.Metrics.onAck()
 	if _, ok := s.inflight[seq]; ok {
 		delete(s.inflight, seq)
 	}

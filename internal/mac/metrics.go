@@ -1,0 +1,77 @@
+package mac
+
+import "smartvlc/internal/telemetry"
+
+// Metrics instruments the ARQ sender and the side channel. A nil *Metrics
+// (the default) is a no-op, so the MAC carries a handle unconditionally
+// and pays one nil check when telemetry is off.
+type Metrics struct {
+	// Timeouts counts retransmissions triggered by ACK timeout.
+	Timeouts *telemetry.Counter
+	// WindowOccupancy observes the in-flight frame count at every
+	// NextFrame decision — the ARQ window pressure distribution.
+	WindowOccupancy *telemetry.Histogram
+	// WindowStalls counts NextFrame calls refused because the window was
+	// full (the LED idles at the dimming level).
+	WindowStalls *telemetry.Counter
+	// AcksReceived counts acknowledgements processed by the sender.
+	AcksReceived *telemetry.Counter
+	// SideSent and SideDropped count side-channel datagrams accepted and
+	// lost (the simulated Wi-Fi uplink drops independently per message).
+	SideSent, SideDropped *telemetry.Counter
+}
+
+// NewMetrics builds the MAC instrument handles on a registry. Returns nil
+// on a nil registry — the no-op default.
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	r.Help("mac_timeouts_total", "ARQ retransmissions triggered by ACK timeout.")
+	r.Help("mac_window_occupancy", "In-flight frames observed at each NextFrame decision.")
+	r.Help("mac_side_messages_total", "Side-channel datagrams by outcome (sent vs dropped).")
+	return &Metrics{
+		Timeouts:        r.Counter("mac_timeouts_total"),
+		WindowOccupancy: r.Histogram("mac_window_occupancy"),
+		WindowStalls:    r.Counter("mac_window_stalls_total"),
+		AcksReceived:    r.Counter("mac_acks_received_total"),
+		SideSent:        r.Counter("mac_side_messages_total", "outcome", "sent"),
+		SideDropped:     r.Counter("mac_side_messages_total", "outcome", "dropped"),
+	}
+}
+
+func (m *Metrics) onTimeout() {
+	if m != nil {
+		m.Timeouts.Inc()
+	}
+}
+
+func (m *Metrics) observeWindow(inflight int) {
+	if m != nil {
+		m.WindowOccupancy.Observe(float64(inflight))
+	}
+}
+
+func (m *Metrics) onStall() {
+	if m != nil {
+		m.WindowStalls.Inc()
+	}
+}
+
+func (m *Metrics) onAck() {
+	if m != nil {
+		m.AcksReceived.Inc()
+	}
+}
+
+func (m *Metrics) onSideSent() {
+	if m != nil {
+		m.SideSent.Inc()
+	}
+}
+
+func (m *Metrics) onSideDropped() {
+	if m != nil {
+		m.SideDropped.Inc()
+	}
+}

@@ -48,6 +48,9 @@ type SideChannel struct {
 	JitterSeconds float64
 	// LossProb is the independent drop probability.
 	LossProb float64
+	// Metrics, when non-nil, counts sent and dropped datagrams. Nil (the
+	// default) is a no-op.
+	Metrics *Metrics
 
 	rng   *rand.Rand
 	queue []Message
@@ -61,8 +64,10 @@ func NewSideChannel(latency, jitter, loss float64, rng *rand.Rand) *SideChannel 
 // Send enqueues a message at time now; it may silently drop it.
 func (s *SideChannel) Send(now float64, m Message) {
 	if s.LossProb > 0 && s.rng.Float64() < s.LossProb {
+		s.Metrics.onSideDropped()
 		return
 	}
+	s.Metrics.onSideSent()
 	d := s.LatencySeconds
 	if s.JitterSeconds > 0 {
 		d += s.rng.Float64() * s.JitterSeconds

@@ -35,6 +35,9 @@ type VLCUplink struct {
 	RangeM float64
 	// DistanceM is the current link distance.
 	DistanceM float64
+	// Metrics, when non-nil, counts sent and dropped (out-of-range)
+	// messages. Nil (the default) is a no-op.
+	Metrics *Metrics
 
 	lastFree float64
 	queue    []Message
@@ -49,8 +52,10 @@ func NewVLCUplink(bitRate float64, messageBits int, rangeM, distanceM float64) *
 // Send implements Uplink.
 func (u *VLCUplink) Send(now float64, m Message) {
 	if u.DistanceM > u.RangeM || u.BitRate <= 0 {
+		u.Metrics.onSideDropped()
 		return // out of range: the weak LED cannot reach the luminaire
 	}
+	u.Metrics.onSideSent()
 	start := math.Max(now, u.lastFree)
 	airtime := float64(u.MessageBits) / u.BitRate
 	u.lastFree = start + airtime

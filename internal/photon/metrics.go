@@ -1,0 +1,18 @@
+package photon
+
+import "smartvlc/internal/telemetry"
+
+// Sampler-cache efficiency counters live on the process-global telemetry
+// registry: the cache is shared across sessions, so its hit rate is a
+// property of the process (a second identically seeded session finds it
+// warm), which is why these never enter deterministic session snapshots.
+var (
+	samplerCacheHits   = telemetry.Global().Counter("photon_sampler_cache_total", "result", "hit")
+	samplerCacheMisses = telemetry.Global().Counter("photon_sampler_cache_total", "result", "miss")
+)
+
+// SamplerCacheStats reports cumulative hit/miss counts of the per-mean
+// Poisson sampler cache behind SamplerFor.
+func SamplerCacheStats() (hits, misses int64) {
+	return samplerCacheHits.Value(), samplerCacheMisses.Value()
+}

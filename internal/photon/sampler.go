@@ -115,8 +115,10 @@ var samplerCache sync.Map // float64 → *Sampler
 // use. Safe for concurrent use.
 func SamplerFor(lambda float64) *Sampler {
 	if v, ok := samplerCache.Load(lambda); ok {
+		samplerCacheHits.Inc()
 		return v.(*Sampler)
 	}
+	samplerCacheMisses.Inc()
 	v, _ := samplerCache.LoadOrStore(lambda, NewSampler(lambda))
 	return v.(*Sampler)
 }

@@ -1,0 +1,166 @@
+package phy
+
+import (
+	"errors"
+
+	"smartvlc/internal/frame"
+	"smartvlc/internal/telemetry"
+)
+
+// TxMetrics instruments Link.Transmit. A nil *TxMetrics (the default) is a
+// no-op, so the per-sample fast-path accounting costs one nil check when
+// telemetry is off. Handles are created once per session; the hot path
+// performs only atomic adds.
+type TxMetrics struct {
+	// SettledWindows counts sample windows served by the settled-slot fast
+	// path (cached per-state sampler, no slew integration).
+	SettledWindows *telemetry.Counter
+	// ExactWindows counts sample windows that took the per-segment slew
+	// integration (the "ODE path").
+	ExactWindows *telemetry.Counter
+	// Frames counts Transmit calls; Samples counts emitted RX samples.
+	Frames  *telemetry.Counter
+	Samples *telemetry.Counter
+}
+
+// NewTxMetrics builds the transmit-side instrument handles on a registry.
+// Returns nil on a nil registry — the no-op default.
+func NewTxMetrics(r *telemetry.Registry) *TxMetrics {
+	if r == nil {
+		return nil
+	}
+	r.Help("phy_tx_windows_total", "Sample windows by transmit path (settled fast path vs exact slew integration).")
+	return &TxMetrics{
+		SettledWindows: r.Counter("phy_tx_windows_total", "path", "settled"),
+		ExactWindows:   r.Counter("phy_tx_windows_total", "path", "exact"),
+		Frames:         r.Counter("phy_tx_frames_total"),
+		Samples:        r.Counter("phy_tx_samples_total"),
+	}
+}
+
+func (m *TxMetrics) onSettled() {
+	if m != nil {
+		m.SettledWindows.Inc()
+	}
+}
+
+func (m *TxMetrics) onExact() {
+	if m != nil {
+		m.ExactWindows.Inc()
+	}
+}
+
+func (m *TxMetrics) onTransmit(samples int) {
+	if m != nil {
+		m.Frames.Inc()
+		m.Samples.Add(int64(samples))
+	}
+}
+
+// decodeErrorClasses is the fixed label set for decode failures. Every
+// frame.Parse error collapses onto one of these, keeping the metric
+// cardinality bounded no matter what the channel synthesizes.
+var decodeErrorClasses = []struct {
+	err   error
+	class string
+}{
+	{frame.ErrNoPreamble, "preamble"},
+	{frame.ErrBadManchester, "manchester"},
+	{frame.ErrTruncated, "truncated"},
+	{frame.ErrBadSync, "sync"},
+	{frame.ErrCRC, "crc"},
+	{frame.ErrPayloadTooLong, "payload_len"},
+}
+
+// classifyDecodeError maps a frame.Parse error to its metric class.
+func classifyDecodeError(err error) string {
+	for _, c := range decodeErrorClasses {
+		if errors.Is(err, c.err) {
+			return c.class
+		}
+	}
+	return "other"
+}
+
+// RxMetrics instruments Receiver.Process. A nil *RxMetrics is a no-op.
+type RxMetrics struct {
+	// PreambleLocks counts accepted preamble positions (locked offsets),
+	// including false locks that later fail validation.
+	PreambleLocks *telemetry.Counter
+	// FramesOK and FramesBad mirror Stats.FramesOK/FramesBad.
+	FramesOK, FramesBad *telemetry.Counter
+	// SymbolErrors accumulates constituent-symbol anomalies in good frames.
+	SymbolErrors *telemetry.Counter
+	// Threshold tracks the current detection threshold (per channel
+	// rebuild) in counts.
+	Threshold *telemetry.Gauge
+
+	decodeErrors map[string]*telemetry.Counter
+}
+
+// NewRxMetrics builds the receive-side instrument handles on a registry.
+// Returns nil on a nil registry — the no-op default. All decode-error
+// class counters are pre-created so the failure path allocates nothing.
+func NewRxMetrics(r *telemetry.Registry) *RxMetrics {
+	if r == nil {
+		return nil
+	}
+	r.Help("phy_rx_frames_total", "Receiver frame outcomes.")
+	r.Help("phy_rx_decode_errors_total", "Frame decode failures by error class.")
+	r.Help("phy_rx_threshold_counts", "Detection threshold of the current channel, in photon counts per 3-sample window.")
+	m := &RxMetrics{
+		PreambleLocks: r.Counter("phy_rx_preamble_locks_total"),
+		FramesOK:      r.Counter("phy_rx_frames_total", "outcome", "ok"),
+		FramesBad:     r.Counter("phy_rx_frames_total", "outcome", "bad"),
+		SymbolErrors:  r.Counter("phy_rx_symbol_errors_total"),
+		Threshold:     r.Gauge("phy_rx_threshold_counts"),
+		decodeErrors:  map[string]*telemetry.Counter{},
+	}
+	for _, c := range decodeErrorClasses {
+		m.decodeErrors[c.class] = r.Counter("phy_rx_decode_errors_total", "class", c.class)
+	}
+	m.decodeErrors["other"] = r.Counter("phy_rx_decode_errors_total", "class", "other")
+	return m
+}
+
+func (m *RxMetrics) onLock() {
+	if m != nil {
+		m.PreambleLocks.Inc()
+	}
+}
+
+func (m *RxMetrics) onFrameOK(symbolErrors int) {
+	if m != nil {
+		m.FramesOK.Inc()
+		m.SymbolErrors.Add(int64(symbolErrors))
+	}
+}
+
+func (m *RxMetrics) onFrameBad(err error) {
+	if m != nil {
+		m.FramesBad.Inc()
+		m.decodeErrors[classifyDecodeError(err)].Inc()
+	}
+}
+
+// OnChannel records the receiver's per-channel calibration outcome; the
+// session loop calls it after every channel rebuild.
+func (m *RxMetrics) OnChannel(threshold int) {
+	if m != nil {
+		m.Threshold.Set(float64(threshold))
+	}
+}
+
+// Threshold-cache efficiency counters live on the process-global registry:
+// the cache is shared across sessions, so its hit rate is a property of
+// the process, not of any one (deterministic) session.
+var (
+	thrCacheHits   = telemetry.Global().Counter("phy_threshold_cache_total", "result", "hit")
+	thrCacheMisses = telemetry.Global().Counter("phy_threshold_cache_total", "result", "miss")
+)
+
+// ThresholdCacheStats reports cumulative hit/miss counts of the
+// per-channel detection-threshold cache.
+func ThresholdCacheStats() (hits, misses int64) {
+	return thrCacheHits.Value(), thrCacheMisses.Value()
+}

@@ -51,6 +51,9 @@ type Link struct {
 	// The two ends are never phase-aligned in reality; the middle-two-
 	// sample integration absorbs it.
 	StartPhase float64
+	// Metrics, when non-nil, counts fast-path vs exact windows per sample
+	// and frames/samples per Transmit. Nil (the default) is a no-op.
+	Metrics *TxMetrics
 }
 
 // DefaultLink assembles the paper's prototype parameters around a channel.
@@ -114,6 +117,7 @@ func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
 			slotEnd += tslot
 		}
 		if on, settled := settledWindow(slots, slotIdx, slotEnd, winEnd, tslot, intensity); settled {
+			l.Metrics.onSettled()
 			var count int
 			if on {
 				count = onSampler.Sample(rng)
@@ -124,6 +128,7 @@ func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
 			cursor = winEnd
 			continue
 		}
+		l.Metrics.onExact()
 		lambda := 0.0
 		t := cursor
 		for t < winEnd-1e-15 {
@@ -157,6 +162,7 @@ func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
 		out = append(out, l.ADC.Quantize(count))
 		cursor = winEnd
 	}
+	l.Metrics.onTransmit(len(out))
 	return out
 }
 
@@ -208,6 +214,10 @@ type Receiver struct {
 	// thr is the detection threshold for the three-sample window.
 	thr int
 
+	// Metrics, when non-nil, counts locks, frame outcomes and decode
+	// error classes. Nil (the default) is a no-op.
+	Metrics *RxMetrics
+
 	// ambient estimate state: an EMA over the per-block medians of
 	// OFF-classified window sums.
 	ambientEMA float64
@@ -235,8 +245,10 @@ const thrCacheMax = 1 << 12
 // (up to ~17 % of one ON sample) would flip OFF windows.
 func NewReceiver(ch photon.Channel, factory frame.CodecFactory) *Receiver {
 	if v, ok := thrCache.Load(ch); ok {
+		thrCacheHits.Inc()
 		return &Receiver{factory: factory, thr: v.(int)}
 	}
+	thrCacheMisses.Inc()
 	w := ch.Scaled(DetectionFraction)
 	thr := w.OptimalThreshold()
 	if floor := int(0.3*(w.SignalPerSlot+w.AmbientPerSlot) + 0.5); thr < floor {
@@ -461,17 +473,20 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 			continue
 		}
 		locked := lockOffset(win3, i)
+		r.Metrics.onLock()
 		maxSlots := (len(samples) - locked) / Oversample
 		slots := r.foldSlots(win3, locked, maxSlots)
 		res, err := frame.Parse(slots, r.factory)
 		if err != nil {
 			stats.FramesBad++
 			stats.count(err)
+			r.Metrics.onFrameBad(err)
 			i++ // resume hunting just past this false/failed lock
 			continue
 		}
 		stats.FramesOK++
 		stats.SymbolErrors += res.SymbolErrors
+		r.Metrics.onFrameOK(res.SymbolErrors)
 		results = append(results, res)
 		r.updateAmbientFromFrame(samples, locked, slots, res.SlotsConsumed)
 		// Jump to just before the expected next preamble: one slot of

@@ -3,10 +3,19 @@ package scheme
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"smartvlc/internal/amppm"
 	"smartvlc/internal/bitio"
 	"smartvlc/internal/frame"
+	"smartvlc/internal/telemetry"
+)
+
+// Codec-cache efficiency counters on the process-global registry, summed
+// over all AMPPM instances (per-instance numbers come from CacheStats).
+var (
+	codecCacheHits   = telemetry.Global().Counter("scheme_codec_cache_total", "result", "hit")
+	codecCacheMisses = telemetry.Global().Counter("scheme_codec_cache_total", "result", "miss")
 )
 
 // maxCodecCache bounds each of the AMPPM codec caches. Genuine traffic
@@ -27,6 +36,25 @@ type AMPPM struct {
 	mu      sync.RWMutex
 	byLevel map[float64]frame.PayloadCodec
 	byDesc  map[[frame.PatternBytes]byte]frame.PayloadCodec
+
+	cacheHits, cacheMisses atomic.Int64
+}
+
+// CodecCacheStats reports this instance's cumulative codec-cache hit and
+// miss counts, across both the per-level (CodecFor) and per-descriptor
+// (Factory) caches.
+func (a *AMPPM) CodecCacheStats() (hits, misses int64) {
+	return a.cacheHits.Load(), a.cacheMisses.Load()
+}
+
+func (a *AMPPM) onCacheHit() {
+	a.cacheHits.Add(1)
+	codecCacheHits.Inc()
+}
+
+func (a *AMPPM) onCacheMiss() {
+	a.cacheMisses.Add(1)
+	codecCacheMisses.Inc()
 }
 
 // NewAMPPM builds the scheme from link constraints (both sides must use
@@ -59,8 +87,10 @@ func (a *AMPPM) CodecFor(level float64) (frame.PayloadCodec, error) {
 	c, ok := a.byLevel[level]
 	a.mu.RUnlock()
 	if ok {
+		a.onCacheHit()
 		return c, nil
 	}
+	a.onCacheMiss()
 	s, err := a.table.Select(level)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrLevelUnsupported, err)
@@ -104,8 +134,10 @@ func (a *AMPPM) Factory() frame.CodecFactory {
 		c, ok := a.byDesc[d]
 		a.mu.RUnlock()
 		if ok {
+			a.onCacheHit()
 			return c, nil
 		}
+		a.onCacheMiss()
 		s, err := a.table.ParseDescriptor(d)
 		if err != nil {
 			return nil, err

@@ -11,6 +11,7 @@ import (
 	"smartvlc/internal/optics"
 	"smartvlc/internal/phy"
 	"smartvlc/internal/stats"
+	"smartvlc/internal/telemetry"
 )
 
 // ReceiverPose places one receiver of a broadcast session.
@@ -65,6 +66,9 @@ type BroadcastResult struct {
 	FramesSent int
 	// LED is the luminaire level over time.
 	LED stats.Series
+	// Telemetry is the session's metrics snapshot when Config.Telemetry
+	// was set; nil otherwise.
+	Telemetry *telemetry.Snapshot
 }
 
 // RunBroadcast simulates a multi-receiver session. The dimming controller
@@ -93,6 +97,22 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	}
 	side := mac.NewSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb, sideRng)
 
+	// Instrumentation: with a nil registry every handle below is nil and
+	// every recording call is a no-op (see internal/telemetry). All
+	// receivers share one set of PHY instruments; per-receiver splits ride
+	// on the event trace's sequence field instead of label cardinality.
+	reg := cfg.Telemetry
+	txm := phy.NewTxMetrics(reg)
+	rxm := phy.NewRxMetrics(reg)
+	macm := mac.NewMetrics(reg)
+	sender.Metrics = macm
+	side.Metrics = macm
+	reg.Help("sim_frame_airtime_slots", "Per-frame on-air length in slots, idle gap included.")
+	reg.Help("sim_reliable_goodput_bps", "Payload rate acknowledged by every receiver.")
+	framesTx := reg.Counter("sim_frames_tx_total")
+	airtimeH := reg.Histogram("sim_frame_airtime_slots")
+	levelG := reg.Gauge("sim_dimming_level")
+
 	var controller *light.Controller
 	if cfg.Trace != nil {
 		stepper := cfg.Stepper
@@ -103,6 +123,7 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		if err != nil {
 			return BroadcastResult{}, err
 		}
+		controller.Metrics = light.NewMetrics(reg)
 	}
 
 	type rxState struct {
@@ -134,7 +155,10 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			return err
 		}
 		st.link = phy.DefaultLink(ch)
+		st.link.Metrics = txm
 		st.rx = phy.NewReceiver(ch, cfg.Scheme.Factory())
+		st.rx.Metrics = rxm
+		rxm.OnChannel(st.rx.Threshold())
 		st.lastLux = lux
 		return nil
 	}
@@ -183,6 +207,7 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		if controller != nil {
 			level, _ = controller.StepToward(smoothed)
 		}
+		levelG.Set(level)
 
 		if now-lastRecord >= 0.25 {
 			lastRecord = now
@@ -211,17 +236,19 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 					delete(acked, m.Seq)
 					reliableBytes += int64(cfg.PayloadBytes)
 					sender.OnAck(m.Seq)
+					reg.Emit(m.At, "frame/ack", int64(m.Seq))
 				}
 			case mac.KindAmbientReport:
 				rxs[m.From].remote, rxs[m.From].reported = m.Lux, true
 			}
 		}
 
-		_, body, ok := sender.NextFrame(now)
+		seq, body, ok := sender.NextFrame(now)
 		if !ok {
 			now += cfg.AckTimeoutSeconds / 8
 			continue
 		}
+		reg.Emit(now, "frame/build", int64(seq))
 		codec, ok2 := codecs[level]
 		if !ok2 {
 			var err error
@@ -238,6 +265,9 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		slots = frame.AppendIdle(slots, codec.Level(), cfg.IdleGapSlots)
 		slotBuf = slots
 		airtime := float64(len(slots)) * 8e-6
+		framesTx.Inc()
+		airtimeH.Observe(float64(len(slots)))
+		reg.Emit(now, "frame/tx", int64(seq))
 
 		for i := range rxs {
 			st := rxs[i]
@@ -246,8 +276,9 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			results, _ := st.rx.Process(samples)
 			phy.RecycleSamples(samples)
 			for _, r := range results {
-				if seq, ackIt := st.macRx.OnFrame(r.Payload); ackIt {
-					side.Send(now+airtime, mac.Message{Kind: mac.KindAck, From: i, Seq: seq})
+				if gotSeq, ackIt := st.macRx.OnFrame(r.Payload); ackIt {
+					reg.Emit(now+airtime, "frame/decode", int64(gotSeq))
+					side.Send(now+airtime, mac.Message{Kind: mac.KindAck, From: i, Seq: gotSeq})
 				}
 			}
 			if counts, okA := st.rx.AmbientWindowCounts(); okA {
@@ -295,6 +326,11 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		}
 		o.FramesOK = int(rxs[i].macRx.DeliveredPayload()) / cfg.PayloadBytes
 		res.PerReceiver = append(res.PerReceiver, o)
+	}
+	if reg != nil {
+		reg.Gauge("sim_reliable_goodput_bps").Set(res.ReliableGoodputBps)
+		reg.Gauge("sim_duration_seconds").Set(res.Duration)
+		res.Telemetry = reg.Snapshot()
 	}
 	return res, nil
 }

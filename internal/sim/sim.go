@@ -20,6 +20,7 @@ import (
 	"smartvlc/internal/phy"
 	"smartvlc/internal/scheme"
 	"smartvlc/internal/stats"
+	"smartvlc/internal/telemetry"
 )
 
 // Config describes one session.
@@ -69,6 +70,13 @@ type Config struct {
 	IdleGapSlots int
 	// Seed makes the session reproducible.
 	Seed uint64
+
+	// Telemetry, when non-nil, receives the session's metrics and frame-
+	// lifecycle events; Run leaves a Snapshot in Result.Telemetry. All
+	// timestamps are simulation time, so two runs with identical config
+	// and seed produce byte-identical snapshots. Nil (the default)
+	// disables instrumentation at zero allocation cost on the hot paths.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper's evaluation settings for a scheme:
@@ -115,6 +123,10 @@ type Result struct {
 	Ambient, LED, Sum stats.Series
 	// AdjustCum is the cumulative adjustment count over time (Fig. 19c).
 	AdjustCum stats.Series
+
+	// Telemetry is the session's metric snapshot when Config.Telemetry was
+	// set, nil otherwise.
+	Telemetry *telemetry.Snapshot
 }
 
 // Run simulates a session for the given air-time duration.
@@ -136,18 +148,37 @@ func Run(cfg Config, duration float64) (Result, error) {
 	sideRng := rand.New(rand.NewPCG(cfg.Seed, 0x51DE))
 	macRng := rand.New(rand.NewPCG(cfg.Seed, 0xACED))
 
+	// Instrument handles: every constructor returns nil on a nil registry
+	// and every nil handle is a no-op, so the loop below carries them
+	// unconditionally at zero cost when telemetry is off.
+	reg := cfg.Telemetry
+	txm := phy.NewTxMetrics(reg)
+	rxm := phy.NewRxMetrics(reg)
+	macm := mac.NewMetrics(reg)
+	reg.Help("sim_frame_airtime_slots", "On-air length of each transmitted frame, in slots (including the idle gap).")
+	reg.Help("sim_goodput_bps", "Acknowledged unique payload bits per second over the whole session.")
+	framesTx := reg.Counter("sim_frames_tx_total")
+	airtimeH := reg.Histogram("sim_frame_airtime_slots")
+	deliveredC := reg.Counter("sim_delivered_bytes_total")
+	levelG := reg.Gauge("sim_dimming_level")
+
 	sender, err := mac.NewSender(cfg.Window, cfg.PayloadBytes, cfg.AckTimeoutSeconds, macRng)
 	if err != nil {
 		return Result{}, err
 	}
+	sender.Metrics = macm
 	rxSide := mac.NewReceiverSide(cfg.PayloadBytes)
-	var side mac.Uplink = mac.NewSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb, sideRng)
+	sideCh := mac.NewSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb, sideRng)
+	sideCh.Metrics = macm
+	var side mac.Uplink = sideCh
 	if cfg.UplinkVLCBitRate > 0 {
 		rangeM := cfg.UplinkVLCRangeM
 		if rangeM <= 0 {
 			rangeM = 2.5
 		}
-		side = mac.NewVLCUplink(cfg.UplinkVLCBitRate, 96, rangeM, cfg.Geometry.DistanceM)
+		vlc := mac.NewVLCUplink(cfg.UplinkVLCBitRate, 96, rangeM, cfg.Geometry.DistanceM)
+		vlc.Metrics = macm
+		side = vlc
 	}
 
 	var controller *light.Controller
@@ -160,6 +191,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+		controller.Metrics = light.NewMetrics(reg)
 	}
 	sensor := hw.NewFilter(hw.OPT101())
 
@@ -191,7 +223,10 @@ func Run(cfg Config, duration float64) (Result, error) {
 			return err
 		}
 		link = phy.DefaultLink(ch)
+		link.Metrics = txm
 		rx = phy.NewReceiver(ch, cfg.Scheme.Factory())
+		rx.Metrics = rxm
+		rxm.OnChannel(rx.Threshold())
 		lastLux = lux
 		return nil
 	}
@@ -239,6 +274,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 		if controller != nil {
 			level, _ = controller.StepToward(smoothed)
 		}
+		levelG.Set(level)
 
 		// Record series.
 		if now-lastRecord >= recordEvery {
@@ -258,6 +294,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 			switch m.Kind {
 			case mac.KindAck:
 				sender.OnAck(m.Seq)
+				reg.Emit(m.At, "frame/ack", int64(m.Seq))
 			case mac.KindAmbientReport:
 				remoteLux, remoteAt = m.Lux, m.At
 			}
@@ -273,6 +310,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: level %v: %w", level, err)
 		}
+		reg.Emit(now, "frame/build", int64(seq))
 		slots, err := frame.BuildAppend(slotBuf[:0], codec, body)
 		if err != nil {
 			return Result{}, err
@@ -280,6 +318,9 @@ func Run(cfg Config, duration float64) (Result, error) {
 		slots = frame.AppendIdle(slots, codec.Level(), cfg.IdleGapSlots)
 		slotBuf = slots
 		airtime := float64(len(slots)) * tslot
+		framesTx.Inc()
+		airtimeH.Observe(float64(len(slots)))
+		reg.Emit(now, "frame/tx", int64(seq))
 
 		link.StartPhase = chanRng.Float64()
 		samples := link.Transmit(chanRng, slots)
@@ -288,18 +329,22 @@ func Run(cfg Config, duration float64) (Result, error) {
 		res.FramesOK += st.FramesOK
 		res.FramesBad += st.FramesBad
 		res.SymbolErrors += st.SymbolErrors
+		for i := 0; i < st.FramesBad; i++ {
+			reg.Emit(now+airtime, "frame/bad", -1)
+		}
 		for _, r := range results {
 			before := rxSide.DeliveredPayload()
 			gotSeq, ackIt := rxSide.OnFrame(r.Payload)
 			if !ackIt {
 				continue
 			}
+			reg.Emit(now+airtime, "frame/decode", int64(gotSeq))
 			side.Send(now+airtime, mac.Message{Kind: mac.KindAck, Seq: gotSeq})
 			if d := rxSide.DeliveredPayload() - before; d > 0 {
 				deliveredAt = append(deliveredAt, now+airtime)
+				deliveredC.Add(d)
 			}
 		}
-		_ = seq
 		// The receiver reports its sensed ambient level (estimated from
 		// OFF detection windows) back over the Wi-Fi uplink.
 		if counts, ok := rx.AmbientWindowCounts(); ok {
@@ -317,6 +362,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 	for _, m := range side.Receive(now + 1) {
 		if m.Kind == mac.KindAck {
 			sender.OnAck(m.Seq)
+			reg.Emit(m.At, "frame/ack", int64(m.Seq))
 		}
 	}
 
@@ -328,6 +374,11 @@ func Run(cfg Config, duration float64) (Result, error) {
 		res.Adjustments = controller.Adjustments()
 	}
 	res.Throughput = throughputSeries(deliveredAt, cfg.PayloadBytes, now)
+	if reg != nil {
+		reg.Gauge("sim_goodput_bps").Set(res.GoodputBps)
+		reg.Gauge("sim_duration_seconds").Set(res.Duration)
+		res.Telemetry = reg.Snapshot()
+	}
 	return res, nil
 }
 

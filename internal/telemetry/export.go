@@ -1,0 +1,274 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CounterSnapshot is one counter series at snapshot time.
+type CounterSnapshot struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  int64   `json:"value"`
+}
+
+// GaugeSnapshot is one gauge series at snapshot time.
+type GaugeSnapshot struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// Bucket is one occupied histogram bucket: Index identifies the log2
+// bucket (upper bound HistogramBucketBound(Index)); Count is its
+// occupancy. Only occupied buckets appear in snapshots, keeping them
+// sparse. The bound itself is not stored because the last bucket's bound
+// is +Inf, which JSON cannot encode.
+type Bucket struct {
+	Index int   `json:"i"`
+	Count int64 `json:"n"`
+}
+
+// HistogramSnapshot is one histogram series at snapshot time.
+type HistogramSnapshot struct {
+	Name    string   `json:"name"`
+	Labels  []Label  `json:"labels,omitempty"`
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucketBound returns the inclusive upper bound of log2 bucket i,
+// +Inf for the last bucket. Exported so snapshot consumers can recover the
+// bucket grid.
+func HistogramBucketBound(i int) float64 { return histBound(i) }
+
+// Snapshot is a point-in-time copy of a registry: every series, sorted by
+// name then label signature, plus the buffered event trace. Because all
+// ordering is canonical and every timestamp is deterministic, two
+// snapshots of identically seeded sessions marshal to byte-identical
+// JSON.
+type Snapshot struct {
+	Counters      []CounterSnapshot   `json:"counters"`
+	Gauges        []GaugeSnapshot     `json:"gauges"`
+	Histograms    []HistogramSnapshot `json:"histograms"`
+	Events        []Event             `json:"events,omitempty"`
+	EventsTotal   int64               `json:"events_total"`
+	EventsDropped int64               `json:"events_dropped"`
+}
+
+// labelSig renders labels for sorting and Prometheus label blocks.
+func labelSig(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "=" + l.Value
+	}
+	return strings.Join(parts, ",")
+}
+
+// Snapshot captures the registry's current state. Returns an empty
+// snapshot on a nil registry. Concurrent writers may land increments
+// during the capture; within one single-threaded session (the
+// deterministic case) the snapshot is exact.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   []CounterSnapshot{},
+		Gauges:     []GaugeSnapshot{},
+		Histograms: []HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Labels: c.labels, Value: c.v.Load()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: g.name, Labels: g.labels, Value: g.Value()})
+	}
+	for _, h := range hists {
+		hs := HistogramSnapshot{Name: h.name, Labels: h.labels, Count: h.count.Load(), Sum: h.Sum()}
+		for i := 0; i < histBuckets; i++ {
+			if n := h.buckets[i].Load(); n > 0 {
+				hs.Buckets = append(hs.Buckets, Bucket{Index: i, Count: n})
+			}
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Name != s.Counters[j].Name {
+			return s.Counters[i].Name < s.Counters[j].Name
+		}
+		return labelSig(s.Counters[i].Labels) < labelSig(s.Counters[j].Labels)
+	})
+	sort.Slice(s.Gauges, func(i, j int) bool {
+		if s.Gauges[i].Name != s.Gauges[j].Name {
+			return s.Gauges[i].Name < s.Gauges[j].Name
+		}
+		return labelSig(s.Gauges[i].Labels) < labelSig(s.Gauges[j].Labels)
+	})
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		if s.Histograms[i].Name != s.Histograms[j].Name {
+			return s.Histograms[i].Name < s.Histograms[j].Name
+		}
+		return labelSig(s.Histograms[i].Labels) < labelSig(s.Histograms[j].Labels)
+	})
+	s.Events, s.EventsDropped = r.trace.events()
+	r.trace.mu.Lock()
+	s.EventsTotal = r.trace.total
+	r.trace.mu.Unlock()
+	return s
+}
+
+// JSON marshals the snapshot as canonical indented JSON: fixed field
+// order, sorted series, shortest-round-trip float formatting — the
+// byte-identical export the determinism tests pin.
+func (s *Snapshot) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// JSON is shorthand for Snapshot().JSON(). On a nil registry it returns
+// the empty snapshot's JSON.
+func (r *Registry) JSON() ([]byte, error) { return r.Snapshot().JSON() }
+
+// promFloat formats a float for the text exposition: shortest form that
+// round-trips, +Inf spelled the Prometheus way.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels renders a {k="v",...} block, with extra appended last (used
+// for histogram le labels). Returns "" for no labels.
+func promLabels(labels []Label, extra ...string) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, l.Key, escapeLabel(l.Value))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, extra[i], escapeLabel(extra[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE headers per family, series sorted
+// canonically, histograms with cumulative le buckets.
+func (s *Snapshot) WritePrometheus(w io.Writer, help map[string]string) error {
+	seen := map[string]bool{}
+	header := func(name, typ string) error {
+		if seen[name] {
+			return nil
+		}
+		seen[name] = true
+		if h, ok := help[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		return err
+	}
+	for _, c := range s.Counters {
+		if err := header(c.Name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", c.Name, promLabels(c.Labels), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := header(g.Name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", g.Name, promLabels(g.Labels), promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := header(h.Name, "histogram"); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := promFloat(HistogramBucketBound(b.Index))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", le), cum); err != nil {
+				return err
+			}
+		}
+		if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].Index != histBuckets-1 {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", h.Name, promLabels(h.Labels), promFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", h.Name, promLabels(h.Labels), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus snapshots the registry and writes the text exposition.
+// On a nil registry it writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+	return r.Snapshot().WritePrometheus(w, help)
+}

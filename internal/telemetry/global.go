@@ -1,0 +1,27 @@
+package telemetry
+
+// The global registry holds process-wide metrics whose values depend on
+// warm-up state shared across sessions — the planning, threshold, codec
+// and sampler caches. Those counts are real and useful (the HTTP endpoint
+// and cache-efficiency tests read them) but NOT deterministic per session:
+// a second identically seeded run finds the caches already warm. Session
+// registries (sim.Config.Telemetry) therefore never include them, which is
+// what keeps session snapshots byte-identical across runs.
+var global = New()
+
+// Global returns the process-wide registry. It always exists, so
+// package-level cache instrumentation can register counters at init time;
+// the per-increment cost is one atomic add.
+func Global() *Registry { return global }
+
+// SlotClock converts a monotonically advancing slot index into the
+// deterministic timestamps the telemetry layer requires: seconds =
+// slots × TSlotSeconds. Emitters that count air time in slots (Stream,
+// offline decoders) use it instead of wall time.
+type SlotClock struct {
+	// TSlotSeconds is the slot duration (the paper's prototype: 8 µs).
+	TSlotSeconds float64
+}
+
+// At returns the deterministic time of the given slot index in seconds.
+func (c SlotClock) At(slot int) float64 { return float64(slot) * c.TSlotSeconds }

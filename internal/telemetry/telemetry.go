@@ -1,0 +1,285 @@
+// Package telemetry is SmartVLC's deterministic observability layer: a
+// race-safe metrics registry (atomic counters, gauges, log-bucketed
+// histograms) plus a bounded ring-buffer event tracer, exportable as
+// Prometheus text exposition or canonical JSON.
+//
+// Two rules distinguish it from a general-purpose metrics library:
+//
+//   - Determinism. Timestamps are simulation time (slot index × tslot) or
+//     whatever clock the caller injects — never wall time. Two sessions
+//     with identical config and seed therefore produce byte-identical
+//     snapshots, which is asserted by tests and makes metrics diffable
+//     across runs, machines and CI.
+//
+//   - Nil is the no-op default. Every method on a nil *Registry, *Counter,
+//     *Gauge, *Histogram or *TxMetrics-style holder is a cheap no-op, so
+//     hot paths carry instrument handles unconditionally and pay only a
+//     nil check (zero allocations) when telemetry is off.
+//
+// Instrument handles are created once (Registry.Counter et al. memoize by
+// name+labels) and then operated lock-free via atomics, so one registry
+// can be hammered from concurrent sessions.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Registry holds a set of metric series and an event trace. The zero
+// value is not usable; call New. A nil *Registry is the no-op default:
+// every method on it (and on the nil handles it returns) does nothing.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string
+	trace    trace
+}
+
+// DefaultTraceCapacity bounds the event ring buffer until SetTraceCapacity
+// overrides it. Once full, the oldest events are dropped (and counted).
+const DefaultTraceCapacity = 4096
+
+// New returns an empty registry with the default trace capacity.
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
+	}
+}
+
+// Help attaches Prometheus HELP text to a metric family name.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// seriesKey builds the registry map key for a name and sorted labels.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0xff)
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// makeLabels converts variadic k1,v1,k2,v2 pairs into sorted labels.
+// An odd trailing key is ignored.
+func makeLabels(pairs []string) []Label {
+	n := len(pairs) / 2
+	if n == 0 {
+		return nil
+	}
+	ls := make([]Label, 0, n)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		ls = append(ls, Label{Key: pairs[i], Value: pairs[i+1]})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// Counter is a monotonically increasing integer series. The nil Counter
+// is a no-op.
+type Counter struct {
+	v      atomic.Int64
+	name   string
+	labels []Label
+}
+
+// Counter returns the counter series for name and optional label pairs
+// (k1, v1, k2, v2, ...), creating it on first use. Returns nil on a nil
+// registry.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	ls := makeLabels(labelPairs)
+	k := seriesKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{name: name, labels: ls}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 series holding the latest observed value. The nil
+// Gauge is a no-op.
+type Gauge struct {
+	bits   atomic.Uint64
+	name   string
+	labels []Label
+}
+
+// Gauge returns the gauge series for name and optional label pairs,
+// creating it on first use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	ls := makeLabels(labelPairs)
+	k := seriesKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{name: name, labels: ls}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Set stores v as the gauge's current value. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the fixed bucket count of every histogram: bucket i
+// covers (2^(i-32), 2^(i-31)] so the base-2 grid spans ~4.7e-10 .. 2^31
+// with bucket 0 absorbing everything smaller (including zero) and the
+// last bucket everything larger.
+const histBuckets = 64
+
+// histBound returns bucket i's inclusive upper bound.
+func histBound(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, i-31)
+}
+
+// Histogram is a log2-bucketed distribution with atomic buckets, count
+// and sum. The nil Histogram is a no-op.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+	name    string
+	labels  []Label
+}
+
+// Histogram returns the histogram series for name and optional label
+// pairs, creating it on first use. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	ls := makeLabels(labelPairs)
+	k := seriesKey(name, ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{name: name, labels: ls}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// bucketIndex maps a value to its log2 bucket.
+func bucketIndex(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	f, e := math.Frexp(v) // v = f·2^e, f ∈ [0.5, 1)
+	ceil := e
+	if f == 0.5 {
+		ceil = e - 1
+	}
+	idx := ceil + 31
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one value. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}

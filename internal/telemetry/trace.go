@@ -1,0 +1,90 @@
+package telemetry
+
+import "sync"
+
+// Event is one frame-lifecycle trace point. At is simulation time in
+// seconds (slot index × tslot) or whatever deterministic clock the
+// emitter uses — never wall time, so traces from identically seeded runs
+// are byte-identical.
+type Event struct {
+	// At is the deterministic timestamp in seconds.
+	At float64 `json:"at"`
+	// Kind names the lifecycle stage, e.g. "frame/build", "frame/tx",
+	// "frame/decode", "frame/bad", "frame/ack", "chunk/tx", "chunk/ok".
+	Kind string `json:"kind"`
+	// Seq identifies the frame or chunk the event belongs to (-1 when the
+	// emitter cannot attribute it, e.g. a noise decode).
+	Seq int64 `json:"seq"`
+}
+
+// trace is a bounded ring buffer of events. Once full, the oldest events
+// are overwritten and counted as dropped — long sessions keep the tail of
+// the story, which is the part post-mortems need.
+type trace struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int   // write position
+	total   int64 // events ever emitted
+	dropped int64
+	cap     int
+}
+
+// SetTraceCapacity resizes the event ring. Events already recorded are
+// discarded; call it before the session starts. Zero or negative restores
+// the default capacity.
+func (r *Registry) SetTraceCapacity(n int) {
+	if r == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultTraceCapacity
+	}
+	r.trace.mu.Lock()
+	r.trace.buf = make([]Event, 0, n)
+	r.trace.cap = n
+	r.trace.next = 0
+	r.trace.total = 0
+	r.trace.dropped = 0
+	r.trace.mu.Unlock()
+}
+
+// Emit appends one event to the trace ring at deterministic time at.
+// No-op on a nil registry.
+func (r *Registry) Emit(at float64, kind string, seq int64) {
+	if r == nil {
+		return
+	}
+	t := &r.trace
+	t.mu.Lock()
+	if t.cap == 0 {
+		t.cap = DefaultTraceCapacity
+		t.buf = make([]Event, 0, t.cap)
+	}
+	e := Event{At: at, Kind: kind, Seq: seq}
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+		t.dropped++
+	}
+	t.next = (t.next + 1) % t.cap
+	t.total++
+	t.mu.Unlock()
+}
+
+// events returns the buffered events oldest-first plus the dropped count.
+func (t *trace) events() ([]Event, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.buf) == 0 {
+		return nil, t.dropped
+	}
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < t.cap {
+		out = append(out, t.buf...)
+	} else {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	}
+	return out, t.dropped
+}

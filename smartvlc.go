@@ -109,6 +109,12 @@ func NewAMPPMScheme(cons Constraints) (Scheme, error) { return scheme.NewAMPPM(c
 // supported dimming level. A System is safe for concurrent use.
 type System struct {
 	sch *scheme.AMPPM
+
+	// Telemetry instruments for the one-shot Deliver path; nil (the
+	// default) is a no-op. Set via SetTelemetry (telemetry.go).
+	reg *Telemetry
+	txm *phy.TxMetrics
+	rxm *phy.RxMetrics
 }
 
 // New derives the AMPPM planning table from the constraints (paper §4.2
@@ -243,22 +249,44 @@ func DayCycleAmbient(peakLux, dayLengthSeconds, cloudDip, cloudPeriod float64) T
 // It is the one-shot physical path for applications that frame their own
 // data with BuildFrame; RunSession adds MAC, ARQ and adaptation on top.
 func (s *System) Deliver(g Geometry, ambientLux float64, seed uint64, slots []bool) ([][]byte, error) {
-	ch, err := photon.DefaultLinkBudget().ChannelAt(g, ambientLux)
+	rep, err := s.DeliverStats(g, ambientLux, seed, slots)
 	if err != nil {
 		return nil, err
 	}
+	return rep.Payloads, nil
+}
+
+// DeliverStats is Deliver with the receiver statistics kept: frame
+// outcomes, symbol errors, the per-error tally and the detection
+// threshold. When a registry is attached (SetTelemetry) the transmit and
+// receive paths record into it as well.
+func (s *System) DeliverStats(g Geometry, ambientLux float64, seed uint64, slots []bool) (DeliverReport, error) {
+	ch, err := photon.DefaultLinkBudget().ChannelAt(g, ambientLux)
+	if err != nil {
+		return DeliverReport{}, err
+	}
 	link := phy.DefaultLink(ch)
+	link.Metrics = s.txm
 	rng := rand.New(rand.NewPCG(seed, 0xDE11FE6))
 	link.StartPhase = rng.Float64()
 	samples := link.Transmit(rng, slots)
 	rx := phy.NewReceiver(ch, s.sch.Factory())
-	results, _ := rx.Process(samples)
+	rx.Metrics = s.rxm
+	s.rxm.OnChannel(rx.Threshold())
+	results, st := rx.Process(samples)
 	phy.RecycleSamples(samples)
-	out := make([][]byte, 0, len(results))
-	for _, r := range results {
-		out = append(out, r.Payload)
+	rep := DeliverReport{
+		Payloads:     make([][]byte, 0, len(results)),
+		FramesOK:     st.FramesOK,
+		FramesBad:    st.FramesBad,
+		SymbolErrors: st.SymbolErrors,
+		Errors:       st.Errors,
+		Threshold:    rx.Threshold(),
 	}
-	return out, nil
+	for _, r := range results {
+		rep.Payloads = append(rep.Payloads, r.Payload)
+	}
+	return rep, nil
 }
 
 // LinkQuality reports the slot error probabilities P1/P2 at a geometry

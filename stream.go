@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"smartvlc/internal/frame"
+	"smartvlc/internal/telemetry"
 )
 
 // Stream is a reliable, ordered byte pipe over a simulated SmartVLC link,
@@ -44,6 +45,16 @@ type Stream struct {
 	retries        int
 	airtimeSlots   int
 	bytesDelivered int64
+	attemptCounts  []int64 // attemptCounts[k]: chunks delivered on attempt k+1
+
+	// Telemetry (nil by default — no-op). The stream's clock is its own
+	// cumulative airtime, so identically-seeded streams trace identically.
+	reg      *telemetry.Registry
+	clock    telemetry.SlotClock
+	framesC  *telemetry.Counter
+	retriesC *telemetry.Counter
+	deliverC *telemetry.Counter
+	attemptH *telemetry.Histogram
 }
 
 // OpenStream returns a byte pipe over the given link operating point at
@@ -65,6 +76,29 @@ func (s *System) OpenStream(g Geometry, ambientLux, level float64, seed uint64) 
 		MaxAttempts: 20,
 		ChunkBytes:  126,
 	}, nil
+}
+
+// SetTelemetry attaches a metrics registry to the stream. Chunk
+// lifecycle events are stamped with the stream's simulated clock
+// (cumulative airtime slots × tslot), never wall time. Call before the
+// first Write; a nil registry restores the no-op default.
+func (st *Stream) SetTelemetry(r *telemetry.Registry) {
+	st.reg = r
+	st.clock = telemetry.SlotClock{TSlotSeconds: tslotSeconds}
+	st.framesC = r.Counter("stream_frames_tx_total")
+	st.retriesC = r.Counter("stream_retries_total")
+	st.deliverC = r.Counter("stream_delivered_bytes_total")
+	r.Help("stream_chunk_attempts", "Transmission attempts needed per delivered chunk.")
+	st.attemptH = r.Histogram("stream_chunk_attempts")
+}
+
+// Telemetry returns the snapshot of the attached registry, or nil when
+// none was attached.
+func (st *Stream) Telemetry() *TelemetrySnapshot {
+	if st.reg == nil {
+		return nil
+	}
+	return st.reg.Snapshot()
 }
 
 // SetLevel changes the dimming level for subsequent writes.
@@ -117,6 +151,8 @@ func (st *Stream) sendChunk(data []byte) error {
 		}
 		st.slotBuf = slots
 		st.framesSent++
+		st.framesC.Inc()
+		st.reg.Emit(st.clock.At(st.airtimeSlots), "chunk/tx", int64(st.chunk-1))
 		st.airtimeSlots += len(slots)
 		st.seed++
 		payloads, err := st.sys.Deliver(st.geometry, st.ambient, st.seed, slots)
@@ -127,10 +163,18 @@ func (st *Stream) sendChunk(data []byte) error {
 			if len(pl) >= 4 && bytes.Equal(pl[:4], body[:4]) {
 				st.rx.Write(pl[4:])
 				st.bytesDelivered += int64(len(pl) - 4)
+				st.deliverC.Add(int64(len(pl) - 4))
+				st.attemptH.Observe(float64(attempt + 1))
+				st.reg.Emit(st.clock.At(st.airtimeSlots), "chunk/deliver", int64(st.chunk-1))
+				for len(st.attemptCounts) <= attempt {
+					st.attemptCounts = append(st.attemptCounts, 0)
+				}
+				st.attemptCounts[attempt]++
 				return nil
 			}
 		}
 		st.retries++
+		st.retriesC.Inc()
 	}
 	return fmt.Errorf("smartvlc: chunk %d undeliverable after %d attempts", st.chunk-1, st.MaxAttempts)
 }
@@ -147,11 +191,44 @@ func (st *Stream) Read(p []byte) (int, error) {
 // Buffered returns how many delivered bytes await Read.
 func (st *Stream) Buffered() int { return st.rx.Len() }
 
+// tslotSeconds is the paper's slot time (tslot = 8 µs, f_tx = 125 kHz).
+const tslotSeconds = 8e-6
+
 // AirtimeSeconds returns the total simulated air time spent, including
 // retransmissions.
-func (st *Stream) AirtimeSeconds() float64 { return float64(st.airtimeSlots) * 8e-6 }
+func (st *Stream) AirtimeSeconds() float64 { return float64(st.airtimeSlots) * tslotSeconds }
 
-// Stats returns frames sent, retransmissions, and delivered bytes.
-func (st *Stream) Stats() (frames, retries int, delivered int64) {
+// StreamStats summarizes a stream's transmission history.
+type StreamStats struct {
+	// FramesSent counts every frame put on the air, retransmissions
+	// included.
+	FramesSent int
+	// Retries counts attempts that did not deliver their chunk.
+	Retries int
+	// AirtimeSlots is the cumulative on-air length in slots.
+	AirtimeSlots int
+	// DeliveredBytes is the unique payload delivered to the read side.
+	DeliveredBytes int64
+	// ChunkAttempts is the per-chunk attempt histogram:
+	// ChunkAttempts[k] chunks were delivered on attempt k+1.
+	ChunkAttempts []int64
+}
+
+// Stats returns the stream's transmission statistics.
+func (st *Stream) Stats() StreamStats {
+	return StreamStats{
+		FramesSent:     st.framesSent,
+		Retries:        st.retries,
+		AirtimeSlots:   st.airtimeSlots,
+		DeliveredBytes: st.bytesDelivered,
+		ChunkAttempts:  append([]int64(nil), st.attemptCounts...),
+	}
+}
+
+// LegacyStats returns frames sent, retransmissions, and delivered bytes.
+//
+// Deprecated: use Stats, which also reports airtime and the per-chunk
+// attempt histogram.
+func (st *Stream) LegacyStats() (frames, retries int, delivered int64) {
 	return st.framesSent, st.retries, st.bytesDelivered
 }

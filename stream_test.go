@@ -29,12 +29,23 @@ func TestStreamRoundTrip(t *testing.T) {
 	if !bytes.Equal(got, data) {
 		t.Fatal("stream corrupted data")
 	}
-	frames, _, delivered := st.Stats()
-	if frames < 65 || delivered != int64(len(data)) {
-		t.Fatalf("stats: frames=%d delivered=%d", frames, delivered)
+	stats := st.Stats()
+	if stats.FramesSent < 65 || stats.DeliveredBytes != int64(len(data)) {
+		t.Fatalf("stats: frames=%d delivered=%d", stats.FramesSent, stats.DeliveredBytes)
 	}
-	if st.AirtimeSeconds() <= 0 {
+	if stats.AirtimeSlots <= 0 || st.AirtimeSeconds() <= 0 {
 		t.Fatal("no air time accounted")
+	}
+	var chunks int64
+	for _, n := range stats.ChunkAttempts {
+		chunks += n
+	}
+	if want := int64(len(data)) / int64(st.ChunkBytes); chunks < want {
+		t.Fatalf("attempt histogram covers %d chunks, want ≥%d", chunks, want)
+	}
+	lf, lr, ld := st.LegacyStats()
+	if lf != stats.FramesSent || lr != stats.Retries || ld != stats.DeliveredBytes {
+		t.Fatal("LegacyStats disagrees with Stats")
 	}
 }
 

@@ -1,0 +1,64 @@
+package smartvlc
+
+import (
+	"smartvlc/internal/phy"
+	"smartvlc/internal/telemetry"
+)
+
+// Telemetry re-exports, so applications never import internal packages.
+type (
+	// Telemetry is a deterministic, race-safe metrics registry: counters,
+	// gauges, log-bucketed histograms and a bounded event trace. All
+	// timestamps are simulated time; two identically-seeded sessions
+	// produce byte-identical snapshots.
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a canonical point-in-time export of a registry,
+	// serializable as JSON or Prometheus text exposition.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryEvent is one frame-lifecycle trace entry.
+	TelemetryEvent = telemetry.Event
+)
+
+// NewTelemetry returns an empty registry to pass to SessionConfig.Telemetry,
+// System.SetTelemetry or Stream.SetTelemetry. A nil registry everywhere is
+// a no-op and keeps the hot paths allocation-free.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// GlobalTelemetry returns the process-wide registry holding cache
+// hit/miss counters for the memoized planners and samplers. Its contents
+// depend on process warm-up order, so it is deliberately kept out of
+// per-session snapshots.
+func GlobalTelemetry() *Telemetry { return telemetry.Global() }
+
+// SetTelemetry attaches a registry to the System's one-shot physical path
+// (Deliver/DeliverStats). Call it before sharing the System across
+// goroutines; the registry itself is race-safe, the attachment is not.
+func (s *System) SetTelemetry(r *Telemetry) {
+	s.reg = r
+	s.txm = phy.NewTxMetrics(r)
+	s.rxm = phy.NewRxMetrics(r)
+}
+
+// Telemetry returns the registry attached with SetTelemetry (nil by
+// default).
+func (s *System) Telemetry() *Telemetry { return s.reg }
+
+// DeliverReport is the full outcome of one Deliver call: every cleanly
+// decoded payload plus the receiver statistics Deliver alone discards.
+type DeliverReport struct {
+	// Payloads holds the payload of each frame that decoded cleanly, in
+	// arrival order.
+	Payloads [][]byte
+	// FramesOK counts frames that passed all checks.
+	FramesOK int
+	// FramesBad counts preamble hits that failed header, sync, length or
+	// CRC validation.
+	FramesBad int
+	// SymbolErrors sums constituent symbol anomalies across good frames.
+	SymbolErrors int
+	// Errors tallies parse failures by error text (nil when none).
+	Errors map[string]int
+	// Threshold is the receiver's photon-count decision threshold for
+	// this channel.
+	Threshold int
+}

@@ -1,0 +1,185 @@
+package smartvlc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smartvlc/internal/phy"
+	"smartvlc/internal/photon"
+	"smartvlc/internal/scheme"
+)
+
+func TestDeliverStatsSurfacesReceiverOutcome(t *testing.T) {
+	sys := newSystem(t)
+	slots, err := sys.BuildFrame(0.5, []byte("telemetry probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.DeliverStats(Aligned(3, 0), 500, 7, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FramesOK != 1 || len(rep.Payloads) != 1 {
+		t.Fatalf("clean link: FramesOK=%d payloads=%d", rep.FramesOK, len(rep.Payloads))
+	}
+	if string(rep.Payloads[0]) != "telemetry probe" {
+		t.Fatalf("payload %q", rep.Payloads[0])
+	}
+	if rep.Threshold <= 0 {
+		t.Fatalf("threshold %d not surfaced", rep.Threshold)
+	}
+
+	// Deliver must agree with DeliverStats (it is now a thin wrapper).
+	got, err := sys.Deliver(Aligned(3, 0), 500, 7, slots)
+	if err != nil || len(got) != 1 || !bytes.Equal(got[0], rep.Payloads[0]) {
+		t.Fatalf("Deliver diverged from DeliverStats: %v, %v", got, err)
+	}
+}
+
+func TestDeliverRecordsIntoRegistry(t *testing.T) {
+	sys := newSystem(t)
+	reg := NewTelemetry()
+	sys.SetTelemetry(reg)
+	if sys.Telemetry() != reg {
+		t.Fatal("Telemetry() does not return the attached registry")
+	}
+	slots, err := sys.BuildFrame(0.5, []byte("counted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sys.DeliverStats(Aligned(3, 0), 500, uint64(i), slots); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	find := func(name, k, v string) int64 {
+		for _, c := range snap.Counters {
+			if c.Name != name {
+				continue
+			}
+			if k == "" && len(c.Labels) == 0 {
+				return c.Value
+			}
+			if len(c.Labels) == 1 && c.Labels[0].Key == k && c.Labels[0].Value == v {
+				return c.Value
+			}
+		}
+		return 0
+	}
+	if n := find("phy_tx_frames_total", "", ""); n != 3 {
+		t.Errorf("phy_tx_frames_total=%d, want 3", n)
+	}
+	if n := find("phy_rx_frames_total", "outcome", "ok"); n != 3 {
+		t.Errorf("phy_rx_frames_total{outcome=ok}=%d, want 3", n)
+	}
+
+	// The same snapshot must render as Prometheus exposition too.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `phy_rx_frames_total{outcome="ok"} 3`) {
+		t.Fatalf("exposition missing rx counter:\n%s", sb.String())
+	}
+}
+
+// TestRepeatedLevelSessionHitsCaches is the ISSUE's cache-effectiveness
+// criterion: a session that stays at one dimming level and one operating
+// point must hit the PR 1 memoization caches (codec, super-symbol select,
+// photon sampler, receiver threshold) on >90% of lookups.
+func TestRepeatedLevelSessionHitsCaches(t *testing.T) {
+	sys := newSystem(t)
+	sch := sys.Scheme().(*scheme.AMPPM)
+
+	ch0, cm0 := sch.CodecCacheStats()
+	sh0, sm0 := photon.SamplerCacheStats()
+	th0, tm0 := phy.ThresholdCacheStats()
+
+	st, err := sys.OpenStream(Aligned(3, 0), 500, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write(bytes.Repeat([]byte{0xA5}, 8192)); err != nil {
+		t.Fatal(err)
+	}
+
+	rate := func(what string, h0, m0, h1, m1 int64) float64 {
+		t.Helper()
+		hits, misses := h1-h0, m1-m0
+		if hits+misses == 0 {
+			t.Fatalf("%s cache never consulted", what)
+		}
+		r := float64(hits) / float64(hits+misses)
+		t.Logf("%s: %d hits / %d misses (%.1f%%)", what, hits, misses, 100*r)
+		return r
+	}
+	ch1, cm1 := sch.CodecCacheStats()
+	sh1, sm1 := photon.SamplerCacheStats()
+	th1, tm1 := phy.ThresholdCacheStats()
+	if r := rate("codec", ch0, cm0, ch1, cm1); r <= 0.9 {
+		t.Errorf("codec cache hit rate %.2f ≤ 0.9", r)
+	}
+	if r := rate("sampler", sh0, sm0, sh1, sm1); r <= 0.9 {
+		t.Errorf("sampler cache hit rate %.2f ≤ 0.9", r)
+	}
+	if r := rate("threshold", th0, tm0, th1, tm1); r <= 0.9 {
+		t.Errorf("threshold cache hit rate %.2f ≤ 0.9", r)
+	}
+}
+
+func TestStreamTelemetry(t *testing.T) {
+	sys := newSystem(t)
+	st, err := sys.OpenStream(Aligned(3, 0), 500, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Telemetry() != nil {
+		t.Fatal("telemetry snapshot present before SetTelemetry")
+	}
+	st.SetTelemetry(NewTelemetry())
+	data := bytes.Repeat([]byte{0x3C}, 2048)
+	if _, err := st.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Telemetry()
+	if snap == nil {
+		t.Fatal("no snapshot after instrumented writes")
+	}
+	stats := st.Stats()
+	var frames, delivered int64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "stream_frames_tx_total":
+			frames = c.Value
+		case "stream_delivered_bytes_total":
+			delivered = c.Value
+		}
+	}
+	if frames != int64(stats.FramesSent) {
+		t.Errorf("stream_frames_tx_total=%d, Stats().FramesSent=%d", frames, stats.FramesSent)
+	}
+	if delivered != stats.DeliveredBytes {
+		t.Errorf("stream_delivered_bytes_total=%d, Stats().DeliveredBytes=%d", delivered, stats.DeliveredBytes)
+	}
+	// Chunk events carry the stream's own sim clock: monotone, ≥ 0, and
+	// bounded by the total airtime.
+	var sawTx, sawDeliver bool
+	prev := -1.0
+	for _, e := range snap.Events {
+		if e.At < prev || e.At > st.AirtimeSeconds() {
+			t.Fatalf("event %q at %v outside [%v, %v]", e.Kind, e.At, prev, st.AirtimeSeconds())
+		}
+		prev = e.At
+		switch e.Kind {
+		case "chunk/tx":
+			sawTx = true
+		case "chunk/deliver":
+			sawDeliver = true
+		}
+	}
+	if !sawTx || !sawDeliver {
+		t.Fatalf("chunk lifecycle incomplete: tx=%v deliver=%v", sawTx, sawDeliver)
+	}
+}
