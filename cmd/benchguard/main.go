@@ -1,15 +1,18 @@
-// Command benchguard is the CI gate for the telemetry layer's zero-cost
-// claim: it re-runs the end-to-end frame benchmark with the default
-// (no-op, nil-registry) telemetry and fails when the measured ns/op
-// regresses more than the tolerance over the recorded baseline in
-// results/BENCH_phy.json. It can also capture a deterministic metrics
-// snapshot from a short instrumented session, for upload as a CI
-// artifact.
+// Command benchguard is the CI regression gate for the repo's recorded
+// benchmark baselines: it re-runs guarded benchmark bodies in-process and
+// fails when a measured ns/op regresses more than the tolerance over the
+// recorded number in results/BENCH_phy.json. The default gate covers the
+// telemetry layer's zero-cost claim (end_to_end_frame with the no-op
+// nil-registry default) and the fleet runner's single-worker path
+// (fleet_sessions — the serial baseline the parallel speedups are
+// measured against). It can also capture a deterministic metrics snapshot
+// from a short instrumented session, for upload as a CI artifact.
 //
 // Usage:
 //
 //	go run ./cmd/benchguard [-baseline results/BENCH_phy.json]
-//	    [-tolerance 0.10] [-benchtime 2s] [-snapshot-out metrics.json]
+//	    [-bench end_to_end_frame,fleet_sessions] [-tolerance 0.10]
+//	    [-benchtime 2s] [-snapshot-out metrics.json]
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -34,9 +38,9 @@ type baselineFile struct {
 
 func main() {
 	baselinePath := flag.String("baseline", "results/BENCH_phy.json", "recorded benchmark baseline")
-	benchName := flag.String("bench", "end_to_end_frame", "baseline entry to guard")
+	benchNames := flag.String("bench", "end_to_end_frame,fleet_sessions", "comma-separated baseline entries to guard")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression over baseline")
-	benchtime := flag.Duration("benchtime", 2*time.Second, "minimum measurement time")
+	benchtime := flag.Duration("benchtime", 2*time.Second, "minimum measurement time per benchmark")
 	snapshotOut := flag.String("snapshot-out", "", "also run a short instrumented session and write its telemetry snapshot JSON here")
 	flag.Parse()
 
@@ -52,18 +56,50 @@ func main() {
 		fmt.Printf("wrote %s\n", *snapshotOut)
 	}
 
-	base, err := loadBaseline(*baselinePath, *benchName)
-	if err != nil {
-		fatal(err)
+	bodies := map[string]func() func(b *testing.B){
+		"end_to_end_frame": func() func(b *testing.B) { return endToEndBody(sys) },
+		"fleet_sessions":   func() func(b *testing.B) { return fleetBody(sys) },
 	}
 
+	failed := false
+	for _, name := range strings.Split(*benchNames, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		mk, ok := bodies[name]
+		if !ok {
+			fatal(fmt.Errorf("no benchmark body for %q (known: end_to_end_frame, fleet_sessions)", name))
+		}
+		base, err := loadBaseline(*baselinePath, name)
+		if err != nil {
+			fatal(err)
+		}
+		nsPerOp := measure(*benchtime, mk())
+		limit := base * (1 + *tolerance)
+		fmt.Printf("%s: measured %.0f ns/op, baseline %.0f ns/op, limit %.0f ns/op (+%.0f%%)\n",
+			name, nsPerOp, base, limit, *tolerance*100)
+		if nsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION in %s: %.0f ns/op exceeds %.0f ns/op (%.1f%% over baseline)\n",
+				name, nsPerOp, limit, (nsPerOp/base-1)*100)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: OK")
+}
+
+// endToEndBody is the guarded default configuration: no registry
+// attached, every metric handle nil — the telemetry layer must cost
+// nothing here.
+func endToEndBody(sys *smartvlc.System) func(b *testing.B) {
 	slots, err := sys.BuildFrame(0.5, make([]byte, 128))
 	if err != nil {
 		fatal(err)
 	}
-	// The guarded configuration is the default one: no registry attached,
-	// every metric handle nil — the telemetry layer must cost nothing here.
-	nsPerOp := measure(*benchtime, func(b *testing.B) {
+	return func(b *testing.B) {
 		misses := 0
 		for i := 0; i < b.N; i++ {
 			got, err := sys.Deliver(smartvlc.Aligned(3, 0), 8000, uint64(i), slots)
@@ -77,17 +113,31 @@ func main() {
 		if misses > b.N/20+1 {
 			b.Fatalf("%d/%d frames lost", misses, b.N)
 		}
-	})
-
-	limit := base * (1 + *tolerance)
-	fmt.Printf("%s: measured %.0f ns/op, baseline %.0f ns/op, limit %.0f ns/op (+%.0f%%)\n",
-		*benchName, nsPerOp, base, limit, *tolerance*100)
-	if nsPerOp > limit {
-		fmt.Fprintf(os.Stderr, "benchguard: REGRESSION: %.0f ns/op exceeds %.0f ns/op (%.1f%% over baseline)\n",
-			nsPerOp, limit, (nsPerOp/base-1)*100)
-		os.Exit(1)
 	}
-	fmt.Println("benchguard: OK")
+}
+
+// fleetBody mirrors cmd/phybench's fleet_sessions workload: 8 independent
+// sessions on the single-worker path, guarding the serial baseline that
+// every recorded parallel speedup divides by.
+func fleetBody(sys *smartvlc.System) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfgs := make([]smartvlc.SessionConfig, 8)
+			for j := range cfgs {
+				cfg := smartvlc.DefaultSessionConfig(sys.Scheme())
+				cfg.FixedLevel = 0.5
+				cfg.Seed = uint64(j + 1)
+				cfgs[j] = cfg
+			}
+			fl, err := smartvlc.RunFleet(cfgs, 0.1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(fl.Results) != 8 {
+				b.Fatalf("fleet returned %d sessions", len(fl.Results))
+			}
+		}
+	}
 }
 
 func loadBaseline(path, name string) (float64, error) {

@@ -23,6 +23,7 @@ import (
 
 	"smartvlc"
 	"smartvlc/internal/amppm"
+	"smartvlc/internal/experiments"
 	"smartvlc/internal/frame"
 	"smartvlc/internal/optics"
 	"smartvlc/internal/photon"
@@ -42,6 +43,16 @@ var baselinesNs = map[string]float64{
 	"table_construction": 0,
 }
 
+// serialPeer maps each parallel benchmark to its single-worker twin; the
+// recorded ParallelSpeedup is serial ns/op over parallel ns/op on this
+// machine (so it only exceeds 1 on multi-core hosts — see NumCPU in the
+// report header).
+var serialPeer = map[string]string{
+	"fleet_sessions_parallel":   "fleet_sessions",
+	"fig4_montecarlo_parallel":  "fig4_montecarlo",
+	"broadcast_fanout_parallel": "broadcast_fanout",
+}
+
 type entry struct {
 	Name          string  `json:"name"`
 	NsPerOp       float64 `json:"ns_per_op"`
@@ -49,13 +60,20 @@ type entry struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	BaselineNsOp  float64 `json:"baseline_ns_per_op,omitempty"`
 	SpeedupVsSeed float64 `json:"speedup_vs_baseline,omitempty"`
-	Iterations    int     `json:"iterations"`
+	// Workers is the worker count the benchmark body ran with (0 when the
+	// body has no parallel dimension).
+	Workers int `json:"workers,omitempty"`
+	// ParallelSpeedup is serial-twin ns/op ÷ this entry's ns/op, recorded
+	// on the *_parallel entries.
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	Iterations      int     `json:"iterations"`
 }
 
 type report struct {
 	GeneratedBy string  `json:"generated_by"`
 	Date        string  `json:"date"`
 	GoVersion   string  `json:"go_version"`
+	NumCPU      int     `json:"num_cpu"`
 	Benchtime   string  `json:"benchtime"`
 	Benchmarks  []entry `json:"benchmarks"`
 }
@@ -114,11 +132,76 @@ func main() {
 		fatal(err)
 	}
 
+	// Parallel-engine benchmark bodies, each in a serial and a
+	// many-worker variant over the same workload. fleetCfgs builds fresh
+	// configs per run because registries are stateful.
+	fleetCfgs := func() []smartvlc.SessionConfig {
+		cfgs := make([]smartvlc.SessionConfig, 8)
+		for j := range cfgs {
+			cfg := smartvlc.DefaultSessionConfig(sys.Scheme())
+			cfg.FixedLevel = 0.5
+			cfg.Seed = uint64(j + 1)
+			cfgs[j] = cfg
+		}
+		return cfgs
+	}
+	fleetBody := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fl, err := smartvlc.RunFleet(fleetCfgs(), 0.1, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(fl.Results) != 8 {
+					b.Fatalf("fleet returned %d sessions", len(fl.Results))
+				}
+			}
+		}
+	}
+	mcBody := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, _, err := experiments.Fig4MonteCarloWorkers(40000, 11, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) == 0 {
+					b.Fatal("empty Monte-Carlo result")
+				}
+			}
+		}
+	}
+	bcastBody := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := smartvlc.BroadcastConfig{Workers: workers}
+				cfg.Config = smartvlc.DefaultSessionConfig(sys.Scheme())
+				cfg.FixedLevel = 0.5
+				base := cfg.Geometry
+				cfg.Receivers = []smartvlc.ReceiverPose{
+					{Geometry: base},
+					{Geometry: base, AmbientScale: 1.4},
+					{Geometry: base, AmbientScale: 0.7},
+					{Geometry: base, AmbientScale: 1.1},
+				}
+				res, err := smartvlc.RunBroadcast(cfg, 0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.PerReceiver) != 4 {
+					b.Fatalf("broadcast returned %d receivers", len(res.PerReceiver))
+				}
+			}
+		}
+	}
+	ncpu := runtime.NumCPU()
+
 	benches := []struct {
-		name string
-		body func(b *testing.B)
+		name    string
+		workers int
+		body    func(b *testing.B)
 	}{
-		{"phy_transmit", func(b *testing.B) {
+		{name: "phy_transmit", body: func(b *testing.B) {
 			rng := rand.New(rand.NewPCG(1, 2))
 			l := link
 			for i := 0; i < b.N; i++ {
@@ -127,7 +210,7 @@ func main() {
 				phy.RecycleSamples(samples)
 			}
 		}},
-		{"receiver_process", func(b *testing.B) {
+		{name: "receiver_process", body: func(b *testing.B) {
 			rng := rand.New(rand.NewPCG(3, 4))
 			l := link
 			l.StartPhase = rng.Float64()
@@ -141,7 +224,7 @@ func main() {
 				}
 			}
 		}},
-		{"receiver_hunt", func(b *testing.B) {
+		{name: "receiver_hunt", body: func(b *testing.B) {
 			rng := rand.New(rand.NewPCG(5, 6))
 			samples := link.Transmit(rng, make([]bool, 20000))
 			rx := phy.NewReceiver(ch, sch.Factory())
@@ -152,7 +235,7 @@ func main() {
 				}
 			}
 		}},
-		{"table_construction", func(b *testing.B) {
+		{name: "table_construction", body: func(b *testing.B) {
 			cons := amppm.DefaultConstraints()
 			for i := 0; i < b.N; i++ {
 				// Perturb a constraint below any physical significance so
@@ -169,7 +252,7 @@ func main() {
 				}
 			}
 		}},
-		{"end_to_end_frame", func(b *testing.B) {
+		{name: "end_to_end_frame", body: func(b *testing.B) {
 			misses := 0
 			for i := 0; i < b.N; i++ {
 				got, err := sys.Deliver(smartvlc.Aligned(3, 0), 8000, uint64(i), e2eSlots)
@@ -184,32 +267,50 @@ func main() {
 				b.Fatalf("%d/%d frames lost", misses, b.N)
 			}
 		}},
+		{name: "fleet_sessions", workers: 1, body: fleetBody(1)},
+		{name: "fleet_sessions_parallel", workers: ncpu, body: fleetBody(ncpu)},
+		{name: "fig4_montecarlo", workers: 1, body: mcBody(1)},
+		{name: "fig4_montecarlo_parallel", workers: ncpu, body: mcBody(ncpu)},
+		{name: "broadcast_fanout", workers: 1, body: bcastBody(1)},
+		{name: "broadcast_fanout_parallel", workers: ncpu, body: bcastBody(ncpu)},
 	}
 
 	rep := report{
 		GeneratedBy: "cmd/phybench",
 		Date:        time.Now().UTC().Format("2006-01-02"),
 		GoVersion:   runtime.Version(),
+		NumCPU:      ncpu,
 		Benchtime:   benchtime.String(),
 	}
+	nsByName := map[string]float64{}
 	for _, bm := range benches {
 		r := measure(*benchtime, bm.body)
 		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		nsByName[bm.name] = nsPerOp
 		e := entry{
 			Name:        bm.name,
 			NsPerOp:     nsPerOp,
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+			Workers:     bm.workers,
 			Iterations:  r.N,
 		}
 		if base := baselinesNs[bm.name]; base > 0 {
 			e.BaselineNsOp = base
 			e.SpeedupVsSeed = base / nsPerOp
 		}
+		if peer, ok := serialPeer[bm.name]; ok {
+			if serial := nsByName[peer]; serial > 0 {
+				e.ParallelSpeedup = serial / nsPerOp
+			}
+		}
 		rep.Benchmarks = append(rep.Benchmarks, e)
-		fmt.Printf("%-20s %12.0f ns/op  %8d B/op  %5d allocs/op", bm.name, nsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		fmt.Printf("%-26s %12.0f ns/op  %8d B/op  %5d allocs/op", bm.name, nsPerOp, e.BytesPerOp, e.AllocsPerOp)
 		if e.SpeedupVsSeed > 0 {
 			fmt.Printf("  %.2fx vs baseline", e.SpeedupVsSeed)
+		}
+		if e.ParallelSpeedup > 0 {
+			fmt.Printf("  %.2fx vs serial (%d workers)", e.ParallelSpeedup, e.Workers)
 		}
 		fmt.Println()
 	}

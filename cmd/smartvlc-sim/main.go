@@ -1,11 +1,19 @@
-// Command smartvlc-sim runs one end-to-end SmartVLC link session over the
-// simulated optical channel and prints a throughput/reliability report.
+// Command smartvlc-sim runs one end-to-end SmartVLC link session — or a
+// fleet of them — over the simulated optical channel and prints a
+// throughput/reliability report.
 //
 // Usage examples:
 //
 //	smartvlc-sim -scheme amppm -level 0.3 -distance 3 -seconds 2
 //	smartvlc-sim -scheme ookct -level 0.1 -ambient 9000
 //	smartvlc-sim -scheme amppm -dynamic -seconds 30
+//	smartvlc-sim -sessions 8 -workers 4 -seconds 0.5
+//
+// With -sessions N > 1 the command runs N independent sessions (seeds
+// seed, seed+1, …) across -workers goroutines and reports aggregate
+// throughput plus the sessions/sec wall-clock rate; the metrics flags
+// then export the merged fleet snapshot. Results are byte-identical for
+// every -workers value.
 //
 // With -dynamic the session replays the paper's blind-pull scenario: the
 // ambient light ramps up while the LED adapts to keep the room constant.
@@ -22,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"smartvlc"
 	"smartvlc/internal/stats"
@@ -36,7 +45,9 @@ func main() {
 	payload := flag.Int("payload", 128, "application payload bytes per frame")
 	seconds := flag.Float64("seconds", 2.0, "simulated air time")
 	dynamic := flag.Bool("dynamic", false, "run the dynamic blind-pull scenario instead of a static level")
-	seed := flag.Uint64("seed", 1, "simulation seed")
+	seed := flag.Uint64("seed", 1, "simulation seed (fleet sessions use seed, seed+1, ...)")
+	sessions := flag.Int("sessions", 1, "number of independent sessions to run as a fleet")
+	workers := flag.Int("workers", 0, "goroutines for the fleet (0 = GOMAXPROCS)")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry snapshot to FILE (\"-\" for stdout; .prom suffix selects Prometheus text format)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the snapshot over HTTP at this address after the run (/metrics, /metrics.json)")
 	flag.Parse()
@@ -70,7 +81,13 @@ func main() {
 		cfg.FullLEDLux = 500
 		cfg.Stepper = smartvlc.PerceivedStepper
 	}
-	if *metricsOut != "" || *metricsAddr != "" {
+	wantMetrics := *metricsOut != "" || *metricsAddr != ""
+
+	if *sessions > 1 {
+		runFleet(cfg, sch, *sessions, *workers, *seconds, wantMetrics, *metricsOut, *metricsAddr)
+		return
+	}
+	if wantMetrics {
 		cfg.Telemetry = smartvlc.NewTelemetry()
 	}
 
@@ -109,13 +126,64 @@ func main() {
 	}
 }
 
-// writeMetrics exports the session snapshot: Prometheus exposition when
-// the path ends in .prom, canonical JSON otherwise.
+// runFleet runs the multi-session mode: n sessions with seeds seed,
+// seed+1, ..., each on its own registry when metrics were requested, and
+// reports the aggregate plus the wall-clock sessions/sec rate.
+func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers int, seconds float64, wantMetrics bool, metricsOut, metricsAddr string) {
+	cfgs := make([]smartvlc.SessionConfig, n)
+	for i := range cfgs {
+		cfg := base
+		cfg.Seed = base.Seed + uint64(i)
+		if wantMetrics {
+			cfg.Telemetry = smartvlc.NewTelemetry()
+		}
+		cfgs[i] = cfg
+	}
+	start := time.Now()
+	fl, err := smartvlc.RunFleet(cfgs, seconds, workers)
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+
+	var goodput float64
+	var sent, ok, bad int
+	for _, r := range fl.Results {
+		goodput += r.GoodputBps
+		sent += r.FramesSent
+		ok += r.FramesOK
+		bad += r.FramesBad
+	}
+	fmt.Printf("scheme      : %s\n", sch.Name())
+	fmt.Printf("fleet       : %d sessions x %.2f s simulated, %d workers\n", n, seconds, fl.Workers)
+	fmt.Printf("wall clock  : %.3f s (%.2f sessions/sec)\n", wall.Seconds(), float64(n)/wall.Seconds())
+	fmt.Printf("goodput     : %.1f kbps mean per session (%.1f kbps aggregate)\n",
+		goodput/float64(n)/1000, goodput/1000)
+	fmt.Printf("frames      : sent=%d ok=%d bad=%d\n", sent, ok, bad)
+
+	if metricsOut != "" {
+		if err := writeMetrics(metricsOut, nil, fl.Telemetry); err != nil {
+			fatal(err)
+		}
+	}
+	if metricsAddr != "" {
+		serveMetrics(metricsAddr, nil, fl.Telemetry)
+	}
+}
+
+// writeMetrics exports a snapshot: Prometheus exposition when the path
+// ends in .prom, canonical JSON otherwise. The registry supplies HELP
+// text when available; a nil registry (the merged-fleet case) falls back
+// to the snapshot's own exposition.
 func writeMetrics(path string, reg *smartvlc.Telemetry, snap *smartvlc.TelemetrySnapshot) error {
 	var out []byte
 	if strings.HasSuffix(path, ".prom") {
 		var sb strings.Builder
-		if err := reg.WritePrometheus(&sb); err != nil {
+		if reg != nil {
+			if err := reg.WritePrometheus(&sb); err != nil {
+				return err
+			}
+		} else if err := snap.WritePrometheus(&sb, nil); err != nil {
 			return err
 		}
 		out = []byte(sb.String())
@@ -139,7 +207,13 @@ func serveMetrics(addr string, reg *smartvlc.Telemetry, snap *smartvlc.Telemetry
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		if err := reg.WritePrometheus(w); err != nil {
+		var err error
+		if reg != nil {
+			err = reg.WritePrometheus(w)
+		} else {
+			err = snap.WritePrometheus(w, nil)
+		}
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

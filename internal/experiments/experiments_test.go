@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -289,5 +291,32 @@ func TestFig4MonteCarloAgreesWithEq3(t *testing.T) {
 			t.Errorf("%v: measured %v symbol errors, Eq.3 predicts %v (±%v)",
 				r.Pattern, got, exp, sigma)
 		}
+	}
+}
+
+// TestFig4MonteCarloWorkerInvariant pins the sharded Monte-Carlo to the
+// engine's contract: measured rates are identical for every worker count
+// and GOMAXPROCS, including a budget that doesn't divide evenly into
+// shards.
+func TestFig4MonteCarloWorkerInvariant(t *testing.T) {
+	const symbols = 12500 // 2.5 shards of 5000
+	run := func(workers int) []Fig4MCRow {
+		rows, _, err := Fig4MonteCarloWorkers(symbols, 17, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		ref := run(1)
+		for _, workers := range []int{2, 4, runtime.NumCPU()} {
+			got := run(workers)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("GOMAXPROCS=%d workers=%d: Monte-Carlo rows diverge from serial:\n%+v\nvs\n%+v",
+					procs, workers, got, ref)
+			}
+		}
+		runtime.GOMAXPROCS(prev)
 	}
 }

@@ -1,10 +1,9 @@
 package experiments
 
 import (
-	"math/rand/v2"
-
 	"smartvlc/internal/mppm"
 	"smartvlc/internal/optics"
+	"smartvlc/internal/parallel"
 	"smartvlc/internal/photon"
 	"smartvlc/internal/stats"
 )
@@ -22,13 +21,46 @@ type Fig4MCRow struct {
 	SymbolsSimulated int
 }
 
+// fig4ShardSymbols is the fixed Monte-Carlo shard size. The shard
+// geometry — and with it each shard's RNG stream — depends only on the
+// symbol budget, never on the worker count, so measured rates are
+// identical on every machine.
+const fig4ShardSymbols = 5000
+
+// fig4Patterns are the codebooks the cross-check sweeps (as in Fig. 4).
+var fig4Patterns = []mppm.Pattern{{N: 10, K: 5}, {N: 20, K: 10}, {N: 30, K: 9}, {N: 50, K: 25}}
+
+// fig4Tally accumulates one shard's error counts. Integer sums commute,
+// so folding the tallies in shard order reproduces the serial totals.
+type fig4Tally struct {
+	symErrs, offSlots, onSlots, offErrs, onErrs int
+}
+
+func (t *fig4Tally) add(o fig4Tally) {
+	t.symErrs += o.symErrs
+	t.offSlots += o.offSlots
+	t.onSlots += o.onSlots
+	t.offErrs += o.offErrs
+	t.onErrs += o.onErrs
+}
+
 // Fig4MonteCarlo validates the paper's analytical SER model (Eq. 3, the
 // basis of Fig. 4 and of AMPPM's pattern pruning) against the simulated
 // channel at the calibrated worst-case operating point (3.6 m, bright
 // ambient): slot errors are drawn from the Poisson detector and symbol
 // errors counted directly. Model and simulation must agree for the
-// envelope construction to be trustworthy.
+// envelope construction to be trustworthy. Runs on GOMAXPROCS workers;
+// see Fig4MonteCarloWorkers for the worker-invariance contract.
 func Fig4MonteCarlo(symbols int, seed uint64) ([]Fig4MCRow, stats.Table, error) {
+	return Fig4MonteCarloWorkers(symbols, seed, 0)
+}
+
+// Fig4MonteCarloWorkers is Fig4MonteCarlo with an explicit worker count
+// (workers < 1 selects GOMAXPROCS). The symbol budget is split into
+// fixed-size shards, each drawing from its own PCG stream salted by
+// (pattern, shard); shard tallies merge in shard order. Results are
+// therefore bit-identical for every worker count and GOMAXPROCS.
+func Fig4MonteCarloWorkers(symbols int, seed uint64, workers int) ([]Fig4MCRow, stats.Table, error) {
 	t := stats.Table{
 		Title: "Fig. 4 cross-check — Eq. 3 vs Monte-Carlo channel (3.6 m, 9700 lux)",
 		Headers: []string{"pattern", "P1 meas", "P1 analytic", "P2 meas", "P2 analytic",
@@ -43,48 +75,72 @@ func Fig4MonteCarlo(symbols int, seed uint64) ([]Fig4MCRow, stats.Table, error) 
 	thr := ch.OptimalThreshold()
 	p1a, p2a := ch.ErrorProbs(thr)
 
-	rng := rand.New(rand.NewPCG(seed, 0xF16A))
-	var rows []Fig4MCRow
-	for _, p := range []mppm.Pattern{{N: 10, K: 5}, {N: 20, K: 10}, {N: 30, K: 9}, {N: 50, K: 25}} {
+	// Flatten (pattern × shard) into one job list so small budgets still
+	// fill every worker.
+	shards := parallel.Split(symbols, fig4ShardSymbols)
+	type job struct{ pi, si int }
+	jobs := make([]job, 0, len(fig4Patterns)*len(shards))
+	for pi := range fig4Patterns {
+		for si := range shards {
+			jobs = append(jobs, job{pi, si})
+		}
+	}
+	tallies, err := parallel.Map(workers, len(jobs), func(k int) (fig4Tally, error) {
+		j := jobs[k]
+		p := fig4Patterns[j.pi]
+		// Salt spacing 1<<16 shards per pattern: ~327M symbols headroom.
+		rng := parallel.RNG(seed, 0xF16A0000+uint64(j.pi)<<16, shards[j.si].Index)
 		codec := mppm.NewCodec(p)
 		mask := uint64(1)<<uint(codec.Bits()) - 1
 		cw := make([]bool, p.N)
-		symErrs, offSlots, onSlots, offErrs, onErrs := 0, 0, 0, 0, 0
-		for s := 0; s < symbols; s++ {
+		var tal fig4Tally
+		for s := 0; s < shards[j.si].Count; s++ {
 			v := rng.Uint64() & mask
 			if _, err := codec.Encode(v, cw); err != nil {
-				return nil, t, err
+				return fig4Tally{}, err
 			}
 			bad := false
 			for _, on := range cw {
 				intensity := 0.0
 				if on {
 					intensity = 1
-					onSlots++
+					tal.onSlots++
 				} else {
-					offSlots++
+					tal.offSlots++
 				}
 				count := ch.SampleCount(rng, intensity, 1)
 				decided := count >= thr
 				if decided != on {
 					bad = true
 					if on {
-						onErrs++
+						tal.onErrs++
 					} else {
-						offErrs++
+						tal.offErrs++
 					}
 				}
 			}
 			if bad {
-				symErrs++
+				tal.symErrs++
 			}
+		}
+		return tal, nil
+	})
+	if err != nil {
+		return nil, t, err
+	}
+
+	var rows []Fig4MCRow
+	for pi, p := range fig4Patterns {
+		var tal fig4Tally
+		for si := range shards {
+			tal.add(tallies[pi*len(shards)+si])
 		}
 		row := Fig4MCRow{
 			Pattern:          p,
 			AnalyticSER:      p.SER(p1a, p2a),
-			MeasuredSER:      float64(symErrs) / float64(symbols),
-			MeasuredP1:       float64(offErrs) / float64(offSlots),
-			MeasuredP2:       float64(onErrs) / float64(onSlots),
+			MeasuredSER:      float64(tal.symErrs) / float64(symbols),
+			MeasuredP1:       float64(tal.offErrs) / float64(tal.offSlots),
+			MeasuredP2:       float64(tal.onErrs) / float64(tal.onSlots),
 			AnalyticP1:       p1a,
 			AnalyticP2:       p2a,
 			SymbolsSimulated: symbols,

@@ -1,0 +1,183 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-5) = %d", got)
+	}
+}
+
+func TestSplitGeometry(t *testing.T) {
+	if s := Split(0, 10); s != nil {
+		t.Fatalf("Split(0) = %v", s)
+	}
+	cases := []struct {
+		total, size int
+		counts      []int
+	}{
+		{10, 10, []int{10}},
+		{10, 4, []int{4, 4, 2}},
+		{9, 3, []int{3, 3, 3}},
+		{5, 100, []int{5}},
+		{7, 0, []int{7}}, // size<=0 means one shard
+	}
+	for _, c := range cases {
+		shards := Split(c.total, c.size)
+		if len(shards) != len(c.counts) {
+			t.Fatalf("Split(%d,%d): %d shards, want %d", c.total, c.size, len(shards), len(c.counts))
+		}
+		next := 0
+		for i, sh := range shards {
+			if sh.Index != i || sh.Start != next || sh.Count != c.counts[i] {
+				t.Fatalf("Split(%d,%d)[%d] = %+v, want start %d count %d", c.total, c.size, i, sh, next, c.counts[i])
+			}
+			next += sh.Count
+		}
+		if next != c.total {
+			t.Fatalf("Split(%d,%d) covers %d items", c.total, c.size, next)
+		}
+	}
+}
+
+func TestRNGStreams(t *testing.T) {
+	a1, a2 := RNG(7, 100, 0), RNG(7, 100, 0)
+	for i := 0; i < 64; i++ {
+		if a1.Uint64() != a2.Uint64() {
+			t.Fatal("identical (seed,salt,shard) does not reproduce the stream")
+		}
+	}
+	// Sibling shards must diverge immediately-ish.
+	c1, c2 := RNG(7, 100, 0), RNG(7, 100, 1)
+	diverged := false
+	for i := 0; i < 8; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("sibling shards share a stream")
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	ran := make([]atomic.Bool, 10)
+	err := ForEach(4, 10, func(i int) error {
+		ran[i].Store(true)
+		switch i {
+		case 3:
+			return errB
+		case 2:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want lowest-index error %v", err, errA)
+	}
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("index %d skipped after sibling error", i)
+		}
+	}
+}
+
+func TestPoolReuseAndRun(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Fatalf("workers %d", p.Workers())
+	}
+	var total atomic.Int64
+	for round := 0; round < 50; round++ {
+		p.Run(8, func(i int) { total.Add(int64(i)) })
+	}
+	if got := total.Load(); got != 50*28 {
+		t.Fatalf("sum %d, want %d", got, 50*28)
+	}
+	out := make([]int, 16)
+	if err := p.ForEach(16, func(i int) error { out[i] = i + 1; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if err := p.ForEach(4, func(i int) error {
+		if i == 1 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	}); err == nil || err.Error() != "boom 1" {
+		t.Fatalf("pool error propagation: %v", err)
+	}
+	p.Close() // idempotent
+}
+
+// TestShardedSumWorkerInvariant is the engine's core contract in
+// miniature: a sharded Monte-Carlo accumulation merged in shard order
+// must produce identical results for every worker count and GOMAXPROCS.
+func TestShardedSumWorkerInvariant(t *testing.T) {
+	run := func(workers int) []uint64 {
+		shards := Split(100000, 1337)
+		sums, err := Map(workers, len(shards), func(i int) (uint64, error) {
+			rng := RNG(42, 0xABCD, shards[i].Index)
+			var s uint64
+			for k := 0; k < shards[i].Count; k++ {
+				s += rng.Uint64() >> 32
+			}
+			return s, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sums
+	}
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		ref := run(1)
+		for _, workers := range []int{2, 4, 9} {
+			got := run(workers)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("GOMAXPROCS=%d workers=%d: shard %d sum %d != serial %d",
+						procs, workers, i, got[i], ref[i])
+				}
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}

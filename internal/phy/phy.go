@@ -467,7 +467,20 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 		}
 	}
 	i := 0
-	for i+frame.PreambleSlots*Oversample < len(samples) {
+	limit := len(samples) - frame.PreambleSlots*Oversample
+	thr := r.thr
+	for i < limit {
+		// Skip-scan: the preamble starts with an ON slot, so any offset
+		// whose slot-0 window sits below threshold cannot match. This tight
+		// loop covers the dominant idle stretches at one compare per offset
+		// instead of a preambleAt call. (limit <= len(win3) always:
+		// PreambleSlots*Oversample > 3.)
+		for i < limit && win3[i] < thr {
+			i++
+		}
+		if i >= limit {
+			break
+		}
 		if !r.preambleAt(win3, i) {
 			i++
 			continue

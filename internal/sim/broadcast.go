@@ -9,6 +9,7 @@ import (
 	"smartvlc/internal/light"
 	"smartvlc/internal/mac"
 	"smartvlc/internal/optics"
+	"smartvlc/internal/parallel"
 	"smartvlc/internal/phy"
 	"smartvlc/internal/stats"
 	"smartvlc/internal/telemetry"
@@ -39,6 +40,11 @@ type BroadcastConfig struct {
 	Config
 	// Receivers lists the receiver poses; at least one is required.
 	Receivers []ReceiverPose
+	// Workers bounds the goroutines used for the per-receiver PHY work of
+	// each frame window. Zero or one keeps the session single-threaded; a
+	// negative value selects GOMAXPROCS. Results and telemetry are
+	// byte-identical for every value — see the fan-out below.
+	Workers int
 }
 
 // ReceiverOutcome summarizes one receiver's session.
@@ -126,6 +132,16 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		controller.Metrics = light.NewMetrics(reg)
 	}
 
+	// rxOutbox buffers one frame window's side-channel traffic for one
+	// receiver. The PHY work of a window runs concurrently per receiver,
+	// but side.Send consumes the shared sideRng (loss and jitter draws), so
+	// the sends are recorded here and replayed sequentially in receiver
+	// order — exactly the sequence the serial loop produces.
+	type rxOutbox struct {
+		ackSeqs    []uint16
+		ambient    float64
+		hasAmbient bool
+	}
 	type rxState struct {
 		rng      *rand.Rand
 		link     phy.Link
@@ -136,11 +152,12 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		reported bool
 		sumAcc   float64
 		sumN     int
+		out      rxOutbox
 	}
 	rxs := make([]*rxState, nRx)
 	for i := range rxs {
 		rxs[i] = &rxState{
-			rng:     rand.New(rand.NewPCG(cfg.Seed, 0xBEEF00+uint64(i))),
+			rng:     parallel.RNG(cfg.Seed, 0xBEEF00, i),
 			macRx:   mac.NewReceiverSide(cfg.PayloadBytes),
 			lastLux: math.Inf(-1),
 		}
@@ -172,6 +189,22 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	codecs := map[float64]frame.PayloadCodec{}
 	smoothed, smoothedSet := 0.0, false
 	lastT := 0.0
+
+	// One persistent pool per session when parallel receivers are asked
+	// for: Workers 0 and 1 stay on the caller's goroutine, negative picks
+	// GOMAXPROCS, and the count never exceeds the receiver fan-out.
+	workers := cfg.Workers
+	if workers < 0 {
+		workers = parallel.Workers(0)
+	}
+	if workers > nRx {
+		workers = nRx
+	}
+	var pool *parallel.Pool
+	if workers > 1 {
+		pool = parallel.NewPool(workers)
+		defer pool.Close()
+	}
 
 	var res BroadcastResult
 	var slotBuf []bool // frame slot waveform, reused across frames
@@ -269,16 +302,22 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		airtimeH.Observe(float64(len(slots)))
 		reg.Emit(now, "frame/tx", int64(seq))
 
-		for i := range rxs {
+		// Per-receiver PHY + decode: each receiver owns its rng, link,
+		// receiver state and outbox, so the bodies are independent. The
+		// only shared state they touch is the PHY metrics counters, whose
+		// atomic adds commute — a snapshot cannot tell in which order they
+		// landed. Everything order-sensitive (side-channel sends drawing on
+		// sideRng, trace emits) goes through the outbox replay below.
+		processRx := func(i int) {
 			st := rxs[i]
+			st.out = rxOutbox{ackSeqs: st.out.ackSeqs[:0]}
 			st.link.StartPhase = st.rng.Float64()
 			samples := st.link.Transmit(st.rng, slots)
 			results, _ := st.rx.Process(samples)
 			phy.RecycleSamples(samples)
 			for _, r := range results {
 				if gotSeq, ackIt := st.macRx.OnFrame(r.Payload); ackIt {
-					reg.Emit(now+airtime, "frame/decode", int64(gotSeq))
-					side.Send(now+airtime, mac.Message{Kind: mac.KindAck, From: i, Seq: gotSeq})
+					st.out.ackSeqs = append(st.out.ackSeqs, gotSeq)
 				}
 			}
 			if counts, okA := st.rx.AmbientWindowCounts(); okA {
@@ -286,10 +325,30 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 				if amb < 0 {
 					amb = 0
 				}
+				st.out.ambient = amb / cfg.Budget.AmbientCountsPerLux
+				st.out.hasAmbient = true
+			}
+		}
+		if pool != nil {
+			pool.Run(nRx, processRx)
+		} else {
+			for i := 0; i < nRx; i++ {
+				processRx(i)
+			}
+		}
+		// Deterministic merge: replay the buffered sends in receiver order,
+		// reproducing the serial loop's event and sideRng sequence exactly.
+		for i := range rxs {
+			out := &rxs[i].out
+			for _, seq := range out.ackSeqs {
+				reg.Emit(now+airtime, "frame/decode", int64(seq))
+				side.Send(now+airtime, mac.Message{Kind: mac.KindAck, From: i, Seq: seq})
+			}
+			if out.hasAmbient {
 				side.Send(now+airtime, mac.Message{
 					Kind: mac.KindAmbientReport,
 					From: i,
-					Lux:  amb / cfg.Budget.AmbientCountsPerLux,
+					Lux:  out.ambient,
 				})
 			}
 		}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+
+	"smartvlc/internal/parallel"
+	"smartvlc/internal/telemetry"
+)
+
+// FleetResult aggregates a fleet of independent sessions.
+type FleetResult struct {
+	// Results holds each session's outcome, in config order.
+	Results []Result
+	// Workers is the resolved worker count the fleet ran on.
+	Workers int
+	// Telemetry merges the per-session snapshots (counters and histogram
+	// occupancies summed, gauges averaged, event traces elided) for the
+	// sessions that carried a registry; nil when none did.
+	Telemetry *telemetry.Snapshot
+}
+
+// RunFleet runs one session per config concurrently across at most
+// workers goroutines (workers < 1 selects GOMAXPROCS) and returns the
+// results in config order. Sessions are fully independent — each draws
+// from RNG streams derived from its own Seed and records into its own
+// registry — so the fleet result is byte-identical for every worker
+// count: Results[i] and its snapshot match a serial Run of cfgs[i], and
+// the merged snapshot is a sequential fold in config order.
+//
+// Configs that share a telemetry registry are rejected: concurrent
+// sessions writing one registry would interleave event traces
+// nondeterministically. Give each session its own registry (or none) and
+// read the merged snapshot.
+func RunFleet(cfgs []Config, duration float64, workers int) (FleetResult, error) {
+	if len(cfgs) == 0 {
+		return FleetResult{}, fmt.Errorf("sim: fleet needs at least one config")
+	}
+	seen := make(map[*telemetry.Registry]int, len(cfgs))
+	for i, cfg := range cfgs {
+		if cfg.Telemetry == nil {
+			continue
+		}
+		if j, dup := seen[cfg.Telemetry]; dup {
+			return FleetResult{}, fmt.Errorf("sim: fleet configs %d and %d share a telemetry registry", j, i)
+		}
+		seen[cfg.Telemetry] = i
+	}
+
+	w := parallel.Workers(workers)
+	if w > len(cfgs) {
+		w = len(cfgs)
+	}
+	results, err := parallel.Map(w, len(cfgs), func(i int) (Result, error) {
+		return Run(cfgs[i], duration)
+	})
+	if err != nil {
+		return FleetResult{}, err
+	}
+
+	out := FleetResult{Results: results, Workers: w}
+	snaps := make([]*telemetry.Snapshot, 0, len(results))
+	for _, r := range results {
+		if r.Telemetry != nil {
+			snaps = append(snaps, r.Telemetry)
+		}
+	}
+	if len(snaps) > 0 {
+		out.Telemetry = telemetry.Merge(snaps...)
+	}
+	return out, nil
+}

@@ -117,6 +117,17 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 		s.Histograms = append(s.Histograms, hs)
 	}
+	s.sortCanonical()
+	s.Events, s.EventsDropped = r.trace.events()
+	r.trace.mu.Lock()
+	s.EventsTotal = r.trace.total
+	r.trace.mu.Unlock()
+	return s
+}
+
+// sortCanonical imposes the canonical series order — by name, then label
+// signature — that makes snapshot exports byte-comparable.
+func (s *Snapshot) sortCanonical() {
 	sort.Slice(s.Counters, func(i, j int) bool {
 		if s.Counters[i].Name != s.Counters[j].Name {
 			return s.Counters[i].Name < s.Counters[j].Name
@@ -135,11 +146,6 @@ func (r *Registry) Snapshot() *Snapshot {
 		}
 		return labelSig(s.Histograms[i].Labels) < labelSig(s.Histograms[j].Labels)
 	})
-	s.Events, s.EventsDropped = r.trace.events()
-	r.trace.mu.Lock()
-	s.EventsTotal = r.trace.total
-	r.trace.mu.Unlock()
-	return s
 }
 
 // JSON marshals the snapshot as canonical indented JSON: fixed field

@@ -1,0 +1,105 @@
+package telemetry
+
+import "sort"
+
+// Merge combines per-session snapshots into one fleet aggregate. The
+// merge is a pure, sequential fold over the argument order, so as long as
+// the caller passes the snapshots in a deterministic order (e.g. session
+// index), the result is byte-identical no matter how many workers
+// produced the inputs. Nil snapshots are skipped.
+//
+// Series semantics:
+//
+//   - Counters sum per (name, labels) series — a fleet-wide event count.
+//   - Histograms sum bucket occupancies, counts and sums — the fleet
+//     distribution is the union of the session distributions.
+//   - Gauges take the arithmetic mean over the snapshots that carry the
+//     series: a gauge is a level, not a flow, and the mean is the one
+//     aggregate that is meaningful for both rates (mean session goodput)
+//     and settings (mean dimming level).
+//   - Events are elided: each session's trace runs on its own simulated
+//     clock, so interleaving them would juxtapose unrelated time axes.
+//     EventsTotal and EventsDropped still sum, recording the volume.
+func Merge(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{
+		Counters:   []CounterSnapshot{},
+		Gauges:     []GaugeSnapshot{},
+		Histograms: []HistogramSnapshot{},
+	}
+	counters := map[string]*CounterSnapshot{}
+	type gaugeAcc struct {
+		snap GaugeSnapshot
+		n    int
+	}
+	gauges := map[string]*gaugeAcc{}
+	type histAcc struct {
+		snap    HistogramSnapshot
+		buckets map[int]int64
+	}
+	hists := map[string]*histAcc{}
+
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for _, c := range s.Counters {
+			k := c.Name + "\xff" + labelSig(c.Labels)
+			if acc, ok := counters[k]; ok {
+				acc.Value += c.Value
+			} else {
+				cc := c
+				counters[k] = &cc
+			}
+		}
+		for _, g := range s.Gauges {
+			k := g.Name + "\xff" + labelSig(g.Labels)
+			if acc, ok := gauges[k]; ok {
+				acc.snap.Value += g.Value
+				acc.n++
+			} else {
+				gauges[k] = &gaugeAcc{snap: g, n: 1}
+			}
+		}
+		for _, h := range s.Histograms {
+			k := h.Name + "\xff" + labelSig(h.Labels)
+			acc, ok := hists[k]
+			if !ok {
+				acc = &histAcc{
+					snap:    HistogramSnapshot{Name: h.Name, Labels: h.Labels},
+					buckets: map[int]int64{},
+				}
+				hists[k] = acc
+			}
+			acc.snap.Count += h.Count
+			acc.snap.Sum += h.Sum
+			for _, b := range h.Buckets {
+				acc.buckets[b.Index] += b.Count
+			}
+		}
+		out.EventsTotal += s.EventsTotal
+		out.EventsDropped += s.EventsDropped
+	}
+
+	for _, c := range counters {
+		out.Counters = append(out.Counters, *c)
+	}
+	for _, g := range gauges {
+		gs := g.snap
+		gs.Value /= float64(g.n)
+		out.Gauges = append(out.Gauges, gs)
+	}
+	for _, h := range hists {
+		hs := h.snap
+		idxs := make([]int, 0, len(h.buckets))
+		for i := range h.buckets {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			hs.Buckets = append(hs.Buckets, Bucket{Index: i, Count: h.buckets[i]})
+		}
+		out.Histograms = append(out.Histograms, hs)
+	}
+	out.sortCanonical()
+	return out
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sessionSnapshot(seed int64) *Snapshot {
+	r := New()
+	r.Counter("frames_total").Add(10 + seed)
+	r.Counter("frames_total", "outcome", "bad").Add(seed)
+	r.Gauge("goodput_bps").Set(float64(1000 * (seed + 1)))
+	h := r.Histogram("airtime_slots")
+	h.Observe(float64(4 * (seed + 1)))
+	h.Observe(3)
+	r.Emit(0.5, "frame/tx", seed)
+	return r.Snapshot()
+}
+
+func TestMergeAggregates(t *testing.T) {
+	m := Merge(sessionSnapshot(1), nil, sessionSnapshot(2))
+
+	wantCounter := func(name, lk, lv string, want int64) {
+		t.Helper()
+		for _, c := range m.Counters {
+			if c.Name != name {
+				continue
+			}
+			if lk == "" && len(c.Labels) == 0 || len(c.Labels) == 1 && c.Labels[0].Key == lk && c.Labels[0].Value == lv {
+				if c.Value != want {
+					t.Errorf("%s{%s=%s} = %d, want %d", name, lk, lv, c.Value, want)
+				}
+				return
+			}
+		}
+		t.Errorf("counter %s{%s=%s} missing", name, lk, lv)
+	}
+	wantCounter("frames_total", "", "", 11+12)
+	wantCounter("frames_total", "outcome", "bad", 3)
+
+	if len(m.Gauges) != 1 || m.Gauges[0].Value != (2000+3000)/2 {
+		t.Fatalf("gauge mean: %+v", m.Gauges)
+	}
+	if len(m.Histograms) != 1 {
+		t.Fatalf("histograms: %+v", m.Histograms)
+	}
+	h := m.Histograms[0]
+	if h.Count != 4 || h.Sum != 8+3+12+3 {
+		t.Fatalf("histogram count=%d sum=%v", h.Count, h.Sum)
+	}
+	var bucketTotal int64
+	for _, b := range h.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != 4 {
+		t.Fatalf("bucket occupancy %d", bucketTotal)
+	}
+	if len(m.Events) != 0 || m.EventsTotal != 2 {
+		t.Fatalf("events must be elided with totals kept: %d events, total %d", len(m.Events), m.EventsTotal)
+	}
+}
+
+// TestMergeCanonical: the merged snapshot must export byte-identically
+// regardless of input construction history, and merging zero snapshots
+// must yield the canonical empty snapshot.
+func TestMergeCanonical(t *testing.T) {
+	a, err := Merge(sessionSnapshot(3), sessionSnapshot(4)).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Merge(sessionSnapshot(3), sessionSnapshot(4)).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("merge is not reproducible")
+	}
+	empty, err := Merge().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := (&Snapshot{Counters: []CounterSnapshot{}, Gauges: []GaugeSnapshot{}, Histograms: []HistogramSnapshot{}}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(empty, ref) {
+		t.Fatalf("empty merge:\n%s", empty)
+	}
+}

@@ -65,6 +65,9 @@ type (
 	ReceiverPose = sim.ReceiverPose
 	// BroadcastResult carries a broadcast session's outcome.
 	BroadcastResult = sim.BroadcastResult
+	// FleetResult carries a multi-session fleet's per-session results and
+	// merged telemetry.
+	FleetResult = sim.FleetResult
 	// Series is a named time series in session results.
 	Series = stats.Series
 	// Stepper plans flicker-free dimming transitions.
@@ -203,9 +206,20 @@ func RunSession(cfg SessionConfig, durationSeconds float64) (SessionResult, erro
 
 // RunBroadcast simulates a one-luminaire, many-receiver session with
 // reliable multicast ARQ; the dimming controller follows the darkest desk
-// so every receiver reaches the target illumination.
+// so every receiver reaches the target illumination. Set cfg.Workers to
+// spread the per-receiver PHY work of each frame window across
+// goroutines; the result is byte-identical for every worker count.
 func RunBroadcast(cfg BroadcastConfig, durationSeconds float64) (BroadcastResult, error) {
 	return sim.RunBroadcast(cfg, durationSeconds)
+}
+
+// RunFleet runs one independent session per config across at most
+// workers goroutines (workers < 1 selects GOMAXPROCS) and returns the
+// results in config order together with a merged telemetry snapshot.
+// Every per-session result — and the merged snapshot — is byte-identical
+// for every worker count; see sim.RunFleet for the determinism contract.
+func RunFleet(cfgs []SessionConfig, durationSeconds float64, workers int) (FleetResult, error) {
+	return sim.RunFleet(cfgs, durationSeconds, workers)
 }
 
 // Steppers for SessionConfig (paper Fig. 19c comparison).

@@ -24,6 +24,16 @@ type (
 // a no-op and keeps the hot paths allocation-free.
 func NewTelemetry() *Telemetry { return telemetry.New() }
 
+// MergeTelemetry combines per-session snapshots into one fleet-level
+// aggregate: counters and histogram occupancies sum, gauges average over
+// the sessions carrying them, and event traces are elided (their volume
+// counters still sum). The fold is sequential over the argument order, so
+// passing snapshots in session order yields a deterministic result; nil
+// snapshots are skipped. RunFleet applies this to its sessions already.
+func MergeTelemetry(snaps ...*TelemetrySnapshot) *TelemetrySnapshot {
+	return telemetry.Merge(snaps...)
+}
+
 // GlobalTelemetry returns the process-wide registry holding cache
 // hit/miss counters for the memoized planners and samplers. Its contents
 // depend on process warm-up order, so it is deliberately kept out of
