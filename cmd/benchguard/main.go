@@ -2,11 +2,12 @@
 // benchmark baselines: it re-runs guarded benchmark bodies in-process and
 // fails when a measured ns/op regresses more than the tolerance over the
 // recorded number in results/BENCH_phy.json. The default gate covers the
-// telemetry layer's zero-cost claim (end_to_end_frame with the no-op
-// nil-registry default) and the fleet runner's single-worker path
-// (fleet_sessions — the serial baseline the parallel speedups are
-// measured against). It can also capture a deterministic metrics snapshot
-// from a short instrumented session, for upload as a CI artifact.
+// observability layers' zero-cost claim (end_to_end_frame with both no-op
+// defaults: nil metrics registry AND nil span collector) and the fleet
+// runner's single-worker path (fleet_sessions — the serial baseline the
+// parallel speedups are measured against). It can also capture a
+// deterministic metrics snapshot from a short instrumented session, for
+// upload as a CI artifact.
 //
 // Usage:
 //
@@ -91,9 +92,11 @@ func main() {
 	fmt.Println("benchguard: OK")
 }
 
-// endToEndBody is the guarded default configuration: no registry
-// attached, every metric handle nil — the telemetry layer must cost
-// nothing here.
+// endToEndBody is the guarded default configuration: no registry and no
+// span collector attached, every metric handle and span hook nil — both
+// observability layers must cost nothing here. The spans-enabled twin
+// (end_to_end_frame_spans in results/BENCH_phy.json) records the price of
+// turning tracing on, for comparison rather than gating.
 func endToEndBody(sys *smartvlc.System) func(b *testing.B) {
 	slots, err := sys.BuildFrame(0.5, make([]byte, 128))
 	if err != nil {

@@ -132,6 +132,15 @@ func main() {
 		fatal(err)
 	}
 
+	// Spans-enabled twin of end_to_end_frame on its own System, so the
+	// nil-collector default path above stays untouched. The collector is a
+	// bounded ring, so steady-state iterations recycle its slots.
+	sysSpans, err := smartvlc.New(smartvlc.DefaultConstraints())
+	if err != nil {
+		fatal(err)
+	}
+	sysSpans.SetSpans(smartvlc.NewSpanCollector())
+
 	// Parallel-engine benchmark bodies, each in a serial and a
 	// many-worker variant over the same workload. fleetCfgs builds fresh
 	// configs per run because registries are stateful.
@@ -256,6 +265,21 @@ func main() {
 			misses := 0
 			for i := 0; i < b.N; i++ {
 				got, err := sys.Deliver(smartvlc.Aligned(3, 0), 8000, uint64(i), e2eSlots)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(got) != 1 {
+					misses++ // rare phase corners lose a frame; ARQ covers them
+				}
+			}
+			if misses > b.N/20+1 {
+				b.Fatalf("%d/%d frames lost", misses, b.N)
+			}
+		}},
+		{name: "end_to_end_frame_spans", body: func(b *testing.B) {
+			misses := 0
+			for i := 0; i < b.N; i++ {
+				got, err := sysSpans.Deliver(smartvlc.Aligned(3, 0), 8000, uint64(i), e2eSlots)
 				if err != nil {
 					b.Fatal(err)
 				}

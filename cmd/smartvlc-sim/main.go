@@ -22,6 +22,14 @@
 // snapshot as JSON ("-" for stdout, or a .prom suffix for Prometheus text
 // exposition); -metrics-addr HOST:PORT additionally serves the snapshot
 // over HTTP at /metrics (Prometheus) and /metrics.json after the run.
+//
+// Tracing: -trace-out FILE writes the session's causal frame spans as a
+// Chrome trace_event file (open it in Perfetto or chrome://tracing); with
+// -metrics-addr the same trace is served at /trace. -flight-dir DIR arms
+// the anomaly flight recorder — decode failures, hunt misses and ACK
+// timeouts dump diagnostic bundles there (inspect with vlctrace bundle).
+// In fleet mode, -trace-dir DIR writes one span snapshot and one Chrome
+// trace per session.
 package main
 
 import (
@@ -49,7 +57,10 @@ func main() {
 	sessions := flag.Int("sessions", 1, "number of independent sessions to run as a fleet")
 	workers := flag.Int("workers", 0, "goroutines for the fleet (0 = GOMAXPROCS)")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry snapshot to FILE (\"-\" for stdout; .prom suffix selects Prometheus text format)")
-	metricsAddr := flag.String("metrics-addr", "", "serve the snapshot over HTTP at this address after the run (/metrics, /metrics.json)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the snapshot over HTTP at this address after the run (/metrics, /metrics.json, /trace)")
+	traceOut := flag.String("trace-out", "", "write the session's frame spans to FILE as a Chrome trace_event JSON (Perfetto-loadable)")
+	traceDir := flag.String("trace-dir", "", "fleet mode: write per-session span snapshots and Chrome traces into DIR")
+	flightDir := flag.String("flight-dir", "", "arm the anomaly flight recorder, writing diagnostic bundles into DIR")
 	flag.Parse()
 
 	var sch smartvlc.Scheme
@@ -82,13 +93,25 @@ func main() {
 		cfg.Stepper = smartvlc.PerceivedStepper
 	}
 	wantMetrics := *metricsOut != "" || *metricsAddr != ""
+	wantSpans := *traceOut != "" || *metricsAddr != ""
 
 	if *sessions > 1 {
-		runFleet(cfg, sch, *sessions, *workers, *seconds, wantMetrics, *metricsOut, *metricsAddr)
+		runFleet(cfg, sch, *sessions, *workers, *seconds, wantMetrics, *metricsOut, *metricsAddr, *traceDir)
 		return
 	}
 	if wantMetrics {
 		cfg.Telemetry = smartvlc.NewTelemetry()
+	}
+	if wantSpans {
+		cfg.Spans = smartvlc.NewSpanCollector()
+	}
+	var flightRec *smartvlc.FlightRecorder
+	if *flightDir != "" {
+		flightRec, err = smartvlc.NewFlightRecorder(smartvlc.FlightConfig{Dir: *flightDir})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Flight = flightRec
 	}
 
 	res, err := smartvlc.RunSession(cfg, *seconds)
@@ -116,26 +139,60 @@ func main() {
 		fmt.Printf("sum stats   : mean=%.3f std=%.3f (constant-illumination check)\n", sum.Mean, sum.Std)
 	}
 
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, res.Spans); err != nil {
+			fatal(err)
+		}
+	}
+	if flightRec != nil {
+		bundles := flightRec.Bundles()
+		fmt.Printf("flight      : %d triggers, %d bundles\n", flightRec.Triggers(), len(bundles))
+		for _, b := range bundles {
+			fmt.Printf("              %s\n", b)
+		}
+	}
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, cfg.Telemetry, res.Telemetry); err != nil {
 			fatal(err)
 		}
 	}
 	if *metricsAddr != "" {
-		serveMetrics(*metricsAddr, cfg.Telemetry, res.Telemetry)
+		serveMetrics(*metricsAddr, cfg.Telemetry, res.Telemetry, res.Spans)
 	}
+}
+
+// writeTrace exports a span snapshot as a Chrome trace_event file.
+func writeTrace(path string, snap *smartvlc.SpanSnapshot) error {
+	if snap == nil {
+		snap = &smartvlc.SpanSnapshot{}
+	}
+	if path == "-" {
+		return snap.WriteChromeTrace(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runFleet runs the multi-session mode: n sessions with seeds seed,
 // seed+1, ..., each on its own registry when metrics were requested, and
 // reports the aggregate plus the wall-clock sessions/sec rate.
-func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers int, seconds float64, wantMetrics bool, metricsOut, metricsAddr string) {
+func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers int, seconds float64, wantMetrics bool, metricsOut, metricsAddr, traceDir string) {
 	cfgs := make([]smartvlc.SessionConfig, n)
 	for i := range cfgs {
 		cfg := base
 		cfg.Seed = base.Seed + uint64(i)
 		if wantMetrics {
 			cfg.Telemetry = smartvlc.NewTelemetry()
+		}
+		if traceDir != "" {
+			cfg.Spans = smartvlc.NewSpanCollector()
 		}
 		cfgs[i] = cfg
 	}
@@ -161,13 +218,19 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers int, 
 		goodput/float64(n)/1000, goodput/1000)
 	fmt.Printf("frames      : sent=%d ok=%d bad=%d\n", sent, ok, bad)
 
+	if traceDir != "" {
+		if err := fl.WriteSessionTraces(traceDir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("traces      : %d sessions exported to %s\n", n, traceDir)
+	}
 	if metricsOut != "" {
 		if err := writeMetrics(metricsOut, nil, fl.Telemetry); err != nil {
 			fatal(err)
 		}
 	}
 	if metricsAddr != "" {
-		serveMetrics(metricsAddr, nil, fl.Telemetry)
+		serveMetrics(metricsAddr, nil, fl.Telemetry, nil)
 	}
 }
 
@@ -203,7 +266,7 @@ func writeMetrics(path string, reg *smartvlc.Telemetry, snap *smartvlc.Telemetry
 
 // serveMetrics blocks, exposing the finished run's snapshot for scrapes —
 // useful for pointing a Prometheus/Grafana dev stack at a simulation.
-func serveMetrics(addr string, reg *smartvlc.Telemetry, snap *smartvlc.TelemetrySnapshot) {
+func serveMetrics(addr string, reg *smartvlc.Telemetry, snap *smartvlc.TelemetrySnapshot, spans *smartvlc.SpanSnapshot) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -225,6 +288,16 @@ func serveMetrics(addr string, reg *smartvlc.Telemetry, snap *smartvlc.Telemetry
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(j)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		s := spans
+		if s == nil {
+			s = &smartvlc.SpanSnapshot{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	fmt.Printf("metrics     : serving on http://%s/metrics (ctrl-c to stop)\n", addr)
 	if err := http.ListenAndServe(addr, mux); err != nil {

@@ -8,6 +8,8 @@ package mac
 import (
 	"math/rand/v2"
 	"sort"
+
+	"smartvlc/internal/telemetry/span"
 )
 
 // MessageKind discriminates side-channel messages.
@@ -51,6 +53,12 @@ type SideChannel struct {
 	// Metrics, when non-nil, counts sent and dropped datagrams. Nil (the
 	// default) is a no-op.
 	Metrics *Metrics
+	// Spans, when non-nil, records one "mac/side" span per Send covering
+	// the datagram's flight time (Start == End with outcome "dropped" for
+	// lost datagrams). Send must be called in deterministic order — the
+	// session loops replay buffered sends sequentially — so the spans are
+	// byte-identical across identically seeded runs.
+	Spans *span.Collector
 
 	rng   *rand.Rand
 	queue []Message
@@ -65,6 +73,12 @@ func NewSideChannel(latency, jitter, loss float64, rng *rand.Rand) *SideChannel 
 func (s *SideChannel) Send(now float64, m Message) {
 	if s.LossProb > 0 && s.rng.Float64() < s.LossProb {
 		s.Metrics.onSideDropped()
+		if s.Spans != nil {
+			s.Spans.Record(span.Span{
+				Name: "mac/side", Seq: sideSeq(m), Start: now, End: now,
+				Attrs: []span.Attr{{Key: "kind", Value: kindName(m.Kind)}, {Key: "outcome", Value: "dropped"}},
+			})
+		}
 		return
 	}
 	s.Metrics.onSideSent()
@@ -73,7 +87,34 @@ func (s *SideChannel) Send(now float64, m Message) {
 		d += s.rng.Float64() * s.JitterSeconds
 	}
 	m.At = now + d
+	if s.Spans != nil {
+		s.Spans.Record(span.Span{
+			Name: "mac/side", Seq: sideSeq(m), Start: now, End: m.At,
+			Attrs: []span.Attr{{Key: "kind", Value: kindName(m.Kind)}, {Key: "outcome", Value: "delivered"}},
+		})
+	}
 	s.queue = append(s.queue, m)
+}
+
+// sideSeq attributes a side-channel span to a frame sequence: only ACKs
+// carry one.
+func sideSeq(m Message) int64 {
+	if m.Kind == KindAck {
+		return int64(m.Seq)
+	}
+	return -1
+}
+
+// kindName labels a message kind for span attributes.
+func kindName(k MessageKind) string {
+	switch k {
+	case KindAck:
+		return "ack"
+	case KindAmbientReport:
+		return "ambient"
+	default:
+		return "other"
+	}
 }
 
 // Receive removes and returns all messages delivered by time now, in

@@ -72,6 +72,13 @@ var decodeErrorClasses = []struct {
 	{frame.ErrPayloadTooLong, "payload_len"},
 }
 
+// ClassifyDecodeError maps a frame.Parse error onto the bounded decode
+// error class set shared by metrics, spans and the flight recorder:
+// "preamble", "manchester", "truncated", "sync", "crc", "payload_len" or
+// "other". The same classification runs at record time and at bundle
+// replay time, so a replayed anomaly can be compared class-for-class.
+func ClassifyDecodeError(err error) string { return classifyDecodeError(err) }
+
 // classifyDecodeError maps a frame.Parse error to its metric class.
 func classifyDecodeError(err error) string {
 	for _, c := range decodeErrorClasses {

@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"smartvlc/internal/frame"
 	"smartvlc/internal/hw"
 	"smartvlc/internal/photon"
+	"smartvlc/internal/telemetry/span"
 )
 
 // Oversample is the RX samples per TX slot (500 kHz / 125 kHz).
@@ -218,6 +220,12 @@ type Receiver struct {
 	// error classes. Nil (the default) is a no-op.
 	Metrics *RxMetrics
 
+	// spans, when non-nil, receives phy/hunt and phy/decode spans for
+	// each Process call, timed on the sample clock set by SetSpanWindow.
+	spans  *span.Buffer
+	spanAt float64 // sim time of samples[0]
+	spanDt float64 // seconds per sample
+
 	// ambient estimate state: an EMA over the per-block medians of
 	// OFF-classified window sums.
 	ambientEMA float64
@@ -400,6 +408,25 @@ func (s *Stats) count(err error) {
 	s.Errors[err.Error()]++
 }
 
+// SetSpanWindow attaches a span buffer for subsequent Process calls and
+// sets the clock that maps sample index i to simulation time
+// baseSeconds + i·sampleSeconds. Process records one "phy/hunt" span per
+// accepted preamble lock (the scan interval that found it) and one
+// "phy/decode" span per parse attempt, carrying the decode error class
+// (or "ok") as an attribute. Pass nil to detach. The buffer is filled on
+// the caller's goroutine; concurrent shards each keep their own and
+// splice in shard order for deterministic traces.
+func (r *Receiver) SetSpanWindow(b *span.Buffer, baseSeconds, sampleSeconds float64) {
+	r.spans = b
+	r.spanAt = baseSeconds
+	r.spanDt = sampleSeconds
+}
+
+// spanTime maps a sample index onto the span clock.
+func (r *Receiver) spanTime(sample int) float64 {
+	return r.spanAt + float64(sample)*r.spanDt
+}
+
 // AmbientWindowFraction is the slot share of the ambient-measurement
 // window (samples 1 and 2 only). Narrower than the detection window, it
 // stays inside its slot for phase errors up to a full sample in either
@@ -469,6 +496,7 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 	i := 0
 	limit := len(samples) - frame.PreambleSlots*Oversample
 	thr := r.thr
+	huntFrom := 0 // sample offset where the current hunt began
 	for i < limit {
 		// Skip-scan: the preamble starts with an ON slot, so any offset
 		// whose slot-0 window sits below threshold cannot match. This tight
@@ -487,6 +515,13 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 		}
 		locked := lockOffset(win3, i)
 		r.Metrics.onLock()
+		if r.spans != nil {
+			r.spans.Record(span.Span{
+				Name: "phy/hunt", Seq: -1,
+				Start: r.spanTime(huntFrom), End: r.spanTime(locked),
+				Attrs: []span.Attr{{Key: "offset", Value: strconv.Itoa(locked)}},
+			})
+		}
 		maxSlots := (len(samples) - locked) / Oversample
 		slots := r.foldSlots(win3, locked, maxSlots)
 		res, err := frame.Parse(slots, r.factory)
@@ -494,12 +529,33 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 			stats.FramesBad++
 			stats.count(err)
 			r.Metrics.onFrameBad(err)
+			if r.spans != nil {
+				r.spans.Record(span.Span{
+					Name: "phy/decode", Seq: -1,
+					Start: r.spanTime(locked),
+					End:   r.spanTime(locked + frame.PreambleSlots*Oversample),
+					Attrs: []span.Attr{{Key: "class", Value: ClassifyDecodeError(err)}},
+				})
+			}
 			i++ // resume hunting just past this false/failed lock
+			huntFrom = i
 			continue
 		}
 		stats.FramesOK++
 		stats.SymbolErrors += res.SymbolErrors
 		r.Metrics.onFrameOK(res.SymbolErrors)
+		if r.spans != nil {
+			r.spans.Record(span.Span{
+				Name: "phy/decode", Seq: -1,
+				Start: r.spanTime(locked),
+				End:   r.spanTime(locked + res.SlotsConsumed*Oversample),
+				Attrs: []span.Attr{
+					{Key: "class", Value: "ok"},
+					{Key: "slots", Value: strconv.Itoa(res.SlotsConsumed)},
+					{Key: "sym_errs", Value: strconv.Itoa(res.SymbolErrors)},
+				},
+			})
+		}
 		results = append(results, res)
 		r.updateAmbientFromFrame(samples, locked, slots, res.SlotsConsumed)
 		// Jump to just before the expected next preamble: one slot of
@@ -510,6 +566,7 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 			next = i + 1
 		}
 		i = next
+		huntFrom = i
 	}
 	recycleWin3(win3)
 	return results, stats

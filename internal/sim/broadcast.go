@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"encoding/hex"
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"strconv"
 
 	"smartvlc/internal/frame"
 	"smartvlc/internal/light"
@@ -13,6 +15,7 @@ import (
 	"smartvlc/internal/phy"
 	"smartvlc/internal/stats"
 	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/span"
 )
 
 // ReceiverPose places one receiver of a broadcast session.
@@ -75,6 +78,12 @@ type BroadcastResult struct {
 	// Telemetry is the session's metrics snapshot when Config.Telemetry
 	// was set; nil otherwise.
 	Telemetry *telemetry.Snapshot
+	// Spans is the session's span snapshot when Config.Spans was set; nil
+	// otherwise. Per-receiver decode spans carry an "rx" attribute and are
+	// byte-identical for every Workers value: each receiver's spans are
+	// buffered on its shard and spliced in receiver order, exactly like
+	// the side-channel outbox replay.
+	Spans *span.Snapshot
 }
 
 // RunBroadcast simulates a multi-receiver session. The dimming controller
@@ -102,6 +111,12 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		return BroadcastResult{}, err
 	}
 	side := mac.NewSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb, sideRng)
+
+	// Span collection. The flight recorder is a single-receiver facility
+	// (Config.Flight is ignored here); spans cover the broadcast fan-out
+	// fully, one decode subtree per receiver.
+	col := cfg.Spans
+	side.Spans = col
 
 	// Instrumentation: with a nil registry every handle below is nil and
 	// every recording call is a no-op (see internal/telemetry). All
@@ -153,6 +168,9 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		sumAcc   float64
 		sumN     int
 		out      rxOutbox
+		// spanBuf accumulates this shard's channel/hunt/decode spans for
+		// one frame; the merge loop splices it in receiver order.
+		spanBuf span.Buffer
 	}
 	rxs := make([]*rxState, nRx)
 	for i := range rxs {
@@ -210,6 +228,12 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	var slotBuf []bool // frame slot waveform, reused across frames
 	now := 0.0
 	lastRecord := -1.0
+
+	// Span state (see Config.Spans): per-sequence roots for retransmit
+	// chaining and the sample duration for receiver-side span times.
+	tsamp := 8e-6 / float64(phy.Oversample)
+	roots := map[uint16]span.ID{}
+	prevRetx := 0
 
 	for now < duration {
 		baseLux := cfg.AmbientLux
@@ -270,6 +294,12 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 					reliableBytes += int64(cfg.PayloadBytes)
 					sender.OnAck(m.Seq)
 					reg.Emit(m.At, "frame/ack", int64(m.Seq))
+					if col != nil {
+						col.Record(span.Span{
+							Name: "mac/ack", Parent: roots[m.Seq], Seq: int64(m.Seq),
+							Start: m.At, End: m.At,
+						})
+					}
 				}
 			case mac.KindAmbientReport:
 				rxs[m.From].remote, rxs[m.From].reported = m.Lux, true
@@ -302,6 +332,33 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		airtimeH.Observe(float64(len(slots)))
 		reg.Emit(now, "frame/tx", int64(seq))
 
+		retx := sender.Retransmits() > prevRetx
+		prevRetx = sender.Retransmits()
+		var root span.ID
+		if col != nil {
+			parent := span.ID(0)
+			if retx {
+				parent = roots[seq]
+			}
+			desc := codec.Descriptor()
+			root = col.Record(span.Span{
+				Name: "frame", Parent: parent, Seq: int64(seq),
+				Start: now, End: now + airtime,
+				Attrs: []span.Attr{
+					{Key: "level", Value: strconv.FormatFloat(level, 'g', -1, 64)},
+					{Key: "scheme", Value: cfg.Scheme.Name()},
+					{Key: "pattern", Value: hex.EncodeToString(desc[:])},
+					{Key: "slots", Value: strconv.Itoa(len(slots))},
+				},
+			})
+			roots[seq] = root
+			col.Record(span.Span{Name: "frame/build", Parent: root, Seq: int64(seq), Start: now, End: now})
+			if retx {
+				col.Record(span.Span{Name: "mac/retx", Parent: root, Seq: int64(seq), Start: now, End: now})
+			}
+			col.Record(span.Span{Name: "frame/tx", Parent: root, Seq: int64(seq), Start: now, End: now + airtime})
+		}
+
 		// Per-receiver PHY + decode: each receiver owns its rng, link,
 		// receiver state and outbox, so the bodies are independent. The
 		// only shared state they touch is the PHY metrics counters, whose
@@ -313,6 +370,17 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			st.out = rxOutbox{ackSeqs: st.out.ackSeqs[:0]}
 			st.link.StartPhase = st.rng.Float64()
 			samples := st.link.Transmit(st.rng, slots)
+			if col != nil {
+				// Shard-local span sequence: channel first, then whatever
+				// hunt/decode spans the receiver emits. Parent 0 and Seq -1
+				// resolve to this frame's root at splice time.
+				st.spanBuf.Reset()
+				st.spanBuf.Record(span.Span{
+					Name: "frame/channel", Seq: -1,
+					Start: now, End: now + float64(len(samples))*tsamp,
+				})
+				st.rx.SetSpanWindow(&st.spanBuf, now, tsamp)
+			}
 			results, _ := st.rx.Process(samples)
 			phy.RecycleSamples(samples)
 			for _, r := range results {
@@ -340,6 +408,9 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		// reproducing the serial loop's event and sideRng sequence exactly.
 		for i := range rxs {
 			out := &rxs[i].out
+			if col != nil {
+				col.Splice(&rxs[i].spanBuf, root, int64(seq), span.Attr{Key: "rx", Value: strconv.Itoa(i)})
+			}
 			for _, seq := range out.ackSeqs {
 				reg.Emit(now+airtime, "frame/decode", int64(seq))
 				side.Send(now+airtime, mac.Message{Kind: mac.KindAck, From: i, Seq: seq})
@@ -390,6 +461,9 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		reg.Gauge("sim_reliable_goodput_bps").Set(res.ReliableGoodputBps)
 		reg.Gauge("sim_duration_seconds").Set(res.Duration)
 		res.Telemetry = reg.Snapshot()
+	}
+	if col != nil {
+		res.Spans = col.Snapshot()
 	}
 	return res, nil
 }

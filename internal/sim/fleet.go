@@ -2,9 +2,12 @@ package sim
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"smartvlc/internal/parallel"
 	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/span"
 )
 
 // FleetResult aggregates a fleet of independent sessions.
@@ -15,8 +18,48 @@ type FleetResult struct {
 	Workers int
 	// Telemetry merges the per-session snapshots (counters and histogram
 	// occupancies summed, gauges averaged, event traces elided) for the
-	// sessions that carried a registry; nil when none did.
+	// sessions that carried a registry; nil when none did. Per-session
+	// event traces and span trees are NOT merged — see telemetry.Merge for
+	// the elision contract — but they are not lost either: each session's
+	// Result retains its own Telemetry and Spans snapshots, and
+	// WriteSessionTraces exports the span trees per session.
 	Telemetry *telemetry.Snapshot
+}
+
+// WriteSessionTraces exports each session's span snapshot into dir
+// (created if absent) as session-NNN.spans.json (canonical snapshot) and
+// session-NNN.trace.json (Chrome trace_event, Perfetto-loadable), indexed
+// by config order. Sessions without a span collector are skipped. This is
+// the fleet-mode counterpart to the merge elision: aggregates merge,
+// traces export per session.
+func (f FleetResult) WriteSessionTraces(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	for i, r := range f.Results {
+		if r.Spans == nil {
+			continue
+		}
+		b, err := r.Spans.JSON()
+		if err != nil {
+			return fmt.Errorf("sim: session %d spans: %w", i, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("session-%03d.spans.json", i)), b, 0o644); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		tf, err := os.Create(filepath.Join(dir, fmt.Sprintf("session-%03d.trace.json", i)))
+		if err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		if err := r.Spans.WriteChromeTrace(tf); err != nil {
+			tf.Close()
+			return fmt.Errorf("sim: session %d trace: %w", i, err)
+		}
+		if err := tf.Close(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	return nil
 }
 
 // RunFleet runs one session per config concurrently across at most
@@ -36,7 +79,14 @@ func RunFleet(cfgs []Config, duration float64, workers int) (FleetResult, error)
 		return FleetResult{}, fmt.Errorf("sim: fleet needs at least one config")
 	}
 	seen := make(map[*telemetry.Registry]int, len(cfgs))
+	seenSpans := make(map[*span.Collector]int, len(cfgs))
 	for i, cfg := range cfgs {
+		if cfg.Spans != nil {
+			if j, dup := seenSpans[cfg.Spans]; dup {
+				return FleetResult{}, fmt.Errorf("sim: fleet configs %d and %d share a span collector", j, i)
+			}
+			seenSpans[cfg.Spans] = i
+		}
 		if cfg.Telemetry == nil {
 			continue
 		}

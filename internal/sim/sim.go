@@ -7,9 +7,11 @@
 package sim
 
 import (
+	"encoding/hex"
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"strconv"
 
 	"smartvlc/internal/frame"
 	"smartvlc/internal/hw"
@@ -21,6 +23,8 @@ import (
 	"smartvlc/internal/scheme"
 	"smartvlc/internal/stats"
 	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/flight"
+	"smartvlc/internal/telemetry/span"
 )
 
 // Config describes one session.
@@ -77,6 +81,19 @@ type Config struct {
 	// and seed produce byte-identical snapshots. Nil (the default)
 	// disables instrumentation at zero allocation cost on the hot paths.
 	Telemetry *telemetry.Registry
+
+	// Spans, when non-nil, collects the session's causal frame spans
+	// (frame/build → tx → channel → hunt → decode → mac/ack, with
+	// retransmissions chained parent→child); Run leaves a snapshot in
+	// Result.Spans. Like Telemetry, all span times are simulation time
+	// and nil is the zero-cost default.
+	Spans *span.Collector
+	// Flight, when non-nil, arms the anomaly flight recorder: recent
+	// frames (slot waveform + receive window) are ringed and dumped as a
+	// diagnostic bundle on a decode failure, a hunt miss, a symbol-error
+	// burst or an ACK timeout. Arming Flight without Spans uses an
+	// internal span collector so bundles still carry the frame trees.
+	Flight *flight.Recorder
 }
 
 // DefaultConfig returns the paper's evaluation settings for a scheme:
@@ -127,6 +144,9 @@ type Result struct {
 	// Telemetry is the session's metric snapshot when Config.Telemetry was
 	// set, nil otherwise.
 	Telemetry *telemetry.Snapshot
+	// Spans is the session's span snapshot when Config.Spans was set, nil
+	// otherwise.
+	Spans *span.Snapshot
 }
 
 // Run simulates a session for the given air-time duration.
@@ -162,6 +182,13 @@ func Run(cfg Config, duration float64) (Result, error) {
 	deliveredC := reg.Counter("sim_delivered_bytes_total")
 	levelG := reg.Gauge("sim_dimming_level")
 
+	// Span collector: the caller's, or an internal one when only the
+	// flight recorder is armed (bundles embed the frame trees either way).
+	col := cfg.Spans
+	if cfg.Flight != nil && col == nil {
+		col = span.NewCollector()
+	}
+
 	sender, err := mac.NewSender(cfg.Window, cfg.PayloadBytes, cfg.AckTimeoutSeconds, macRng)
 	if err != nil {
 		return Result{}, err
@@ -170,6 +197,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 	rxSide := mac.NewReceiverSide(cfg.PayloadBytes)
 	sideCh := mac.NewSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb, sideRng)
 	sideCh.Metrics = macm
+	sideCh.Spans = col
 	var side mac.Uplink = sideCh
 	if cfg.UplinkVLCBitRate > 0 {
 		rangeM := cfg.UplinkVLCRangeM
@@ -235,6 +263,14 @@ func Run(cfg Config, duration float64) (Result, error) {
 	deliveredAt := []float64{} // ack times for the per-second series
 	var slotBuf []bool         // frame slot waveform, reused across frames
 
+	// Span state: per-sequence root IDs (retransmit chains link onto
+	// them), the receiver-side shard buffer, and the sample duration for
+	// converting receiver sample indices to simulation time.
+	tsamp := tslot / float64(phy.Oversample)
+	roots := map[uint16]span.ID{}
+	var rxSpanBuf span.Buffer
+	prevRetx := 0
+
 	now := 0.0
 	lastRecord := -1.0
 	const recordEvery = 0.25
@@ -295,6 +331,12 @@ func Run(cfg Config, duration float64) (Result, error) {
 			case mac.KindAck:
 				sender.OnAck(m.Seq)
 				reg.Emit(m.At, "frame/ack", int64(m.Seq))
+				if col != nil {
+					col.Record(span.Span{
+						Name: "mac/ack", Parent: roots[m.Seq], Seq: int64(m.Seq),
+						Start: m.At, End: m.At,
+					})
+				}
 			case mac.KindAmbientReport:
 				remoteLux, remoteAt = m.Lux, m.At
 			}
@@ -306,6 +348,8 @@ func Run(cfg Config, duration float64) (Result, error) {
 			now += cfg.AckTimeoutSeconds / 8
 			continue
 		}
+		retx := sender.Retransmits() > prevRetx
+		prevRetx = sender.Retransmits()
 		codec, err := codecFor(level)
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: level %v: %w", level, err)
@@ -322,9 +366,83 @@ func Run(cfg Config, duration float64) (Result, error) {
 		airtimeH.Observe(float64(len(slots)))
 		reg.Emit(now, "frame/tx", int64(seq))
 
+		// Root span for this transmission; a retransmission chains onto
+		// the previous transmission's root.
+		var root span.ID
+		if col != nil {
+			parent := span.ID(0)
+			if retx {
+				parent = roots[seq]
+			}
+			desc := codec.Descriptor()
+			root = col.Record(span.Span{
+				Name: "frame", Parent: parent, Seq: int64(seq),
+				Start: now, End: now + airtime,
+				Attrs: []span.Attr{
+					{Key: "level", Value: strconv.FormatFloat(level, 'g', -1, 64)},
+					{Key: "scheme", Value: cfg.Scheme.Name()},
+					{Key: "pattern", Value: hex.EncodeToString(desc[:])},
+					{Key: "slots", Value: strconv.Itoa(len(slots))},
+				},
+			})
+			roots[seq] = root
+			col.Record(span.Span{Name: "frame/build", Parent: root, Seq: int64(seq), Start: now, End: now})
+			if retx {
+				col.Record(span.Span{Name: "mac/retx", Parent: root, Seq: int64(seq), Start: now, End: now})
+			}
+			col.Record(span.Span{Name: "frame/tx", Parent: root, Seq: int64(seq), Start: now, End: now + airtime})
+		}
+
 		link.StartPhase = chanRng.Float64()
 		samples := link.Transmit(chanRng, slots)
+		if col != nil {
+			col.Record(span.Span{
+				Name: "frame/channel", Parent: root, Seq: int64(seq),
+				Start: now, End: now + float64(len(samples))*tsamp,
+			})
+			rxSpanBuf.Reset()
+			rx.SetSpanWindow(&rxSpanBuf, now, tsamp)
+		}
 		results, st := rx.Process(samples)
+		decodeClass := ""
+		if col != nil {
+			// Extract the decode outcome before Splice consumes the buffer;
+			// the flight recorder keys its trigger on it.
+			decodeClass = flight.DecodeClass(rxSpanBuf.Spans())
+			col.Splice(&rxSpanBuf, root, int64(seq))
+		}
+		if cfg.Flight != nil {
+			cfg.Flight.Observe(flight.Capture{
+				Seq: int64(seq), Start: now, Level: level,
+				Threshold: rx.Threshold(), Slots: slots, Samples: samples,
+			})
+			reason := ""
+			switch {
+			case st.FramesBad > 0:
+				reason = "decode"
+			case len(results) == 0:
+				reason = "hunt"
+			case cfg.Flight.Config().SERThreshold > 0 && st.SymbolErrors >= cfg.Flight.Config().SERThreshold:
+				reason = "ser"
+			case retx:
+				reason = "ack_timeout"
+			}
+			if reason != "" {
+				var msnap *telemetry.Snapshot
+				if reg != nil {
+					msnap = reg.Snapshot()
+				}
+				meta := flight.Meta{
+					Reason: reason, Class: decodeClass, Seq: int64(seq),
+					At: now + airtime, Seed: cfg.Seed, Scheme: cfg.Scheme.Name(),
+					Level: level, Threshold: rx.Threshold(),
+					TSlotSeconds: tslot, PayloadBytes: cfg.PayloadBytes,
+				}
+				if _, err := cfg.Flight.Trigger(meta, col.Snapshot(), msnap); err != nil {
+					return Result{}, err
+				}
+			}
+		}
 		phy.RecycleSamples(samples)
 		res.FramesOK += st.FramesOK
 		res.FramesBad += st.FramesBad
@@ -363,6 +481,12 @@ func Run(cfg Config, duration float64) (Result, error) {
 		if m.Kind == mac.KindAck {
 			sender.OnAck(m.Seq)
 			reg.Emit(m.At, "frame/ack", int64(m.Seq))
+			if col != nil {
+				col.Record(span.Span{
+					Name: "mac/ack", Parent: roots[m.Seq], Seq: int64(m.Seq),
+					Start: m.At, End: m.At,
+				})
+			}
 		}
 	}
 
@@ -378,6 +502,9 @@ func Run(cfg Config, duration float64) (Result, error) {
 		reg.Gauge("sim_goodput_bps").Set(res.GoodputBps)
 		reg.Gauge("sim_duration_seconds").Set(res.Duration)
 		res.Telemetry = reg.Snapshot()
+	}
+	if cfg.Spans != nil {
+		res.Spans = cfg.Spans.Snapshot()
 	}
 	return res, nil
 }

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"smartvlc/internal/optics"
+	"smartvlc/internal/telemetry/flight"
+	"smartvlc/internal/telemetry/span"
+)
+
+// spanExports runs one session with a fresh collector and returns the
+// canonical JSON and Chrome-trace bytes of its span snapshot.
+func spanExports(t *testing.T, mutate func(*Config)) ([]byte, []byte, *span.Snapshot) {
+	t.Helper()
+	cfg := DefaultConfig(amppmScheme(t))
+	cfg.Spans = span.NewCollector()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := Run(cfg, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spans == nil || len(res.Spans.Spans) == 0 {
+		t.Fatal("no spans collected")
+	}
+	j, err := res.Spans.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome bytes.Buffer
+	if err := res.Spans.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	return j, chrome.Bytes(), res.Spans
+}
+
+// TestSessionSpanDeterminism pins the tentpole contract: identically
+// seeded sessions export byte-identical span snapshots and Chrome
+// traces, and the trace covers the whole frame pipeline.
+func TestSessionSpanDeterminism(t *testing.T) {
+	j1, c1, snap := spanExports(t, nil)
+	j2, c2, _ := spanExports(t, nil)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("identically seeded sessions exported different span JSON")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("identically seeded sessions exported different Chrome traces")
+	}
+
+	stages := map[string]bool{}
+	for _, s := range snap.Spans {
+		stages[s.Name] = true
+	}
+	for _, want := range []string{"frame", "frame/build", "frame/tx", "frame/channel", "phy/hunt", "phy/decode", "mac/ack", "mac/side"} {
+		if !stages[want] {
+			t.Errorf("stage %q missing from trace (have %v)", want, stages)
+		}
+	}
+
+	tree := span.NewTree(snap.Spans)
+	frames := tree.FrameRoots("frame")
+	if len(frames) == 0 {
+		t.Fatal("no frame roots")
+	}
+	if lvl, ok := frames[0].Attr("level"); !ok || lvl == "" {
+		t.Error("frame root missing level attribute")
+	}
+	if sch, _ := frames[0].Attr("scheme"); sch != "AMPPM" {
+		t.Errorf("frame root scheme %q", sch)
+	}
+	path := tree.CriticalPath(frames[0].ID)
+	if len(path) < 2 {
+		t.Fatalf("degenerate critical path: %+v", path)
+	}
+
+	// The Chrome export parses back to the same span identities.
+	rt, err := span.ReadChromeTrace(bytes.NewReader(c1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Spans) != len(snap.Spans) {
+		t.Fatalf("round trip kept %d of %d spans", len(rt.Spans), len(snap.Spans))
+	}
+}
+
+// lossyMutate puts the link at the operating point where decodes fail
+// and retransmissions happen (4.5 m under heavy ambient).
+func lossyMutate(cfg *Config) {
+	cfg.Geometry = optics.Aligned(4.5, 0)
+	cfg.AmbientLux = 12000
+}
+
+// TestSessionSpanRetxChains pins retransmit chaining on a lossy link:
+// the chain links retransmissions parent→child and marks them mac/retx.
+func TestSessionSpanRetxChains(t *testing.T) {
+	_, _, snap := spanExports(t, lossyMutate)
+	tree := span.NewTree(snap.Spans)
+	chains := tree.RetxChains("frame")
+	if len(chains) == 0 {
+		t.Fatal("lossy link produced no retransmit chains")
+	}
+	for _, c := range chains {
+		for i := 1; i < len(c.Roots); i++ {
+			if c.Roots[i].Parent != c.Roots[i-1].ID {
+				t.Fatalf("chain seq %d not parent-linked: %+v", c.Seq, c.Roots)
+			}
+			if c.Roots[i].Start < c.Roots[i-1].End {
+				t.Fatalf("chain seq %d roots out of order", c.Seq)
+			}
+		}
+	}
+	marks := 0
+	for _, s := range snap.Spans {
+		if s.Name == "mac/retx" {
+			marks++
+		}
+	}
+	if marks == 0 {
+		t.Fatal("no mac/retx markers despite retransmit chains")
+	}
+}
+
+// TestBroadcastSpanWorkerInvariance pins the acceptance criterion:
+// identically seeded broadcast runs export byte-identical span JSON and
+// Chrome traces for workers=1 and workers=NumCPU, with per-receiver rx
+// attribution intact.
+func TestBroadcastSpanWorkerInvariance(t *testing.T) {
+	run := func(workers int) ([]byte, []byte, *span.Snapshot) {
+		var cfg BroadcastConfig
+		cfg.Config = DefaultConfig(amppmScheme(t))
+		cfg.Spans = span.NewCollector()
+		cfg.Workers = workers
+		base := cfg.Geometry
+		cfg.Receivers = []ReceiverPose{
+			{Geometry: base},
+			{Geometry: base, AmbientScale: 1.4},
+			{Geometry: base, AmbientScale: 0.7},
+		}
+		res, err := RunBroadcast(cfg, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Spans == nil || len(res.Spans.Spans) == 0 {
+			t.Fatal("no broadcast spans collected")
+		}
+		j, err := res.Spans.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chrome bytes.Buffer
+		if err := res.Spans.WriteChromeTrace(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		return j, chrome.Bytes(), res.Spans
+	}
+
+	j1, c1, snap := run(1)
+	jN, cN, _ := run(runtime.NumCPU())
+	if !bytes.Equal(j1, jN) {
+		t.Fatal("span JSON differs between workers=1 and workers=NumCPU")
+	}
+	if !bytes.Equal(c1, cN) {
+		t.Fatal("Chrome trace differs between workers=1 and workers=NumCPU")
+	}
+
+	rxSeen := map[string]bool{}
+	for _, s := range snap.Spans {
+		if rx, ok := s.Attr("rx"); ok {
+			rxSeen[rx] = true
+		}
+	}
+	for _, want := range []string{"0", "1", "2"} {
+		if !rxSeen[want] {
+			t.Errorf("no spans attributed to receiver %s (have %v)", want, rxSeen)
+		}
+	}
+}
+
+// TestFlightRecorderBundleReplay pins the flight-recorder acceptance
+// criterion end to end: a lossy session triggers bundles, and replaying a
+// bundle's captured samples through the real receiver reproduces the
+// recorded decode error class.
+func TestFlightRecorderBundleReplay(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := flight.New(flight.Config{Dir: dir, MaxBundles: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(amppmScheme(t))
+	lossyMutate(&cfg)
+	cfg.Flight = rec
+	if _, err := Run(cfg, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	bundles := rec.Bundles()
+	if len(bundles) == 0 {
+		t.Fatal("lossy session triggered no flight bundles")
+	}
+	if rec.Triggers() < int64(len(bundles)) {
+		t.Fatalf("trigger count %d below bundle count %d", rec.Triggers(), len(bundles))
+	}
+
+	sawDecode := false
+	for _, bdir := range bundles {
+		b, err := flight.ReadBundle(bdir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Meta.Reason == "decode" {
+			sawDecode = true
+		}
+		if b.Spans == nil || len(b.Spans.Spans) == 0 {
+			t.Fatalf("bundle %s carries no span tree", bdir)
+		}
+		if len(b.Captures) == 0 {
+			t.Fatalf("bundle %s carries no captures", bdir)
+		}
+		class, err := b.Replay()
+		if err != nil {
+			t.Fatalf("replay %s: %v", bdir, err)
+		}
+		if class != b.Meta.Class {
+			t.Errorf("bundle %s replayed to class %q, recorded %q", filepath.Base(bdir), class, b.Meta.Class)
+		}
+	}
+	if !sawDecode {
+		t.Error("no decode-triggered bundle at the lossy operating point")
+	}
+}
+
+// TestFleetSessionTraces pins the fleet-mode export: per-session span
+// snapshots and Chrome traces land on disk by session index, byte-
+// identical for any worker count, and shared collectors are rejected.
+func TestFleetSessionTraces(t *testing.T) {
+	mkCfgs := func() []Config {
+		cfgs := make([]Config, 3)
+		for i := range cfgs {
+			cfg := DefaultConfig(amppmScheme(t))
+			cfg.Seed = uint64(i + 1)
+			if i != 1 { // session 1 runs untraced: its files must be skipped
+				cfg.Spans = span.NewCollector()
+			}
+			cfgs[i] = cfg
+		}
+		return cfgs
+	}
+	export := func(workers int) map[string][]byte {
+		fl, err := RunFleet(mkCfgs(), 0.3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := fl.WriteSessionTraces(dir); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := map[string][]byte{}
+		for _, e := range entries {
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[e.Name()] = b
+		}
+		return files
+	}
+
+	serial := export(1)
+	parallel := export(runtime.NumCPU())
+	want := []string{
+		"session-000.spans.json", "session-000.trace.json",
+		"session-002.spans.json", "session-002.trace.json",
+	}
+	if len(serial) != len(want) {
+		names := make([]string, 0, len(serial))
+		for n := range serial {
+			names = append(names, n)
+		}
+		t.Fatalf("exported %v, want %v", names, want)
+	}
+	for _, name := range want {
+		if len(serial[name]) == 0 {
+			t.Fatalf("%s missing or empty", name)
+		}
+		if !bytes.Equal(serial[name], parallel[name]) {
+			t.Fatalf("%s differs between worker counts", name)
+		}
+	}
+	if !strings.Contains(string(serial["session-000.trace.json"]), `"ph":"X"`) {
+		t.Fatal("trace export has no complete events")
+	}
+
+	// One collector across two sessions would interleave spans
+	// nondeterministically; RunFleet must reject it.
+	cfgs := mkCfgs()
+	cfgs[1].Spans = cfgs[0].Spans
+	if _, err := RunFleet(cfgs, 0.1, 1); err == nil {
+		t.Fatal("shared span collector accepted")
+	}
+}

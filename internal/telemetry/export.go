@@ -118,10 +118,10 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Histograms = append(s.Histograms, hs)
 	}
 	s.sortCanonical()
-	s.Events, s.EventsDropped = r.trace.events()
-	r.trace.mu.Lock()
-	s.EventsTotal = r.trace.total
-	r.trace.mu.Unlock()
+	// One locked read for the whole triple: reading total after a separate
+	// events() call would let a concurrent Emit land in between, producing
+	// a snapshot whose EventsTotal disagrees with its event list.
+	s.Events, s.EventsTotal, s.EventsDropped = r.trace.events()
 	return s
 }
 

@@ -1,0 +1,288 @@
+// Package flight implements the anomaly flight recorder: a small ring of
+// recent per-frame captures (transmitted slot waveform + received sample
+// window) that is dumped to disk as a diagnostic bundle when the session
+// loop observes an anomaly — a decode failure, a symbol-error burst, an
+// ACK timeout or a preamble-hunt miss.
+//
+// A bundle directory holds everything needed to reproduce the decode
+// offline:
+//
+//	bundle-<n>-<reason>/
+//	  meta.json     trigger reason + class, seed, scheme, level, threshold
+//	  spans.json    span snapshot at trigger time (causal frame trees)
+//	  metrics.json  telemetry snapshot at trigger time
+//	  capture.vlcd  ring of recent frames (vlcdump: note + slots + samples)
+//
+// ReadBundle and (*Bundle).Replay push the recorded samples back through
+// the real receiver pipeline, so the decode error class observed live can
+// be compared class-for-class with an offline replay (cmd/vlctrace does
+// exactly that).
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/vlcdump"
+)
+
+// Defaults for Config zero fields.
+const (
+	// DefaultDepth is the capture-ring depth: how many recent frames a
+	// bundle replays back from the trigger.
+	DefaultDepth = 8
+	// DefaultMaxBundles caps how many bundles one recorder writes, so a
+	// systematically failing link cannot fill the disk.
+	DefaultMaxBundles = 4
+)
+
+// Config parameterizes a Recorder.
+type Config struct {
+	// Dir is the directory bundles are written into (created if absent).
+	// Required.
+	Dir string
+	// Depth is the capture-ring depth (frames retained before a trigger).
+	// Zero means DefaultDepth.
+	Depth int
+	// MaxBundles caps bundle writes per recorder; further triggers are
+	// counted but dropped. Zero means DefaultMaxBundles.
+	MaxBundles int
+	// SERThreshold, when positive, also triggers a bundle on any frame
+	// that decodes with at least this many symbol errors — the "almost
+	// lost it" case worth a post-mortem even though CRC passed.
+	SERThreshold int
+}
+
+// Capture is one frame's raw I/O as seen by the session loop: the slot
+// waveform handed to the transmitter and the sample window the receiver
+// processed.
+type Capture struct {
+	// Seq is the MAC frame sequence number.
+	Seq int64
+	// Rx identifies the receiver in multi-receiver sessions (0 otherwise).
+	Rx int
+	// Start is the frame's transmit time in simulation seconds.
+	Start float64
+	// Level is the dimming level the frame was built for.
+	Level float64
+	// Threshold is the receiver's detection threshold for this frame.
+	Threshold int
+	// Slots is the transmitted slot waveform (frame + idle gap).
+	Slots []bool
+	// Samples is the receiver-side photon-count window.
+	Samples []int
+}
+
+// captureNote is the JSON annotation preceding each capture's records in
+// the bundle's vlcdump stream.
+type captureNote struct {
+	Seq       int64   `json:"seq"`
+	Rx        int     `json:"rx"`
+	Start     float64 `json:"start"`
+	Level     float64 `json:"level"`
+	Threshold int     `json:"threshold"`
+}
+
+// Meta describes why a bundle was written and how to rebuild the decode.
+type Meta struct {
+	// Reason is the trigger: "decode", "ser", "ack_timeout" or "hunt".
+	Reason string `json:"reason"`
+	// Class is the decode error class at trigger time ("ok" for triggers
+	// that fire on successfully decoded frames, e.g. SER bursts).
+	Class string `json:"class"`
+	// Seq is the sequence number of the triggering frame.
+	Seq int64 `json:"seq"`
+	// At is the trigger time in simulation seconds.
+	At float64 `json:"at"`
+	// Seed is the session RNG seed.
+	Seed uint64 `json:"seed"`
+	// Scheme is the modulation scheme name (scheme.Scheme.Name()).
+	Scheme string `json:"scheme"`
+	// Level is the dimming level of the triggering frame.
+	Level float64 `json:"level"`
+	// Threshold is the receiver detection threshold at trigger time.
+	Threshold int `json:"threshold"`
+	// TSlotSeconds is the slot duration (8 µs for the prototype).
+	TSlotSeconds float64 `json:"tslot_seconds"`
+	// PayloadBytes is the session's frame payload size.
+	PayloadBytes int `json:"payload_bytes"`
+}
+
+// Recorder buffers recent captures and writes trigger bundles. All
+// methods are nil-safe no-ops on a nil receiver, mirroring the rest of
+// the telemetry layer.
+type Recorder struct {
+	cfg Config
+
+	mu        sync.Mutex
+	ring      []Capture
+	next      int
+	triggered int64 // triggers seen, including ones dropped by MaxBundles
+	bundles   []string
+}
+
+// New validates the configuration, creates the bundle directory and
+// returns a recorder.
+func New(cfg Config) (*Recorder, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("flight: Config.Dir is required")
+	}
+	if cfg.Depth <= 0 {
+		cfg.Depth = DefaultDepth
+	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = DefaultMaxBundles
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	return &Recorder{cfg: cfg}, nil
+}
+
+// Config returns the recorder's effective configuration (defaults
+// applied). The zero Config is returned on a nil recorder.
+func (r *Recorder) Config() Config {
+	if r == nil {
+		return Config{}
+	}
+	return r.cfg
+}
+
+// Observe pushes one frame capture into the ring, deep-copying the slot
+// and sample slices — the session loop recycles its buffers after every
+// frame, so the capture must own its data.
+func (r *Recorder) Observe(c Capture) {
+	if r == nil {
+		return
+	}
+	c.Slots = append([]bool(nil), c.Slots...)
+	c.Samples = append([]int(nil), c.Samples...)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) < r.cfg.Depth {
+		r.ring = append(r.ring, c)
+		r.next = len(r.ring) % r.cfg.Depth
+		return
+	}
+	r.ring[r.next] = c
+	r.next = (r.next + 1) % r.cfg.Depth
+}
+
+// captures returns the ring contents oldest-first. Caller holds r.mu.
+func (r *Recorder) captures() []Capture {
+	if len(r.ring) < r.cfg.Depth {
+		return append([]Capture(nil), r.ring...)
+	}
+	out := append([]Capture(nil), r.ring[r.next:]...)
+	return append(out, r.ring[:r.next]...)
+}
+
+// Trigger writes a diagnostic bundle for an observed anomaly and returns
+// the bundle directory. Once MaxBundles bundles exist the trigger is
+// still counted but no bundle is written (dir == ""). spans and metrics
+// may be nil; the corresponding files are then omitted.
+func (r *Recorder) Trigger(meta Meta, spans *span.Snapshot, metrics *telemetry.Snapshot) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.triggered++
+	if len(r.bundles) >= r.cfg.MaxBundles {
+		return "", nil
+	}
+	dir := filepath.Join(r.cfg.Dir, fmt.Sprintf("bundle-%03d-%s", len(r.bundles), meta.Reason))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	mb, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), append(mb, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	if spans != nil {
+		sb, err := spans.JSON()
+		if err != nil {
+			return "", fmt.Errorf("flight: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "spans.json"), sb, 0o644); err != nil {
+			return "", fmt.Errorf("flight: %w", err)
+		}
+	}
+	if metrics != nil {
+		tb, err := metrics.JSON()
+		if err != nil {
+			return "", fmt.Errorf("flight: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "metrics.json"), tb, 0o644); err != nil {
+			return "", fmt.Errorf("flight: %w", err)
+		}
+	}
+	if err := r.writeCapture(filepath.Join(dir, "capture.vlcd"), meta.TSlotSeconds); err != nil {
+		return "", err
+	}
+	r.bundles = append(r.bundles, dir)
+	return dir, nil
+}
+
+// writeCapture dumps the ring to a vlcdump stream: per capture one note
+// (the JSON header), one slots record and one samples record. Caller
+// holds r.mu.
+func (r *Recorder) writeCapture(path string, slotSeconds float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	defer f.Close()
+	w, err := vlcdump.NewWriter(f, slotSeconds)
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	for _, c := range r.captures() {
+		note, err := json.Marshal(captureNote{Seq: c.Seq, Rx: c.Rx, Start: c.Start, Level: c.Level, Threshold: c.Threshold})
+		if err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+		if err := w.WriteNote(string(note)); err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+		if err := w.WriteSlots(c.Slots); err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+		if err := w.WriteSamples(c.Samples); err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	return f.Close()
+}
+
+// Bundles returns the directories written so far, oldest first.
+func (r *Recorder) Bundles() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.bundles...)
+}
+
+// Triggers returns how many anomalies fired, including triggers dropped
+// once MaxBundles was reached.
+func (r *Recorder) Triggers() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.triggered
+}

@@ -1,0 +1,201 @@
+package flight
+
+import (
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smartvlc/internal/amppm"
+	"smartvlc/internal/frame"
+	"smartvlc/internal/optics"
+	"smartvlc/internal/photon"
+	"smartvlc/internal/phy"
+	"smartvlc/internal/scheme"
+	"smartvlc/internal/telemetry/span"
+)
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	r.Observe(Capture{Seq: 1})
+	dir, err := r.Trigger(Meta{Reason: "decode"}, nil, nil)
+	if err != nil || dir != "" {
+		t.Fatalf("nil Trigger = (%q, %v), want no-op", dir, err)
+	}
+	if r.Bundles() != nil || r.Triggers() != 0 {
+		t.Fatal("nil recorder has state")
+	}
+	if r.Config() != (Config{}) {
+		t.Fatal("nil recorder config not zero")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted empty Dir")
+	}
+	r, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := r.Config()
+	if cfg.Depth != DefaultDepth || cfg.MaxBundles != DefaultMaxBundles {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+// TestRingAndBundleRoundTrip pins the capture ring (bounded, oldest
+// evicted, deep-copied) and the bundle write/read round trip.
+func TestRingAndBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r, err := New(Config{Dir: dir, Depth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := []bool{true, false, true}
+	samples := []int{4, 0, 7, 1}
+	for i := 0; i < 5; i++ {
+		r.Observe(Capture{Seq: int64(i), Start: float64(i), Level: 0.5, Threshold: 2,
+			Slots: slots, Samples: samples})
+	}
+	// The recorder must own its data: mutating the caller's buffers after
+	// Observe (as the session loop's recycling does) must not leak in.
+	slots[0] = false
+	samples[0] = -99
+
+	meta := Meta{Reason: "decode", Class: "crc", Seq: 4, At: 4, Seed: 9,
+		Scheme: "AMPPM", Level: 0.5, Threshold: 2, TSlotSeconds: 8e-6, PayloadBytes: 64}
+	spans := &span.Snapshot{Spans: []span.Span{{ID: 1, Seq: 4, Name: "frame"}}, Total: 1}
+	bdir, err := r.Trigger(meta, spans, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(bdir) != "bundle-000-decode" {
+		t.Fatalf("bundle dir %q", bdir)
+	}
+
+	b, err := ReadBundle(bdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Meta != meta {
+		t.Fatalf("meta round trip:\nwrote %+v\nread  %+v", meta, b.Meta)
+	}
+	if b.Spans == nil || len(b.Spans.Spans) != 1 || b.Spans.Spans[0].Name != "frame" {
+		t.Fatalf("spans round trip: %+v", b.Spans)
+	}
+	if b.Metrics != nil {
+		t.Fatal("metrics.json was omitted but read back non-nil")
+	}
+	if len(b.Captures) != 3 {
+		t.Fatalf("ring kept %d captures, want depth 3", len(b.Captures))
+	}
+	for i, c := range b.Captures {
+		if want := int64(i + 2); c.Seq != want {
+			t.Fatalf("capture %d seq %d, want %d (oldest-first)", i, c.Seq, want)
+		}
+		if len(c.Slots) != 3 || !c.Slots[0] || len(c.Samples) != 4 || c.Samples[0] != 4 {
+			t.Fatalf("capture %d data corrupted (deep copy broken?): %+v", i, c)
+		}
+	}
+	if d := b.SlotSeconds - 8e-6; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("slot seconds %g", b.SlotSeconds)
+	}
+}
+
+// TestMaxBundlesCap pins that triggers past the cap are counted but write
+// nothing.
+func TestMaxBundlesCap(t *testing.T) {
+	dir := t.TempDir()
+	r, err := New(Config{Dir: dir, MaxBundles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Observe(Capture{Seq: 0})
+	for i := 0; i < 5; i++ {
+		if _, err := r.Trigger(Meta{Reason: "hunt"}, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Triggers(); got != 5 {
+		t.Fatalf("triggers %d, want 5", got)
+	}
+	if got := r.Bundles(); len(got) != 2 {
+		t.Fatalf("%d bundles written, want 2", len(got))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d directories on disk, want 2", len(entries))
+	}
+}
+
+// TestReplayClasses pins the offline replay: a real transmitted frame
+// replays to "ok", a noise-only window replays to "hunt" — both through
+// the real receiver pipeline.
+func TestReplayClasses(t *testing.T) {
+	sch, err := scheme.NewAMPPM(amppm.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := sch.CodecFor(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := frame.Build(codec, []byte("flight recorder replay test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := frame.AppendIdle(nil, codec.Level(), 32)
+	slots = append(slots, fs...)
+	slots = frame.AppendIdle(slots, codec.Level(), 32)
+
+	ch, err := photon.DefaultLinkBudget().ChannelAt(optics.Aligned(3, 0), 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := phy.DefaultLink(ch)
+	rng := rand.New(rand.NewPCG(1, 2))
+	samples := link.Transmit(rng, slots)
+	rx := phy.NewReceiver(ch, sch.Factory())
+
+	r, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Observe(Capture{Seq: 0, Level: 0.5, Threshold: rx.Threshold(), Slots: slots, Samples: samples})
+	bdir, err := r.Trigger(Meta{Reason: "ser", Class: "ok", Scheme: "AMPPM",
+		Level: 0.5, Threshold: rx.Threshold(), TSlotSeconds: 8e-6}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBundle(bdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, err := b.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != "ok" {
+		t.Fatalf("clean frame replayed to class %q, want ok", class)
+	}
+
+	// A window with no light at all never locks: class "hunt".
+	class, err = b.ReplayCapture(Capture{Threshold: rx.Threshold(), Samples: make([]int, 4000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != "hunt" {
+		t.Fatalf("noise window replayed to class %q, want hunt", class)
+	}
+}
+
+func TestReplayUnknownScheme(t *testing.T) {
+	b := &Bundle{Meta: Meta{Scheme: "nope"}, Captures: []Capture{{}}}
+	if _, err := b.Replay(); err == nil {
+		t.Fatal("unknown scheme did not error")
+	}
+}

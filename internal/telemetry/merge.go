@@ -20,6 +20,15 @@ import "sort"
 //   - Events are elided: each session's trace runs on its own simulated
 //     clock, so interleaving them would juxtapose unrelated time axes.
 //     EventsTotal and EventsDropped still sum, recording the volume.
+//
+// The elision contract: Merge drops per-session sequences (the Events
+// ring here, and analogously the span trees of
+// smartvlc/internal/telemetry/span) by design, never silently — the
+// summed EventsTotal/EventsDropped make the elided volume visible, and
+// the per-session snapshots remain intact on each session's own Result.
+// Callers who need the sequences in fleet mode export them per session
+// instead of merging: sim.FleetResult.WriteSessionTraces writes one span
+// snapshot and one Chrome trace per session, named by session index.
 func Merge(snaps ...*Snapshot) *Snapshot {
 	out := &Snapshot{
 		Counters:   []CounterSnapshot{},

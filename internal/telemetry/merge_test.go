@@ -60,6 +60,88 @@ func TestMergeAggregates(t *testing.T) {
 	}
 }
 
+// TestMergeSingleIdentity: merging one event-free snapshot is the
+// identity — same series, same values, same canonical JSON.
+func TestMergeSingleIdentity(t *testing.T) {
+	r := New()
+	r.Counter("frames_total").Add(7)
+	r.Counter("frames_total", "outcome", "bad").Add(2)
+	r.Gauge("goodput_bps").Set(1234.5)
+	r.Histogram("airtime_slots").Observe(40)
+	s := r.Snapshot()
+
+	want, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Merge(s).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("single-snapshot merge is not the identity:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestMergeEmptyList: Merge of an all-nil argument list behaves like
+// Merge of nothing — the canonical empty snapshot.
+func TestMergeEmptyList(t *testing.T) {
+	m := Merge(nil, nil)
+	if len(m.Counters) != 0 || len(m.Gauges) != 0 || len(m.Histograms) != 0 ||
+		len(m.Events) != 0 || m.EventsTotal != 0 || m.EventsDropped != 0 {
+		t.Fatalf("all-nil merge not empty: %+v", m)
+	}
+}
+
+// TestMergeDisjointBuckets: histograms whose occupied buckets do not
+// overlap merge into the sorted union with occupancies intact.
+func TestMergeDisjointBuckets(t *testing.T) {
+	a := New()
+	a.Histogram("airtime_slots").Observe(1) // low bucket
+	b := New()
+	b.Histogram("airtime_slots").Observe(1e6) // high bucket
+	b.Histogram("airtime_slots").Observe(1e6)
+
+	m := Merge(a.Snapshot(), b.Snapshot())
+	if len(m.Histograms) != 1 {
+		t.Fatalf("histograms: %+v", m.Histograms)
+	}
+	h := m.Histograms[0]
+	if h.Count != 3 || len(h.Buckets) != 2 {
+		t.Fatalf("count %d, %d buckets, want 3 and 2: %+v", h.Count, len(h.Buckets), h.Buckets)
+	}
+	if h.Buckets[0].Index >= h.Buckets[1].Index {
+		t.Fatalf("buckets not index-sorted: %+v", h.Buckets)
+	}
+	if h.Buckets[0].Count != 1 || h.Buckets[1].Count != 2 {
+		t.Fatalf("bucket occupancies lost: %+v", h.Buckets)
+	}
+}
+
+// TestMergeEventAccounting pins the elision contract: event sequences are
+// dropped but both volume counters sum, including drops recorded by the
+// per-session rings.
+func TestMergeEventAccounting(t *testing.T) {
+	r := New()
+	r.Emit(0.1, "frame/tx", 0)
+	r.Emit(0.2, "frame/tx", 1)
+	m := Merge(
+		r.Snapshot(),
+		&Snapshot{EventsTotal: 10, EventsDropped: 3},
+		&Snapshot{EventsTotal: 5, EventsDropped: 5,
+			Events: []Event{{At: 1, Kind: "frame/tx"}}},
+	)
+	if len(m.Events) != 0 {
+		t.Fatalf("events not elided: %+v", m.Events)
+	}
+	if m.EventsTotal != 2+10+5 {
+		t.Fatalf("EventsTotal %d, want 17", m.EventsTotal)
+	}
+	if m.EventsDropped != 3+5 {
+		t.Fatalf("EventsDropped %d, want 8", m.EventsDropped)
+	}
+}
+
 // TestMergeCanonical: the merged snapshot must export byte-identically
 // regardless of input construction history, and merging zero snapshots
 // must yield the canonical empty snapshot.

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSnapshotEmitRace is the regression test for the Snapshot data race:
+// EventsTotal used to be read in a second lock acquisition after the
+// event list, so a concurrent Emit could land in between and the snapshot
+// would report a total that disagreed with its own event list (and, under
+// the race detector, an unsynchronized read). The whole
+// (events, total, dropped) triple must come from one locked read, making
+// total == buffered + dropped an invariant of every snapshot. Run with
+// -race.
+func TestSnapshotEmitRace(t *testing.T) {
+	r := New()
+	r.SetTraceCapacity(64) // small ring so drops happen during the test
+	const emitters, perEmitter = 4, 500
+
+	var emitWG, snapWG sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < emitters; g++ {
+		emitWG.Add(1)
+		go func(g int) {
+			defer emitWG.Done()
+			for i := 0; i < perEmitter; i++ {
+				r.Emit(float64(i), "frame/tx", int64(g))
+			}
+		}(g)
+	}
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := r.Snapshot()
+			if got := int64(len(s.Events)) + s.EventsDropped; got != s.EventsTotal {
+				t.Errorf("inconsistent snapshot: %d buffered + %d dropped != total %d",
+					len(s.Events), s.EventsDropped, s.EventsTotal)
+				return
+			}
+		}
+	}()
+	emitWG.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	s := r.Snapshot()
+	if s.EventsTotal != emitters*perEmitter {
+		t.Fatalf("EventsTotal %d, want %d", s.EventsTotal, emitters*perEmitter)
+	}
+	if int64(len(s.Events))+s.EventsDropped != s.EventsTotal {
+		t.Fatalf("final snapshot inconsistent: %d + %d != %d",
+			len(s.Events), s.EventsDropped, s.EventsTotal)
+	}
+}

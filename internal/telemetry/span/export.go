@@ -1,0 +1,185 @@
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Snapshot is a point-in-time copy of a collector: the buffered spans
+// oldest-first plus volume accounting. Span order and IDs are record
+// order and every timestamp is simulation time, so snapshots of
+// identically seeded sessions marshal to byte-identical JSON.
+type Snapshot struct {
+	Spans   []Span `json:"spans"`
+	Total   int64  `json:"total"`
+	Dropped int64  `json:"dropped"`
+}
+
+// Snapshot captures the collector's current state. Returns an empty
+// snapshot on a nil collector.
+func (c *Collector) Snapshot() *Snapshot {
+	s := &Snapshot{Spans: []Span{}}
+	if c == nil {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.buf) < c.cap || c.next == 0 {
+		s.Spans = append(s.Spans, c.buf...)
+	} else {
+		s.Spans = append(s.Spans, c.buf[c.next:]...)
+		s.Spans = append(s.Spans, c.buf[:c.next]...)
+	}
+	s.Total = c.total
+	s.Dropped = c.dropped
+	return s
+}
+
+// JSON marshals the snapshot as canonical indented JSON: fixed field
+// order, spans in record order — the byte-identical export the
+// determinism tests pin.
+func (s *Snapshot) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// traceFloat formats a float for the Chrome trace export: shortest form
+// that round-trips, deterministic across runs.
+func traceFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteChromeTrace writes the snapshot in the Chrome trace_event JSON
+// format ("X" complete events, microsecond timestamps), loadable in
+// Perfetto or chrome://tracing. Span identity, parent links, sequence
+// numbers and attributes ride in each event's args, so ReadChromeTrace
+// can reconstruct the span list from the file. The output is rendered
+// field by field in span order and is byte-identical for identical
+// snapshots.
+func (s *Snapshot) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, sp := range s.Spans {
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		name, err := json.Marshal(sp.Name)
+		if err != nil {
+			return err
+		}
+		// Track (tid) selection: the receiver shard when the span carries
+		// one, so multi-receiver sessions render one lane per receiver.
+		tid := 0
+		if rx, ok := sp.Attr("rx"); ok {
+			if n, err := strconv.Atoi(rx); err == nil && n >= 0 {
+				tid = n
+			}
+		}
+		fmt.Fprintf(bw, `{"name":%s,"cat":"smartvlc","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{"id":%d,"parent":%d,"seq":%d`,
+			name, traceFloat(sp.Start*1e6), traceFloat(sp.Duration()*1e6), tid, sp.ID, sp.Parent, sp.Seq)
+		for _, a := range sp.Attrs {
+			k, err := json.Marshal("a_" + a.Key)
+			if err != nil {
+				return err
+			}
+			v, err := json.Marshal(a.Value)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(bw, ",%s:%s", k, v)
+		}
+		if _, err := bw.WriteString("}}"); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is the subset of the trace_event schema the reader needs.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	Args map[string]interface{} `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// MaxTraceEvents bounds how many events ReadChromeTrace accepts, so a
+// corrupt or hostile file cannot exhaust memory downstream.
+const MaxTraceEvents = 1 << 20
+
+// ReadChromeTrace parses a Chrome trace_event JSON file produced by
+// WriteChromeTrace (or any trace with "X" events) back into a span
+// snapshot. Events without span args still round into spans — their
+// IDs are synthesized from position — so foreign traces can be analyzed
+// too. Attribute order is canonicalized by key.
+func ReadChromeTrace(r io.Reader) (*Snapshot, error) {
+	dec := json.NewDecoder(io.LimitReader(r, 1<<28))
+	var f chromeFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("span: parse chrome trace: %w", err)
+	}
+	if len(f.TraceEvents) > MaxTraceEvents {
+		return nil, fmt.Errorf("span: trace has %d events, limit %d", len(f.TraceEvents), MaxTraceEvents)
+	}
+	snap := &Snapshot{Spans: []Span{}}
+	for i, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		sp := Span{
+			ID:    ID(i + 1),
+			Seq:   -1,
+			Name:  ev.Name,
+			Start: ev.Ts / 1e6,
+			End:   (ev.Ts + ev.Dur) / 1e6,
+		}
+		keys := make([]string, 0, len(ev.Args))
+		for k := range ev.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := ev.Args[k]
+			switch k {
+			case "id":
+				if n, ok := v.(float64); ok {
+					sp.ID = ID(n)
+				}
+			case "parent":
+				if n, ok := v.(float64); ok {
+					sp.Parent = ID(n)
+				}
+			case "seq":
+				if n, ok := v.(float64); ok {
+					sp.Seq = int64(n)
+				}
+			default:
+				if len(k) > 2 && k[:2] == "a_" {
+					if s, ok := v.(string); ok {
+						sp.Attrs = append(sp.Attrs, Attr{Key: k[2:], Value: s})
+					}
+				}
+			}
+		}
+		snap.Spans = append(snap.Spans, sp)
+	}
+	snap.Total = int64(len(snap.Spans))
+	return snap, nil
+}

@@ -1,0 +1,43 @@
+package span
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace hammers the Chrome-trace parser with arbitrary bytes: it
+// must never panic, and whatever it accepts must re-export cleanly. The
+// seed corpus includes a real WriteChromeTrace export so mutations
+// explore the accepted grammar, not just the JSON error path.
+func FuzzReadTrace(f *testing.F) {
+	var valid bytes.Buffer
+	if err := sampleSnapshot().WriteChromeTrace(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(`{"traceEvents":[]}`))
+	f.Add([]byte(`{"traceEvents":[{"ph":"X","name":"frame","ts":1,"dur":2,"args":{"id":1,"seq":-3,"a_k":"v"}}]}`))
+	f.Add([]byte(`{"traceEvents":[{"ph":"M"}],"displayTimeUnit":"ms"`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := ReadChromeTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if snap == nil {
+			t.Fatal("nil snapshot without error")
+		}
+		if snap.Total != int64(len(snap.Spans)) {
+			t.Fatalf("total %d != %d spans", snap.Total, len(snap.Spans))
+		}
+		// Anything accepted must survive re-export and re-parse.
+		var out bytes.Buffer
+		if err := snap.WriteChromeTrace(&out); err != nil {
+			t.Fatalf("re-export failed: %v", err)
+		}
+		if _, err := ReadChromeTrace(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}

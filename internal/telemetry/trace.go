@@ -72,12 +72,15 @@ func (r *Registry) Emit(at float64, kind string, seq int64) {
 	t.mu.Unlock()
 }
 
-// events returns the buffered events oldest-first plus the dropped count.
-func (t *trace) events() ([]Event, int64) {
+// events returns the buffered events oldest-first plus the total and
+// dropped counts, all read under one lock acquisition — a snapshot must
+// see a consistent (events, total, dropped) triple even while another
+// goroutine is emitting, so total cannot be read separately afterwards.
+func (t *trace) events() ([]Event, int64, int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.buf) == 0 {
-		return nil, t.dropped
+		return nil, t.total, t.dropped
 	}
 	out := make([]Event, 0, len(t.buf))
 	if len(t.buf) < t.cap {
@@ -86,5 +89,5 @@ func (t *trace) events() ([]Event, int64) {
 		out = append(out, t.buf[t.next:]...)
 		out = append(out, t.buf[:t.next]...)
 	}
-	return out, t.dropped
+	return out, t.total, t.dropped
 }

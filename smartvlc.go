@@ -25,6 +25,7 @@ package smartvlc
 
 import (
 	"math/rand/v2"
+	"strconv"
 
 	"smartvlc/internal/amppm"
 	"smartvlc/internal/frame"
@@ -36,6 +37,7 @@ import (
 	"smartvlc/internal/scheme"
 	"smartvlc/internal/sim"
 	"smartvlc/internal/stats"
+	"smartvlc/internal/telemetry/span"
 )
 
 // Core planning types, re-exported from the implementation packages.
@@ -118,6 +120,9 @@ type System struct {
 	reg *Telemetry
 	txm *phy.TxMetrics
 	rxm *phy.RxMetrics
+	// spans collects causal spans for the one-shot Deliver path; nil (the
+	// default) is a no-op. Set via SetSpans (telemetry.go).
+	spans *SpanCollector
 }
 
 // New derives the AMPPM planning table from the constraints (paper §4.2
@@ -287,7 +292,21 @@ func (s *System) DeliverStats(g Geometry, ambientLux float64, seed uint64, slots
 	rx := phy.NewReceiver(ch, s.sch.Factory())
 	rx.Metrics = s.rxm
 	s.rxm.OnChannel(rx.Threshold())
+	// One-shot span tree: the Deliver call has no session clock, so the
+	// root starts at 0 and receiver spans are timed by sample index.
+	var spanBuf span.Buffer
+	tsamp := tslotSeconds / float64(phy.Oversample)
+	if s.spans != nil {
+		rx.SetSpanWindow(&spanBuf, 0, tsamp)
+	}
 	results, st := rx.Process(samples)
+	if s.spans != nil {
+		root := s.spans.Record(span.Span{
+			Name: "deliver", Seq: -1, Start: 0, End: float64(len(samples)) * tsamp,
+			Attrs: []span.Attr{{Key: "threshold", Value: strconv.Itoa(rx.Threshold())}},
+		})
+		s.spans.Splice(&spanBuf, root, -1)
+	}
 	phy.RecycleSamples(samples)
 	rep := DeliverReport{
 		Payloads:     make([][]byte, 0, len(results)),

@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strconv"
 
 	"smartvlc/internal/frame"
 	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/span"
 )
 
 // Stream is a reliable, ordered byte pipe over a simulated SmartVLC link,
@@ -55,6 +57,11 @@ type Stream struct {
 	retriesC *telemetry.Counter
 	deliverC *telemetry.Counter
 	attemptH *telemetry.Histogram
+
+	// Spans (nil by default — no-op): one "chunk" root per chunk with a
+	// "chunk/tx" child per attempt, on the same simulated clock.
+	spans   *span.Collector
+	spanBuf span.Buffer
 }
 
 // OpenStream returns a byte pipe over the given link operating point at
@@ -90,6 +97,16 @@ func (st *Stream) SetTelemetry(r *telemetry.Registry) {
 	st.deliverC = r.Counter("stream_delivered_bytes_total")
 	r.Help("stream_chunk_attempts", "Transmission attempts needed per delivered chunk.")
 	st.attemptH = r.Histogram("stream_chunk_attempts")
+}
+
+// SetSpans attaches a span collector to the stream: each chunk records a
+// "chunk" root span (attributes: dimming level, attempts, payload bytes)
+// with one "chunk/tx" child per transmission attempt, timed on the
+// stream's simulated clock. Call before the first Write; nil restores
+// the no-op default.
+func (st *Stream) SetSpans(c *span.Collector) {
+	st.spans = c
+	st.clock = telemetry.SlotClock{TSlotSeconds: tslotSeconds}
 }
 
 // Telemetry returns the snapshot of the attached registry, or nil when
@@ -144,6 +161,8 @@ func (st *Stream) sendChunk(data []byte) error {
 	if err != nil {
 		return err
 	}
+	chunkStart := st.clock.At(st.airtimeSlots)
+	st.spanBuf.Reset()
 	for attempt := 0; attempt < st.MaxAttempts; attempt++ {
 		slots, err := frame.BuildAppend(st.slotBuf[:0], codec, body)
 		if err != nil {
@@ -153,6 +172,13 @@ func (st *Stream) sendChunk(data []byte) error {
 		st.framesSent++
 		st.framesC.Inc()
 		st.reg.Emit(st.clock.At(st.airtimeSlots), "chunk/tx", int64(st.chunk-1))
+		if st.spans != nil {
+			st.spanBuf.Record(span.Span{
+				Name: "chunk/tx", Seq: -1,
+				Start: st.clock.At(st.airtimeSlots), End: st.clock.At(st.airtimeSlots + len(slots)),
+				Attrs: []span.Attr{{Key: "attempt", Value: strconv.Itoa(attempt + 1)}},
+			})
+		}
 		st.airtimeSlots += len(slots)
 		st.seed++
 		payloads, err := st.sys.Deliver(st.geometry, st.ambient, st.seed, slots)
@@ -170,13 +196,35 @@ func (st *Stream) sendChunk(data []byte) error {
 					st.attemptCounts = append(st.attemptCounts, 0)
 				}
 				st.attemptCounts[attempt]++
+				st.recordChunkSpan(chunkStart, attempt+1, len(pl)-4, "ok")
 				return nil
 			}
 		}
 		st.retries++
 		st.retriesC.Inc()
 	}
+	st.recordChunkSpan(chunkStart, st.MaxAttempts, 0, "failed")
 	return fmt.Errorf("smartvlc: chunk %d undeliverable after %d attempts", st.chunk-1, st.MaxAttempts)
+}
+
+// recordChunkSpan closes one chunk's span tree: the "chunk" root over the
+// whole (re)transmission history, with the buffered per-attempt children
+// spliced underneath.
+func (st *Stream) recordChunkSpan(start float64, attempts, deliveredBytes int, outcome string) {
+	if st.spans == nil {
+		return
+	}
+	seq := int64(st.chunk - 1)
+	root := st.spans.Record(span.Span{
+		Name: "chunk", Seq: seq, Start: start, End: st.clock.At(st.airtimeSlots),
+		Attrs: []span.Attr{
+			{Key: "level", Value: strconv.FormatFloat(st.level, 'g', -1, 64)},
+			{Key: "attempts", Value: strconv.Itoa(attempts)},
+			{Key: "bytes", Value: strconv.Itoa(deliveredBytes)},
+			{Key: "outcome", Value: outcome},
+		},
+	})
+	st.spans.Splice(&st.spanBuf, root, seq)
 }
 
 // Read drains delivered bytes; it returns io.EOF once the buffer is

@@ -3,6 +3,8 @@ package smartvlc
 import (
 	"smartvlc/internal/phy"
 	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/flight"
+	"smartvlc/internal/telemetry/span"
 )
 
 // Telemetry re-exports, so applications never import internal packages.
@@ -17,7 +19,40 @@ type (
 	TelemetrySnapshot = telemetry.Snapshot
 	// TelemetryEvent is one frame-lifecycle trace entry.
 	TelemetryEvent = telemetry.Event
+
+	// Span is one causal pipeline stage of one frame or chunk.
+	Span = span.Span
+	// SpanCollector accumulates causal frame spans; attach one via
+	// SessionConfig.Spans, System.SetSpans or Stream.SetSpans. Nil is the
+	// zero-cost no-op default everywhere.
+	SpanCollector = span.Collector
+	// SpanSnapshot is a canonical export of a collector, serializable as
+	// JSON or as a Chrome trace_event file (WriteChromeTrace) that opens
+	// in Perfetto.
+	SpanSnapshot = span.Snapshot
+
+	// FlightRecorder is the anomaly flight recorder: it rings recent frame
+	// captures and dumps diagnostic bundles on decode failures, hunt
+	// misses, symbol-error bursts and ACK timeouts.
+	FlightRecorder = flight.Recorder
+	// FlightConfig parameterizes NewFlightRecorder.
+	FlightConfig = flight.Config
+	// FlightBundle is a diagnostic bundle read back with ReadFlightBundle;
+	// its Replay method pushes the captured samples through the receiver
+	// again and reports the reproduced decode error class.
+	FlightBundle = flight.Bundle
 )
+
+// NewSpanCollector returns an empty span collector for SessionConfig.Spans,
+// System.SetSpans or Stream.SetSpans.
+func NewSpanCollector() *SpanCollector { return span.NewCollector() }
+
+// NewFlightRecorder arms an anomaly flight recorder writing bundles under
+// cfg.Dir; pass it via SessionConfig.Flight.
+func NewFlightRecorder(cfg FlightConfig) (*FlightRecorder, error) { return flight.New(cfg) }
+
+// ReadFlightBundle loads a flight-recorder bundle directory.
+func ReadFlightBundle(dir string) (*FlightBundle, error) { return flight.ReadBundle(dir) }
 
 // NewTelemetry returns an empty registry to pass to SessionConfig.Telemetry,
 // System.SetTelemetry or Stream.SetTelemetry. A nil registry everywhere is
@@ -52,6 +87,13 @@ func (s *System) SetTelemetry(r *Telemetry) {
 // Telemetry returns the registry attached with SetTelemetry (nil by
 // default).
 func (s *System) Telemetry() *Telemetry { return s.reg }
+
+// SetSpans attaches a span collector to the System's one-shot physical
+// path: each DeliverStats call records a "deliver" root span with the
+// receiver's hunt/decode children, timed from the start of the delivered
+// waveform. Like SetTelemetry, attach before sharing the System across
+// goroutines; the collector itself is race-safe.
+func (s *System) SetSpans(c *SpanCollector) { s.spans = c }
 
 // DeliverReport is the full outcome of one Deliver call: every cleanly
 // decoded payload plus the receiver statistics Deliver alone discards.

@@ -5,8 +5,8 @@ import (
 	"strings"
 	"testing"
 
-	"smartvlc/internal/phy"
 	"smartvlc/internal/photon"
+	"smartvlc/internal/phy"
 	"smartvlc/internal/scheme"
 )
 
