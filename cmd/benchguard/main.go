@@ -3,17 +3,19 @@
 // fails when a measured ns/op regresses more than the tolerance over the
 // recorded number in results/BENCH_phy.json. The default gate covers the
 // observability layers' zero-cost claim (end_to_end_frame with both no-op
-// defaults: nil metrics registry AND nil span collector) and the fleet
+// defaults: nil metrics registry AND nil span collector), the fleet
 // runner's single-worker path (fleet_sessions — the serial baseline the
-// parallel speedups are measured against). It can also capture a
-// deterministic metrics snapshot from a short instrumented session, for
-// upload as a CI artifact.
+// parallel speedups are measured against), and the link-health monitor's
+// hot-path price (end_to_end_frame_health — a full ARQ session with the
+// monitor armed, recorded a few % at most over its session_frames nil
+// twin). It can also capture a deterministic metrics snapshot from a
+// short instrumented session, for upload as a CI artifact.
 //
 // Usage:
 //
 //	go run ./cmd/benchguard [-baseline results/BENCH_phy.json]
-//	    [-bench end_to_end_frame,fleet_sessions] [-tolerance 0.10]
-//	    [-benchtime 2s] [-snapshot-out metrics.json]
+//	    [-bench end_to_end_frame,fleet_sessions,end_to_end_frame_health]
+//	    [-tolerance 0.10] [-benchtime 2s] [-snapshot-out metrics.json]
 package main
 
 import (
@@ -39,7 +41,7 @@ type baselineFile struct {
 
 func main() {
 	baselinePath := flag.String("baseline", "results/BENCH_phy.json", "recorded benchmark baseline")
-	benchNames := flag.String("bench", "end_to_end_frame,fleet_sessions", "comma-separated baseline entries to guard")
+	benchNames := flag.String("bench", "end_to_end_frame,fleet_sessions,end_to_end_frame_health", "comma-separated baseline entries to guard")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression over baseline")
 	benchtime := flag.Duration("benchtime", 2*time.Second, "minimum measurement time per benchmark")
 	snapshotOut := flag.String("snapshot-out", "", "also run a short instrumented session and write its telemetry snapshot JSON here")
@@ -58,8 +60,10 @@ func main() {
 	}
 
 	bodies := map[string]func() func(b *testing.B){
-		"end_to_end_frame": func() func(b *testing.B) { return endToEndBody(sys) },
-		"fleet_sessions":   func() func(b *testing.B) { return fleetBody(sys) },
+		"end_to_end_frame":        func() func(b *testing.B) { return endToEndBody(sys) },
+		"fleet_sessions":          func() func(b *testing.B) { return fleetBody(sys) },
+		"session_frames":          func() func(b *testing.B) { return sessionBody(sys, false) },
+		"end_to_end_frame_health": func() func(b *testing.B) { return sessionBody(sys, true) },
 	}
 
 	failed := false
@@ -70,7 +74,7 @@ func main() {
 		}
 		mk, ok := bodies[name]
 		if !ok {
-			fatal(fmt.Errorf("no benchmark body for %q (known: end_to_end_frame, fleet_sessions)", name))
+			fatal(fmt.Errorf("no benchmark body for %q (known: end_to_end_frame, fleet_sessions, session_frames, end_to_end_frame_health)", name))
 		}
 		base, err := loadBaseline(*baselinePath, name)
 		if err != nil {
@@ -138,6 +142,33 @@ func fleetBody(sys *smartvlc.System) func(b *testing.B) {
 			}
 			if len(fl.Results) != 8 {
 				b.Fatalf("fleet returned %d sessions", len(fl.Results))
+			}
+		}
+	}
+}
+
+// sessionBody runs one simulated 0.1 s ARQ session per op, with the
+// link-health monitor off (session_frames) or armed with the default
+// objectives (end_to_end_frame_health) — the same pair cmd/phybench
+// records, so the gate holds the monitor to its recorded hot-path price.
+func sessionBody(sys *smartvlc.System, withHealth bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := smartvlc.DefaultSessionConfig(sys.Scheme())
+			cfg.FixedLevel = 0.5
+			cfg.Seed = uint64(i + 1)
+			if withHealth {
+				cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
+			}
+			res, err := smartvlc.RunSession(cfg, 0.1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.FramesOK == 0 {
+				b.Fatal("no frames delivered")
+			}
+			if withHealth && res.Health == nil {
+				b.Fatal("missing health snapshot")
 			}
 		}
 	}

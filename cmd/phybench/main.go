@@ -53,6 +53,14 @@ var serialPeer = map[string]string{
 	"broadcast_fanout_parallel": "broadcast_fanout",
 }
 
+// nilPeer maps each instrumented benchmark to its observability-off twin;
+// the recorded OverheadVsNil is the fractional cost of turning the layer
+// on, backing the "a few % at most" claim the benchguard gate enforces.
+var nilPeer = map[string]string{
+	"end_to_end_frame_spans":  "end_to_end_frame",
+	"end_to_end_frame_health": "session_frames",
+}
+
 type entry struct {
 	Name          string  `json:"name"`
 	NsPerOp       float64 `json:"ns_per_op"`
@@ -66,7 +74,10 @@ type entry struct {
 	// ParallelSpeedup is serial-twin ns/op ÷ this entry's ns/op, recorded
 	// on the *_parallel entries.
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
-	Iterations      int     `json:"iterations"`
+	// OverheadVsNil is this entry's ns/op over its observability-off
+	// twin's, minus one — the fractional price of the instrumented layer.
+	OverheadVsNil float64 `json:"overhead_vs_nil,omitempty"`
+	Iterations    int     `json:"iterations"`
 }
 
 type report struct {
@@ -203,6 +214,31 @@ func main() {
 			}
 		}
 	}
+	// Session-loop twins: one simulated 0.1 s ARQ session per op, with the
+	// link-health monitor off and then on, so the recorded pair prices the
+	// monitor's hot-path cost (OverheadVsNil on the health entry).
+	sessionBody := func(withHealth bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := smartvlc.DefaultSessionConfig(sys.Scheme())
+				cfg.FixedLevel = 0.5
+				cfg.Seed = uint64(i + 1)
+				if withHealth {
+					cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
+				}
+				res, err := smartvlc.RunSession(cfg, 0.1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.FramesOK == 0 {
+					b.Fatal("no frames delivered")
+				}
+				if withHealth && res.Health == nil {
+					b.Fatal("missing health snapshot")
+				}
+			}
+		}
+	}
 	ncpu := runtime.NumCPU()
 
 	benches := []struct {
@@ -291,6 +327,8 @@ func main() {
 				b.Fatalf("%d/%d frames lost", misses, b.N)
 			}
 		}},
+		{name: "session_frames", body: sessionBody(false)},
+		{name: "end_to_end_frame_health", body: sessionBody(true)},
 		{name: "fleet_sessions", workers: 1, body: fleetBody(1)},
 		{name: "fleet_sessions_parallel", workers: ncpu, body: fleetBody(ncpu)},
 		{name: "fig4_montecarlo", workers: 1, body: mcBody(1)},
@@ -328,6 +366,11 @@ func main() {
 				e.ParallelSpeedup = serial / nsPerOp
 			}
 		}
+		if peer, ok := nilPeer[bm.name]; ok {
+			if nil0 := nsByName[peer]; nil0 > 0 {
+				e.OverheadVsNil = nsPerOp/nil0 - 1
+			}
+		}
 		rep.Benchmarks = append(rep.Benchmarks, e)
 		fmt.Printf("%-26s %12.0f ns/op  %8d B/op  %5d allocs/op", bm.name, nsPerOp, e.BytesPerOp, e.AllocsPerOp)
 		if e.SpeedupVsSeed > 0 {
@@ -335,6 +378,9 @@ func main() {
 		}
 		if e.ParallelSpeedup > 0 {
 			fmt.Printf("  %.2fx vs serial (%d workers)", e.ParallelSpeedup, e.Workers)
+		}
+		if _, ok := nilPeer[bm.name]; ok {
+			fmt.Printf("  %+.1f%% vs nil twin", e.OverheadVsNil*100)
 		}
 		fmt.Println()
 	}

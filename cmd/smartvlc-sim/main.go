@@ -30,6 +30,17 @@
 // timeouts dump diagnostic bundles there (inspect with vlctrace bundle).
 // In fleet mode, -trace-dir DIR writes one span snapshot and one Chrome
 // trace per session.
+//
+// Link health: -health-out FILE writes the run's link-health snapshot
+// (sim-clock time-series plus SLO attainment; "-" for stdout) — feed it
+// to vlctop. With -metrics-addr the same snapshot is served at /health
+// (JSON) and /health/stream (NDJSON). In fleet mode the per-session
+// series merge deterministically.
+//
+// Profiling: -pprof-addr HOST:PORT serves /debug/pprof on its own
+// address (never on the metrics port); -runtime-metrics appends Go
+// runtime gauges to the /metrics exposition at scrape time (they stay
+// out of the canonical -metrics-out files).
 package main
 
 import (
@@ -61,7 +72,14 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the session's frame spans to FILE as a Chrome trace_event JSON (Perfetto-loadable)")
 	traceDir := flag.String("trace-dir", "", "fleet mode: write per-session span snapshots and Chrome traces into DIR")
 	flightDir := flag.String("flight-dir", "", "arm the anomaly flight recorder, writing diagnostic bundles into DIR")
+	healthOut := flag.String("health-out", "", "write the link-health snapshot to FILE (\"-\" for stdout; analyze with vlctop)")
+	pprofAddr := flag.String("pprof-addr", "", "serve /debug/pprof on this address (separate from -metrics-addr)")
+	runtimeMetrics := flag.Bool("runtime-metrics", false, "append Go runtime gauges to the /metrics exposition (scrape-time only)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr)
+	}
 
 	var sch smartvlc.Scheme
 	var err error
@@ -94,9 +112,20 @@ func main() {
 	}
 	wantMetrics := *metricsOut != "" || *metricsAddr != ""
 	wantSpans := *traceOut != "" || *metricsAddr != ""
+	wantHealth := *healthOut != "" || *metricsAddr != ""
+	if wantHealth {
+		cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
+	}
 
 	if *sessions > 1 {
-		runFleet(cfg, sch, *sessions, *workers, *seconds, wantMetrics, *metricsOut, *metricsAddr, *traceDir)
+		runFleet(cfg, sch, *sessions, *workers, *seconds, fleetOut{
+			wantMetrics:    wantMetrics,
+			metricsOut:     *metricsOut,
+			metricsAddr:    *metricsAddr,
+			traceDir:       *traceDir,
+			healthOut:      *healthOut,
+			runtimeMetrics: *runtimeMetrics,
+		})
 		return
 	}
 	if wantMetrics {
@@ -129,6 +158,9 @@ func main() {
 	fmt.Printf("goodput     : %.1f kbps\n", res.GoodputBps/1000)
 	fmt.Printf("frames      : sent=%d ok=%d bad=%d retransmits=%d\n",
 		res.FramesSent, res.FramesOK, res.FramesBad, res.Retransmits)
+	if res.Health != nil {
+		fmt.Printf("health      : %s (%d transitions)\n", res.Health.State, len(res.Health.Transitions))
+	}
 	if *dynamic {
 		fmt.Printf("adaptations : %d brightness steps\n", res.Adjustments)
 		fmt.Printf("throughput  : %s\n", stats.Sparkline(res.Throughput.Values()))
@@ -156,8 +188,16 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *healthOut != "" {
+		if err := writeHealth(*healthOut, res.Health); err != nil {
+			fatal(err)
+		}
+	}
 	if *metricsAddr != "" {
-		serveMetrics(*metricsAddr, cfg.Telemetry, res.Telemetry, res.Spans)
+		serve(*metricsAddr, serveOpts{
+			reg: cfg.Telemetry, snap: res.Telemetry, spans: res.Spans,
+			health: res.Health, runtimeMetrics: *runtimeMetrics,
+		})
 	}
 }
 
@@ -180,18 +220,28 @@ func writeTrace(path string, snap *smartvlc.SpanSnapshot) error {
 	return f.Close()
 }
 
+// fleetOut bundles the fleet mode's output destinations.
+type fleetOut struct {
+	wantMetrics    bool
+	metricsOut     string
+	metricsAddr    string
+	traceDir       string
+	healthOut      string
+	runtimeMetrics bool
+}
+
 // runFleet runs the multi-session mode: n sessions with seeds seed,
 // seed+1, ..., each on its own registry when metrics were requested, and
 // reports the aggregate plus the wall-clock sessions/sec rate.
-func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers int, seconds float64, wantMetrics bool, metricsOut, metricsAddr, traceDir string) {
+func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers int, seconds float64, out fleetOut) {
 	cfgs := make([]smartvlc.SessionConfig, n)
 	for i := range cfgs {
 		cfg := base
 		cfg.Seed = base.Seed + uint64(i)
-		if wantMetrics {
+		if out.wantMetrics {
 			cfg.Telemetry = smartvlc.NewTelemetry()
 		}
-		if traceDir != "" {
+		if out.traceDir != "" {
 			cfg.Spans = smartvlc.NewSpanCollector()
 		}
 		cfgs[i] = cfg
@@ -217,20 +267,32 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers int, 
 	fmt.Printf("goodput     : %.1f kbps mean per session (%.1f kbps aggregate)\n",
 		goodput/float64(n)/1000, goodput/1000)
 	fmt.Printf("frames      : sent=%d ok=%d bad=%d\n", sent, ok, bad)
+	if fl.Health != nil {
+		fmt.Printf("health      : %s across %d sessions (%d transitions)\n",
+			fl.Health.State, fl.Health.Sessions, len(fl.Health.Transitions))
+	}
 
-	if traceDir != "" {
-		if err := fl.WriteSessionTraces(traceDir); err != nil {
+	if out.traceDir != "" {
+		if err := fl.WriteSessionTraces(out.traceDir); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("traces      : %d sessions exported to %s\n", n, traceDir)
+		fmt.Printf("traces      : %d sessions exported to %s\n", n, out.traceDir)
 	}
-	if metricsOut != "" {
-		if err := writeMetrics(metricsOut, nil, fl.Telemetry); err != nil {
+	if out.metricsOut != "" {
+		if err := writeMetrics(out.metricsOut, nil, fl.Telemetry); err != nil {
 			fatal(err)
 		}
 	}
-	if metricsAddr != "" {
-		serveMetrics(metricsAddr, nil, fl.Telemetry, nil)
+	if out.healthOut != "" {
+		if err := writeHealth(out.healthOut, fl.Health); err != nil {
+			fatal(err)
+		}
+	}
+	if out.metricsAddr != "" {
+		serve(out.metricsAddr, serveOpts{
+			snap: fl.Telemetry, health: fl.Health,
+			runtimeMetrics: out.runtimeMetrics,
+		})
 	}
 }
 
@@ -264,43 +326,34 @@ func writeMetrics(path string, reg *smartvlc.Telemetry, snap *smartvlc.Telemetry
 	return os.WriteFile(path, out, 0o644)
 }
 
-// serveMetrics blocks, exposing the finished run's snapshot for scrapes —
-// useful for pointing a Prometheus/Grafana dev stack at a simulation.
-func serveMetrics(addr string, reg *smartvlc.Telemetry, snap *smartvlc.TelemetrySnapshot, spans *smartvlc.SpanSnapshot) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+// writeHealth exports a health snapshot as canonical JSON ("-" for
+// stdout). A nil snapshot writes an empty object so downstream tooling
+// sees valid JSON either way.
+func writeHealth(path string, snap *smartvlc.HealthSnapshot) error {
+	out := []byte("{}\n")
+	if snap != nil {
 		var err error
-		if reg != nil {
-			err = reg.WritePrometheus(w)
-		} else {
-			err = snap.WritePrometheus(w, nil)
-		}
+		out, err = snap.JSON()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return err
 		}
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
-		j, err := snap.JSON()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(j)
-	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
-		s := spans
-		if s == nil {
-			s = &smartvlc.SpanSnapshot{}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := s.WriteChromeTrace(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// serve blocks, exposing the finished run's artifacts for scrapes —
+// useful for pointing a Prometheus/Grafana dev stack (or vlctop) at a
+// simulation.
+func serve(addr string, o serveOpts) {
 	fmt.Printf("metrics     : serving on http://%s/metrics (ctrl-c to stop)\n", addr)
-	if err := http.ListenAndServe(addr, mux); err != nil {
+	if o.health != nil {
+		fmt.Printf("health      : http://%s/health and /health/stream\n", addr)
+	}
+	if err := http.ListenAndServe(addr, buildMux(o)); err != nil {
 		fatal(err)
 	}
 }

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+
+	"smartvlc"
+)
+
+// serveOpts is everything the HTTP endpoints can expose after a run.
+// Routes are registered only for the artifacts actually present, so the
+// single-session and fleet paths share one construction site instead of
+// each wiring its own mux (fleet mode used to serve an empty /trace, and
+// a second registration site is how duplicate-pattern panics start).
+type serveOpts struct {
+	// reg supplies HELP text for the Prometheus exposition; nil (the
+	// merged-fleet case) falls back to the snapshot's own exposition.
+	reg *smartvlc.Telemetry
+	// snap is the metrics snapshot served at /metrics and /metrics.json.
+	snap *smartvlc.TelemetrySnapshot
+	// spans, when non-nil, is served at /trace as a Chrome trace_event
+	// file.
+	spans *smartvlc.SpanSnapshot
+	// health, when non-nil, is served at /health (canonical JSON) and
+	// /health/stream (NDJSON, one object per time bucket and transition).
+	health *smartvlc.HealthSnapshot
+	// runtimeMetrics appends Go runtime gauges (goroutines, heap) to the
+	// Prometheus exposition at scrape time. They reflect the serving
+	// process, not the simulation, so they never enter the canonical
+	// snapshot files — determinism of -metrics-out is preserved.
+	runtimeMetrics bool
+}
+
+// buildMux registers the report endpoints for the artifacts in opts.
+// Always present: /metrics, /metrics.json. Flag-gated: /trace, /health,
+// /health/stream. pprof is deliberately NOT here — it serves on its own
+// address (see servePprof) so debug handlers never leak onto the metrics
+// port.
+func buildMux(o serveOpts) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		var err error
+		if o.reg != nil {
+			err = o.reg.WritePrometheus(w)
+		} else {
+			err = o.snap.WritePrometheus(w, nil)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if o.runtimeMetrics {
+			writeRuntimeMetrics(w)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		j, err := o.snap.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(j)
+	})
+	if o.spans != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := o.spans.WriteChromeTrace(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	if o.health != nil {
+		mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+			j, err := o.health.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(j)
+		})
+		mux.HandleFunc("/health/stream", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			if err := o.health.WriteNDJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	return mux
+}
+
+// writeRuntimeMetrics appends Go runtime gauges in Prometheus text
+// exposition. Scrape-time values — never part of canonical snapshots.
+func writeRuntimeMetrics(w http.ResponseWriter) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP go_goroutines Number of goroutines in the serving process.\n")
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\n")
+	fmt.Fprintf(w, "go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP go_heap_alloc_bytes Bytes of allocated heap objects.\n")
+	fmt.Fprintf(w, "# TYPE go_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(w, "go_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP go_heap_sys_bytes Bytes of heap obtained from the OS.\n")
+	fmt.Fprintf(w, "# TYPE go_heap_sys_bytes gauge\n")
+	fmt.Fprintf(w, "go_heap_sys_bytes %d\n", ms.HeapSys)
+	fmt.Fprintf(w, "# HELP go_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "go_gc_cycles_total %d\n", ms.NumGC)
+}
+
+// pprofMux builds an explicit pprof mux. Importing net/http/pprof for the
+// handler functions alone also registers them on http.DefaultServeMux as
+// an init side effect; by never serving DefaultServeMux, those stay dark
+// and debug routes only ever appear on the dedicated -pprof-addr.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// servePprof serves the profiling endpoints on their own address in the
+// background, for profiling long fleet runs or the serving process.
+func servePprof(addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, pprofMux()); err != nil {
+			fmt.Fprintln(os.Stderr, "smartvlc-sim: pprof:", err)
+		}
+	}()
+	fmt.Printf("pprof       : serving on http://%s/debug/pprof/\n", addr)
+}

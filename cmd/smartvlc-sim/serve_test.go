@@ -1,0 +1,119 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"smartvlc"
+)
+
+// fullOpts runs a short session with every artifact enabled and returns
+// the corresponding serveOpts.
+func fullOpts(t *testing.T) serveOpts {
+	t.Helper()
+	sch, err := smartvlc.NewAMPPMScheme(smartvlc.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smartvlc.DefaultSessionConfig(sch)
+	cfg.Telemetry = smartvlc.NewTelemetry()
+	cfg.Spans = smartvlc.NewSpanCollector()
+	cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
+	res, err := smartvlc.RunSession(cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serveOpts{
+		reg: cfg.Telemetry, snap: res.Telemetry, spans: res.Spans,
+		health: res.Health, runtimeMetrics: true,
+	}
+}
+
+func get(t *testing.T, o serveOpts, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	buildMux(o).ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// TestBuildMuxFullRoutes verifies every endpoint answers when all
+// artifacts are present, including the scrape-time runtime gauges.
+func TestBuildMuxFullRoutes(t *testing.T) {
+	o := fullOpts(t)
+	for path, want := range map[string]string{
+		"/metrics":       "go_goroutines",
+		"/metrics.json":  "{",
+		"/trace":         "traceEvents",
+		"/health":        "\"state\"",
+		"/health/stream": "\n",
+	} {
+		code, body := get(t, o, path)
+		if code != 200 {
+			t.Errorf("%s: status %d", path, code)
+		}
+		if !strings.Contains(body, want) {
+			t.Errorf("%s: body missing %q:\n%s", path, want, truncate(body))
+		}
+	}
+}
+
+// TestBuildMuxGatedRoutes verifies that absent artifacts mean absent
+// routes: fleet mode (no spans, no per-run health) must 404 on /trace and
+// /health rather than serve empty payloads, and the runtime gauges stay
+// out of /metrics unless requested.
+func TestBuildMuxGatedRoutes(t *testing.T) {
+	o := fullOpts(t)
+	o.reg = nil // fleet mode serves the merged snapshot without a registry
+	o.spans = nil
+	o.health = nil
+	o.runtimeMetrics = false
+	for _, path := range []string{"/trace", "/health", "/health/stream"} {
+		if code, _ := get(t, o, path); code != 404 {
+			t.Errorf("%s: status %d, want 404", path, code)
+		}
+	}
+	code, body := get(t, o, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if strings.Contains(body, "go_goroutines") {
+		t.Error("/metrics leaked runtime gauges with runtimeMetrics off")
+	}
+}
+
+// TestBuildMuxTwice guards the regression this helper exists for: the
+// single-session and fleet paths used to register handlers independently,
+// and a second registration on a shared mux panics with "multiple
+// registrations". Two builds must each produce a working, independent mux.
+func TestBuildMuxTwice(t *testing.T) {
+	o := fullOpts(t)
+	for i, mux := range []*http.ServeMux{buildMux(o), buildMux(o)} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("mux %d: status %d", i, rec.Code)
+		}
+	}
+}
+
+// TestPprofMuxIsolated verifies the debug routes live only on the pprof
+// mux — the metrics mux must not answer /debug/pprof/.
+func TestPprofMuxIsolated(t *testing.T) {
+	rec := httptest.NewRecorder()
+	pprofMux().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("pprof mux: status %d", rec.Code)
+	}
+	if code, _ := get(t, fullOpts(t), "/debug/pprof/"); code == 200 {
+		t.Error("metrics mux answered /debug/pprof/ — debug routes leaked")
+	}
+}
+
+func truncate(s string) string {
+	if len(s) > 400 {
+		return s[:400] + "…"
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+// Command vlctop is the operator's view of a SmartVLC link-health
+// snapshot: SLO attainment tables, sim-clock metric timelines binned by
+// dimming level, the alert transition log and a worst-window drill-down.
+// It is the reading companion to smartvlc-sim's -health-out files and
+// /health endpoint.
+//
+// Usage:
+//
+//	vlctop health.json                  read a -health-out file
+//	vlctop -                            read the snapshot from stdin
+//	vlctop http://localhost:9090/health scrape a serving simulation
+//
+// Flags:
+//
+//	-top N    rows in the worst-window table (default 5)
+//	-width N  sparkline width in cells (default 60)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"smartvlc"
+)
+
+func main() {
+	top := flag.Int("top", 5, "rows in the worst-window table")
+	width := flag.Int("width", 60, "sparkline width in cells")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vlctop [flags] FILE|URL|-\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	snap, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vlctop: %v\n", err)
+		os.Exit(1)
+	}
+	render(os.Stdout, snap, options{top: *top, width: *width})
+}
+
+// load reads a health snapshot from a file path, "-" (stdin) or an
+// http(s) URL.
+func load(src string) (*smartvlc.HealthSnapshot, error) {
+	var r io.ReadCloser
+	switch {
+	case src == "-":
+		r = os.Stdin
+	case strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://"):
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
+		}
+		r = resp.Body
+	default:
+		f, err := os.Open(src)
+		if err != nil {
+			return nil, err
+		}
+		r = f
+	}
+	defer r.Close()
+	return smartvlc.ReadHealthSnapshot(r)
+}

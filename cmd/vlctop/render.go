@@ -1,0 +1,285 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"smartvlc"
+)
+
+type options struct {
+	top   int // worst-window rows
+	width int // sparkline cells
+}
+
+func (o options) withDefaults() options {
+	if o.top <= 0 {
+		o.top = 5
+	}
+	if o.width <= 0 {
+		o.width = 60
+	}
+	return o
+}
+
+// render writes the full operator view. Output is deterministic given the
+// snapshot: every number comes from the sim clock and the canonical
+// point ordering, so the view is testable against golden files.
+func render(w io.Writer, s *smartvlc.HealthSnapshot, opt options) {
+	opt = opt.withDefaults()
+
+	// Partial flush buckets (shorter than the grid width) would distort
+	// every per-bucket rate next to their sealed peers, so the view keeps
+	// only sealed points; the SLO evaluator made the same choice.
+	span := 0.0
+	var finest []smartvlc.HealthPoint
+	if len(s.Series) > 0 {
+		for _, p := range s.Series[0].Points {
+			if !p.Partial {
+				finest = append(finest, p)
+			}
+		}
+	}
+	if n := len(finest); n > 0 {
+		span = finest[n-1].End - finest[0].Start
+	}
+	fmt.Fprintf(w, "link health: %s", s.State)
+	if s.Link != "" {
+		fmt.Fprintf(w, "  link=%s", s.Link)
+	}
+	fmt.Fprintf(w, "  sessions=%d", s.Sessions)
+	if s.Skipped > 0 {
+		fmt.Fprintf(w, "  skipped=%d", s.Skipped)
+	}
+	fmt.Fprintf(w, "\ngrid: tslot=%s bucket=%d slots (%s), %d resolutions ×%d, %s observed\n",
+		dur(s.TSlotSeconds), s.BucketSlots, dur(float64(s.BucketSlots)*s.TSlotSeconds),
+		len(s.Series), s.Factor, dur(span))
+
+	renderObjectives(w, s)
+	renderTimelines(w, finest, opt)
+	renderLevels(w, finest)
+	renderTransitions(w, s)
+	renderWorst(w, finest, opt)
+}
+
+// renderObjectives prints the SLO attainment table: spec, final state,
+// per-bucket attainment and the worst burn rate seen.
+func renderObjectives(w io.Writer, s *smartvlc.HealthSnapshot) {
+	if len(s.Objectives) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nSLO attainment:\n")
+	fmt.Fprintf(w, "  %-10s %-10s %-5s %10s  %-8s %11s %12s\n",
+		"objective", "metric", "kind", "target", "final", "attainment", "worst burn")
+	for _, o := range s.Objectives {
+		att := "—"
+		if o.EvalBuckets > 0 {
+			att = fmt.Sprintf("%d/%d %3.0f%%", o.GoodBuckets, o.EvalBuckets,
+				100*float64(o.GoodBuckets)/float64(o.EvalBuckets))
+		}
+		burn := "—"
+		if o.WorstBurn > 0 {
+			burn = fmt.Sprintf("%.2f @ %s", o.WorstBurn, dur(o.WorstAt))
+		}
+		fmt.Fprintf(w, "  %-10s %-10s %-5s %10.4g  %-8s %11s %12s\n",
+			o.Name, o.Metric, o.Kind, o.Target, o.Final, att, burn)
+	}
+}
+
+// renderTimelines draws sparkline timelines of goodput, frame loss and
+// dimming level over the finest series, downsampled to the view width.
+func renderTimelines(w io.Writer, pts []smartvlc.HealthPoint, opt options) {
+	if len(pts) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ntimeline (%s → %s, %d buckets):\n",
+		dur(pts[0].Start), dur(pts[len(pts)-1].End), len(pts))
+	rows := []struct {
+		name string
+		get  func(p smartvlc.HealthPoint) float64
+	}{
+		{"goodput b/slot", func(p smartvlc.HealthPoint) float64 { return p.Goodput }},
+		{"frame loss", func(p smartvlc.HealthPoint) float64 { return p.FrameLoss }},
+		{"dim level", func(p smartvlc.HealthPoint) float64 { return p.MeanLevel }},
+	}
+	for _, r := range rows {
+		vals := downsample(pts, r.get, opt.width)
+		lo, hi := bounds(vals)
+		fmt.Fprintf(w, "  %-15s %s  [%.3g, %.3g]\n", r.name, sparkline(vals, lo, hi), lo, hi)
+	}
+}
+
+// renderLevels aggregates the finest buckets into dimming-level bins of
+// 0.1 — the paper's tent envelope makes the healthy goodput a function of
+// the level, so per-level rows are the only fair comparison.
+func renderLevels(w io.Writer, pts []smartvlc.HealthPoint) {
+	type bin struct {
+		n                          int
+		goodput, target, loss, ser float64
+		met                        int
+	}
+	bins := map[int]*bin{}
+	for _, p := range pts {
+		if p.LevelN == 0 {
+			continue
+		}
+		k := int(math.Floor(p.MeanLevel*10 + 1e-9))
+		b := bins[k]
+		if b == nil {
+			b = &bin{}
+			bins[k] = b
+		}
+		b.n++
+		b.goodput += p.Goodput
+		b.target += p.GoodputTarget
+		b.loss += p.FrameLoss
+		b.ser += p.SER
+		if p.GoodputTarget == 0 || p.Goodput >= p.GoodputTarget {
+			b.met++
+		}
+	}
+	if len(bins) == 0 {
+		return
+	}
+	keys := make([]int, 0, len(bins))
+	for k := range bins {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Fprintf(w, "\nby dimming level:\n")
+	fmt.Fprintf(w, "  %-9s %8s %15s %15s %10s %10s %9s\n",
+		"level", "buckets", "goodput b/slot", "target b/slot", "loss", "ser", "met")
+	for _, k := range keys {
+		b := bins[k]
+		n := float64(b.n)
+		fmt.Fprintf(w, "  %.1f–%.1f   %8d %15.3f %15.3f %10.4f %10.2e %8.0f%%\n",
+			float64(k)/10, float64(k+1)/10, b.n, b.goodput/n, b.target/n,
+			b.loss/n, b.ser/n, 100*float64(b.met)/n)
+	}
+}
+
+// renderTransitions prints the alert log in firing order.
+func renderTransitions(w io.Writer, s *smartvlc.HealthSnapshot) {
+	fmt.Fprintf(w, "\ntransitions: %d\n", len(s.Transitions))
+	for _, t := range s.Transitions {
+		link := ""
+		if t.Link != "" {
+			link = " [" + t.Link + "]"
+		}
+		fmt.Fprintf(w, "  %-10s %s%s %s → %s  burn fast=%.2f slow=%.2f  (%s=%.4g vs %.4g)\n",
+			dur(t.At), t.Objective, link, t.From, t.To, t.BurnFast, t.BurnSlow,
+			t.Objective, t.Value, t.Target)
+	}
+}
+
+// renderWorst drills into the worst finest buckets, ranked by frame loss
+// then symbol error rate — the windows an operator replays first.
+func renderWorst(w io.Writer, pts []smartvlc.HealthPoint, opt options) {
+	ranked := make([]smartvlc.HealthPoint, 0, len(pts))
+	for _, p := range pts {
+		if p.FramesOK+p.FramesBad > 0 {
+			ranked = append(ranked, p)
+		}
+	}
+	if len(ranked) == 0 {
+		return
+	}
+	sort.SliceStable(ranked, func(a, b int) bool {
+		if ranked[a].FrameLoss != ranked[b].FrameLoss {
+			return ranked[a].FrameLoss > ranked[b].FrameLoss
+		}
+		if ranked[a].SER != ranked[b].SER {
+			return ranked[a].SER > ranked[b].SER
+		}
+		return ranked[a].Index < ranked[b].Index
+	})
+	if len(ranked) > opt.top {
+		ranked = ranked[:opt.top]
+	}
+	fmt.Fprintf(w, "\nworst %d windows (by frame loss, then SER):\n", len(ranked))
+	fmt.Fprintf(w, "  %-7s %-22s %6s %10s %10s %8s %7s %10s\n",
+		"bucket", "window", "level", "loss", "ser", "goodput", "retx", "ack p95")
+	for _, p := range ranked {
+		ack := "—"
+		if p.AckCount > 0 {
+			ack = dur(p.AckP95)
+		}
+		fmt.Fprintf(w, "  #%-6d %-22s %6.2f %10.4f %10.2e %8.3f %7d %10s\n",
+			p.Index, dur(p.Start)+" → "+dur(p.End), p.MeanLevel,
+			p.FrameLoss, p.SER, p.Goodput, p.FramesRetx, ack)
+	}
+}
+
+// downsample reduces the point series to width cells by averaging equal
+// index ranges, so long runs still fit one terminal row.
+func downsample(pts []smartvlc.HealthPoint, get func(smartvlc.HealthPoint) float64, width int) []float64 {
+	if len(pts) <= width {
+		out := make([]float64, len(pts))
+		for i, p := range pts {
+			out[i] = get(p)
+		}
+		return out
+	}
+	out := make([]float64, width)
+	for c := 0; c < width; c++ {
+		lo, hi := c*len(pts)/width, (c+1)*len(pts)/width
+		if hi == lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, p := range pts[lo:hi] {
+			sum += get(p)
+		}
+		out[c] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+func bounds(vals []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if lo > hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+var sparks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the values as one row of block glyphs, scaled to
+// [lo, hi]. A flat series renders at the lowest glyph.
+func sparkline(vals []float64, lo, hi float64) string {
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		k := 0
+		if hi > lo {
+			k = int((v - lo) / (hi - lo) * float64(len(sparks)-1))
+			if k < 0 {
+				k = 0
+			}
+			if k >= len(sparks) {
+				k = len(sparks) - 1
+			}
+		}
+		out[i] = sparks[k]
+	}
+	return string(out)
+}
+
+// dur renders seconds with a link-scale unit.
+func dur(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-3 && s > -1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1 && s > -1:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}

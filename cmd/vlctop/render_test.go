@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smartvlc"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixture builds a degrading-link snapshot by hand: two dimming-level
+// bins, an ok→warning→critical escalation and one lossy bucket, so every
+// report section has content.
+func fixture() *smartvlc.HealthSnapshot {
+	pt := func(i int64, level, loss, ser, goodput float64, bad int64) smartvlc.HealthPoint {
+		return smartvlc.HealthPoint{
+			Index: i, Start: float64(i) * 0.04, End: float64(i+1) * 0.04,
+			Links: 1, WidthSlots: 5000,
+			FramesTx: 10, FramesOK: 10 - bad, FramesBad: bad, FramesRetx: bad,
+			Symbols: 4000, SymbolErrors: int64(ser * 4000),
+			DeliveredBits: int64(goodput * 5000),
+			LevelSum:      level * 10, LevelN: 10, MaxLevel: level,
+			GoodputTarget: 0.5,
+			MeanLevel:     level, SER: ser, FrameLoss: loss, Goodput: goodput,
+			RetxRate: float64(bad) / 10,
+		}
+	}
+	pts := []smartvlc.HealthPoint{
+		pt(0, 0.50, 0.0, 0, 0.76, 0),
+		pt(1, 0.50, 0.0, 0, 0.78, 0),
+		pt(2, 0.55, 0.1, 0.002, 0.60, 1),
+		pt(3, 0.70, 0.5, 0.010, 0.30, 5),
+		pt(4, 0.70, 0.9, 0.040, 0.05, 9),
+	}
+	obj := func(name string, final smartvlc.HealthState, good int64, burn, at float64) smartvlc.HealthObjectiveReport {
+		return smartvlc.HealthObjectiveReport{
+			Objective: smartvlc.HealthObjective{
+				Name: name, Metric: "frame_loss", Kind: "upper", Target: 0.1,
+				FastWindow: 3, SlowWindow: 6, WarnBurn: 1, CritBurn: 8,
+			},
+			Final: final, GoodBuckets: good, EvalBuckets: 5,
+			WorstBurn: burn, WorstAt: at,
+		}
+	}
+	return &smartvlc.HealthSnapshot{
+		TSlotSeconds: 8e-6, BucketSlots: 5000, Factor: 5, Sessions: 1,
+		Link: "rx0", State: smartvlc.HealthCritical,
+		Series: []smartvlc.HealthSeries{{Resolution: 0, BucketSlots: 5000, Points: pts}},
+		Objectives: []smartvlc.HealthObjectiveReport{
+			obj("loss", smartvlc.HealthCritical, 3, 9.0, 0.2),
+		},
+		Transitions: []smartvlc.HealthTransition{
+			{At: 0.12, Link: "rx0", Objective: "loss", From: smartvlc.HealthOK,
+				To: smartvlc.HealthWarning, BurnFast: 2.0, BurnSlow: 1.1, Value: 0.2, Target: 0.1},
+			{At: 0.20, Link: "rx0", Objective: "loss", From: smartvlc.HealthWarning,
+				To: smartvlc.HealthCritical, BurnFast: 9.0, BurnSlow: 8.2, Value: 0.9, Target: 0.1},
+		},
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	var buf bytes.Buffer
+	render(&buf, fixture(), options{top: 3, width: 4})
+	got := buf.Bytes()
+	path := filepath.Join("testdata", "render.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("render drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRenderSections spot-checks content without pinning layout: the
+// escalation must appear in the transition log, both level bins must get
+// rows, and the lossiest bucket must head the worst-window table.
+func TestRenderSections(t *testing.T) {
+	var buf bytes.Buffer
+	render(&buf, fixture(), options{})
+	out := buf.String()
+	for _, want := range []string{
+		"link health: critical",
+		"ok → warning",
+		"warning → critical",
+		"0.5–0.6",
+		"0.7–0.8",
+		"#4", // lossiest bucket leads the drill-down
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "#4") > strings.Index(out, "#3") {
+		t.Error("worst-window table not ranked by loss")
+	}
+}
+
+// TestRenderEmpty must not panic on a snapshot with no points.
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	render(&buf, &smartvlc.HealthSnapshot{State: smartvlc.HealthOK}, options{})
+	if !strings.Contains(buf.String(), "link health: ok") {
+		t.Fatalf("header missing: %q", buf.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{0, 0.5, 1}, 0, 1); got != "▁▄█" {
+		t.Errorf("sparkline = %q, want ▁▄█", got)
+	}
+	if got := sparkline([]float64{3, 3, 3}, 3, 3); got != "▁▁▁" {
+		t.Errorf("flat sparkline = %q, want ▁▁▁", got)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	pts := make([]smartvlc.HealthPoint, 10)
+	for i := range pts {
+		pts[i].Goodput = float64(i)
+	}
+	got := downsample(pts, func(p smartvlc.HealthPoint) float64 { return p.Goodput }, 5)
+	want := []float64{0.5, 2.5, 4.5, 6.5, 8.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("downsample = %v, want %v", got, want)
+		}
+	}
+}

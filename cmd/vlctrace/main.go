@@ -1,7 +1,10 @@
 // Command vlctrace analyzes SmartVLC span traces and flight-recorder
-// bundles: per-stage latency breakdowns, critical paths, retransmit-chain
-// summaries and worst-frame rankings — the post-mortem companion to the
-// Chrome traces smartvlc-sim exports.
+// bundles: per-stage latency breakdowns (with p50/p95/p99), critical
+// paths, retransmit-chain summaries and worst-frame rankings — the
+// post-mortem companion to the Chrome traces smartvlc-sim exports.
+//
+// The rendering lives in internal/telemetry/span/analyze (tested against
+// golden outputs); this command only loads inputs and picks the mode.
 //
 // Usage:
 //
@@ -20,10 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"smartvlc/internal/telemetry/flight"
 	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/span/analyze"
 )
 
 func main() {
@@ -38,14 +41,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	opt := analyze.Options{Root: *root, Top: *top}
 	var err error
 	switch flag.Arg(0) {
 	case "trace":
-		err = analyzeTrace(flag.Arg(1), *root, *top)
+		err = analyzeTrace(flag.Arg(1), opt)
 	case "spans":
-		err = analyzeSpans(flag.Arg(1), *root, *top)
+		err = analyzeSpans(flag.Arg(1), opt)
 	case "bundle":
-		err = analyzeBundle(flag.Arg(1), *top)
+		err = analyzeBundle(flag.Arg(1), opt)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -56,7 +60,7 @@ func main() {
 	}
 }
 
-func analyzeTrace(path, root string, top int) error {
+func analyzeTrace(path string, opt analyze.Options) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -66,11 +70,11 @@ func analyzeTrace(path, root string, top int) error {
 	if err != nil {
 		return err
 	}
-	report(snap, root, top)
+	analyze.Report(os.Stdout, snap, opt)
 	return nil
 }
 
-func analyzeSpans(path, root string, top int) error {
+func analyzeSpans(path string, opt analyze.Options) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -79,116 +83,24 @@ func analyzeSpans(path, root string, top int) error {
 	if err := json.Unmarshal(b, &snap); err != nil {
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
-	report(&snap, root, top)
+	analyze.Report(os.Stdout, &snap, opt)
 	return nil
 }
 
-// report prints the standard analysis of one span snapshot.
-func report(snap *span.Snapshot, rootName string, top int) {
-	fmt.Printf("spans: %d buffered, %d total, %d dropped\n\n", len(snap.Spans), snap.Total, snap.Dropped)
-
-	fmt.Println("per-stage latency:")
-	fmt.Printf("  %-16s %8s %12s %12s %12s %7s\n", "stage", "count", "total", "mean", "max", "errors")
-	for _, st := range span.StageBreakdown(snap.Spans) {
-		fmt.Printf("  %-16s %8d %12s %12s %12s %7d\n",
-			st.Name, st.Count, dur(st.Total), dur(st.Mean), dur(st.Max), st.Errors)
-	}
-
-	tree := span.NewTree(snap.Spans)
-	frames := tree.FrameRoots(rootName)
-	fmt.Printf("\n%s roots: %d\n", rootName, len(frames))
-	if len(frames) == 0 {
-		return
-	}
-
-	fmt.Printf("\ncritical path of first %s (id %d, seq %d):\n", rootName, frames[0].ID, frames[0].Seq)
-	for _, s := range tree.CriticalPath(frames[0].ID) {
-		fmt.Printf("  %-16s %12s  [%s → %s]\n", s.Name, dur(s.Duration()), dur(s.Start), dur(s.End))
-	}
-
-	chains := tree.RetxChains(rootName)
-	fmt.Printf("\nretransmit chains: %d\n", len(chains))
-	for i, c := range chains {
-		if i >= top {
-			fmt.Printf("  … %d more\n", len(chains)-top)
-			break
-		}
-		parts := make([]string, len(c.Roots))
-		for j, r := range c.Roots {
-			parts[j] = fmt.Sprintf("id %d @ %s", r.ID, dur(r.Start))
-		}
-		fmt.Printf("  seq %d: %d transmissions (%s)\n", c.Seq, len(c.Roots), strings.Join(parts, " → "))
-	}
-
-	fmt.Printf("\ntop %d slowest %ss:\n", top, rootName)
-	for _, s := range span.TopSlowest(frames, top) {
-		fmt.Printf("  id %-6d seq %-6d %12s  %s\n", s.ID, s.Seq, dur(s.Duration()), attrSummary(s))
-	}
-
-	worst := tree.WorstFrames(rootName, top)
-	if len(worst) > 0 {
-		fmt.Printf("\nworst %ss (decode failures in subtree):\n", rootName)
-		for _, s := range worst {
-			fmt.Printf("  id %-6d seq %-6d %12s  %s\n", s.ID, s.Seq, dur(s.Duration()), attrSummary(s))
-		}
-	}
-}
-
-func analyzeBundle(dir string, top int) error {
+func analyzeBundle(dir string, opt analyze.Options) error {
 	b, err := flight.ReadBundle(dir)
 	if err != nil {
 		return err
 	}
-	m := b.Meta
-	fmt.Printf("bundle: %s\n", dir)
-	fmt.Printf("trigger: %s (class %q) at seq %d, t=%s\n", m.Reason, m.Class, m.Seq, dur(m.At))
-	fmt.Printf("link: scheme %s, level %g, threshold %d, seed %d, payload %dB, tslot %s\n",
-		m.Scheme, m.Level, m.Threshold, m.Seed, m.PayloadBytes, dur(m.TSlotSeconds))
-	fmt.Printf("captures: %d frames ringed\n", len(b.Captures))
-	for _, c := range b.Captures {
-		fmt.Printf("  seq %-6d rx %d  t=%-12s level %-8g thr %-5d %6d slots %7d samples\n",
-			c.Seq, c.Rx, dur(c.Start), c.Level, c.Threshold, len(c.Slots), len(c.Samples))
-	}
-
+	analyze.ReportBundle(os.Stdout, dir, b)
 	class, err := b.Replay()
 	if err != nil {
 		return fmt.Errorf("replay: %w", err)
 	}
-	verdict := "MISMATCH"
-	if class == m.Class {
-		verdict = "match"
-	}
-	fmt.Printf("\nreplay of triggering frame: class %q (recorded %q) — %s\n", class, m.Class, verdict)
-
+	analyze.ReportReplay(os.Stdout, class, b.Meta.Class)
 	if b.Spans != nil && len(b.Spans.Spans) > 0 {
 		fmt.Println()
-		report(b.Spans, "frame", top)
+		analyze.Report(os.Stdout, b.Spans, analyze.Options{Root: "frame", Top: opt.Top})
 	}
 	return nil
-}
-
-// dur renders seconds with a sensible unit for link-scale times.
-func dur(s float64) string {
-	switch {
-	case s == 0:
-		return "0"
-	case s < 1e-3 && s > -1e-3:
-		return fmt.Sprintf("%.1fµs", s*1e6)
-	case s < 1 && s > -1:
-		return fmt.Sprintf("%.3fms", s*1e3)
-	default:
-		return fmt.Sprintf("%.3fs", s)
-	}
-}
-
-// attrSummary renders a span's attributes compactly.
-func attrSummary(s span.Span) string {
-	if len(s.Attrs) == 0 {
-		return ""
-	}
-	parts := make([]string, len(s.Attrs))
-	for i, a := range s.Attrs {
-		parts[i] = a.Key + "=" + a.Value
-	}
-	return strings.Join(parts, " ")
 }

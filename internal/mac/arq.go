@@ -29,6 +29,7 @@ type Sender struct {
 	rng      *rand.Rand
 	nextSeq  uint16
 	inflight map[uint16]float64 // seq -> last transmission time
+	firstTx  map[uint16]float64 // seq -> first transmission time (until acked)
 
 	// Stats.
 	framesSent   int
@@ -54,6 +55,7 @@ func NewSender(window, payloadBytes int, timeout float64, rng *rand.Rand) (*Send
 		PayloadBytes:   payloadBytes,
 		rng:            rng,
 		inflight:       map[uint16]float64{},
+		firstTx:        map[uint16]float64{},
 		acked:          map[uint16]bool{},
 	}, nil
 }
@@ -98,20 +100,42 @@ func (s *Sender) NextFrame(now float64) (seq uint16, body []byte, ok bool) {
 	seq = s.nextSeq
 	s.nextSeq++
 	s.inflight[seq] = now
+	s.firstTx[seq] = now
 	s.framesSent++
 	return seq, s.payloadFor(seq), true
 }
 
-// OnAck processes an acknowledgement.
+// OnAck processes an acknowledgement without a timestamp: bookkeeping
+// only, no latency is recorded. Callers that know the arrival time should
+// use OnAckAt.
 func (s *Sender) OnAck(seq uint16) {
 	s.Metrics.onAck()
-	if _, ok := s.inflight[seq]; ok {
-		delete(s.inflight, seq)
+	delete(s.inflight, seq)
+	delete(s.firstTx, seq)
+	if !s.acked[seq] {
+		s.acked[seq] = true
+		s.ackedPayload += int64(s.PayloadBytes)
+	}
+}
+
+// OnAckAt processes an acknowledgement arriving at time at and returns
+// the end-to-end latency from the sequence number's FIRST transmission —
+// the delay the application experienced, retransmissions included. ok is
+// false for duplicate ACKs (latency already reported) and for sequence
+// numbers this sender never sent.
+func (s *Sender) OnAckAt(seq uint16, at float64) (latency float64, ok bool) {
+	s.Metrics.onAck()
+	delete(s.inflight, seq)
+	if first, seen := s.firstTx[seq]; seen {
+		latency, ok = at-first, true
+		delete(s.firstTx, seq)
+		s.Metrics.observeAckLatency(latency)
 	}
 	if !s.acked[seq] {
 		s.acked[seq] = true
 		s.ackedPayload += int64(s.PayloadBytes)
 	}
+	return latency, ok
 }
 
 // Stats snapshot.

@@ -1,9 +1,12 @@
 package mac
 
 import (
+	"math"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
+
+	"smartvlc/internal/telemetry"
 )
 
 func TestSideChannelDelivery(t *testing.T) {
@@ -109,6 +112,48 @@ func TestAckAccounting(t *testing.T) {
 	}
 	if s.UniqueAcked() != 1 {
 		t.Fatalf("unique acked %d", s.UniqueAcked())
+	}
+}
+
+func TestAckLatencyFromFirstTransmission(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 7))
+	s, _ := NewSender(8, 100, 0.05, rng)
+	seq, _, _ := s.NextFrame(0.010)
+	// Timed-out retransmission must NOT reset the latency origin.
+	rseq, _, _ := s.NextFrame(0.070)
+	if rseq != seq {
+		t.Fatalf("expected retransmission of %d, got %d", seq, rseq)
+	}
+	lat, ok := s.OnAckAt(seq, 0.090)
+	if !ok {
+		t.Fatal("first ack should report latency")
+	}
+	if want := 0.090 - 0.010; math.Abs(lat-want) > 1e-12 {
+		t.Fatalf("latency %v, want %v", lat, want)
+	}
+	// Duplicate ACK: no second latency sample, accounting unchanged.
+	if _, ok := s.OnAckAt(seq, 0.120); ok {
+		t.Fatal("duplicate ack reported a latency")
+	}
+	if s.AckedPayload() != 100 || s.UniqueAcked() != 1 {
+		t.Fatalf("acked payload %d unique %d", s.AckedPayload(), s.UniqueAcked())
+	}
+	// Unknown sequence numbers report nothing.
+	if _, ok := s.OnAckAt(9999, 0.2); ok {
+		t.Fatal("unknown seq reported a latency")
+	}
+}
+
+func TestAckLatencyMetricsHistogram(t *testing.T) {
+	reg := telemetry.New()
+	rng := rand.New(rand.NewPCG(6, 8))
+	s, _ := NewSender(8, 100, 0.05, rng)
+	s.Metrics = NewMetrics(reg)
+	seq, _, _ := s.NextFrame(0)
+	s.OnAckAt(seq, 0.025)
+	h := reg.Histogram("mac_ack_latency_seconds")
+	if h.Count() != 1 || math.Abs(h.Sum()-0.025) > 1e-12 {
+		t.Fatalf("ack latency histogram count=%d sum=%v", h.Count(), h.Sum())
 	}
 }
 

@@ -19,6 +19,9 @@ type Metrics struct {
 	// SideSent and SideDropped count side-channel datagrams accepted and
 	// lost (the simulated Wi-Fi uplink drops independently per message).
 	SideSent, SideDropped *telemetry.Counter
+	// AckLatency observes the first-transmission→ACK delay per sequence
+	// number (seconds), recorded once per unique sequence in OnAckAt.
+	AckLatency *telemetry.Histogram
 }
 
 // NewMetrics builds the MAC instrument handles on a registry. Returns nil
@@ -30,6 +33,7 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 	r.Help("mac_timeouts_total", "ARQ retransmissions triggered by ACK timeout.")
 	r.Help("mac_window_occupancy", "In-flight frames observed at each NextFrame decision.")
 	r.Help("mac_side_messages_total", "Side-channel datagrams by outcome (sent vs dropped).")
+	r.Help("mac_ack_latency_seconds", "First transmission to ACK delay per unique sequence number.")
 	return &Metrics{
 		Timeouts:        r.Counter("mac_timeouts_total"),
 		WindowOccupancy: r.Histogram("mac_window_occupancy"),
@@ -37,6 +41,7 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 		AcksReceived:    r.Counter("mac_acks_received_total"),
 		SideSent:        r.Counter("mac_side_messages_total", "outcome", "sent"),
 		SideDropped:     r.Counter("mac_side_messages_total", "outcome", "dropped"),
+		AckLatency:      r.Histogram("mac_ack_latency_seconds"),
 	}
 }
 
@@ -61,6 +66,12 @@ func (m *Metrics) onStall() {
 func (m *Metrics) onAck() {
 	if m != nil {
 		m.AcksReceived.Inc()
+	}
+}
+
+func (m *Metrics) observeAckLatency(lat float64) {
+	if m != nil {
+		m.AckLatency.Observe(lat)
 	}
 }
 

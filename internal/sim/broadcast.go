@@ -15,6 +15,7 @@ import (
 	"smartvlc/internal/phy"
 	"smartvlc/internal/stats"
 	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/span"
 )
 
@@ -58,6 +59,9 @@ type ReceiverOutcome struct {
 	DeliveredBps float64
 	// MeanSum is the mean of ambient+LED at this desk, in LED units.
 	MeanSum float64
+	// Health is this receiver's link-health snapshot (link label "rx<i>")
+	// when Config.Health was set; nil otherwise.
+	Health *health.Snapshot
 }
 
 // BroadcastResult aggregates a broadcast session.
@@ -84,6 +88,13 @@ type BroadcastResult struct {
 	// buffered on its shard and spliced in receiver order, exactly like
 	// the side-channel outbox replay.
 	Spans *span.Snapshot
+	// Health merges the per-receiver health series (counts summed, rates
+	// recomputed, SLOs re-evaluated over the merged series) when
+	// Config.Health was set; nil otherwise. Per-receiver snapshots stay on
+	// PerReceiver[i].Health. All health observations happen in the
+	// sequential merge phase, so the series are byte-identical for every
+	// Workers value.
+	Health *health.Snapshot
 }
 
 // RunBroadcast simulates a multi-receiver session. The dimming controller
@@ -153,7 +164,12 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	// the sends are recorded here and replayed sequentially in receiver
 	// order — exactly the sequence the serial loop produces.
 	type rxOutbox struct {
-		ackSeqs    []uint16
+		ackSeqs []uint16
+		// newSeqs are the sequences newly delivered this window (ackSeqs
+		// minus re-acked duplicates) — what the health monitor counts as
+		// delivered payload and an ACK latency sample.
+		newSeqs    []uint16
+		stats      phy.Stats
 		ambient    float64
 		hasAmbient bool
 	}
@@ -235,7 +251,31 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	roots := map[uint16]span.ID{}
 	prevRetx := 0
 
+	// Per-receiver health monitors (nil entries are no-ops). Every
+	// observation happens in the sequential phases of the loop — never
+	// inside processRx — which is what keeps the series worker-count
+	// invariant. firstTx records each sequence number's first transmission
+	// so a receiver's ACK latency spans retransmissions.
+	mons := make([]*health.Monitor, nRx)
+	if cfg.Health != nil {
+		for i := range mons {
+			hc := *cfg.Health
+			if hc.TSlotSeconds <= 0 {
+				hc.TSlotSeconds = 8e-6
+			}
+			if hc.Registry == nil {
+				hc.Registry = reg
+			}
+			hc.Link = "rx" + strconv.Itoa(i)
+			mons[i] = health.NewMonitor(hc)
+		}
+	}
+	firstTx := map[uint16]float64{}
+
 	for now < duration {
+		for _, m := range mons {
+			m.Tick(now)
+		}
 		baseLux := cfg.AmbientLux
 		if cfg.Trace != nil {
 			baseLux = cfg.Trace.LuxAt(now)
@@ -265,6 +305,9 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			level, _ = controller.StepToward(smoothed)
 		}
 		levelG.Set(level)
+		for _, m := range mons {
+			m.ObserveLevel(now, level)
+		}
 
 		if now-lastRecord >= 0.25 {
 			lastRecord = now
@@ -292,7 +335,10 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 					complete[m.Seq] = true
 					delete(acked, m.Seq)
 					reliableBytes += int64(cfg.PayloadBytes)
-					sender.OnAck(m.Seq)
+					sender.OnAckAt(m.Seq, m.At)
+					// Every receiver has delivered (and been observed) by
+					// the time the last ACK lands; the latency origin can go.
+					delete(firstTx, m.Seq)
 					reg.Emit(m.At, "frame/ack", int64(m.Seq))
 					if col != nil {
 						col.Record(span.Span{
@@ -334,6 +380,12 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 
 		retx := sender.Retransmits() > prevRetx
 		prevRetx = sender.Retransmits()
+		if !retx {
+			firstTx[seq] = now
+		}
+		for _, m := range mons {
+			m.ObserveTx(now, len(slots), retx)
+		}
 		var root span.ID
 		if col != nil {
 			parent := span.ID(0)
@@ -367,7 +419,7 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		// sideRng, trace emits) goes through the outbox replay below.
 		processRx := func(i int) {
 			st := rxs[i]
-			st.out = rxOutbox{ackSeqs: st.out.ackSeqs[:0]}
+			st.out = rxOutbox{ackSeqs: st.out.ackSeqs[:0], newSeqs: st.out.newSeqs[:0]}
 			st.link.StartPhase = st.rng.Float64()
 			samples := st.link.Transmit(st.rng, slots)
 			if col != nil {
@@ -381,11 +433,16 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 				})
 				st.rx.SetSpanWindow(&st.spanBuf, now, tsamp)
 			}
-			results, _ := st.rx.Process(samples)
+			results, st2 := st.rx.Process(samples)
+			st.out.stats = st2
 			phy.RecycleSamples(samples)
 			for _, r := range results {
+				before := st.macRx.DeliveredPayload()
 				if gotSeq, ackIt := st.macRx.OnFrame(r.Payload); ackIt {
 					st.out.ackSeqs = append(st.out.ackSeqs, gotSeq)
+					if st.macRx.DeliveredPayload() > before {
+						st.out.newSeqs = append(st.out.newSeqs, gotSeq)
+					}
 				}
 			}
 			if counts, okA := st.rx.AmbientWindowCounts(); okA {
@@ -410,6 +467,16 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			out := &rxs[i].out
 			if col != nil {
 				col.Splice(&rxs[i].spanBuf, root, int64(seq), span.Attr{Key: "rx", Value: strconv.Itoa(i)})
+			}
+			mons[i].ObserveRx(now+airtime, out.stats.FramesOK, out.stats.FramesBad,
+				out.stats.SymbolErrors, out.stats.FramesOK*cfg.PayloadBytes)
+			for _, newSeq := range out.newSeqs {
+				mons[i].ObserveDelivered(now+airtime, int64(cfg.PayloadBytes)*8)
+				if ft, known := firstTx[newSeq]; known {
+					// Latency to this receiver's acknowledgment, from the
+					// sequence number's first transmission.
+					mons[i].ObserveAck(now+airtime, now+airtime-ft)
+				}
 			}
 			for _, seq := range out.ackSeqs {
 				reg.Emit(now+airtime, "frame/decode", int64(seq))
@@ -455,7 +522,15 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			o.MeanSum = rxs[i].sumAcc / float64(rxs[i].sumN)
 		}
 		o.FramesOK = int(rxs[i].macRx.DeliveredPayload()) / cfg.PayloadBytes
+		o.Health = mons[i].Finish(now)
 		res.PerReceiver = append(res.PerReceiver, o)
+	}
+	if cfg.Health != nil {
+		perRx := make([]*health.Snapshot, 0, nRx)
+		for _, o := range res.PerReceiver {
+			perRx = append(perRx, o.Health)
+		}
+		res.Health = health.Merge(perRx...)
 	}
 	if reg != nil {
 		reg.Gauge("sim_reliable_goodput_bps").Set(res.ReliableGoodputBps)

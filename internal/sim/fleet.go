@@ -7,6 +7,7 @@ import (
 
 	"smartvlc/internal/parallel"
 	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/span"
 )
 
@@ -24,6 +25,13 @@ type FleetResult struct {
 	// Result retains its own Telemetry and Spans snapshots, and
 	// WriteSessionTraces exports the span trees per session.
 	Telemetry *telemetry.Snapshot
+	// Health merges the per-session link-health series (counts summed,
+	// rates recomputed, SLOs re-evaluated over the merged series) for the
+	// sessions that carried a health config; nil when none did. Each
+	// session's Result keeps its own Health snapshot. The merge folds in
+	// config order, so the fleet health snapshot is byte-identical for
+	// every worker count.
+	Health *health.Snapshot
 }
 
 // WriteSessionTraces exports each session's span snapshot into dir
@@ -116,6 +124,15 @@ func RunFleet(cfgs []Config, duration float64, workers int) (FleetResult, error)
 	}
 	if len(snaps) > 0 {
 		out.Telemetry = telemetry.Merge(snaps...)
+	}
+	healths := make([]*health.Snapshot, 0, len(results))
+	for _, r := range results {
+		if r.Health != nil {
+			healths = append(healths, r.Health)
+		}
+	}
+	if len(healths) > 0 {
+		out.Health = health.Merge(healths...)
 	}
 	return out, nil
 }

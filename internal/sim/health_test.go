@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"smartvlc/internal/light"
+	"smartvlc/internal/optics"
+	"smartvlc/internal/telemetry/flight"
+	"smartvlc/internal/telemetry/health"
+)
+
+// stepHealthConfig is the health configuration the ambient-step scenarios
+// run under: 40 ms buckets and short burn windows so a 1.8 s session sees
+// many evaluations, with a single frame-loss objective whose warning line
+// (10% loss) sits under the moderate-ambient regime and whose critical
+// line (80% loss) only the severe regime crosses.
+func stepHealthConfig() *health.Config {
+	return &health.Config{
+		BucketSlots: 5000,
+		Levels:      2,
+		Factor:      5,
+		Objectives: []health.Objective{{
+			Name: "loss", Metric: health.MetricFrameLoss, Kind: health.UpperBound,
+			Target: 0.1, FastWindow: 3, SlowWindow: 6, WarnBurn: 1, CritBurn: 8,
+		}},
+	}
+}
+
+// TestHealthAmbientStepEscalatesAndArmsFlight pins the tentpole acceptance
+// scenario: an ambient-light staircase (dim room → sunny → sunny with the
+// blind up) at 4 m degrades the link from clean through moderate loss to
+// near-total loss, the SLO engine walks ok → warning → critical, and the
+// critical transition ships a flight-recorder bundle tagged with the
+// breached objective.
+func TestHealthAmbientStepEscalatesAndArmsFlight(t *testing.T) {
+	rec, err := flight.New(flight.Config{Dir: t.TempDir(), MaxBundles: 256, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(amppmScheme(t))
+	cfg.Geometry = optics.Aligned(4.0, 0)
+	cfg.Trace = light.Steps{Levels: []float64{400, 6000, 12000}, StepSeconds: 0.6}
+	cfg.Flight = rec
+	cfg.Health = stepHealthConfig()
+	res, err := Run(cfg, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health == nil {
+		t.Fatal("no health snapshot")
+	}
+	if res.Health.State != health.StateCritical {
+		t.Fatalf("final state %v, want critical", res.Health.State)
+	}
+	trs := res.Health.Transitions
+	if len(trs) < 2 {
+		t.Fatalf("transitions: %d, want ≥ 2", len(trs))
+	}
+	if trs[0].From != health.StateOK || trs[0].To != health.StateWarning {
+		t.Fatalf("first transition %v -> %v, want ok -> warning", trs[0].From, trs[0].To)
+	}
+	sawCritical := false
+	for i, tr := range trs {
+		if tr.Objective != "loss" {
+			t.Fatalf("transition %d objective %q", i, tr.Objective)
+		}
+		if i > 0 && tr.At <= trs[i-1].At {
+			t.Fatalf("transition times not increasing: %v after %v", tr.At, trs[i-1].At)
+		}
+		if tr.To == health.StateCritical {
+			sawCritical = true
+			if tr.From != health.StateWarning {
+				t.Fatalf("critical reached from %v, want warning", tr.From)
+			}
+		}
+	}
+	if !sawCritical {
+		t.Fatal("never went critical")
+	}
+
+	sawSLO := false
+	for _, bdir := range rec.Bundles() {
+		b, err := flight.ReadBundle(bdir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Meta.Reason == "slo_loss" {
+			sawSLO = true
+			if len(b.Captures) == 0 {
+				t.Fatalf("SLO bundle %s carries no captures", bdir)
+			}
+		}
+	}
+	if !sawSLO {
+		t.Fatal("critical SLO transition shipped no flight bundle")
+	}
+}
+
+// TestHealthDefaultObjectivesHealthyBaseline: the paper's evaluation
+// operating point under the default SLO set never leaves ok — the
+// objectives' targets are calibrated so a healthy link does not alert.
+func TestHealthDefaultObjectivesHealthyBaseline(t *testing.T) {
+	cfg := DefaultConfig(amppmScheme(t))
+	cfg.Health = &health.Config{Objectives: health.DefaultObjectives()}
+	res, err := Run(cfg, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health == nil {
+		t.Fatal("no health snapshot")
+	}
+	if res.Health.State != health.StateOK {
+		t.Fatalf("healthy baseline state %v, transitions %+v", res.Health.State, res.Health.Transitions)
+	}
+	if len(res.Health.Transitions) != 0 {
+		t.Fatalf("healthy baseline alerted: %+v", res.Health.Transitions)
+	}
+	// The finest series carries real traffic.
+	if len(res.Health.Series) == 0 || len(res.Health.Series[0].Points) == 0 {
+		t.Fatal("empty health series")
+	}
+	var tx int64
+	for _, p := range res.Health.Series[0].Points {
+		tx += p.FramesTx
+	}
+	if tx == 0 {
+		t.Fatal("health series saw no transmissions")
+	}
+}
+
+// TestHealthRunDeterminism: two identical sessions produce byte-identical
+// health snapshots.
+func TestHealthRunDeterminism(t *testing.T) {
+	run := func() []byte {
+		cfg := DefaultConfig(amppmScheme(t))
+		cfg.Geometry = optics.Aligned(4.0, 0)
+		cfg.Trace = light.Steps{Levels: []float64{400, 6000, 12000}, StepSeconds: 0.3}
+		cfg.Health = stepHealthConfig()
+		res, err := Run(cfg, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res.Health.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical sessions produced different health snapshots")
+	}
+}
+
+// TestFleetHealthWorkerInvariance: the merged fleet health snapshot (and
+// every per-session snapshot) is byte-identical for workers=1 and
+// workers=NumCPU. The sessions deliberately share one *health.Config to
+// pin that Run copies it rather than mutating shared state.
+func TestFleetHealthWorkerInvariance(t *testing.T) {
+	shared := stepHealthConfig()
+	mkCfgs := func() []Config {
+		cfgs := make([]Config, 4)
+		for i := range cfgs {
+			cfgs[i] = DefaultConfig(amppmScheme(t))
+			cfgs[i].Seed = uint64(100 + i)
+			cfgs[i].Geometry = optics.Aligned(3.5+0.2*float64(i), 0)
+			cfgs[i].AmbientLux = 8000
+			cfgs[i].Health = shared
+		}
+		return cfgs
+	}
+	serial, err := RunFleet(mkCfgs(), 0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunFleet(mkCfgs(), 0.4, runtime.NumCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Health == nil || par.Health == nil {
+		t.Fatal("fleet health missing")
+	}
+	if serial.Health.Sessions != 4 {
+		t.Fatalf("merged sessions %d", serial.Health.Sessions)
+	}
+	sj, err := serial.Health.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := par.Health.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatal("fleet health differs across worker counts")
+	}
+	for i := range serial.Results {
+		a, err := serial.Results[i].Health.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := par.Results[i].Health.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("session %d health differs across worker counts", i)
+		}
+	}
+}
+
+// TestBroadcastHealthWorkerInvariance: per-receiver and merged broadcast
+// health are byte-identical for Workers=1 and Workers=GOMAXPROCS — all
+// health observations happen in the sequential merge phase.
+func TestBroadcastHealthWorkerInvariance(t *testing.T) {
+	mkCfg := func(workers int) BroadcastConfig {
+		cfg := broadcastConfig(t,
+			ReceiverPose{Geometry: optics.Aligned(1.5, 0)},
+			ReceiverPose{Geometry: optics.Aligned(3.0, 3)},
+			ReceiverPose{Geometry: optics.Aligned(3.8, 0)},
+		)
+		cfg.FixedLevel = 0.4
+		cfg.Health = stepHealthConfig()
+		cfg.Workers = workers
+		return cfg
+	}
+	serial, err := RunBroadcast(mkCfg(1), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunBroadcast(mkCfg(-1), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Health == nil || par.Health == nil {
+		t.Fatal("broadcast health missing")
+	}
+	sj, err := serial.Health.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := par.Health.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatal("broadcast health differs across worker counts")
+	}
+	for i := range serial.PerReceiver {
+		ah := serial.PerReceiver[i].Health
+		bh := par.PerReceiver[i].Health
+		if ah == nil || bh == nil {
+			t.Fatalf("receiver %d health missing", i)
+		}
+		if want := "rx" + strconv.Itoa(i); ah.Link != want {
+			t.Fatalf("receiver %d link %q", i, ah.Link)
+		}
+		a, err := ah.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := bh.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("receiver %d health differs across worker counts", i)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"smartvlc/internal/stats"
 	"smartvlc/internal/telemetry"
 	"smartvlc/internal/telemetry/flight"
+	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/span"
 )
 
@@ -94,6 +95,16 @@ type Config struct {
 	// burst or an ACK timeout. Arming Flight without Spans uses an
 	// internal span collector so bundles still carry the frame trees.
 	Flight *flight.Recorder
+
+	// Health, when non-nil, attaches a link-health monitor: windowed
+	// time-series buckets on the simulation clock plus SLO burn-rate
+	// alerting; Run leaves the final snapshot in Result.Health. The config
+	// is copied per session (safe to share across a fleet); its
+	// TSlotSeconds and Registry default to the session's slot clock and
+	// Config.Telemetry. When Flight is also armed, every SLO transition to
+	// critical triggers a flight-recorder bundle with reason
+	// "slo_<objective>". Nil (the default) costs nothing.
+	Health *health.Config
 }
 
 // DefaultConfig returns the paper's evaluation settings for a scheme:
@@ -147,6 +158,10 @@ type Result struct {
 	// Spans is the session's span snapshot when Config.Spans was set, nil
 	// otherwise.
 	Spans *span.Snapshot
+	// Health is the session's health snapshot (windowed series, SLO
+	// attainment, alert transitions) when Config.Health was set, nil
+	// otherwise.
+	Health *health.Snapshot
 }
 
 // Run simulates a session for the given air-time duration.
@@ -271,6 +286,35 @@ func Run(cfg Config, duration float64) (Result, error) {
 	var rxSpanBuf span.Buffer
 	prevRetx := 0
 
+	// Link-health monitor. The config is copied so a fleet can share one
+	// *health.Config; clock and registry default to the session's.
+	// Critical SLO transitions are parked in pendingSLO and consumed by
+	// the flight-recorder block below, so every breach ships a replayable
+	// bundle.
+	var mon *health.Monitor
+	var pendingSLO []health.Transition
+	if cfg.Health != nil {
+		hc := *cfg.Health
+		if hc.TSlotSeconds <= 0 {
+			hc.TSlotSeconds = tslot
+		}
+		if hc.Registry == nil {
+			hc.Registry = reg
+		}
+		if cfg.Flight != nil {
+			userAlert := hc.OnAlert
+			hc.OnAlert = func(t health.Transition) {
+				if userAlert != nil {
+					userAlert(t)
+				}
+				if t.To == health.StateCritical {
+					pendingSLO = append(pendingSLO, t)
+				}
+			}
+		}
+		mon = health.NewMonitor(hc)
+	}
+
 	now := 0.0
 	lastRecord := -1.0
 	const recordEvery = 0.25
@@ -287,6 +331,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 	lastStep := 0.0
 
 	for now < duration {
+		mon.Tick(now)
 		// Ambient and adaptation at this frame boundary.
 		lux := cfg.AmbientLux
 		if cfg.Trace != nil {
@@ -311,6 +356,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 			level, _ = controller.StepToward(smoothed)
 		}
 		levelG.Set(level)
+		mon.ObserveLevel(now, level)
 
 		// Record series.
 		if now-lastRecord >= recordEvery {
@@ -329,7 +375,9 @@ func Run(cfg Config, duration float64) (Result, error) {
 		for _, m := range side.Receive(now) {
 			switch m.Kind {
 			case mac.KindAck:
-				sender.OnAck(m.Seq)
+				if lat, known := sender.OnAckAt(m.Seq, m.At); known {
+					mon.ObserveAck(m.At, lat)
+				}
 				reg.Emit(m.At, "frame/ack", int64(m.Seq))
 				if col != nil {
 					col.Record(span.Span{
@@ -365,6 +413,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 		framesTx.Inc()
 		airtimeH.Observe(float64(len(slots)))
 		reg.Emit(now, "frame/tx", int64(seq))
+		mon.ObserveTx(now, len(slots), retx)
 
 		// Root span for this transmission; a retransmission chains onto
 		// the previous transmission's root.
@@ -418,6 +467,11 @@ func Run(cfg Config, duration float64) (Result, error) {
 			})
 			reason := ""
 			switch {
+			case len(pendingSLO) > 0:
+				// An SLO breach outranks the per-frame reasons: it is the
+				// rarer event and names the objective that burned.
+				reason = "slo_" + pendingSLO[0].Objective
+				pendingSLO = pendingSLO[:0]
 			case st.FramesBad > 0:
 				reason = "decode"
 			case len(results) == 0:
@@ -447,6 +501,9 @@ func Run(cfg Config, duration float64) (Result, error) {
 		res.FramesOK += st.FramesOK
 		res.FramesBad += st.FramesBad
 		res.SymbolErrors += st.SymbolErrors
+		// Symbol count proxy: decoded payload bytes of accepted frames —
+		// the denominator the paper's Eq. 3 SER bound is stated against.
+		mon.ObserveRx(now+airtime, st.FramesOK, st.FramesBad, st.SymbolErrors, st.FramesOK*cfg.PayloadBytes)
 		for i := 0; i < st.FramesBad; i++ {
 			reg.Emit(now+airtime, "frame/bad", -1)
 		}
@@ -461,6 +518,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 			if d := rxSide.DeliveredPayload() - before; d > 0 {
 				deliveredAt = append(deliveredAt, now+airtime)
 				deliveredC.Add(d)
+				mon.ObserveDelivered(now+airtime, d*8)
 			}
 		}
 		// The receiver reports its sensed ambient level (estimated from
@@ -479,7 +537,9 @@ func Run(cfg Config, duration float64) (Result, error) {
 	// Drain trailing acks so goodput reflects everything delivered.
 	for _, m := range side.Receive(now + 1) {
 		if m.Kind == mac.KindAck {
-			sender.OnAck(m.Seq)
+			if lat, known := sender.OnAckAt(m.Seq, m.At); known {
+				mon.ObserveAck(m.At, lat)
+			}
 			reg.Emit(m.At, "frame/ack", int64(m.Seq))
 			if col != nil {
 				col.Record(span.Span{
@@ -498,6 +558,26 @@ func Run(cfg Config, duration float64) (Result, error) {
 		res.Adjustments = controller.Adjustments()
 	}
 	res.Throughput = throughputSeries(deliveredAt, cfg.PayloadBytes, now)
+	if mon != nil {
+		res.Health = mon.Finish(now)
+		// A critical transition in the run's last instants may not have met
+		// a later frame to consume it; it still ships a bundle.
+		if cfg.Flight != nil && len(pendingSLO) > 0 {
+			var msnap *telemetry.Snapshot
+			if reg != nil {
+				msnap = reg.Snapshot()
+			}
+			meta := flight.Meta{
+				Reason: "slo_" + pendingSLO[0].Objective, Seq: -1,
+				At: now, Seed: cfg.Seed, Scheme: cfg.Scheme.Name(),
+				Level: level, Threshold: rx.Threshold(),
+				TSlotSeconds: tslot, PayloadBytes: cfg.PayloadBytes,
+			}
+			if _, err := cfg.Flight.Trigger(meta, col.Snapshot(), msnap); err != nil {
+				return Result{}, err
+			}
+		}
+	}
 	if reg != nil {
 		reg.Gauge("sim_goodput_bps").Set(res.GoodputBps)
 		reg.Gauge("sim_duration_seconds").Set(res.Duration)

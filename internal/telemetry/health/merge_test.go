@@ -1,0 +1,103 @@
+package health
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMergeSumsAndNormalizes(t *testing.T) {
+	mk := func(frames, bad, bits int) *Snapshot {
+		m := NewMonitor(testConfig())
+		for i := 0; i < 8; i++ {
+			now := (float64(i) + 0.5) * testBucketDur
+			m.Tick(now)
+			m.ObserveLevel(now, 0.5)
+			for j := 0; j < frames; j++ {
+				m.ObserveTx(now, 100, false)
+			}
+			m.ObserveRx(now, frames-bad, bad, 0, (frames-bad)*128)
+			m.ObserveDelivered(now, int64(bits))
+			m.ObserveAck(now, 0.01)
+		}
+		return m.Finish(8 * testBucketDur)
+	}
+	a := mk(10, 1, 1000)
+	b := mk(20, 4, 3000)
+	got := Merge(a, b)
+	if got.Sessions != 2 {
+		t.Fatalf("Sessions = %d, want 2", got.Sessions)
+	}
+	p := got.Series[0].Points[0]
+	if p.Links != 2 {
+		t.Fatalf("Links = %d, want 2", p.Links)
+	}
+	if p.FramesTx != 30 || p.FramesBad != 5 {
+		t.Errorf("merged counts tx=%d bad=%d, want 30/5", p.FramesTx, p.FramesBad)
+	}
+	// Loss is the ratio of merged counts, not the mean of ratios.
+	if want := 5.0 / 30.0; p.FrameLoss != want {
+		t.Errorf("merged FrameLoss = %v, want %v", p.FrameLoss, want)
+	}
+	// Goodput is per link: total bits over slots × links.
+	if want := 4000.0 / (1000 * 2); p.Goodput != want {
+		t.Errorf("merged Goodput = %v, want %v", p.Goodput, want)
+	}
+	if p.AckCount != 2 {
+		t.Errorf("merged AckCount = %d, want 2", p.AckCount)
+	}
+	// Objectives re-evaluated over the merged series.
+	if len(got.Objectives) != 1 || got.Objectives[0].Name != "loss" {
+		t.Fatalf("objectives = %+v", got.Objectives)
+	}
+	if got.State != StateWarning {
+		// merged loss 5/30 ≈ 0.167 vs target 0.1: burn 1.67 → warning
+		t.Errorf("merged state = %v, want warning", got.State)
+	}
+}
+
+func TestMergeSkipsIncompatible(t *testing.T) {
+	a := NewMonitor(testConfig()).Finish(8 * testBucketDur)
+	cfg := testConfig()
+	cfg.BucketSlots = 2000
+	b := NewMonitor(cfg).Finish(8 * testBucketDur)
+	got := Merge(a, b)
+	if got.Sessions != 1 || got.Skipped != 1 {
+		t.Fatalf("sessions=%d skipped=%d, want 1/1", got.Sessions, got.Skipped)
+	}
+}
+
+func TestMergeNilAndEmpty(t *testing.T) {
+	if Merge() != nil || Merge(nil, nil) != nil {
+		t.Fatal("merging nothing should return nil")
+	}
+	s := NewMonitor(testConfig()).Finish(testBucketDur)
+	got := Merge(nil, s)
+	if got == nil || got.Sessions != 1 {
+		t.Fatal("single merge should behave as identity on sessions")
+	}
+}
+
+// Merging in a different order produces byte-identical output (the fleet
+// runner merges in config order; this pins that the merge itself is
+// order-insensitive for aligned grids).
+func TestMergeDeterministicAcrossOrder(t *testing.T) {
+	mk := func(seedish int) *Snapshot {
+		m := NewMonitor(testConfig())
+		for i := 0; i < 10; i++ {
+			feedBucket(m, i, 10+seedish, (i+seedish)%3)
+		}
+		return m.Finish(10 * testBucketDur)
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	j1, err := Merge(a, b, c).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Merge(c, a, b).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("merge output depends on input order")
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import "math"
+
+// HistogramBucketIndex returns the log2 bucket a value lands in — the
+// same mapping Observe uses. Exported so consumers that keep their own
+// sparse bucket arrays (the health engine's windowed ACK-latency rings)
+// stay on the registry's grid and their counts can be folded back into
+// Bucket slices losslessly.
+func HistogramBucketIndex(v float64) int { return bucketIndex(v) }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the log2 bucket containing
+// the target rank. Returns 0 on a nil or empty histogram.
+//
+// The estimate inherits the grid's resolution: exact for masses at bucket
+// bounds, otherwise off by at most the containing bucket's width (a
+// factor of two). That is the intended trade — the grid is what makes the
+// histogram fixed-size and snapshots byte-identical.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var bs []Bucket
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			bs = append(bs, Bucket{Index: i, Count: n})
+		}
+	}
+	return QuantileOf(bs, h.count.Load(), q)
+}
+
+// Quantile estimates the q-quantile from a snapshot's sparse buckets,
+// with the same interpolation as Histogram.Quantile.
+func (hs HistogramSnapshot) Quantile(q float64) float64 {
+	return QuantileOf(hs.Buckets, hs.Count, q)
+}
+
+// QuantileOf is the shared rank-interpolation kernel over sparse log2
+// buckets (sorted by Index, as snapshots store them). count is the total
+// number of observations; q is clamped to [0, 1]. Returns 0 when there is
+// nothing to rank.
+//
+// The target rank q·count is located in the cumulative bucket counts; the
+// result interpolates linearly between the containing bucket's lower and
+// upper bound. The last bucket's upper bound is +Inf, so a rank landing
+// there returns the bucket's finite lower bound — a deliberate
+// under-estimate rather than an unusable infinity.
+func QuantileOf(buckets []Bucket, count int64, q float64) float64 {
+	if count <= 0 || len(buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(count)
+	cum := float64(0)
+	for _, b := range buckets {
+		next := cum + float64(b.Count)
+		if next >= target {
+			lo := float64(0)
+			if b.Index > 0 {
+				lo = histBound(b.Index - 1)
+			}
+			hi := histBound(b.Index)
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			frac := (target - cum) / float64(b.Count)
+			return lo + (hi-lo)*frac
+		}
+		cum = next
+	}
+	// count exceeded the bucket sum (concurrent writers mid-snapshot):
+	// fall back to the top of the highest occupied bucket.
+	last := buckets[len(buckets)-1]
+	if hi := histBound(last.Index); !math.IsInf(hi, 1) {
+		return hi
+	}
+	if last.Index > 0 {
+		return histBound(last.Index - 1)
+	}
+	return 0
+}

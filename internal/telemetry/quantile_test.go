@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// A point mass at 5.0 lands in bucket (4, 8]; the quantile interpolates
+// linearly across that bucket by rank.
+func TestQuantilePointMass(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for i := 0; i < 100; i++ {
+		h.Observe(5.0)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 4},   // rank 0 → bucket lower bound
+		{0.5, 6}, // mid-bucket
+		{0.95, 7.8},
+		{1, 8}, // rank N → bucket upper bound
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// A bimodal distribution: 90 observations of 1.0 (bucket (0.5, 1]) and 10
+// of 100.0 (bucket (64, 128]). p50 ranks into the low mode, p95/p99 into
+// the high one.
+func TestQuantileBimodalP50P95P99(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for i := 0; i < 90; i++ {
+		h.Observe(1.0)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100.0)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.50, 0.5 + 0.5*(50.0/90.0)}, // rank 50 of 90 in (0.5, 1]
+		{0.95, 96},                    // rank 95: 5 of 10 into (64, 128]
+		{0.99, 121.6},                 // rank 99: 9 of 10 into (64, 128]
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+// Ranks landing in the unbounded last bucket return its finite lower
+// bound instead of +Inf.
+func TestQuantileInfBucket(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	h.Observe(math.MaxFloat64)
+	want := math.Ldexp(1, 31) // lower bound of the last bucket
+	if got := h.Quantile(1); got != want {
+		t.Errorf("Quantile(1) = %v, want %v", got, want)
+	}
+	if got := h.Quantile(0.5); got != want {
+		t.Errorf("Quantile(0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestQuantileNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("nil Quantile = %v, want 0", got)
+	}
+	r := New()
+	if got := r.Histogram("empty").Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := QuantileOf(nil, 0, 0.5); got != 0 {
+		t.Errorf("QuantileOf(nil) = %v, want 0", got)
+	}
+}
+
+// The snapshot-side QuantileOf must agree with the live histogram.
+func TestQuantileSnapshotAgrees(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for _, v := range []float64{0.001, 0.004, 0.004, 0.02, 0.02, 0.02, 0.5, 3, 3, 70} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms[0]
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		if live, fromSnap := h.Quantile(q), hs.Quantile(q); live != fromSnap {
+			t.Errorf("q=%v: live %v != snapshot %v", q, live, fromSnap)
+		}
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 0.003)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotonic: q=%v gave %v after %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// HistogramBucketIndex must agree with where Observe puts values, so
+// external sparse-bucket accumulators stay on the registry grid.
+func TestHistogramBucketIndexMatchesObserve(t *testing.T) {
+	for _, v := range []float64{0, -1, 1e-12, 0.5, 1, 1.5, 2, 5, 1024, math.MaxFloat64} {
+		r := New()
+		h := r.Histogram("x")
+		h.Observe(v)
+		bs := r.Snapshot().Histograms[0].Buckets
+		if len(bs) != 1 {
+			t.Fatalf("v=%v: %d buckets occupied", v, len(bs))
+		}
+		if got := HistogramBucketIndex(v); got != bs[0].Index {
+			t.Errorf("HistogramBucketIndex(%v) = %d, Observe used %d", v, got, bs[0].Index)
+		}
+	}
+}

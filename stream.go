@@ -9,6 +9,7 @@ import (
 
 	"smartvlc/internal/frame"
 	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/span"
 )
 
@@ -62,6 +63,10 @@ type Stream struct {
 	// "chunk/tx" child per attempt, on the same simulated clock.
 	spans   *span.Collector
 	spanBuf span.Buffer
+
+	// Health (nil by default — no-op): a link-health monitor sampled on
+	// the stream's airtime clock. See SetHealth.
+	mon *health.Monitor
 }
 
 // OpenStream returns a byte pipe over the given link operating point at
@@ -118,6 +123,52 @@ func (st *Stream) Telemetry() *TelemetrySnapshot {
 	return st.reg.Snapshot()
 }
 
+// SetHealth attaches a link-health monitor to the stream. Time-series
+// buckets are sealed on the stream's airtime clock (cumulative airtime
+// slots × tslot), so identically-seeded streams produce byte-identical
+// health snapshots. Frame loss here counts failed chunk attempts, ACK
+// latency is the first-attempt→delivery delay per chunk, and symbol
+// counts are not available at this layer (SER windows stay undefined and
+// hold their state). Call before the first Write; nil restores the no-op
+// default.
+func (st *Stream) SetHealth(cfg *health.Config) {
+	if cfg == nil {
+		st.mon = nil
+		return
+	}
+	hc := *cfg
+	if hc.TSlotSeconds <= 0 {
+		hc.TSlotSeconds = tslotSeconds
+	}
+	if hc.Registry == nil {
+		hc.Registry = st.reg
+	}
+	st.clock = telemetry.SlotClock{TSlotSeconds: tslotSeconds}
+	st.mon = health.NewMonitor(hc)
+}
+
+// Health seals completed buckets up to the stream's current airtime and
+// returns the health snapshot, or nil when no monitor is attached. The
+// snapshot covers sealed buckets only; the monitor keeps running, so the
+// stream can keep writing and Health can be polled between writes.
+func (st *Stream) Health() *health.Snapshot {
+	if st.mon == nil {
+		return nil
+	}
+	st.mon.Tick(st.clock.At(st.airtimeSlots))
+	return st.mon.Snapshot()
+}
+
+// FinishHealth flushes partial buckets at the stream's current airtime
+// and returns the final frozen snapshot (nil without a monitor). Further
+// writes are no longer observed.
+func (st *Stream) FinishHealth() *health.Snapshot {
+	if st.mon == nil {
+		return nil
+	}
+	return st.mon.Finish(st.clock.At(st.airtimeSlots))
+}
+
 // SetLevel changes the dimming level for subsequent writes.
 func (st *Stream) SetLevel(level float64) error {
 	lo, hi := st.sys.LevelRange()
@@ -162,6 +213,8 @@ func (st *Stream) sendChunk(data []byte) error {
 		return err
 	}
 	chunkStart := st.clock.At(st.airtimeSlots)
+	st.mon.Tick(chunkStart)
+	st.mon.ObserveLevel(chunkStart, st.level)
 	st.spanBuf.Reset()
 	for attempt := 0; attempt < st.MaxAttempts; attempt++ {
 		slots, err := frame.BuildAppend(st.slotBuf[:0], codec, body)
@@ -171,6 +224,8 @@ func (st *Stream) sendChunk(data []byte) error {
 		st.slotBuf = slots
 		st.framesSent++
 		st.framesC.Inc()
+		st.mon.Tick(st.clock.At(st.airtimeSlots))
+		st.mon.ObserveTx(st.clock.At(st.airtimeSlots), len(slots), attempt > 0)
 		st.reg.Emit(st.clock.At(st.airtimeSlots), "chunk/tx", int64(st.chunk-1))
 		if st.spans != nil {
 			st.spanBuf.Record(span.Span{
@@ -191,6 +246,10 @@ func (st *Stream) sendChunk(data []byte) error {
 				st.bytesDelivered += int64(len(pl) - 4)
 				st.deliverC.Add(int64(len(pl) - 4))
 				st.attemptH.Observe(float64(attempt + 1))
+				deliverAt := st.clock.At(st.airtimeSlots)
+				st.mon.ObserveRx(deliverAt, 1, 0, 0, 0)
+				st.mon.ObserveDelivered(deliverAt, int64(len(pl)-4)*8)
+				st.mon.ObserveAck(deliverAt, deliverAt-chunkStart)
 				st.reg.Emit(st.clock.At(st.airtimeSlots), "chunk/deliver", int64(st.chunk-1))
 				for len(st.attemptCounts) <= attempt {
 					st.attemptCounts = append(st.attemptCounts, 0)
@@ -202,6 +261,7 @@ func (st *Stream) sendChunk(data []byte) error {
 		}
 		st.retries++
 		st.retriesC.Inc()
+		st.mon.ObserveRx(st.clock.At(st.airtimeSlots), 0, 1, 0, 0)
 	}
 	st.recordChunkSpan(chunkStart, st.MaxAttempts, 0, "failed")
 	return fmt.Errorf("smartvlc: chunk %d undeliverable after %d attempts", st.chunk-1, st.MaxAttempts)

@@ -131,3 +131,61 @@ func TestStreamEmptyRead(t *testing.T) {
 		t.Fatal("buffered should be 0")
 	}
 }
+
+func TestStreamHealth(t *testing.T) {
+	run := func() []byte {
+		sys := newSystem(t)
+		st, err := sys.OpenStream(Aligned(3, 0), 8000, 0.5, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.SetHealth(&HealthConfig{
+			BucketSlots: 2500,
+			Objectives:  DefaultHealthObjectives(),
+		})
+		data := bytes.Repeat([]byte("link health over light "), 400)
+		if _, err := st.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		snap := st.Health()
+		if snap == nil {
+			t.Fatal("no health snapshot")
+		}
+		if len(snap.Series) == 0 || len(snap.Series[0].Points) == 0 {
+			t.Fatal("empty health series")
+		}
+		var delivered int64
+		for _, p := range snap.Series[0].Points {
+			delivered += p.DeliveredBits
+		}
+		if delivered == 0 {
+			t.Fatal("health series saw no delivered bits")
+		}
+		final := st.FinishHealth()
+		if final == nil {
+			t.Fatal("no final health snapshot")
+		}
+		b, err := final.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("identical streams produced different health snapshots")
+	}
+}
+
+func TestStreamHealthNilIsNoOp(t *testing.T) {
+	sys := newSystem(t)
+	st, err := sys.OpenStream(Aligned(3, 0), 8000, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Health() != nil || st.FinishHealth() != nil {
+		t.Fatal("health without a monitor")
+	}
+	if _, err := st.Write([]byte("no monitor attached")); err != nil {
+		t.Fatal(err)
+	}
+}

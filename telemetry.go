@@ -1,9 +1,12 @@
 package smartvlc
 
 import (
+	"io"
+
 	"smartvlc/internal/phy"
 	"smartvlc/internal/telemetry"
 	"smartvlc/internal/telemetry/flight"
+	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/span"
 )
 
@@ -41,6 +44,40 @@ type (
 	// its Replay method pushes the captured samples through the receiver
 	// again and reports the reproduced decode error class.
 	FlightBundle = flight.Bundle
+
+	// HealthConfig parameterizes a link-health monitor: time-series bucket
+	// width, downsampling pyramid depth, and the SLO objectives to burn
+	// against. Pass one via SessionConfig.Health or Stream.SetHealth.
+	HealthConfig = health.Config
+	// HealthMonitor aggregates link observations into sim-clock time-series
+	// buckets and evaluates SLO burn rates. A nil monitor is a no-op.
+	HealthMonitor = health.Monitor
+	// HealthObjective is one declarative SLO (metric, target, burn-rate
+	// thresholds over fast/slow windows).
+	HealthObjective = health.Objective
+	// HealthSnapshot is a canonical export of a monitor: multi-resolution
+	// series, per-objective attainment reports and state transitions.
+	HealthSnapshot = health.Snapshot
+	// HealthTransition is one SLO state change (ok/warning/critical) with
+	// the burn rates that caused it.
+	HealthTransition = health.Transition
+	// HealthObjectiveReport is an objective's spec plus its evaluation
+	// outcome (final state, per-bucket attainment, worst burn).
+	HealthObjectiveReport = health.ObjectiveReport
+	// HealthPoint is one sealed time-series bucket: raw link counts plus
+	// the rates derived from them.
+	HealthPoint = health.Point
+	// HealthSeries is one resolution's retained points.
+	HealthSeries = health.Series
+	// HealthState is an SLO state: HealthOK, HealthWarning, HealthCritical.
+	HealthState = health.State
+)
+
+// Health states, ordered by severity.
+const (
+	HealthOK       = health.StateOK
+	HealthWarning  = health.StateWarning
+	HealthCritical = health.StateCritical
 )
 
 // NewSpanCollector returns an empty span collector for SessionConfig.Spans,
@@ -68,6 +105,24 @@ func NewTelemetry() *Telemetry { return telemetry.New() }
 func MergeTelemetry(snaps ...*TelemetrySnapshot) *TelemetrySnapshot {
 	return telemetry.Merge(snaps...)
 }
+
+// DefaultHealthObjectives returns the paper-derived SLO set: symbol error
+// rate against the Eq. 3 design bound, frame loss, goodput against the
+// tent-shaped per-dimming-level envelope rate, ACK latency p95 and
+// retransmission rate.
+func DefaultHealthObjectives() []HealthObjective { return health.DefaultObjectives() }
+
+// MergeHealth combines per-link health snapshots into one aggregate: raw
+// counts sum per time bucket, rates are recomputed from the merged counts
+// (never averaged averages), goodput normalizes per link, and the SLOs are
+// re-evaluated over the merged series. The fold is deterministic in
+// argument order; nil snapshots are skipped. RunBroadcast and RunFleet
+// apply this to their receivers and sessions already.
+func MergeHealth(snaps ...*HealthSnapshot) *HealthSnapshot { return health.Merge(snaps...) }
+
+// ReadHealthSnapshot loads a health snapshot written as canonical JSON
+// (Snapshot.JSON), e.g. the smartvlc-sim -health-out artifact.
+func ReadHealthSnapshot(r io.Reader) (*HealthSnapshot, error) { return health.ReadSnapshot(r) }
 
 // GlobalTelemetry returns the process-wide registry holding cache
 // hit/miss counters for the memoized planners and samplers. Its contents
