@@ -11,11 +11,22 @@
 // twin). It can also capture a deterministic metrics snapshot from a
 // short instrumented session, for upload as a CI artifact.
 //
+// Besides the re-run gate, benchguard can statically audit a freshly
+// generated phybench report (-results) against the recorded baseline:
+// allocs/op must not grow (-gate-allocs), per-core frame throughput and
+// session throughput must hold within the tolerance (-gate-throughput),
+// and every speedup curve must reach 1.0× at workers=4 (-gate-curves,
+// skipped explicitly when the fresh report was taken on a single-core
+// host, where parallel twins cannot beat their serial peers). A gated
+// name missing from the fresh report is an error, never a skip — a
+// renamed or dropped benchmark must not silently disarm its gate.
+//
 // Usage:
 //
 //	go run ./cmd/benchguard [-baseline results/BENCH_phy.json]
 //	    [-bench end_to_end_frame,fleet_sessions,end_to_end_frame_health]
 //	    [-tolerance 0.10] [-benchtime 2s] [-snapshot-out metrics.json]
+//	    [-results fresh.json] [-gate-allocs names] [-gate-throughput names]
 package main
 
 import (
@@ -31,12 +42,43 @@ import (
 )
 
 type baselineEntry struct {
-	Name    string  `json:"name"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name                string  `json:"name"`
+	NsPerOp             float64 `json:"ns_per_op"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	FramesPerSecPerCore float64 `json:"frames_per_sec_per_core"`
+	SessionsPerSec      float64 `json:"sessions_per_sec"`
+}
+
+type curvePoint struct {
+	Workers int     `json:"workers"`
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+type speedupCurve struct {
+	Name   string       `json:"name"`
+	Points []curvePoint `json:"points"`
 }
 
 type baselineFile struct {
-	Benchmarks []baselineEntry `json:"benchmarks"`
+	NumCPU        int             `json:"num_cpu"`
+	Benchmarks    []baselineEntry `json:"benchmarks"`
+	SpeedupCurves []speedupCurve  `json:"speedup_curves"`
+}
+
+// lookup returns the named entry, or a loud error listing what the file
+// actually holds — a gated name that has gone missing from a freshly
+// generated report must fail the gate, not skip it.
+func (f *baselineFile) lookup(path, name string) (*baselineEntry, error) {
+	for i := range f.Benchmarks {
+		if f.Benchmarks[i].Name == name {
+			return &f.Benchmarks[i], nil
+		}
+	}
+	have := make([]string, 0, len(f.Benchmarks))
+	for _, e := range f.Benchmarks {
+		have = append(have, e.Name)
+	}
+	return nil, fmt.Errorf("gated benchmark %q missing from %s (has: %s)", name, path, strings.Join(have, ", "))
 }
 
 func main() {
@@ -45,7 +87,19 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional regression over baseline")
 	benchtime := flag.Duration("benchtime", 2*time.Second, "minimum measurement time per benchmark")
 	snapshotOut := flag.String("snapshot-out", "", "also run a short instrumented session and write its telemetry snapshot JSON here")
+	resultsPath := flag.String("results", "", "freshly generated phybench report to audit statically against the baseline (skips the re-run gate)")
+	gateAllocs := flag.String("gate-allocs", "end_to_end_frame,receiver_process,phy_transmit", "comma-separated entries whose allocs/op must not exceed the baseline's")
+	gateThroughput := flag.String("gate-throughput", "end_to_end_frame,receiver_process,fleet_sessions,session_frames", "comma-separated entries whose per-core frame / session throughput must hold within the tolerance")
+	gateCurves := flag.Bool("gate-curves", true, "with -results: require every speedup curve to reach 1.0x at workers=4 (skipped on single-core hosts)")
 	flag.Parse()
+
+	if *resultsPath != "" {
+		if err := auditResults(*resultsPath, *baselinePath, *gateAllocs, *gateThroughput, *gateCurves, *tolerance); err != nil {
+			fatal(err)
+		}
+		fmt.Println("benchguard: OK (static audit)")
+		return
+	}
 
 	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
 	if err != nil {
@@ -174,21 +228,129 @@ func sessionBody(sys *smartvlc.System, withHealth bool) func(b *testing.B) {
 	}
 }
 
-func loadBaseline(path, name string) (float64, error) {
+func loadFile(path string) (*baselineFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	var f baselineFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return 0, fmt.Errorf("benchguard: parse %s: %w", path, err)
+		return nil, fmt.Errorf("benchguard: parse %s: %w", path, err)
 	}
-	for _, e := range f.Benchmarks {
-		if e.Name == name && e.NsPerOp > 0 {
-			return e.NsPerOp, nil
+	return &f, nil
+}
+
+func loadBaseline(path, name string) (float64, error) {
+	f, err := loadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	e, err := f.lookup(path, name)
+	if err != nil {
+		return 0, err
+	}
+	if e.NsPerOp <= 0 {
+		return 0, fmt.Errorf("benchguard: %q entry in %s has no ns/op", name, path)
+	}
+	return e.NsPerOp, nil
+}
+
+// splitNames parses a comma list, dropping empties.
+func splitNames(list string) []string {
+	var out []string
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
 		}
 	}
-	return 0, fmt.Errorf("benchguard: no %q entry in %s", name, path)
+	return out
+}
+
+// auditResults runs the static gates over a freshly generated phybench
+// report: no new allocations on the zero-alloc entries, per-core frame /
+// session throughput within tolerance of the recorded baseline, and
+// parallel scaling at workers=4. Every gated name must exist in the
+// fresh report — lookup errors propagate, they are never downgraded to
+// skips.
+func auditResults(resultsPath, baselinePath, allocNames, throughputNames string, curves bool, tolerance float64) error {
+	fresh, err := loadFile(resultsPath)
+	if err != nil {
+		return err
+	}
+	base, err := loadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+
+	var failures []string
+	for _, name := range splitNames(allocNames) {
+		fe, err := fresh.lookup(resultsPath, name)
+		if err != nil {
+			return err
+		}
+		be, err := base.lookup(baselinePath, name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d allocs/op (baseline %d)\n", name, fe.AllocsPerOp, be.AllocsPerOp)
+		if fe.AllocsPerOp > be.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds baseline %d", name, fe.AllocsPerOp, be.AllocsPerOp))
+		}
+	}
+
+	for _, name := range splitNames(throughputNames) {
+		fe, err := fresh.lookup(resultsPath, name)
+		if err != nil {
+			return err
+		}
+		be, err := base.lookup(baselinePath, name)
+		if err != nil {
+			return err
+		}
+		check := func(metric string, got, want float64) {
+			if want <= 0 {
+				return
+			}
+			floor := want * (1 - tolerance)
+			fmt.Printf("%s: %s %.0f/s (baseline %.0f/s, floor %.0f/s)\n", name, metric, got, want, floor)
+			if got < floor {
+				failures = append(failures, fmt.Sprintf("%s: %s %.0f/s below floor %.0f/s", name, metric, got, floor))
+			}
+		}
+		check("frames_per_sec_per_core", fe.FramesPerSecPerCore, be.FramesPerSecPerCore)
+		check("sessions_per_sec", fe.SessionsPerSec, be.SessionsPerSec)
+	}
+
+	if curves {
+		if fresh.NumCPU <= 1 {
+			fmt.Printf("curve gate: SKIPPED — fresh report taken on a %d-CPU host; parallel twins cannot beat their serial peers there\n", fresh.NumCPU)
+		} else {
+			if len(fresh.SpeedupCurves) == 0 {
+				return fmt.Errorf("benchguard: curve gate armed but %s records no speedup_curves", resultsPath)
+			}
+			for _, c := range fresh.SpeedupCurves {
+				at4 := 0.0
+				found := false
+				for _, p := range c.Points {
+					if p.Workers == 4 {
+						at4, found = p.Speedup, true
+					}
+				}
+				if !found {
+					return fmt.Errorf("benchguard: curve %q has no workers=4 point", c.Name)
+				}
+				fmt.Printf("curve %s: %.2fx at workers=4\n", c.Name, at4)
+				if at4 < 1.0 {
+					failures = append(failures, fmt.Sprintf("curve %s: %.2fx at workers=4, below 1.0x", c.Name, at4))
+				}
+			}
+		}
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("benchguard: %d gate failure(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // captureSnapshot runs one short fully-instrumented session and writes

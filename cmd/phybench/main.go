@@ -7,7 +7,12 @@
 //
 // Usage:
 //
-//	go run ./cmd/phybench [-benchtime 2s] [-out results/BENCH_phy.json]
+//	go run ./cmd/phybench [-benchtime 2s] [-out results/BENCH_phy.json] [-quick]
+//
+// -quick is the smoke mode for CI and pre-commit runs: a short benchtime,
+// no baseline comparison (short runs are too noisy to call speedups), and
+// a default output path that does not clobber the recorded
+// results/BENCH_phy.json.
 package main
 
 import (
@@ -77,17 +82,49 @@ type entry struct {
 	// OverheadVsNil is this entry's ns/op over its observability-off
 	// twin's, minus one — the fractional price of the instrumented layer.
 	OverheadVsNil float64 `json:"overhead_vs_nil,omitempty"`
-	Iterations    int     `json:"iterations"`
+	// FramesPerSecPerCore normalizes frame throughput by the cores the
+	// body used (frames per op × 1e9 / ns/op / workers) — the number that
+	// stays comparable between serial and parallel twins and that
+	// benchguard gates on.
+	FramesPerSecPerCore float64 `json:"frames_per_sec_per_core,omitempty"`
+	// SessionsPerSec is whole simulated ARQ sessions per wall-clock second
+	// (sessions per op × 1e9 / ns/op), recorded on the session-loop twins.
+	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
+	Iterations     int     `json:"iterations"`
+}
+
+// curvePoint is one (workers, ns/op) measurement of a parallel twin.
+type curvePoint struct {
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Speedup is the workers=1 twin's ns/op over this point's.
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+// speedupCurve is the scaling record of one parallel workload: ns/op and
+// speedup at each worker count. On a single-core host the curve still
+// gets recorded (speedups hover at or below 1) — num_cpu in the report
+// header tells the reader, and benchguard, how to interpret it.
+type speedupCurve struct {
+	Name   string       `json:"name"`
+	Points []curvePoint `json:"points"`
 }
 
 type report struct {
-	GeneratedBy string  `json:"generated_by"`
-	Date        string  `json:"date"`
-	GoVersion   string  `json:"go_version"`
-	NumCPU      int     `json:"num_cpu"`
-	Benchtime   string  `json:"benchtime"`
-	Benchmarks  []entry `json:"benchmarks"`
+	GeneratedBy string `json:"generated_by"`
+	Date        string `json:"date"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	Benchtime   string `json:"benchtime"`
+	// Quick marks a smoke run: short benchtime, no baseline comparison.
+	// Quick reports are for liveness, not for updating recorded numbers.
+	Quick         bool           `json:"quick,omitempty"`
+	Benchmarks    []entry        `json:"benchmarks"`
+	SpeedupCurves []speedupCurve `json:"speedup_curves,omitempty"`
 }
+
+// curveWorkers are the worker counts of the recorded speedup curves.
+var curveWorkers = []int{1, 2, 4, 8}
 
 func buildSlots(level float64, nFrames, idleGap int) ([]bool, *scheme.AMPPM, error) {
 	sch, err := scheme.NewAMPPM(amppm.DefaultConstraints())
@@ -117,7 +154,19 @@ func buildSlots(level float64, nFrames, idleGap int) ([]bool, *scheme.AMPPM, err
 func main() {
 	benchtime := flag.Duration("benchtime", 2*time.Second, "minimum time per benchmark")
 	out := flag.String("out", filepath.Join("results", "BENCH_phy.json"), "output path")
+	quick := flag.Bool("quick", false, "smoke mode: short benchtime, no baseline comparison, separate default output")
 	flag.Parse()
+	if *quick {
+		// Explicit -benchtime/-out still win over the quick defaults.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["benchtime"] {
+			*benchtime = 200 * time.Millisecond
+		}
+		if !explicit["out"] {
+			*out = filepath.Join("results", "BENCH_phy_quick.json")
+		}
+	}
 
 	ch, err := photon.DefaultLinkBudget().ChannelAt(optics.Aligned(3.0, 0), 8000)
 	if err != nil {
@@ -244,7 +293,11 @@ func main() {
 	benches := []struct {
 		name    string
 		workers int
-		body    func(b *testing.B)
+		// frames/sessions are the per-op counts behind the throughput
+		// fields (zero when the body has no such unit of work).
+		frames   float64
+		sessions float64
+		body     func(b *testing.B)
 	}{
 		{name: "phy_transmit", body: func(b *testing.B) {
 			rng := rand.New(rand.NewPCG(1, 2))
@@ -255,7 +308,21 @@ func main() {
 				phy.RecycleSamples(samples)
 			}
 		}},
-		{name: "receiver_process", body: func(b *testing.B) {
+		{name: "phy_transmit_pcg", body: func(b *testing.B) {
+			// The production hot path: sessions own a concrete PCG and take
+			// TransmitPCG, whose uniforms inline. No recorded baseline — the
+			// entry point postdates the baseline capture; compare against
+			// phy_transmit in the same report instead.
+			pcg := rand.NewPCG(1, 2)
+			rng := rand.New(pcg)
+			l := link
+			for i := 0; i < b.N; i++ {
+				l.StartPhase = rng.Float64()
+				samples := l.TransmitPCG(pcg, txSlots)
+				phy.RecycleSamples(samples)
+			}
+		}},
+		{name: "receiver_process", frames: 4, body: func(b *testing.B) {
 			rng := rand.New(rand.NewPCG(3, 4))
 			l := link
 			l.StartPhase = rng.Float64()
@@ -297,14 +364,14 @@ func main() {
 				}
 			}
 		}},
-		{name: "end_to_end_frame", body: func(b *testing.B) {
+		{name: "end_to_end_frame", frames: 1, body: func(b *testing.B) {
 			misses := 0
+			var rep smartvlc.DeliverReport
 			for i := 0; i < b.N; i++ {
-				got, err := sys.Deliver(smartvlc.Aligned(3, 0), 8000, uint64(i), e2eSlots)
-				if err != nil {
+				if err := sys.DeliverInto(&rep, smartvlc.Aligned(3, 0), 8000, uint64(i), e2eSlots); err != nil {
 					b.Fatal(err)
 				}
-				if len(got) != 1 {
+				if len(rep.Payloads) != 1 {
 					misses++ // rare phase corners lose a frame; ARQ covers them
 				}
 			}
@@ -312,14 +379,14 @@ func main() {
 				b.Fatalf("%d/%d frames lost", misses, b.N)
 			}
 		}},
-		{name: "end_to_end_frame_spans", body: func(b *testing.B) {
+		{name: "end_to_end_frame_spans", frames: 1, body: func(b *testing.B) {
 			misses := 0
+			var rep smartvlc.DeliverReport
 			for i := 0; i < b.N; i++ {
-				got, err := sysSpans.Deliver(smartvlc.Aligned(3, 0), 8000, uint64(i), e2eSlots)
-				if err != nil {
+				if err := sysSpans.DeliverInto(&rep, smartvlc.Aligned(3, 0), 8000, uint64(i), e2eSlots); err != nil {
 					b.Fatal(err)
 				}
-				if len(got) != 1 {
+				if len(rep.Payloads) != 1 {
 					misses++ // rare phase corners lose a frame; ARQ covers them
 				}
 			}
@@ -327,14 +394,14 @@ func main() {
 				b.Fatalf("%d/%d frames lost", misses, b.N)
 			}
 		}},
-		{name: "session_frames", body: sessionBody(false)},
-		{name: "end_to_end_frame_health", body: sessionBody(true)},
-		{name: "fleet_sessions", workers: 1, body: fleetBody(1)},
-		{name: "fleet_sessions_parallel", workers: ncpu, body: fleetBody(ncpu)},
+		{name: "session_frames", sessions: 1, body: sessionBody(false)},
+		{name: "end_to_end_frame_health", sessions: 1, body: sessionBody(true)},
+		{name: "fleet_sessions", workers: 1, sessions: 8, body: fleetBody(1)},
+		{name: "fleet_sessions_parallel", workers: ncpu, sessions: 8, body: fleetBody(ncpu)},
 		{name: "fig4_montecarlo", workers: 1, body: mcBody(1)},
 		{name: "fig4_montecarlo_parallel", workers: ncpu, body: mcBody(ncpu)},
-		{name: "broadcast_fanout", workers: 1, body: bcastBody(1)},
-		{name: "broadcast_fanout_parallel", workers: ncpu, body: bcastBody(ncpu)},
+		{name: "broadcast_fanout", workers: 1, sessions: 1, body: bcastBody(1)},
+		{name: "broadcast_fanout_parallel", workers: ncpu, sessions: 1, body: bcastBody(ncpu)},
 	}
 
 	rep := report{
@@ -343,6 +410,7 @@ func main() {
 		GoVersion:   runtime.Version(),
 		NumCPU:      ncpu,
 		Benchtime:   benchtime.String(),
+		Quick:       *quick,
 	}
 	nsByName := map[string]float64{}
 	for _, bm := range benches {
@@ -357,7 +425,7 @@ func main() {
 			Workers:     bm.workers,
 			Iterations:  r.N,
 		}
-		if base := baselinesNs[bm.name]; base > 0 {
+		if base := baselinesNs[bm.name]; base > 0 && !*quick {
 			e.BaselineNsOp = base
 			e.SpeedupVsSeed = base / nsPerOp
 		}
@@ -371,6 +439,16 @@ func main() {
 				e.OverheadVsNil = nsPerOp/nil0 - 1
 			}
 		}
+		cores := bm.workers
+		if cores < 1 {
+			cores = 1
+		}
+		if bm.frames > 0 {
+			e.FramesPerSecPerCore = bm.frames * 1e9 / nsPerOp / float64(cores)
+		}
+		if bm.sessions > 0 {
+			e.SessionsPerSec = bm.sessions * 1e9 / nsPerOp
+		}
 		rep.Benchmarks = append(rep.Benchmarks, e)
 		fmt.Printf("%-26s %12.0f ns/op  %8d B/op  %5d allocs/op", bm.name, nsPerOp, e.BytesPerOp, e.AllocsPerOp)
 		if e.SpeedupVsSeed > 0 {
@@ -381,6 +459,43 @@ func main() {
 		}
 		if _, ok := nilPeer[bm.name]; ok {
 			fmt.Printf("  %+.1f%% vs nil twin", e.OverheadVsNil*100)
+		}
+		fmt.Println()
+	}
+
+	// Speedup curves: each parallel twin swept over the worker counts. The
+	// workers=1 point reuses the serial twin's measurement, and a point
+	// matching the parallel twin's worker count reuses that one, so a
+	// curve costs at most two extra measurements per family.
+	curveFamilies := []struct {
+		name string
+		body func(workers int) func(b *testing.B)
+	}{
+		{"fleet_sessions", fleetBody},
+		{"fig4_montecarlo", mcBody},
+		{"broadcast_fanout", bcastBody},
+	}
+	for _, fam := range curveFamilies {
+		serial := nsByName[fam.name]
+		c := speedupCurve{Name: fam.name}
+		for _, w := range curveWorkers {
+			var ns float64
+			switch w {
+			case 1:
+				ns = serial
+			case ncpu:
+				ns = nsByName[fam.name+"_parallel"]
+			}
+			if ns == 0 {
+				r := measure(*benchtime, fam.body(w))
+				ns = float64(r.T.Nanoseconds()) / float64(r.N)
+			}
+			c.Points = append(c.Points, curvePoint{Workers: w, NsPerOp: ns, Speedup: serial / ns})
+		}
+		rep.SpeedupCurves = append(rep.SpeedupCurves, c)
+		fmt.Printf("%-26s curve:", fam.name)
+		for _, p := range c.Points {
+			fmt.Printf("  %dw %.2fx", p.Workers, p.Speedup)
 		}
 		fmt.Println()
 	}

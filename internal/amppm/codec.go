@@ -18,6 +18,12 @@ import (
 type SuperCodec struct {
 	super  SuperSymbol
 	c1, c2 *mppm.Codec
+
+	// bitsPerSuper and slotsPerSuper cache SuperSymbol.Bits/Slots: the
+	// receiver sizes and decodes every frame through them, so they must
+	// not recompute binomials per call.
+	bitsPerSuper  int
+	slotsPerSuper int
 }
 
 // NewSuperCodec builds a codec for the super-symbol. It returns an error
@@ -37,6 +43,8 @@ func NewSuperCodec(s SuperSymbol) (*SuperCodec, error) {
 			return nil, fmt.Errorf("amppm: pattern %v too large for streaming codec", s.S2)
 		}
 	}
+	sc.bitsPerSuper = s.Bits()
+	sc.slotsPerSuper = s.Slots()
 	return sc, nil
 }
 
@@ -44,10 +52,10 @@ func NewSuperCodec(s SuperSymbol) (*SuperCodec, error) {
 func (sc *SuperCodec) Super() SuperSymbol { return sc.super }
 
 // BitsPerSuper returns the data bits carried by one full schedule period.
-func (sc *SuperCodec) BitsPerSuper() int { return sc.super.Bits() }
+func (sc *SuperCodec) BitsPerSuper() int { return sc.bitsPerSuper }
 
 // SlotsPerSuper returns the slot length of one full schedule period.
-func (sc *SuperCodec) SlotsPerSuper() int { return sc.super.Slots() }
+func (sc *SuperCodec) SlotsPerSuper() int { return sc.slotsPerSuper }
 
 // symbolAt returns the codec of the i-th symbol in the cyclic schedule.
 func (sc *SuperCodec) symbolAt(i int) *mppm.Codec {

@@ -100,7 +100,16 @@ func enumerate(cons Constraints) []mppm.Pattern {
 	if maxN > mppm.MaxStreamN {
 		maxN = mppm.MaxStreamN
 	}
-	var out []mppm.Pattern
+	// Counted capacity: the candidate grid has exactly sum_{n}(n-1) cells,
+	// so one allocation holds every surviving pattern.
+	cells := 0
+	for n := cons.MinN; n <= maxN; n++ {
+		cells += n - 1
+	}
+	if cells < 0 {
+		cells = 0
+	}
+	out := make([]mppm.Pattern, 0, cells)
 	for n := cons.MinN; n <= maxN; n++ {
 		for k := 1; k < n; k++ {
 			if mppm.SER(n, k, cons.P1, cons.P2) > cons.SERBound {
@@ -121,7 +130,7 @@ func enumerate(cons Constraints) []mppm.Pattern {
 // symbol (lower latency, finer super-symbol granularity).
 func bestPerLevel(patterns []mppm.Pattern) []Vertex {
 	type key struct{ num, den int }
-	best := map[key]Vertex{}
+	best := make(map[key]Vertex, len(patterns))
 	for _, p := range patterns {
 		g := gcd(p.K, p.N)
 		k := key{p.K / g, p.N / g}
@@ -183,7 +192,7 @@ func slopeWalk(points []Vertex) []Vertex {
 	// nearest point, so every point lying on the hull becomes a vertex —
 	// collinear vertices are desirable interpolation partners because they
 	// allow shorter super-symbols.
-	var right []Vertex
+	right := make([]Vertex, 0, len(points)-1-peak)
 	for i := peak; i < len(points)-1; {
 		cur := points[i]
 		next := -1
@@ -198,7 +207,7 @@ func slopeWalk(points []Vertex) []Vertex {
 		i = next
 	}
 
-	var left []Vertex
+	left := make([]Vertex, 0, peak)
 	for i := peak; i > 0; {
 		cur := points[i]
 		next := -1

@@ -84,6 +84,15 @@ type Writer struct {
 // NewWriter returns an empty Writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// Reset re-initializes the writer to accumulate into buf's backing array
+// from the start (buf's length is ignored). With enough capacity the
+// writer never allocates — the allocation-free decode paths recycle one
+// buffer per frame slot this way. Reset(nil) drops the buffer reference.
+func (w *Writer) Reset(buf []byte) {
+	w.data = buf[:0]
+	w.n = 0
+}
+
 // Len returns the number of bits written so far.
 func (w *Writer) Len() int { return w.n }
 

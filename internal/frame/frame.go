@@ -25,6 +25,17 @@ type PayloadCodec interface {
 	DecodePayload(slots []bool, nbytes int) (data []byte, symbolErrors int, err error)
 }
 
+// PayloadAppender is the allocation-free decode extension of
+// PayloadCodec: AppendDecodedPayload demodulates nbytes of data from the
+// beginning of slots into dst's backing array (dst's length is ignored;
+// its capacity is reused) and returns the decoded bytes. Codecs on the
+// receiver hot path implement it so ParseInto can recycle one body
+// buffer per frame slot; ParseInto falls back to DecodePayload plus a
+// copy for codecs that don't.
+type PayloadAppender interface {
+	AppendDecodedPayload(dst []byte, slots []bool, nbytes int) (data []byte, symbolErrors int, err error)
+}
+
 // CodecFactory reconstructs a receiver-side PayloadCodec from the Pattern
 // field of a frame header.
 type CodecFactory func(descriptor [PatternBytes]byte) (PayloadCodec, error)
@@ -80,15 +91,18 @@ func BuildAppend(dst []bool, codec PayloadCodec, payload []byte) ([]bool, error)
 	}
 	dst = append(dst, SyncSlot(codec.Level()))
 
-	crc := CRC16(headerFields(h), payload)
+	hf := headerFields(h)
+	crc := CRC16(hf[:], payload)
 	body := make([]byte, 0, len(payload)+CRCBytes)
 	body = append(body, payload...)
 	body = append(body, byte(crc>>8), byte(crc))
 	return codec.AppendPayload(dst, body)
 }
 
-func headerFields(h Header) []byte {
-	return []byte{byte(h.Length >> 8), byte(h.Length), h.Pattern[0], h.Pattern[1], h.Pattern[2], h.Pattern[3]}
+// headerFields returns the CRC-covered header bytes as a fixed array so
+// the checksum call never heap-allocates.
+func headerFields(h Header) [2 + PatternBytes]byte {
+	return [2 + PatternBytes]byte{byte(h.Length >> 8), byte(h.Length), h.Pattern[0], h.Pattern[1], h.Pattern[2], h.Pattern[3]}
 }
 
 // Slots returns the total slot count of a frame carrying nbytes of payload
@@ -116,50 +130,76 @@ type Result struct {
 // preamble). It returns the parsed frame or a descriptive error; on error
 // the caller should resume preamble hunting after the failed position.
 func Parse(slots []bool, factory CodecFactory) (Result, error) {
+	res, _, err := ParseInto(slots, factory, nil)
+	return res, err
+}
+
+// ParseInto is Parse decoding the frame body into buf's backing array
+// (buf's length is ignored; its capacity is reused and grown as needed).
+// It returns the possibly regrown buffer so callers can recycle it for
+// the next frame: on success Result.Payload aliases the returned buffer,
+// so it stays valid only while the caller keeps the buffer to itself.
+// Codecs implementing PayloadAppender decode straight into the buffer;
+// others pay one DecodePayload allocation plus a copy.
+func ParseInto(slots []bool, factory CodecFactory, buf []byte) (Result, []byte, error) {
 	if !PreambleAt(slots) {
-		return Result{}, ErrNoPreamble
+		return Result{}, buf, ErrNoPreamble
 	}
 	pos := PreambleSlots
 	if len(slots) < pos+HeaderSlots {
-		return Result{}, ErrTruncated
+		return Result{}, buf, ErrTruncated
 	}
 	h, err := ParseHeader(slots[pos : pos+HeaderSlots])
 	if err != nil {
-		return Result{}, err
+		return Result{}, buf, err
 	}
 	pos += HeaderSlots
 
 	codec, err := factory(h.Pattern)
 	if err != nil {
-		return Result{}, fmt.Errorf("frame: bad pattern field: %w", err)
+		return Result{}, buf, fmt.Errorf("frame: bad pattern field: %w", err)
 	}
 	comp, _ := CompSlots(codec.Level())
 	pos += comp
 	if len(slots) < pos+1 {
-		return Result{}, ErrTruncated
+		return Result{}, buf, ErrTruncated
 	}
 	if slots[pos] != SyncSlot(codec.Level()) {
-		return Result{}, ErrBadSync
+		return Result{}, buf, ErrBadSync
 	}
 	pos++
 
 	bodyBytes := h.Length + CRCBytes
 	need := codec.PayloadSlots(bodyBytes)
 	if len(slots) < pos+need {
-		return Result{}, ErrTruncated
+		return Result{}, buf, ErrTruncated
 	}
-	body, symErrs, err := codec.DecodePayload(slots[pos:pos+need], bodyBytes)
+	var body []byte
+	var symErrs int
+	if ap, ok := codec.(PayloadAppender); ok {
+		body, symErrs, err = ap.AppendDecodedPayload(buf, slots[pos:pos+need], bodyBytes)
+		if body != nil {
+			buf = body
+		}
+	} else {
+		body, symErrs, err = codec.DecodePayload(slots[pos:pos+need], bodyBytes)
+		if err == nil {
+			buf = append(buf[:0], body...)
+			body = buf
+		}
+	}
 	if err != nil {
-		return Result{}, err
+		return Result{}, buf, err
 	}
 	pos += need
 
 	payload := body[:h.Length]
 	wantCRC := uint16(body[h.Length])<<8 | uint16(body[h.Length+1])
-	if CRC16(headerFields(h), payload) != wantCRC {
-		return Result{}, ErrCRC
+	hf := headerFields(h)
+	if CRC16(hf[:], payload) != wantCRC {
+		return Result{}, buf, ErrCRC
 	}
-	return Result{Header: h, Payload: payload, SlotsConsumed: pos, SymbolErrors: symErrs}, nil
+	return Result{Header: h, Payload: payload, SlotsConsumed: pos, SymbolErrors: symErrs}, buf, nil
 }
 
 // AppendIdle appends n slots of flicker-safe filler at the given dimming

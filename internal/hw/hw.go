@@ -132,6 +132,20 @@ func (a ADC) Quantize(count int) int {
 	return count
 }
 
+// QuantizeAll clamps a whole column of photon counts in place — the
+// batched transmit pipeline quantizes its sample column in one pass
+// instead of a call per sample.
+func (a ADC) QuantizeAll(counts []int) {
+	max := a.MaxCode
+	for i, c := range counts {
+		if c < 0 {
+			counts[i] = 0
+		} else if max > 0 && c > max {
+			counts[i] = max
+		}
+	}
+}
+
 // Clock is a PRU timebase: a nominal rate plus a fixed fractional error.
 // The transmitter's and receiver's PRUs run from independent oscillators
 // ("they could be hardly perfectly synchronized due to the hardware

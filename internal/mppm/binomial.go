@@ -12,6 +12,7 @@ package mppm
 import (
 	"math"
 	"math/big"
+	"math/bits"
 	"sync"
 )
 
@@ -26,23 +27,26 @@ const maxFastN = 61
 const MaxStreamN = maxFastN
 
 var (
-	binomMu    sync.Mutex
-	binomBig   = map[uint64]*big.Int{} // key: N<<32 | K
-	binomFast  [][]uint64              // Pascal triangle rows 0..maxFastN
-	binomBuilt bool
+	binomOnce sync.Once
+	binomMu   sync.Mutex                // guards binomBig only
+	binomBig  = map[uint64]*big.Int{}   // key: N<<32 | K
+	binomFast [maxFastN + 1][]uint64    // Pascal triangle rows 0..maxFastN
 )
 
 func buildFast() {
-	binomFast = make([][]uint64, maxFastN+1)
+	// One flat backing for the whole triangle keeps the build to two
+	// allocations and the rows cache-adjacent.
+	flat := make([]uint64, (maxFastN+1)*(maxFastN+2)/2)
+	off := 0
 	for n := 0; n <= maxFastN; n++ {
-		row := make([]uint64, n+1)
+		row := flat[off : off+n+1]
+		off += n + 1
 		row[0], row[n] = 1, 1
 		for k := 1; k < n; k++ {
 			row[k] = binomFast[n-1][k-1] + binomFast[n-1][k]
 		}
 		binomFast[n] = row
 	}
-	binomBuilt = true
 }
 
 // Binomial returns C(n, k) as a big.Int. The result is shared and must not
@@ -51,14 +55,12 @@ func Binomial(n, k int) *big.Int {
 	if k < 0 || k > n || n < 0 {
 		return big.NewInt(0)
 	}
-	binomMu.Lock()
-	defer binomMu.Unlock()
-	if !binomBuilt {
-		buildFast()
-	}
+	binomOnce.Do(buildFast)
 	if n <= maxFastN {
 		return new(big.Int).SetUint64(binomFast[n][k])
 	}
+	binomMu.Lock()
+	defer binomMu.Unlock()
 	key := uint64(n)<<32 | uint64(k)
 	if v, ok := binomBig[key]; ok {
 		return v
@@ -69,16 +71,13 @@ func Binomial(n, k int) *big.Int {
 }
 
 // BinomialU64 returns C(n, k) as a uint64 and true when it fits exactly;
-// otherwise it returns 0 and false. This is the hot path used by the codec.
+// otherwise it returns 0 and false. This is the hot path used by the codec:
+// within the fast triangle it is one slice index, lock-free and alloc-free.
 func BinomialU64(n, k int) (uint64, bool) {
 	if k < 0 || k > n || n < 0 {
 		return 0, true // C = 0 fits
 	}
-	binomMu.Lock()
-	if !binomBuilt {
-		buildFast()
-	}
-	binomMu.Unlock()
+	binomOnce.Do(buildFast)
 	if n <= maxFastN {
 		return binomFast[n][k], true
 	}
@@ -118,6 +117,12 @@ func SymbolBits(n, k int) int {
 	if k <= 0 || k >= n {
 		return 0
 	}
+	if n <= maxFastN {
+		// Alloc-free fast path: the receiver computes symbol widths on
+		// every frame parse, so this must not touch big.Int.
+		c, _ := BinomialU64(n, k)
+		return bits.Len64(c) - 1 // floor(log2 c) since c >= 1
+	}
 	c := Binomial(n, k)
-	return c.BitLen() - 1 // floor(log2 c) since c >= 1
+	return c.BitLen() - 1
 }

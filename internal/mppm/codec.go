@@ -63,10 +63,13 @@ func NewCodec(p Pattern) *Codec {
 	}
 	c := &Codec{pattern: p, bits: p.Bits()}
 	if p.N <= maxFastN {
+		// The choose table is (N+1)×(K+1); counting the cells up front
+		// lets one flat backing serve every row.
 		c.fastOK = true
 		c.fast = make([][]uint64, p.N+1)
+		flat := make([]uint64, (p.N+1)*(p.K+1))
 		for i := 0; i <= p.N; i++ {
-			row := make([]uint64, p.K+1)
+			row := flat[i*(p.K+1) : (i+1)*(p.K+1)]
 			for j := 0; j <= p.K && j <= i; j++ {
 				row[j], _ = BinomialU64(i, j)
 			}
@@ -75,8 +78,9 @@ func NewCodec(p Pattern) *Codec {
 		return c
 	}
 	c.big = make([][]*big.Int, p.N+1)
+	flat := make([]*big.Int, (p.N+1)*(p.K+1))
 	for i := 0; i <= p.N; i++ {
-		row := make([]*big.Int, p.K+1)
+		row := flat[i*(p.K+1) : (i+1)*(p.K+1)]
 		for j := 0; j <= p.K; j++ {
 			row[j] = Binomial(i, j)
 		}

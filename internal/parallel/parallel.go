@@ -41,7 +41,15 @@ func Workers(requested int) int {
 // shard indices keep siblings independent. Callers must ensure their salt
 // spacing exceeds the shard count.
 func RNG(seed, salt uint64, shard int) *rand.Rand {
-	return rand.New(rand.NewPCG(seed, salt+uint64(shard)))
+	return rand.New(PCG(seed, salt, shard))
+}
+
+// PCG returns the concrete generator behind RNG's stream for the shard.
+// Shards that feed the PHY fast path keep both views of one generator:
+// the Rand for scalar draws, the PCG for the inlined sampler twins —
+// they stay in lockstep on the shared state.
+func PCG(seed, salt uint64, shard int) *rand.PCG {
+	return rand.NewPCG(seed, salt+uint64(shard))
 }
 
 // Shard is one contiguous span of a sharded workload.

@@ -7,12 +7,21 @@ import (
 )
 
 // Sampler draws Poisson variates for one fixed mean with all
-// lambda-dependent constants precomputed. Sample recomputes log(lambda),
-// the PTRS envelope constants and (in the rejection branch) a log-
-// factorial on every call; at one draw per RX sample that arithmetic
-// dominates the transmit path. A Sampler hoists it: the draws consume the
-// rng identically and return bit-identical variates to Sample for the
-// same mean.
+// lambda-dependent work precomputed. It offers two draw disciplines:
+//
+//   - Sample mirrors the one-shot Sample(rng, lambda): it consumes the
+//     rng identically and returns bit-identical variates, which is what
+//     lets a cached sampler substitute for the scalar call inside a
+//     seeded session without perturbing it.
+//   - SampleN / SampleNPCG are the block fills of the batched transmit
+//     pipeline. For means up to maxTableLambda they draw by inverted CDF
+//     through a guide table — one uniform and ~two comparisons per
+//     variate, the cheapest exact discrete sampling known — and so
+//     consume the rng differently from Sample (the distribution is
+//     identical; the stream is not). The two block fills are bit-exact
+//     twins of each other over the same generator. Beyond
+//     maxTableLambda they fall back to the PTRS loop and there they DO
+//     match Sample draw for draw.
 //
 // A Sampler is immutable after construction and safe for concurrent use
 // (each call still needs its own rng, as with Sample).
@@ -28,7 +37,21 @@ type Sampler struct {
 	// the identical expression, so draws stay bit-identical to Sample).
 	logLambda, b, a, invAlpha, vr float64
 	accept                        []float64 // accept[k] = exp(k·lnλ − λ − ln k!)
+
+	// Inverse-CDF block path (0 < lambda <= maxTableLambda): cdf[k] is
+	// P(X ≤ k) over the same support bound as the accept table, guide[j]
+	// the smallest k with cdf[k] > j/len(guide) (Chen–Asau indexed
+	// search), lastPMF the mass at the table edge so the (astronomically
+	// unlikely) far tail can be continued term by term.
+	cdf     []float64
+	guide   []int32
+	lastPMF float64
 }
+
+// maxTableLambda bounds the means that get an inverse-CDF table: the
+// table holds O(lambda) float64s, and the PTRS fallback is already
+// near-optimal for means this large.
+const maxTableLambda = 4096
 
 // NewSampler builds a sampler for the mean. Non-positive means always
 // sample zero, mirroring Sample.
@@ -52,7 +75,83 @@ func NewSampler(lambda float64) *Sampler {
 			s.accept[k] = s.acceptAt(float64(k))
 		}
 	}
+	if lambda > 0 && lambda <= maxTableLambda {
+		s.buildTable()
+	}
 	return s
+}
+
+// buildTable precomputes the inverse-CDF guide table for the block
+// fills. The PMF is grown outward from the mode by the stable two-term
+// recurrence, so no intermediate underflows even though P(X=0) does for
+// large means; the support bound matches the accept table (tail mass
+// beyond it is below 1e-30 and handled by tailDraw).
+func (s *Sampler) buildTable() {
+	lambda := s.lambda
+	n := int(lambda+12*math.Sqrt(lambda)) + 32
+	pmf := make([]float64, n)
+	mode := int(lambda)
+	lg, _ := math.Lgamma(float64(mode) + 1)
+	pmf[mode] = math.Exp(float64(mode)*math.Log(lambda) - lambda - lg)
+	for k := mode; k+1 < n; k++ {
+		pmf[k+1] = pmf[k] * lambda / float64(k+1)
+	}
+	for k := mode; k > 0; k-- {
+		pmf[k-1] = pmf[k] * float64(k) / lambda
+	}
+	s.cdf = make([]float64, n)
+	c := 0.0
+	for k, p := range pmf {
+		c += p
+		s.cdf[k] = c
+	}
+	s.lastPMF = pmf[n-1]
+	// guide[j] = min{k : cdf[k] > j/m}: a draw u in cell j starts its
+	// scan at guide[j], which can never overshoot the answer because
+	// u ≥ j/m. Two cells per support point keeps the expected scan under
+	// two comparisons.
+	m := 2 * n
+	s.guide = make([]int32, m)
+	j := 0
+	for k := 0; k < n; k++ {
+		for j < m && float64(j)/float64(m) < s.cdf[k] {
+			s.guide[j] = int32(k)
+			j++
+		}
+	}
+	for ; j < m; j++ {
+		s.guide[j] = int32(n - 1)
+	}
+}
+
+// tableDraw maps one uniform onto the Poisson variate by indexed
+// inverse-CDF search: the answer is the smallest k with u < cdf[k].
+func (s *Sampler) tableDraw(u float64) int {
+	k := int(s.guide[int(u*float64(len(s.guide)))])
+	for u >= s.cdf[k] {
+		k++
+		if k == len(s.cdf) {
+			return s.tailDraw(u)
+		}
+	}
+	return k
+}
+
+// tailDraw continues the CDF beyond the table term by term. The table
+// covers the mean plus twelve standard deviations, so landing here needs
+// a uniform within ~1e-30 of 1 — it exists for correctness, not speed.
+func (s *Sampler) tailDraw(u float64) int {
+	k := len(s.cdf) - 1
+	c, p := s.cdf[k], s.lastPMF
+	for u >= c {
+		k++
+		p *= s.lambda / float64(k)
+		c += p
+		if p < 1e-320 {
+			break
+		}
+	}
+	return k
 }
 
 // acceptAt computes the PTRS acceptance bound exp(k·lnλ − λ − ln k!) with
@@ -106,19 +205,92 @@ func (s *Sampler) Sample(rng *rand.Rand) int {
 	}
 }
 
+// SampleN fills dst with Poisson(lambda) variates. This is the
+// settled-run block fill of the batched transmit pipeline: one call
+// covers a whole run of windows that share the sampler's mean, so the
+// per-call dispatch, constant loads, and (for tabled means) the entire
+// rejection machinery are amortized over the run. Means within
+// maxTableLambda draw by inverted CDF — one uniform each — and so
+// consume the rng differently from Sample; larger means fall back to
+// the PTRS loop, which matches Sample draw for draw.
+func (s *Sampler) SampleN(rng *rand.Rand, dst []int) {
+	switch {
+	case s.lambda <= 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case s.cdf != nil:
+		cdf, guide, m := s.cdf, s.guide, float64(len(s.guide))
+		for i := range dst {
+			u := rng.Float64()
+			k := int(guide[int(u*m)])
+			for u >= cdf[k] {
+				k++
+				if k == len(cdf) {
+					k = s.tailDraw(u)
+					break
+				}
+			}
+			dst[i] = k
+		}
+	default:
+		a, b, vr, lambda := s.a, s.b, s.vr, s.lambda
+		for i := range dst {
+			for {
+				u := rng.Float64() - 0.5
+				v := rng.Float64()
+				us := 0.5 - math.Abs(u)
+				kf := math.Floor((2*a/us+b)*u + lambda + 0.43)
+				if us >= 0.07 && v <= vr {
+					dst[i] = int(kf)
+					break
+				}
+				if kf < 0 || (us < 0.013 && v > us) {
+					continue
+				}
+				k := int(kf)
+				var bound float64
+				if k < len(s.accept) {
+					bound = s.accept[k]
+				} else {
+					bound = s.acceptAt(kf)
+				}
+				if v*s.invAlpha/(a/(us*us)+b) <= bound {
+					dst[i] = k
+					break
+				}
+			}
+		}
+	}
+}
+
 // samplerCache memoizes Samplers by mean. A simulated link reuses the
 // same handful of means (one per settled LED state per operating point),
-// so the cache stays small while the sweeps hit it constantly.
-var samplerCache sync.Map // float64 → *Sampler
+// so the cache stays small while the sweeps hit it constantly. A plain
+// map under RWMutex (rather than sync.Map) keeps the float64 key from
+// being boxed into an interface on every lookup — SamplerFor sits on the
+// per-Transmit path and must stay allocation-free once warm.
+var (
+	samplerCacheMu sync.RWMutex
+	samplerCache   = map[float64]*Sampler{}
+)
 
 // SamplerFor returns a shared Sampler for the mean, building it on first
 // use. Safe for concurrent use.
 func SamplerFor(lambda float64) *Sampler {
-	if v, ok := samplerCache.Load(lambda); ok {
+	samplerCacheMu.RLock()
+	s := samplerCache[lambda]
+	samplerCacheMu.RUnlock()
+	if s != nil {
 		samplerCacheHits.Inc()
-		return v.(*Sampler)
+		return s
 	}
 	samplerCacheMisses.Inc()
-	v, _ := samplerCache.LoadOrStore(lambda, NewSampler(lambda))
-	return v.(*Sampler)
+	samplerCacheMu.Lock()
+	if s = samplerCache[lambda]; s == nil {
+		s = NewSampler(lambda)
+		samplerCache[lambda] = s
+	}
+	samplerCacheMu.Unlock()
+	return s
 }

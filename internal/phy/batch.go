@@ -1,0 +1,79 @@
+// Columnar batch scratch of the PHY hot loop (DESIGN.md §12).
+//
+// Transmit and Process used to walk their streams one sample at a time,
+// deciding, sampling, quantizing and summing inside a single scalar loop.
+// The batched pipeline splits each direction into column passes over
+// reusable scratch:
+//
+//   - Transmit phase 1 classifies every sample window (settled-on,
+//     settled-off, or exact) into run-length-encoded spans and a lambda
+//     column, without touching the rng.
+//   - Transmit phase 2 fills the sample column run by run — one
+//     Sampler.SampleN block fill per settled run — then quantizes the
+//     whole column at once.
+//   - Process derives a prefix-sum column and the three-sample window
+//     column from it, then decodes frames into per-receiver reusable
+//     payload buffers.
+//
+// All columns live in pooled or receiver-owned scratch so the steady
+// state allocates nothing.
+package phy
+
+import "smartvlc/internal/frame"
+
+// Window classes of the transmit classification pass.
+const (
+	txSettledOff = int8(iota) // LED settled on the 0 rail
+	txSettledOn               // LED settled on the 1 rail
+	txExact                   // window touches a transition: per-segment slew integration
+)
+
+// txRun is one run of consecutive same-class sample windows.
+type txRun struct {
+	n     int32
+	class int8
+}
+
+// txPlan is the output of the transmit classification pass: the window
+// classes as run-length-encoded spans, plus the Poisson mean of every
+// exact window in stream order. Pooled via acquireTxPlan/releaseTxPlan.
+type txPlan struct {
+	runs    []txRun
+	lambdas []float64
+}
+
+// push appends one window of the given class, merging into the previous
+// run when the class repeats.
+func (p *txPlan) push(class int8) {
+	if n := len(p.runs); n > 0 && p.runs[n-1].class == class {
+		p.runs[n-1].n++
+		return
+	}
+	p.runs = append(p.runs, txRun{n: 1, class: class})
+}
+
+// Batch is the receiver-owned columnar scratch of Process: the sample
+// prefix-sum column, the three-sample window column derived from it, the
+// reusable results slice and the per-frame payload buffers the decoded
+// bodies land in. It belongs to exactly one Receiver and is recycled on
+// every Process call — which is why Process results (and their payloads)
+// are only valid until the receiver's next Process call.
+type Batch struct {
+	// win3[i] = samples[i+1]+samples[i+2]+samples[i+3], i.e. the prefix-
+	// sum difference pre[i+4]−pre[i+1] computed as one fused rolling pass.
+	win3 []int
+	// results is the slice Process returns, reused across calls.
+	results []frame.Result
+	// payloads holds one reusable backing buffer per decoded frame slot;
+	// payloads[k] backs results[k].Payload.
+	payloads [][]byte
+}
+
+// grownInts returns buf resized to length n, reallocating only when the
+// capacity is short.
+func grownInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}

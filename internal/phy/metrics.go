@@ -38,15 +38,13 @@ func NewTxMetrics(r *telemetry.Registry) *TxMetrics {
 	}
 }
 
-func (m *TxMetrics) onSettled() {
+// onWindows records one Transmit's window classification totals in a
+// single pair of atomic adds — the batched pipeline counts per run, not
+// per window.
+func (m *TxMetrics) onWindows(settled, exact int) {
 	if m != nil {
-		m.SettledWindows.Inc()
-	}
-}
-
-func (m *TxMetrics) onExact() {
-	if m != nil {
-		m.ExactWindows.Inc()
+		m.SettledWindows.Add(int64(settled))
+		m.ExactWindows.Add(int64(exact))
 	}
 }
 

@@ -24,7 +24,6 @@ import (
 	"math/rand/v2"
 	"strconv"
 	"sync"
-	"sync/atomic"
 
 	"smartvlc/internal/frame"
 	"smartvlc/internal/hw"
@@ -76,12 +75,97 @@ func DefaultLink(ch photon.Channel) Link {
 // one entry per RX sample covering the waveform's duration; pass it to
 // RecycleSamples when done to avoid reallocating it for the next frame.
 //
-// Most sample windows fall entirely inside a run of equal-valued slots
-// with the LED settled on its rail, where the Poisson mean is a constant
-// of the link: those windows skip the slew integration and draw from a
-// cached per-state sampler. Only windows that touch a value transition
-// (and therefore possibly a slew ramp) take the exact per-segment path.
+// Transmit runs as a batched columnar pipeline (DESIGN.md §12). Phase 1
+// classifies every sample window without touching the rng: windows fully
+// inside a run of equal-valued slots with the LED settled on its rail are
+// settled (their Poisson mean is a constant of the link), windows that
+// touch a value transition take the exact per-segment slew integration,
+// which yields their mean deterministically. The classes come out as
+// run-length-encoded spans plus a lambda column in pooled scratch.
+// Phase 2 fills the sample column run by run — one cached-sampler block
+// fill (Sampler.SampleN) per settled run, one Poisson draw per exact
+// window — and quantizes each run while it is cache-hot. Exact windows
+// draw bit-identically to the scalar reference path; settled runs use
+// the samplers' inverse-CDF block fill, which consumes fewer uniforms
+// per variate, so the stream differs from the reference while the
+// per-window distributions — and therefore every decode — do not
+// (reference.go remains the equivalence oracle at decode level).
 func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
+	plan, nSamples := l.classify(slots)
+	onSampler, offSampler := l.settledSamplers()
+	out := newSampleBuf(nSamples)[:nSamples]
+	idx, li := 0, 0
+	for _, run := range plan.runs {
+		chunk := out[idx : idx+int(run.n)]
+		switch run.class {
+		case txSettledOn:
+			onSampler.SampleN(rng, chunk)
+		case txSettledOff:
+			offSampler.SampleN(rng, chunk)
+		default:
+			for k := range chunk {
+				chunk[k] = photon.Sample(rng, plan.lambdas[li])
+				li++
+			}
+		}
+		// Quantize per run while the chunk is still cache-hot.
+		l.ADC.QuantizeAll(chunk)
+		idx += len(chunk)
+	}
+	l.finishTransmit(plan, nSamples)
+	return out
+}
+
+// TransmitPCG is Transmit drawing from a concrete PCG stream: the fill
+// pass uses the photon package's PCG sampler twins, whose uniforms inline
+// instead of passing through the rand.Source interface. The output is
+// bit-identical to Transmit over a *rand.Rand wrapping the same
+// generator; callers that own their PCG (the session loops, Deliver)
+// take this entry point.
+func (l Link) TransmitPCG(pcg *rand.PCG, slots []bool) []int {
+	plan, nSamples := l.classify(slots)
+	onSampler, offSampler := l.settledSamplers()
+	out := newSampleBuf(nSamples)[:nSamples]
+	idx, li := 0, 0
+	for _, run := range plan.runs {
+		chunk := out[idx : idx+int(run.n)]
+		switch run.class {
+		case txSettledOn:
+			onSampler.SampleNPCG(pcg, chunk)
+		case txSettledOff:
+			offSampler.SampleNPCG(pcg, chunk)
+		default:
+			for k := range chunk {
+				chunk[k] = photon.SamplePCG(pcg, plan.lambdas[li])
+				li++
+			}
+		}
+		l.ADC.QuantizeAll(chunk)
+		idx += len(chunk)
+	}
+	l.finishTransmit(plan, nSamples)
+	return out
+}
+
+// settledSamplers returns the cached block samplers for the two rail
+// means of this operating point.
+func (l Link) settledSamplers() (on, off *photon.Sampler) {
+	fracWin := l.RxClock.TickSeconds() / l.TxClock.TickSeconds()
+	return photon.SamplerFor(l.Channel.MeanFor(1, fracWin)),
+		photon.SamplerFor(l.Channel.MeanFor(0, fracWin))
+}
+
+// finishTransmit records the per-Transmit metrics and recycles the plan.
+func (l Link) finishTransmit(plan *txPlan, nSamples int) {
+	l.Metrics.onWindows(nSamples-len(plan.lambdas), len(plan.lambdas))
+	l.Metrics.onTransmit(nSamples)
+	releaseTxPlan(plan)
+}
+
+// classify is transmit phase 1: it walks the sample windows without
+// touching the rng and returns the run-length-encoded window classes
+// plus the exact-window means (see Transmit's doc comment).
+func (l Link) classify(slots []bool) (*txPlan, int) {
 	tslot := l.TxClock.TickSeconds()
 	tsamp := l.RxClock.TickSeconds()
 	t0 := l.StartPhase * tsamp // slot grid shift relative to sample grid
@@ -90,15 +174,8 @@ func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
 	// holds its final state — otherwise the last slot of the last frame
 	// loses its integration window to sample-count truncation.
 	nSamples := int(math.Ceil(total/tsamp)) + 8
-	out := newSampleBuf(nSamples)
 
-	// Per-state means and samplers for the settled fast path.
-	fracWin := tsamp / tslot
-	onMean := l.Channel.MeanFor(1, fracWin)
-	offMean := l.Channel.MeanFor(0, fracWin)
-	onSampler := photon.SamplerFor(onMean)
-	offSampler := photon.SamplerFor(offMean)
-
+	plan := acquireTxPlan()
 	intensity := 0.0 // LED optical output at the time cursor
 	if len(slots) > 0 && slots[0] {
 		intensity = 1 // assume the stream starts from a settled state
@@ -119,18 +196,14 @@ func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
 			slotEnd += tslot
 		}
 		if on, settled := settledWindow(slots, slotIdx, slotEnd, winEnd, tslot, intensity); settled {
-			l.Metrics.onSettled()
-			var count int
 			if on {
-				count = onSampler.Sample(rng)
+				plan.push(txSettledOn)
 			} else {
-				count = offSampler.Sample(rng)
+				plan.push(txSettledOff)
 			}
-			out = append(out, l.ADC.Quantize(count))
 			cursor = winEnd
 			continue
 		}
-		l.Metrics.onExact()
 		lambda := 0.0
 		t := cursor
 		for t < winEnd-1e-15 {
@@ -160,12 +233,11 @@ func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
 			intensity = next
 			t = segEnd
 		}
-		count := photon.Sample(rng, lambda)
-		out = append(out, l.ADC.Quantize(count))
+		plan.lambdas = append(plan.lambdas, lambda)
+		plan.push(txExact)
 		cursor = winEnd
 	}
-	l.Metrics.onTransmit(len(out))
-	return out
+	return plan, nSamples
 }
 
 // settledWindow reports whether the sample window ending at winEnd can
@@ -234,40 +306,71 @@ type Receiver struct {
 	// slotScratch is reused across frames by foldSlots; frame.Parse does
 	// not retain the slot slice, so one buffer per receiver suffices.
 	slotScratch []bool
+
+	// batch holds the columnar Process scratch: prefix-sum and window
+	// columns, the reusable results slice and the payload buffers the
+	// decoded frames land in. See batch.go for the recycling contract.
+	batch Batch
 }
 
 // thrCache memoizes the tuned detection threshold per channel operating
 // point: NewReceiver is called per frame by System.Deliver and per
 // channel rebuild by the session loop, and the Poisson tail scan behind
-// OptimalThreshold is far more expensive than a map hit.
-var thrCache sync.Map // photon.Channel → int
-var thrCacheSize atomic.Int64
+// OptimalThreshold is far more expensive than a map hit. A plain map
+// under RWMutex (not sync.Map) spares the hot path from boxing the
+// Channel key into an interface on every lookup.
+var (
+	thrCacheMu sync.RWMutex
+	thrCache   = map[photon.Channel]int{}
+)
 
 const thrCacheMax = 1 << 12
 
-// NewReceiver builds a receiver for a channel operating point. The
-// detection threshold is tuned to the channel (the prototype calibrates it
-// from the measured signal and ambient levels). The Poisson-optimal
-// threshold is floored at 30 % of the ON-window mean: in dark rooms the
-// optimal value drops so low that LED slew leakage at slot boundaries
-// (up to ~17 % of one ON sample) would flip OFF windows.
-func NewReceiver(ch photon.Channel, factory frame.CodecFactory) *Receiver {
-	if v, ok := thrCache.Load(ch); ok {
+// thresholdFor returns the tuned detection threshold for a channel
+// operating point, memoized per channel. The Poisson-optimal threshold
+// is floored at 30 % of the ON-window mean: in dark rooms the optimal
+// value drops so low that LED slew leakage at slot boundaries (up to
+// ~17 % of one ON sample) would flip OFF windows.
+func thresholdFor(ch photon.Channel) int {
+	thrCacheMu.RLock()
+	thr, ok := thrCache[ch]
+	thrCacheMu.RUnlock()
+	if ok {
 		thrCacheHits.Inc()
-		return &Receiver{factory: factory, thr: v.(int)}
+		return thr
 	}
 	thrCacheMisses.Inc()
 	w := ch.Scaled(DetectionFraction)
-	thr := w.OptimalThreshold()
+	thr = w.OptimalThreshold()
 	if floor := int(0.3*(w.SignalPerSlot+w.AmbientPerSlot) + 0.5); thr < floor {
 		thr = floor
 	}
-	if thrCacheSize.Load() < thrCacheMax {
-		if _, loaded := thrCache.LoadOrStore(ch, thr); !loaded {
-			thrCacheSize.Add(1)
-		}
+	thrCacheMu.Lock()
+	if len(thrCache) < thrCacheMax {
+		thrCache[ch] = thr
 	}
-	return &Receiver{factory: factory, thr: thr}
+	thrCacheMu.Unlock()
+	return thr
+}
+
+// NewReceiver builds a receiver for a channel operating point. The
+// detection threshold is tuned to the channel (the prototype calibrates
+// it from the measured signal and ambient levels); see thresholdFor.
+func NewReceiver(ch photon.Channel, factory frame.CodecFactory) *Receiver {
+	return &Receiver{factory: factory, thr: thresholdFor(ch)}
+}
+
+// Reset reconfigures the receiver for a channel operating point exactly
+// as NewReceiver would, clearing all decode state (ambient estimate,
+// metrics, span window) while keeping the scratch columns — the pooled-
+// receiver fast path behind AcquireReceiver.
+func (r *Receiver) Reset(ch photon.Channel, factory frame.CodecFactory) {
+	r.factory = factory
+	r.thr = thresholdFor(ch)
+	r.Metrics = nil
+	r.spans = nil
+	r.spanAt, r.spanDt = 0, 0
+	r.ambientEMA, r.ambientSet = 0, false
 }
 
 // Threshold returns the three-sample detection threshold in counts.
@@ -475,17 +578,27 @@ func (r *Receiver) updateAmbientFromFrame(samples []int, offset int, slots []boo
 // Process scans a sample stream, parses every frame it can find, and
 // returns the payloads in order.
 //
-// It first folds the stream into the window-sum array win3 (one rolling
-// pass: win3[i] = samples[i+1]+samples[i+2]+samples[i+3]), so the
-// preamble hunt, the lock refinement and the slot folding all reduce to
-// O(1) array lookups instead of re-summing three samples at every one of
-// the ~500k offsets a simulated second contains.
+// It runs column-wise over the receiver's Batch scratch (DESIGN.md §12):
+// a prefix-sum column over the samples, then the three-sample window
+// column win3[i] = samples[i+1..i+3] = pre[i+4]−pre[i+1], so the preamble
+// hunt, the lock refinement, the slot folding and the ambient estimate
+// all reduce to O(1) column lookups instead of re-summing samples at
+// every one of the ~500k offsets a simulated second contains. Decoded
+// frame bodies land in per-receiver reusable payload buffers.
+//
+// The returned results — including every Payload — alias the receiver's
+// Batch and stay valid only until the next Process call on this
+// receiver. Callers that keep payloads across calls must copy them.
 func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
-	var results []frame.Result
+	results := r.batch.results[:0]
 	var stats Stats
 	var win3 []int
 	if n := len(samples) - 3; n > 0 {
-		win3 = newWin3Buf(n)[:n]
+		// win3[i] is the prefix-sum difference pre[i+4]−pre[i+1], computed
+		// as one fused rolling pass so the column costs a single sweep
+		// over the samples instead of materializing pre separately.
+		r.batch.win3 = grownInts(r.batch.win3, n)
+		win3 = r.batch.win3
 		w := samples[1] + samples[2] + samples[3]
 		win3[0] = w
 		for i := 1; i < n; i++ {
@@ -524,7 +637,15 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 		}
 		maxSlots := (len(samples) - locked) / Oversample
 		slots := r.foldSlots(win3, locked, maxSlots)
-		res, err := frame.Parse(slots, r.factory)
+		// Decode the frame body into the payload buffer reserved for this
+		// result slot, growing the batch when a stream carries more frames
+		// than any before it.
+		k := len(results)
+		if k == len(r.batch.payloads) {
+			r.batch.payloads = append(r.batch.payloads, nil)
+		}
+		res, pbuf, err := frame.ParseInto(slots, r.factory, r.batch.payloads[k])
+		r.batch.payloads[k] = pbuf
 		if err != nil {
 			stats.FramesBad++
 			stats.count(err)
@@ -568,7 +689,7 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 		i = next
 		huntFrom = i
 	}
-	recycleWin3(win3)
+	r.batch.results = results
 	return results, stats
 }
 

@@ -1,20 +1,37 @@
 package phy
 
-import "sync"
+import (
+	"sync"
 
-// The PHY recycles its two large per-frame scratch slices — the RX sample
-// stream a Transmit produces and the window-sum array Process derives from
-// it — through sync.Pools. One 0.25 s simulated point moves ~500k samples
-// through each, and without pooling every frame allocates fresh
-// megabyte-class slices that the GC must then chase.
+	"smartvlc/internal/frame"
+	"smartvlc/internal/photon"
+)
 
-var samplePool sync.Pool // of []int, len 0
+// The PHY recycles its large per-frame scratch slices — most importantly
+// the RX sample stream a Transmit produces — through sync.Pools. One
+// 0.25 s simulated point moves ~500k samples through the pipeline, and
+// without pooling every frame allocates fresh megabyte-class slices that
+// the GC must then chase.
+//
+// A sync.Pool stores interface values, and putting a raw []int in one
+// boxes the three-word slice header on every Put — one small heap
+// allocation per recycled buffer, which is exactly what the zero-alloc
+// steady state must not pay. The pools therefore store *[]int: storing a
+// pointer in an interface is allocation-free, and the spare pointer
+// cells themselves ride a second pool so the Get/Put cycle reuses them
+// too.
+
+var samplePool sync.Pool // *[]int holding a recycled buffer
+var cellPool sync.Pool   // *[]int spare cells with no buffer attached
 
 // newSampleBuf returns a zero-length sample buffer with at least the given
 // capacity, reusing a recycled one when available.
 func newSampleBuf(capacity int) []int {
 	if v := samplePool.Get(); v != nil {
-		buf := v.([]int)
+		p := v.(*[]int)
+		buf := *p
+		*p = nil
+		cellPool.Put(p)
 		if cap(buf) >= capacity {
 			return buf[:0]
 		}
@@ -31,26 +48,51 @@ func RecycleSamples(samples []int) {
 	if cap(samples) == 0 {
 		return
 	}
-	samplePool.Put(samples[:0])
+	p, _ := cellPool.Get().(*[]int)
+	if p == nil {
+		p = new([]int)
+	}
+	*p = samples[:0]
+	samplePool.Put(p)
 }
 
-var win3Pool sync.Pool // of []int, len 0
+// txPlanPool recycles the classification columns of the batched Transmit
+// (see batch.go); pooled as typed pointers for the same no-boxing reason.
+var txPlanPool sync.Pool // *txPlan
 
-// newWin3Buf returns a zero-length window-sum buffer with at least the
-// given capacity.
-func newWin3Buf(capacity int) []int {
-	if v := win3Pool.Get(); v != nil {
-		buf := v.([]int)
-		if cap(buf) >= capacity {
-			return buf[:0]
-		}
+func acquireTxPlan() *txPlan {
+	p, _ := txPlanPool.Get().(*txPlan)
+	if p == nil {
+		p = &txPlan{}
 	}
-	return make([]int, 0, capacity)
+	p.runs = p.runs[:0]
+	p.lambdas = p.lambdas[:0]
+	return p
 }
 
-func recycleWin3(buf []int) {
-	if cap(buf) == 0 {
-		return
+func releaseTxPlan(p *txPlan) { txPlanPool.Put(p) }
+
+// receiverPool recycles Receivers together with their Batch columns, so
+// per-call paths like System.Deliver can run a fully warmed receiver
+// without allocating. AcquireReceiver resets all decode state; the
+// scratch capacity is what survives.
+var receiverPool sync.Pool // *Receiver
+
+// AcquireReceiver returns a pooled receiver reset for the channel, as
+// NewReceiver would configure it. Release it when done with the receiver
+// AND its last Process results (results alias the receiver's batch).
+func AcquireReceiver(ch photon.Channel, factory frame.CodecFactory) *Receiver {
+	r, _ := receiverPool.Get().(*Receiver)
+	if r == nil {
+		r = &Receiver{}
 	}
-	win3Pool.Put(buf[:0])
+	r.Reset(ch, factory)
+	return r
+}
+
+// Release returns the receiver to the pool. The caller must be done with
+// every slice the receiver handed out: Process results, their payloads
+// and foldSlots scratch all alias buffers the next acquirer will reuse.
+func (r *Receiver) Release() {
+	receiverPool.Put(r)
 }

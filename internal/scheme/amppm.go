@@ -175,14 +175,29 @@ func (c *amppmCodec) AppendPayload(dst []bool, data []byte) ([]bool, error) {
 }
 
 func (c *amppmCodec) DecodePayload(slots []bool, nbytes int) ([]byte, int, error) {
-	w := bitio.NewWriter()
+	return c.AppendDecodedPayload(nil, slots, nbytes)
+}
+
+// writerPool recycles bit writers for AppendDecodedPayload: codecs are
+// shared across goroutines through the caches above, so the decode
+// scratch cannot live on the codec itself.
+var writerPool = sync.Pool{New: func() any { return bitio.NewWriter() }}
+
+// AppendDecodedPayload implements frame.PayloadAppender: the decoded
+// body lands in dst's backing array (grown only when the capacity is
+// short), so the receiver's steady state decodes without allocating.
+func (c *amppmCodec) AppendDecodedPayload(dst []byte, slots []bool, nbytes int) ([]byte, int, error) {
+	w := writerPool.Get().(*bitio.Writer)
+	w.Reset(dst)
 	symErrs, err := c.sc.DecodeBits(slots, nbytes*8, w)
-	if err != nil {
-		return nil, symErrs, err
-	}
 	out := w.Bytes()
+	w.Reset(nil) // drop the buffer reference before pooling the writer
+	writerPool.Put(w)
+	if err != nil {
+		return out, symErrs, err
+	}
 	if len(out) < nbytes {
-		return nil, symErrs, fmt.Errorf("scheme: amppm decoded %d bytes, need %d", len(out), nbytes)
+		return out, symErrs, fmt.Errorf("scheme: amppm decoded %d bytes, need %d", len(out), nbytes)
 	}
 	return out[:nbytes], symErrs, nil
 }

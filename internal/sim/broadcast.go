@@ -175,6 +175,7 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	}
 	type rxState struct {
 		rng      *rand.Rand
+		pcg      *rand.PCG // rng's generator, for the PHY fast path
 		link     phy.Link
 		rx       *phy.Receiver
 		macRx    *mac.Receiver
@@ -190,8 +191,10 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	}
 	rxs := make([]*rxState, nRx)
 	for i := range rxs {
+		pcg := parallel.PCG(cfg.Seed, 0xBEEF00, i)
 		rxs[i] = &rxState{
-			rng:     parallel.RNG(cfg.Seed, 0xBEEF00, i),
+			rng:     rand.New(pcg),
+			pcg:     pcg,
 			macRx:   mac.NewReceiverSide(cfg.PayloadBytes),
 			lastLux: math.Inf(-1),
 		}
@@ -421,7 +424,7 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			st := rxs[i]
 			st.out = rxOutbox{ackSeqs: st.out.ackSeqs[:0], newSeqs: st.out.newSeqs[:0]}
 			st.link.StartPhase = st.rng.Float64()
-			samples := st.link.Transmit(st.rng, slots)
+			samples := st.link.TransmitPCG(st.pcg, slots)
 			if col != nil {
 				// Shard-local span sequence: channel first, then whatever
 				// hunt/decode spans the receiver emits. Parent 0 and Seq -1

@@ -179,7 +179,8 @@ func Run(cfg Config, duration float64) (Result, error) {
 		return Result{}, err
 	}
 
-	chanRng := rand.New(rand.NewPCG(cfg.Seed, 0xC0FFEE))
+	chanPCG := rand.NewPCG(cfg.Seed, 0xC0FFEE)
+	chanRng := rand.New(chanPCG)
 	sideRng := rand.New(rand.NewPCG(cfg.Seed, 0x51DE))
 	macRng := rand.New(rand.NewPCG(cfg.Seed, 0xACED))
 
@@ -443,7 +444,7 @@ func Run(cfg Config, duration float64) (Result, error) {
 		}
 
 		link.StartPhase = chanRng.Float64()
-		samples := link.Transmit(chanRng, slots)
+		samples := link.TransmitPCG(chanPCG, slots)
 		if col != nil {
 			col.Record(span.Span{
 				Name: "frame/channel", Parent: root, Seq: int64(seq),

@@ -1,0 +1,8 @@
+//go:build !race
+
+package smartvlc
+
+// raceEnabled gates the AllocsPerRun tests: under the race detector
+// sync.Pool intentionally drops items, so steady-state allocation counts
+// are not meaningful there.
+const raceEnabled = false

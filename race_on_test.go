@@ -1,0 +1,5 @@
+//go:build race
+
+package smartvlc
+
+const raceEnabled = true

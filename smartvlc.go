@@ -26,6 +26,7 @@ package smartvlc
 import (
 	"math/rand/v2"
 	"strconv"
+	"sync"
 
 	"smartvlc/internal/amppm"
 	"smartvlc/internal/frame"
@@ -114,6 +115,13 @@ func NewAMPPMScheme(cons Constraints) (Scheme, error) { return scheme.NewAMPPM(c
 // supported dimming level. A System is safe for concurrent use.
 type System struct {
 	sch *scheme.AMPPM
+	// factory is sch.Factory() captured once: building the closure per
+	// Deliver call would put one allocation on the steady-state path.
+	factory frame.CodecFactory
+
+	// scratch pools the per-Deliver working set (rng + receiver) so the
+	// steady state of DeliverInto allocates nothing.
+	scratch sync.Pool
 
 	// Telemetry instruments for the one-shot Deliver path; nil (the
 	// default) is a no-op. Set via SetTelemetry (telemetry.go).
@@ -125,6 +133,18 @@ type System struct {
 	spans *SpanCollector
 }
 
+// deliverScratch is one pooled Deliver working set: a reseedable PCG rng
+// and a pooled PHY receiver with its batch columns.
+type deliverScratch struct {
+	pcg *rand.PCG
+	rng *rand.Rand
+	rx  *phy.Receiver
+	// spanBuf is the per-call span staging buffer; it lives here (not on
+	// the stack) because taking its address in DeliverInto would force a
+	// heap allocation even on the spans-off path.
+	spanBuf span.Buffer
+}
+
 // New derives the AMPPM planning table from the constraints (paper §4.2
 // steps 1–3) and returns the system facade.
 func New(cons Constraints) (*System, error) {
@@ -132,7 +152,7 @@ func New(cons Constraints) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{sch: sch}, nil
+	return &System{sch: sch, factory: sch.Factory()}, nil
 }
 
 // Scheme returns the system as a Scheme for session configs.
@@ -191,7 +211,7 @@ func (s *System) FrameSlots(level float64, nbytes int) (int, error) {
 // payload. The dimming level and super-symbol pattern are recovered from
 // the frame header, as in the paper's receiver.
 func (s *System) ParseFrame(slots []bool) ([]byte, error) {
-	res, err := frame.Parse(slots, s.sch.Factory())
+	res, err := frame.Parse(slots, s.factory)
 	if err != nil {
 		return nil, err
 	}
@@ -280,24 +300,45 @@ func (s *System) Deliver(g Geometry, ambientLux float64, seed uint64, slots []bo
 // threshold. When a registry is attached (SetTelemetry) the transmit and
 // receive paths record into it as well.
 func (s *System) DeliverStats(g Geometry, ambientLux float64, seed uint64, slots []bool) (DeliverReport, error) {
+	var rep DeliverReport
+	if err := s.DeliverInto(&rep, g, ambientLux, seed, slots); err != nil {
+		return DeliverReport{}, err
+	}
+	return rep, nil
+}
+
+// DeliverInto is DeliverStats writing into a caller-provided report,
+// reusing rep's payload spine and backing buffers across calls — the
+// zero-alloc steady state of the one-shot physical path. Payloads are
+// copied out of the receiver, so they stay valid for as long as the
+// caller keeps the report (until the next DeliverInto on the same rep,
+// which recycles them).
+func (s *System) DeliverInto(rep *DeliverReport, g Geometry, ambientLux float64, seed uint64, slots []bool) error {
 	ch, err := photon.DefaultLinkBudget().ChannelAt(g, ambientLux)
 	if err != nil {
-		return DeliverReport{}, err
+		return err
 	}
 	link := phy.DefaultLink(ch)
 	link.Metrics = s.txm
-	rng := rand.New(rand.NewPCG(seed, 0xDE11FE6))
-	link.StartPhase = rng.Float64()
-	samples := link.Transmit(rng, slots)
-	rx := phy.NewReceiver(ch, s.sch.Factory())
+	sc, _ := s.scratch.Get().(*deliverScratch)
+	if sc == nil {
+		pcg := rand.NewPCG(seed, deliverStreamKey)
+		sc = &deliverScratch{pcg: pcg, rng: rand.New(pcg), rx: &phy.Receiver{}}
+	} else {
+		sc.pcg.Seed(seed, deliverStreamKey)
+	}
+	link.StartPhase = sc.rng.Float64()
+	samples := link.TransmitPCG(sc.pcg, slots)
+	rx := sc.rx
+	rx.Reset(ch, s.factory)
 	rx.Metrics = s.rxm
 	s.rxm.OnChannel(rx.Threshold())
 	// One-shot span tree: the Deliver call has no session clock, so the
 	// root starts at 0 and receiver spans are timed by sample index.
-	var spanBuf span.Buffer
 	tsamp := tslotSeconds / float64(phy.Oversample)
 	if s.spans != nil {
-		rx.SetSpanWindow(&spanBuf, 0, tsamp)
+		sc.spanBuf.Reset()
+		rx.SetSpanWindow(&sc.spanBuf, 0, tsamp)
 	}
 	results, st := rx.Process(samples)
 	if s.spans != nil {
@@ -305,22 +346,33 @@ func (s *System) DeliverStats(g Geometry, ambientLux float64, seed uint64, slots
 			Name: "deliver", Seq: -1, Start: 0, End: float64(len(samples)) * tsamp,
 			Attrs: []span.Attr{{Key: "threshold", Value: strconv.Itoa(rx.Threshold())}},
 		})
-		s.spans.Splice(&spanBuf, root, -1)
+		s.spans.Splice(&sc.spanBuf, root, -1)
 	}
 	phy.RecycleSamples(samples)
-	rep := DeliverReport{
-		Payloads:     make([][]byte, 0, len(results)),
-		FramesOK:     st.FramesOK,
-		FramesBad:    st.FramesBad,
-		SymbolErrors: st.SymbolErrors,
-		Errors:       st.Errors,
-		Threshold:    rx.Threshold(),
-	}
+	rep.FramesOK = st.FramesOK
+	rep.FramesBad = st.FramesBad
+	rep.SymbolErrors = st.SymbolErrors
+	rep.Errors = st.Errors
+	rep.Threshold = rx.Threshold()
+	// Copy the payloads out of the receiver's batch into the report's own
+	// buffers, reviving both the spine and the per-frame backing arrays
+	// of the previous call.
+	spine := rep.Payloads[:0]
 	for _, r := range results {
-		rep.Payloads = append(rep.Payloads, r.Payload)
+		var dst []byte
+		if n := len(spine); n < cap(spine) {
+			dst = spine[:n+1][n][:0]
+		}
+		spine = append(spine, append(dst, r.Payload...))
 	}
-	return rep, nil
+	rep.Payloads = spine
+	s.scratch.Put(sc)
+	return nil
 }
+
+// deliverStreamKey is the fixed second PCG seed word of the Deliver rng
+// stream; it only has to differ from other streams' keys.
+const deliverStreamKey = 0xDE11FE6
 
 // LinkQuality reports the slot error probabilities P1/P2 at a geometry
 // and ambient level under the calibrated link budget, through the

@@ -3,6 +3,7 @@ package smartvlc
 import (
 	"bytes"
 	"math"
+	"runtime/debug"
 	"testing"
 )
 
@@ -198,5 +199,36 @@ func TestRunBroadcastFacade(t *testing.T) {
 func TestVersionNonEmpty(t *testing.T) {
 	if Version == "" {
 		t.Fatal("version")
+	}
+}
+
+// TestDeliverIntoZeroAllocSteadyState pins the whole TX→channel→RX
+// pipeline at zero allocations per frame once the session's scratch is
+// warm — the contract the batched columnar pipeline exists to provide.
+// GC is disabled around the measurement so a background cycle cannot
+// strip the pools mid-run.
+func TestDeliverIntoZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector")
+	}
+	sys := newSystem(t)
+	payload := make([]byte, 128)
+	slots, err := sys.BuildFrame(0.5, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var rep DeliverReport
+	if err := sys.DeliverInto(&rep, Aligned(3, 0), 8000, 1, slots); err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(2)
+	if n := testing.AllocsPerRun(20, func() {
+		if err := sys.DeliverInto(&rep, Aligned(3, 0), 8000, seed, slots); err != nil {
+			t.Fatal(err)
+		}
+		seed++
+	}); n != 0 {
+		t.Errorf("DeliverInto steady state: %v allocs/op", n)
 	}
 }
