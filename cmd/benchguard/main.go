@@ -21,12 +21,27 @@
 // name missing from the fresh report is an error, never a skip — a
 // renamed or dropped benchmark must not silently disarm its gate.
 //
+// A third mode gates the bench-history trend (-trend HISTORY.jsonl): the
+// newest full run in the log is compared against the rolling median of the
+// runs before it (window -trend-window, tolerance -trend-tolerance), and a
+// regression names the pipeline stage behind the slow benchmark. The
+// rolling median — not the previous run — is the denominator, so one noisy
+// run neither trips nor poisons the gate.
+//
+// The static audit also holds the armed observability twins to their
+// paired price: each -gate-overhead entry's overhead_vs_nil (its ns/op
+// over its nil twin's, minus one, as recorded by phybench) must stay
+// within -overhead-limit. The default pins the stage profiler's session
+// twin (end_to_end_frame_prof) to 3%.
+//
 // Usage:
 //
 //	go run ./cmd/benchguard [-baseline results/BENCH_phy.json]
 //	    [-bench end_to_end_frame,fleet_sessions,end_to_end_frame_health]
 //	    [-tolerance 0.10] [-benchtime 2s] [-snapshot-out metrics.json]
 //	    [-results fresh.json] [-gate-allocs names] [-gate-throughput names]
+//	    [-gate-overhead names] [-overhead-limit 0.03]
+//	    [-trend results/BENCH_history.jsonl] [-trend-window 5] [-trend-tolerance 0.10]
 package main
 
 import (
@@ -39,6 +54,8 @@ import (
 	"time"
 
 	"smartvlc"
+	"smartvlc/internal/bench"
+	"smartvlc/internal/telemetry/prof/analyze"
 )
 
 type baselineEntry struct {
@@ -47,6 +64,7 @@ type baselineEntry struct {
 	AllocsPerOp         int64   `json:"allocs_per_op"`
 	FramesPerSecPerCore float64 `json:"frames_per_sec_per_core"`
 	SessionsPerSec      float64 `json:"sessions_per_sec"`
+	OverheadVsNil       float64 `json:"overhead_vs_nil"`
 }
 
 type curvePoint struct {
@@ -91,10 +109,28 @@ func main() {
 	gateAllocs := flag.String("gate-allocs", "end_to_end_frame,receiver_process,phy_transmit", "comma-separated entries whose allocs/op must not exceed the baseline's")
 	gateThroughput := flag.String("gate-throughput", "end_to_end_frame,receiver_process,fleet_sessions,session_frames", "comma-separated entries whose per-core frame / session throughput must hold within the tolerance")
 	gateCurves := flag.Bool("gate-curves", true, "with -results: require every speedup curve to reach 1.0x at workers=4 (skipped on single-core hosts)")
+	gateOverhead := flag.String("gate-overhead", "end_to_end_frame_prof", "with -results: comma-separated entries whose overhead_vs_nil must stay within -overhead-limit")
+	overheadLimit := flag.Float64("overhead-limit", 0.03, "allowed fractional overhead over the nil twin for -gate-overhead entries")
+	trendPath := flag.String("trend", "", "bench history log (BENCH_history.jsonl) to gate the newest run against its rolling median")
+	trendWindow := flag.Int("trend-window", 5, "with -trend: rolling-median window in runs (0 = all)")
+	trendTolerance := flag.Float64("trend-tolerance", 0.10, "with -trend: allowed fractional slowdown over the rolling median")
 	flag.Parse()
 
+	if *trendPath != "" {
+		recs, err := bench.ReadHistory(*trendPath)
+		if err != nil {
+			fatal(err)
+		}
+		if analyze.ReportHistory(os.Stdout, recs, *trendWindow, *trendTolerance) {
+			fmt.Fprintln(os.Stderr, "benchguard: trend REGRESSION (see report above)")
+			os.Exit(1)
+		}
+		fmt.Println("benchguard: OK (trend)")
+		return
+	}
+
 	if *resultsPath != "" {
-		if err := auditResults(*resultsPath, *baselinePath, *gateAllocs, *gateThroughput, *gateCurves, *tolerance); err != nil {
+		if err := auditResults(*resultsPath, *baselinePath, *gateAllocs, *gateThroughput, *gateOverhead, *gateCurves, *tolerance, *overheadLimit); err != nil {
 			fatal(err)
 		}
 		fmt.Println("benchguard: OK (static audit)")
@@ -116,8 +152,9 @@ func main() {
 	bodies := map[string]func() func(b *testing.B){
 		"end_to_end_frame":        func() func(b *testing.B) { return endToEndBody(sys) },
 		"fleet_sessions":          func() func(b *testing.B) { return fleetBody(sys) },
-		"session_frames":          func() func(b *testing.B) { return sessionBody(sys, false) },
-		"end_to_end_frame_health": func() func(b *testing.B) { return sessionBody(sys, true) },
+		"session_frames":          func() func(b *testing.B) { return sessionBody(sys, false, false) },
+		"end_to_end_frame_health": func() func(b *testing.B) { return sessionBody(sys, true, false) },
+		"end_to_end_frame_prof":   func() func(b *testing.B) { return sessionBody(sys, false, true) },
 	}
 
 	failed := false
@@ -128,7 +165,7 @@ func main() {
 		}
 		mk, ok := bodies[name]
 		if !ok {
-			fatal(fmt.Errorf("no benchmark body for %q (known: end_to_end_frame, fleet_sessions, session_frames, end_to_end_frame_health)", name))
+			fatal(fmt.Errorf("no benchmark body for %q (known: end_to_end_frame, fleet_sessions, session_frames, end_to_end_frame_health, end_to_end_frame_prof)", name))
 		}
 		base, err := loadBaseline(*baselinePath, name)
 		if err != nil {
@@ -201,11 +238,12 @@ func fleetBody(sys *smartvlc.System) func(b *testing.B) {
 	}
 }
 
-// sessionBody runs one simulated 0.1 s ARQ session per op, with the
-// link-health monitor off (session_frames) or armed with the default
-// objectives (end_to_end_frame_health) — the same pair cmd/phybench
-// records, so the gate holds the monitor to its recorded hot-path price.
-func sessionBody(sys *smartvlc.System, withHealth bool) func(b *testing.B) {
+// sessionBody runs one simulated 0.1 s ARQ session per op, with both
+// observability layers off (session_frames), the link-health monitor
+// armed (end_to_end_frame_health), or the stage profiler armed
+// (end_to_end_frame_prof) — the same twins cmd/phybench records, so the
+// gate holds each layer to its recorded hot-path price.
+func sessionBody(sys *smartvlc.System, withHealth, withProf bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cfg := smartvlc.DefaultSessionConfig(sys.Scheme())
@@ -213,6 +251,9 @@ func sessionBody(sys *smartvlc.System, withHealth bool) func(b *testing.B) {
 			cfg.Seed = uint64(i + 1)
 			if withHealth {
 				cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
+			}
+			if withProf {
+				cfg.Prof = smartvlc.NewProfiler()
 			}
 			res, err := smartvlc.RunSession(cfg, 0.1)
 			if err != nil {
@@ -223,6 +264,9 @@ func sessionBody(sys *smartvlc.System, withHealth bool) func(b *testing.B) {
 			}
 			if withHealth && res.Health == nil {
 				b.Fatal("missing health snapshot")
+			}
+			if withProf && res.Prof == nil {
+				b.Fatal("missing profile snapshot")
 			}
 		}
 	}
@@ -272,7 +316,7 @@ func splitNames(list string) []string {
 // parallel scaling at workers=4. Every gated name must exist in the
 // fresh report — lookup errors propagate, they are never downgraded to
 // skips.
-func auditResults(resultsPath, baselinePath, allocNames, throughputNames string, curves bool, tolerance float64) error {
+func auditResults(resultsPath, baselinePath, allocNames, throughputNames, overheadNames string, curves bool, tolerance, overheadLimit float64) error {
 	fresh, err := loadFile(resultsPath)
 	if err != nil {
 		return err
@@ -319,6 +363,22 @@ func auditResults(resultsPath, baselinePath, allocNames, throughputNames string,
 		}
 		check("frames_per_sec_per_core", fe.FramesPerSecPerCore, be.FramesPerSecPerCore)
 		check("sessions_per_sec", fe.SessionsPerSec, be.SessionsPerSec)
+	}
+
+	// Paired-overhead gate: the armed observability twins must stay within
+	// overheadLimit of their nil twins, as measured IN the fresh report —
+	// both sides of the pair ran on the same host in the same session, so
+	// the ratio is machine-independent in a way raw ns/op is not.
+	for _, name := range splitNames(overheadNames) {
+		fe, err := fresh.lookup(resultsPath, name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %+.1f%% vs nil twin (limit %+.1f%%)\n", name, fe.OverheadVsNil*100, overheadLimit*100)
+		if fe.OverheadVsNil > overheadLimit {
+			failures = append(failures, fmt.Sprintf("%s: %+.1f%% over nil twin exceeds %+.1f%% limit",
+				name, fe.OverheadVsNil*100, overheadLimit*100))
+		}
 	}
 
 	if curves {

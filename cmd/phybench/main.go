@@ -8,11 +8,19 @@
 // Usage:
 //
 //	go run ./cmd/phybench [-benchtime 2s] [-out results/BENCH_phy.json] [-quick]
+//	    [-history results/BENCH_history.jsonl] [-sha COMMIT] [-stamp RFC3339]
 //
 // -quick is the smoke mode for CI and pre-commit runs: a short benchtime,
 // no baseline comparison (short runs are too noisy to call speedups), and
 // a default output path that does not clobber the recorded
 // results/BENCH_phy.json.
+//
+// Besides the point-in-time report, every run appends one JSON line to the
+// bench history log (-history; empty disables): the commit identity (-sha,
+// -stamp — flags, not clock reads, so replays stay reproducible) plus
+// every benchmark's ns/op. The history feeds the trend gates: benchguard
+// -trend and vlcprof trend compare the newest run against a rolling median
+// of prior runs and name the regressing stage.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 
 	"smartvlc"
 	"smartvlc/internal/amppm"
+	"smartvlc/internal/bench"
 	"smartvlc/internal/experiments"
 	"smartvlc/internal/frame"
 	"smartvlc/internal/optics"
@@ -64,6 +73,7 @@ var serialPeer = map[string]string{
 var nilPeer = map[string]string{
 	"end_to_end_frame_spans":  "end_to_end_frame",
 	"end_to_end_frame_health": "session_frames",
+	"end_to_end_frame_prof":   "session_frames",
 }
 
 type entry struct {
@@ -155,6 +165,9 @@ func main() {
 	benchtime := flag.Duration("benchtime", 2*time.Second, "minimum time per benchmark")
 	out := flag.String("out", filepath.Join("results", "BENCH_phy.json"), "output path")
 	quick := flag.Bool("quick", false, "smoke mode: short benchtime, no baseline comparison, separate default output")
+	history := flag.String("history", filepath.Join("results", "BENCH_history.jsonl"), "bench history log to append this run to (empty disables)")
+	sha := flag.String("sha", "", "git commit recorded in the history line")
+	stamp := flag.String("stamp", "", "run timestamp recorded in the history line (RFC 3339 by convention)")
 	flag.Parse()
 	if *quick {
 		// Explicit -benchtime/-out still win over the quick defaults.
@@ -264,9 +277,10 @@ func main() {
 		}
 	}
 	// Session-loop twins: one simulated 0.1 s ARQ session per op, with the
-	// link-health monitor off and then on, so the recorded pair prices the
-	// monitor's hot-path cost (OverheadVsNil on the health entry).
-	sessionBody := func(withHealth bool) func(b *testing.B) {
+	// link-health monitor and the stage profiler off and then each armed in
+	// turn, so the recorded pairs price the observability hot paths
+	// (OverheadVsNil on the health and prof entries).
+	sessionBody := func(withHealth, withProf bool) func(b *testing.B) {
 		return func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := smartvlc.DefaultSessionConfig(sys.Scheme())
@@ -274,6 +288,9 @@ func main() {
 				cfg.Seed = uint64(i + 1)
 				if withHealth {
 					cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
+				}
+				if withProf {
+					cfg.Prof = smartvlc.NewProfiler()
 				}
 				res, err := smartvlc.RunSession(cfg, 0.1)
 				if err != nil {
@@ -284,6 +301,9 @@ func main() {
 				}
 				if withHealth && res.Health == nil {
 					b.Fatal("missing health snapshot")
+				}
+				if withProf && res.Prof == nil {
+					b.Fatal("missing profile snapshot")
 				}
 			}
 		}
@@ -394,8 +414,9 @@ func main() {
 				b.Fatalf("%d/%d frames lost", misses, b.N)
 			}
 		}},
-		{name: "session_frames", sessions: 1, body: sessionBody(false)},
-		{name: "end_to_end_frame_health", sessions: 1, body: sessionBody(true)},
+		{name: "session_frames", sessions: 1, body: sessionBody(false, false)},
+		{name: "end_to_end_frame_health", sessions: 1, body: sessionBody(true, false)},
+		{name: "end_to_end_frame_prof", sessions: 1, body: sessionBody(false, true)},
 		{name: "fleet_sessions", workers: 1, sessions: 8, body: fleetBody(1)},
 		{name: "fleet_sessions_parallel", workers: ncpu, sessions: 8, body: fleetBody(ncpu)},
 		{name: "fig4_montecarlo", workers: 1, body: mcBody(1)},
@@ -511,6 +532,21 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *history != "" {
+		rec := bench.Record{
+			SHA:       *sha,
+			Stamp:     *stamp,
+			GoVersion: runtime.Version(),
+			NumCPU:    ncpu,
+			Quick:     *quick,
+			NsPerOp:   nsByName,
+		}
+		if err := bench.Append(*history, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("appended %s\n", *history)
+	}
 }
 
 // measure runs the benchmark body under testing.Benchmark (which targets

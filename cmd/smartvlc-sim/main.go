@@ -37,10 +37,24 @@
 // (JSON) and /health/stream (NDJSON). In fleet mode the per-session
 // series merge deterministically.
 //
+// Cost attribution: -prof-out FILE writes the run's deterministic stage
+// profile — per-stage sim-domain cost counters (samples, slots, symbols,
+// bytes, scratch growth) keyed by stage × scheme × dimming level × shard
+// — as canonical JSON ("-" for stdout); analyze or diff it with vlcprof.
+// -prof-folded FILE writes the same profile as folded stacks for flame
+// graphs (-prof-metric picks the cost dimension, default samples). In
+// fleet mode the per-session profiles merge deterministically. With
+// -metrics-addr the profile is served at /prof and /prof/folded, and
+// /metrics.om serves the OpenMetrics exposition where histogram
+// exemplars ride along.
+//
 // Profiling: -pprof-addr HOST:PORT serves /debug/pprof on its own
-// address (never on the metrics port); -runtime-metrics appends Go
-// runtime gauges to the /metrics exposition at scrape time (they stay
-// out of the canonical -metrics-out files).
+// address (never on the metrics port); the simulation runs under pprof
+// labels (session/stage/scheme/level), so CPU profiles slice by the same
+// dimensions as the stage profile. -runtime-metrics appends Go runtime
+// gauges (GC pause p99, scheduler latency p99, heap goal) to the
+// /metrics exposition at scrape time (they stay out of the canonical
+// -metrics-out files).
 package main
 
 import (
@@ -73,6 +87,9 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "fleet mode: write per-session span snapshots and Chrome traces into DIR")
 	flightDir := flag.String("flight-dir", "", "arm the anomaly flight recorder, writing diagnostic bundles into DIR")
 	healthOut := flag.String("health-out", "", "write the link-health snapshot to FILE (\"-\" for stdout; analyze with vlctop)")
+	profOut := flag.String("prof-out", "", "write the stage profile to FILE as canonical JSON (\"-\" for stdout; analyze with vlcprof)")
+	profFolded := flag.String("prof-folded", "", "write the stage profile to FILE as folded stacks (flame-graph input)")
+	profMetric := flag.String("prof-metric", "samples", "cost dimension for -prof-folded: ops, samples, slots, symbols, bytes, allocs")
 	pprofAddr := flag.String("pprof-addr", "", "serve /debug/pprof on this address (separate from -metrics-addr)")
 	runtimeMetrics := flag.Bool("runtime-metrics", false, "append Go runtime gauges to the /metrics exposition (scrape-time only)")
 	flag.Parse()
@@ -113,6 +130,11 @@ func main() {
 	wantMetrics := *metricsOut != "" || *metricsAddr != ""
 	wantSpans := *traceOut != "" || *metricsAddr != ""
 	wantHealth := *healthOut != "" || *metricsAddr != ""
+	wantProf := *profOut != "" || *profFolded != "" || *metricsAddr != ""
+	foldMetric, err := parseProfMetric(*profMetric)
+	if err != nil {
+		fatal(err)
+	}
 	if wantHealth {
 		cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
 	}
@@ -120,16 +142,23 @@ func main() {
 	if *sessions > 1 {
 		runFleet(cfg, sch, *sessions, *workers, *seconds, fleetOut{
 			wantMetrics:    wantMetrics,
+			wantProf:       wantProf,
 			metricsOut:     *metricsOut,
 			metricsAddr:    *metricsAddr,
 			traceDir:       *traceDir,
 			healthOut:      *healthOut,
+			profOut:        *profOut,
+			profFolded:     *profFolded,
+			profMetric:     foldMetric,
 			runtimeMetrics: *runtimeMetrics,
 		})
 		return
 	}
 	if wantMetrics {
 		cfg.Telemetry = smartvlc.NewTelemetry()
+	}
+	if wantProf {
+		cfg.Prof = smartvlc.NewProfiler()
 	}
 	if wantSpans {
 		cfg.Spans = smartvlc.NewSpanCollector()
@@ -193,12 +222,70 @@ func main() {
 			fatal(err)
 		}
 	}
+	if err := writeProf(*profOut, *profFolded, foldMetric, res.Prof); err != nil {
+		fatal(err)
+	}
 	if *metricsAddr != "" {
 		serve(*metricsAddr, serveOpts{
 			reg: cfg.Telemetry, snap: res.Telemetry, spans: res.Spans,
-			health: res.Health, runtimeMetrics: *runtimeMetrics,
+			health: res.Health, prof: res.Prof, runtimeMetrics: *runtimeMetrics,
 		})
 	}
+}
+
+// parseProfMetric validates a profile cost-dimension name from a flag or
+// query parameter.
+func parseProfMetric(name string) (smartvlc.ProfMetric, error) {
+	for _, m := range []smartvlc.ProfMetric{
+		smartvlc.ProfOps, smartvlc.ProfSamples, smartvlc.ProfSlots,
+		smartvlc.ProfSymbols, smartvlc.ProfBytes, smartvlc.ProfAllocs,
+	} {
+		if string(m) == name {
+			return m, nil
+		}
+	}
+	return "", fmt.Errorf("unknown profile metric %q (want ops, samples, slots, symbols, bytes or allocs)", name)
+}
+
+// writeProf exports a stage profile as canonical JSON (jsonPath) and/or
+// folded stacks (foldedPath), "-" meaning stdout for either. An empty
+// path skips that format; a nil snapshot (profiler never armed) writes
+// an empty profile so downstream tooling sees valid input either way.
+func writeProf(jsonPath, foldedPath string, m smartvlc.ProfMetric, snap *smartvlc.ProfSnapshot) error {
+	if jsonPath == "" && foldedPath == "" {
+		return nil
+	}
+	if snap == nil {
+		snap = &smartvlc.ProfSnapshot{}
+	}
+	if jsonPath != "" {
+		out, err := snap.JSON()
+		if err != nil {
+			return err
+		}
+		if jsonPath == "-" {
+			if _, err := os.Stdout.Write(out); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			return err
+		}
+	}
+	if foldedPath == "" {
+		return nil
+	}
+	if foldedPath == "-" {
+		return snap.WriteFolded(os.Stdout, m)
+	}
+	f, err := os.Create(foldedPath)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteFolded(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace exports a span snapshot as a Chrome trace_event file.
@@ -223,10 +310,14 @@ func writeTrace(path string, snap *smartvlc.SpanSnapshot) error {
 // fleetOut bundles the fleet mode's output destinations.
 type fleetOut struct {
 	wantMetrics    bool
+	wantProf       bool
 	metricsOut     string
 	metricsAddr    string
 	traceDir       string
 	healthOut      string
+	profOut        string
+	profFolded     string
+	profMetric     smartvlc.ProfMetric
 	runtimeMetrics bool
 }
 
@@ -243,6 +334,9 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers int, 
 		}
 		if out.traceDir != "" {
 			cfg.Spans = smartvlc.NewSpanCollector()
+		}
+		if out.wantProf {
+			cfg.Prof = smartvlc.NewProfiler()
 		}
 		cfgs[i] = cfg
 	}
@@ -288,9 +382,12 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers int, 
 			fatal(err)
 		}
 	}
+	if err := writeProf(out.profOut, out.profFolded, out.profMetric, fl.Prof); err != nil {
+		fatal(err)
+	}
 	if out.metricsAddr != "" {
 		serve(out.metricsAddr, serveOpts{
-			snap: fl.Telemetry, health: fl.Health,
+			snap: fl.Telemetry, health: fl.Health, prof: fl.Prof,
 			runtimeMetrics: out.runtimeMetrics,
 		})
 	}

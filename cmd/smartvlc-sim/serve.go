@@ -2,10 +2,11 @@ package main
 
 import (
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
-	"runtime"
+	"runtime/metrics"
 
 	"smartvlc"
 )
@@ -27,6 +28,10 @@ type serveOpts struct {
 	// health, when non-nil, is served at /health (canonical JSON) and
 	// /health/stream (NDJSON, one object per time bucket and transition).
 	health *smartvlc.HealthSnapshot
+	// prof, when non-nil, is served at /prof (canonical stage-profile
+	// JSON, vlcprof's input) and /prof/folded (folded stacks for flame
+	// graphs; ?metric= selects the cost dimension, default samples).
+	prof *smartvlc.ProfSnapshot
 	// runtimeMetrics appends Go runtime gauges (goroutines, heap) to the
 	// Prometheus exposition at scrape time. They reflect the serving
 	// process, not the simulation, so they never enter the canonical
@@ -35,10 +40,11 @@ type serveOpts struct {
 }
 
 // buildMux registers the report endpoints for the artifacts in opts.
-// Always present: /metrics, /metrics.json. Flag-gated: /trace, /health,
-// /health/stream. pprof is deliberately NOT here — it serves on its own
-// address (see servePprof) so debug handlers never leak onto the metrics
-// port.
+// Always present: /metrics, /metrics.json, /metrics.om (OpenMetrics,
+// where histogram exemplars ride the exposition). Flag-gated: /trace,
+// /health, /health/stream, /prof, /prof/folded. pprof is deliberately
+// NOT here — it serves on its own address (see servePprof) so debug
+// handlers never leak onto the metrics port.
 func buildMux(o serveOpts) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -66,6 +72,18 @@ func buildMux(o serveOpts) *http.ServeMux {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(j)
 	})
+	mux.HandleFunc("/metrics.om", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		var err error
+		if o.reg != nil {
+			err = o.reg.WriteOpenMetrics(w)
+		} else {
+			err = o.snap.WriteOpenMetrics(w, nil)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	if o.spans != nil {
 		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
@@ -91,26 +109,116 @@ func buildMux(o serveOpts) *http.ServeMux {
 			}
 		})
 	}
+	if o.prof != nil {
+		mux.HandleFunc("/prof", func(w http.ResponseWriter, _ *http.Request) {
+			j, err := o.prof.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(j)
+		})
+		mux.HandleFunc("/prof/folded", func(w http.ResponseWriter, r *http.Request) {
+			m := smartvlc.ProfSamples
+			if name := r.URL.Query().Get("metric"); name != "" {
+				var err error
+				if m, err = parseProfMetric(name); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := o.prof.WriteFolded(w, m); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
 	return mux
 }
 
+// runtimeSampleNames are the runtime/metrics series behind the
+// -runtime-metrics appendix. The two histogram-valued entries feed p99
+// gauges; the rest map one-to-one onto exposition lines.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/goal:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
 // writeRuntimeMetrics appends Go runtime gauges in Prometheus text
-// exposition. Scrape-time values — never part of canonical snapshots.
+// exposition, sampled from the runtime/metrics package: scheduler and GC
+// tail latency (p99 over the process-lifetime histograms), the GC heap
+// goal and cycle count, live heap bytes and the goroutine count.
+// Scrape-time values — never part of canonical snapshots.
 func writeRuntimeMetrics(w http.ResponseWriter) {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	fmt.Fprintf(w, "# HELP go_goroutines Number of goroutines in the serving process.\n")
-	fmt.Fprintf(w, "# TYPE go_goroutines gauge\n")
-	fmt.Fprintf(w, "go_goroutines %d\n", runtime.NumGoroutine())
-	fmt.Fprintf(w, "# HELP go_heap_alloc_bytes Bytes of allocated heap objects.\n")
-	fmt.Fprintf(w, "# TYPE go_heap_alloc_bytes gauge\n")
-	fmt.Fprintf(w, "go_heap_alloc_bytes %d\n", ms.HeapAlloc)
-	fmt.Fprintf(w, "# HELP go_heap_sys_bytes Bytes of heap obtained from the OS.\n")
-	fmt.Fprintf(w, "# TYPE go_heap_sys_bytes gauge\n")
-	fmt.Fprintf(w, "go_heap_sys_bytes %d\n", ms.HeapSys)
-	fmt.Fprintf(w, "# HELP go_gc_cycles_total Completed GC cycles.\n")
-	fmt.Fprintf(w, "# TYPE go_gc_cycles_total counter\n")
-	fmt.Fprintf(w, "go_gc_cycles_total %d\n", ms.NumGC)
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			writeRuntimeGauge(w, "go_goroutines", "gauge",
+				"Number of live goroutines in the serving process.", float64(s.Value.Uint64()))
+		case "/memory/classes/heap/objects:bytes":
+			writeRuntimeGauge(w, "go_heap_objects_bytes", "gauge",
+				"Bytes occupied by live heap objects plus dead objects not yet swept.", float64(s.Value.Uint64()))
+		case "/gc/heap/goal:bytes":
+			writeRuntimeGauge(w, "go_gc_heap_goal_bytes", "gauge",
+				"Heap size target of the next GC cycle.", float64(s.Value.Uint64()))
+		case "/gc/cycles/total:gc-cycles":
+			writeRuntimeGauge(w, "go_gc_cycles_total", "counter",
+				"Completed GC cycles.", float64(s.Value.Uint64()))
+		case "/gc/pauses:seconds":
+			writeRuntimeGauge(w, "go_gc_pause_p99_seconds", "gauge",
+				"p99 stop-the-world GC pause over the process lifetime.", histP99(s.Value.Float64Histogram()))
+		case "/sched/latencies:seconds":
+			writeRuntimeGauge(w, "go_sched_latency_p99_seconds", "gauge",
+				"p99 time goroutines spent runnable before running, process lifetime.", histP99(s.Value.Float64Histogram()))
+		}
+	}
+}
+
+// writeRuntimeGauge emits one HELP/TYPE/sample triple. Values are
+// rendered with %g: runtime byte and count gauges are integral, the
+// latency p99s are small floats.
+func writeRuntimeGauge(w http.ResponseWriter, name, typ, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+}
+
+// histP99 extracts the 99th percentile from a runtime/metrics histogram:
+// the upper bound of the first bucket at which the cumulative count
+// reaches 99% of observations. Unbounded edge buckets fall back to their
+// finite side. Returns 0 for an empty or absent histogram.
+func histP99(h *metrics.Float64Histogram) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	thresh := uint64(math.Ceil(0.99 * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= thresh {
+			// Bucket i spans Buckets[i]..Buckets[i+1].
+			if ub := h.Buckets[i+1]; !math.IsInf(ub, 1) {
+				return ub
+			}
+			return h.Buckets[i]
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
 }
 
 // pprofMux builds an explicit pprof mux. Importing net/http/pprof for the

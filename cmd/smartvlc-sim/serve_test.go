@@ -21,13 +21,14 @@ func fullOpts(t *testing.T) serveOpts {
 	cfg.Telemetry = smartvlc.NewTelemetry()
 	cfg.Spans = smartvlc.NewSpanCollector()
 	cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
+	cfg.Prof = smartvlc.NewProfiler()
 	res, err := smartvlc.RunSession(cfg, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return serveOpts{
 		reg: cfg.Telemetry, snap: res.Telemetry, spans: res.Spans,
-		health: res.Health, runtimeMetrics: true,
+		health: res.Health, prof: res.Prof, runtimeMetrics: true,
 	}
 }
 
@@ -45,9 +46,12 @@ func TestBuildMuxFullRoutes(t *testing.T) {
 	for path, want := range map[string]string{
 		"/metrics":       "go_goroutines",
 		"/metrics.json":  "{",
+		"/metrics.om":    "# EOF",
 		"/trace":         "traceEvents",
 		"/health":        "\"state\"",
 		"/health/stream": "\n",
+		"/prof":          "\"stage\"",
+		"/prof/folded":   ";",
 	} {
 		code, body := get(t, o, path)
 		if code != 200 {
@@ -68,8 +72,9 @@ func TestBuildMuxGatedRoutes(t *testing.T) {
 	o.reg = nil // fleet mode serves the merged snapshot without a registry
 	o.spans = nil
 	o.health = nil
+	o.prof = nil
 	o.runtimeMetrics = false
-	for _, path := range []string{"/trace", "/health", "/health/stream"} {
+	for _, path := range []string{"/trace", "/health", "/health/stream", "/prof", "/prof/folded"} {
 		if code, _ := get(t, o, path); code != 404 {
 			t.Errorf("%s: status %d, want 404", path, code)
 		}
@@ -80,6 +85,55 @@ func TestBuildMuxGatedRoutes(t *testing.T) {
 	}
 	if strings.Contains(body, "go_goroutines") {
 		t.Error("/metrics leaked runtime gauges with runtimeMetrics off")
+	}
+}
+
+// TestRuntimeMetricsAppendix pins the runtime/metrics-sampled appendix:
+// scheduler/GC tail gauges and the heap goal appear on /metrics when
+// runtimeMetrics is set, each with HELP and TYPE lines.
+func TestRuntimeMetricsAppendix(t *testing.T) {
+	_, body := get(t, fullOpts(t), "/metrics")
+	for _, name := range []string{
+		"go_goroutines", "go_heap_objects_bytes", "go_gc_heap_goal_bytes",
+		"go_gc_cycles_total", "go_gc_pause_p99_seconds", "go_sched_latency_p99_seconds",
+	} {
+		if !strings.Contains(body, "# TYPE "+name+" ") || !strings.Contains(body, "\n"+name+" ") {
+			t.Errorf("/metrics appendix missing runtime gauge %q", name)
+		}
+	}
+}
+
+// TestOpenMetricsExemplars verifies /metrics.om carries the histogram
+// exemplars in OpenMetrics syntax (a `# {label="…"} value ts` suffix on
+// bucket lines) — the drill-down breadcrumbs Prometheus-compatible
+// scrapers understand.
+func TestOpenMetricsExemplars(t *testing.T) {
+	code, body := get(t, fullOpts(t), "/metrics.om")
+	if code != 200 {
+		t.Fatalf("/metrics.om: status %d", code)
+	}
+	if !strings.Contains(body, "_bucket{") || !strings.Contains(body, " # {") {
+		t.Fatalf("/metrics.om carries no bucket exemplars:\n%s", truncate(body))
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Error("/metrics.om missing the OpenMetrics # EOF terminator")
+	}
+}
+
+// TestProfFoldedMetricParam verifies the ?metric= selector switches the
+// folded export's cost dimension and rejects unknown names with a 400.
+func TestProfFoldedMetricParam(t *testing.T) {
+	o := fullOpts(t)
+	code, slots := get(t, o, "/prof/folded?metric=slots")
+	if code != 200 || !strings.Contains(slots, ";") {
+		t.Fatalf("/prof/folded?metric=slots: status %d body %s", code, truncate(slots))
+	}
+	_, samples := get(t, o, "/prof/folded")
+	if slots == samples {
+		t.Error("metric=slots produced the same folded output as the samples default")
+	}
+	if code, _ := get(t, o, "/prof/folded?metric=bogus"); code != 400 {
+		t.Errorf("/prof/folded?metric=bogus: status %d, want 400", code)
 	}
 }
 

@@ -12,8 +12,12 @@
 //
 // Flags:
 //
-//	-top N    rows in the worst-window table (default 5)
-//	-width N  sparkline width in cells (default 60)
+//	-top N          rows in the worst-window table (default 5)
+//	-width N        sparkline width in cells (default 60)
+//	-exemplar SRC   append the histogram-exemplar drill-down from a
+//	                telemetry snapshot (a -metrics-out file, "-", or a
+//	                /metrics.json URL): the frames behind each latency
+//	                bucket's tail, with span IDs for vlctrace
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 func main() {
 	top := flag.Int("top", 5, "rows in the worst-window table")
 	width := flag.Int("width", 60, "sparkline width in cells")
+	exemplar := flag.String("exemplar", "", "telemetry snapshot (FILE|URL|-) for the histogram-exemplar drill-down")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: vlctop [flags] FILE|URL|-\n")
 		flag.PrintDefaults()
@@ -45,15 +50,53 @@ func main() {
 		os.Exit(1)
 	}
 	render(os.Stdout, snap, options{top: *top, width: *width})
+	if *exemplar != "" {
+		if err := renderExemplars(os.Stdout, *exemplar); err != nil {
+			fmt.Fprintf(os.Stderr, "vlctop: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// renderExemplars appends the exemplar drill-down section from a
+// telemetry snapshot: the concrete frames (seq, root span ID) behind the
+// tail buckets of each latency histogram — the hand-off point from the
+// SLO tables above to vlctrace.
+func renderExemplars(w io.Writer, src string) error {
+	r, err := open(src)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	snap, err := smartvlc.ParseTelemetrySnapshot(b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nEXEMPLARS  worst frames per histogram bucket (span -> vlctrace)\n")
+	return snap.WriteExemplars(w)
 }
 
 // load reads a health snapshot from a file path, "-" (stdin) or an
 // http(s) URL.
 func load(src string) (*smartvlc.HealthSnapshot, error) {
-	var r io.ReadCloser
+	r, err := open(src)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return smartvlc.ReadHealthSnapshot(r)
+}
+
+// open resolves a snapshot source: "-" (stdin), an http(s) URL or a file
+// path.
+func open(src string) (io.ReadCloser, error) {
 	switch {
 	case src == "-":
-		r = os.Stdin
+		return os.Stdin, nil
 	case strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://"):
 		resp, err := http.Get(src)
 		if err != nil {
@@ -63,14 +106,8 @@ func load(src string) (*smartvlc.HealthSnapshot, error) {
 			resp.Body.Close()
 			return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
 		}
-		r = resp.Body
+		return resp.Body, nil
 	default:
-		f, err := os.Open(src)
-		if err != nil {
-			return nil, err
-		}
-		r = f
+		return os.Open(src)
 	}
-	defer r.Close()
-	return smartvlc.ReadHealthSnapshot(r)
 }

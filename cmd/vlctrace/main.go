@@ -11,6 +11,9 @@
 //	vlctrace trace file.trace.json     analyze a Chrome trace_event file
 //	vlctrace spans file.spans.json     analyze a canonical span snapshot
 //	vlctrace bundle DIR                summarize and replay a flight bundle
+//	vlctrace exemplars metrics.json    histogram-exemplar drill-down: the
+//	                                   frames (seq, root span ID) behind
+//	                                   each latency bucket's tail
 //
 // Flags:
 //
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"os"
 
+	"smartvlc/internal/telemetry"
 	"smartvlc/internal/telemetry/flight"
 	"smartvlc/internal/telemetry/span"
 	"smartvlc/internal/telemetry/span/analyze"
@@ -33,7 +37,7 @@ func main() {
 	top := flag.Int("top", 5, "rows in the slowest/worst-frame tables")
 	root := flag.String("root", "frame", "frame-root span name (\"frame\" or \"chunk\")")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: vlctrace [flags] trace|spans|bundle PATH\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vlctrace [flags] trace|spans|bundle|exemplars PATH\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,6 +54,8 @@ func main() {
 		err = analyzeSpans(flag.Arg(1), opt)
 	case "bundle":
 		err = analyzeBundle(flag.Arg(1), opt)
+	case "exemplars":
+		err = analyzeExemplars(flag.Arg(1))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -85,6 +91,21 @@ func analyzeSpans(path string, opt analyze.Options) error {
 	}
 	analyze.Report(os.Stdout, &snap, opt)
 	return nil
+}
+
+// analyzeExemplars renders the histogram-exemplar drill-down of a
+// telemetry snapshot: each exemplar's span ID feeds straight back into
+// the span tables the other modes print.
+func analyzeExemplars(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	snap, err := telemetry.ParseSnapshot(b)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	return snap.WriteExemplars(os.Stdout)
 }
 
 func analyzeBundle(dir string, opt analyze.Options) error {

@@ -85,6 +85,22 @@ func (sc *SuperCodec) SlotsForBits(nbits int) int {
 	return slots
 }
 
+// SymbolsForBits returns the number of constituent symbols the schedule
+// walks to carry nbits data bits — the "symbols decoded" unit of the
+// stage profiler. Zero-bit anchor symbols inside the schedule are
+// included, matching SlotsForBits.
+func (sc *SuperCodec) SymbolsForBits(nbits int) int {
+	if nbits <= 0 || sc.BitsPerSuper() == 0 {
+		return 0
+	}
+	symbols, bits := 0, 0
+	for i := 0; bits < nbits; i++ {
+		bits += sc.symbolAt(i).Bits()
+		symbols++
+	}
+	return symbols
+}
+
 // AppendStream encodes all bits remaining in r onto dst, following the
 // schedule and stopping at the first symbol boundary that exhausts the
 // reader.

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist", "BENCH_history.jsonl")
+	recs := []Record{
+		{SHA: "aaa", Stamp: "2026-08-01T00:00:00Z", NsPerOp: map[string]float64{"phy_transmit": 100}},
+		{SHA: "bbb", Quick: true, NsPerOp: map[string]float64{"phy_transmit": 500}},
+		{SHA: "ccc", NsPerOp: map[string]float64{"phy_transmit": 120, "receiver_hunt": 80}},
+	}
+	for _, r := range recs {
+		if err := Append(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", got, recs)
+	}
+}
+
+func TestRollingMedianSkipsQuickAndWindows(t *testing.T) {
+	recs := []Record{
+		{NsPerOp: map[string]float64{"b": 100}},
+		{NsPerOp: map[string]float64{"b": 200}},
+		{Quick: true, NsPerOp: map[string]float64{"b": 9999}},
+		{NsPerOp: map[string]float64{"b": 300}},
+		{NsPerOp: map[string]float64{"b": 400}},
+	}
+	if m, ok := RollingMedian(recs, "b", 0); !ok || m != 250 {
+		t.Fatalf("full-window median = %v, %v; want 250, true", m, ok)
+	}
+	if m, ok := RollingMedian(recs, "b", 3); !ok || m != 300 {
+		t.Fatalf("window-3 median = %v, %v; want 300, true", m, ok)
+	}
+	if _, ok := RollingMedian(recs, "absent", 0); ok {
+		t.Fatal("median of absent benchmark reported ok")
+	}
+	if _, ok := RollingMedian([]Record{{Quick: true, NsPerOp: map[string]float64{"b": 1}}}, "b", 0); ok {
+		t.Fatal("quick-only history reported ok")
+	}
+}
+
+func TestNamesAndStageFor(t *testing.T) {
+	recs := []Record{
+		{NsPerOp: map[string]float64{"zz": 1, "aa": 2}},
+		{NsPerOp: map[string]float64{"mm": 3}},
+	}
+	if got := Names(recs); !reflect.DeepEqual(got, []string{"aa", "mm", "zz"}) {
+		t.Fatalf("Names = %v", got)
+	}
+	for bench, want := range map[string]string{
+		"phy_transmit":       "phy.tx",
+		"receiver_hunt":      "phy.hunt",
+		"receiver_process":   "phy.decode",
+		"session_frames":     "sim.frame",
+		"table_construction": "amppm.plan",
+		"unmapped":           "",
+	} {
+		if got := StageFor(bench); got != want {
+			t.Fatalf("StageFor(%q) = %q, want %q", bench, got, want)
+		}
+	}
+}

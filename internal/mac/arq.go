@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand/v2"
+
+	"smartvlc/internal/telemetry/prof"
 )
 
 // SeqBytes is the per-frame MAC overhead: a 2-byte sequence number
@@ -25,6 +27,9 @@ type Sender struct {
 	// Metrics, when non-nil, records timeouts, window occupancy and ACK
 	// arrivals. Nil (the default) is a no-op.
 	Metrics *Metrics
+	// Prof, when non-nil, attributes MAC framing cost (frames emitted,
+	// payload bytes) to the owning stage profiler series. Nil is a no-op.
+	Prof *prof.Stage
 
 	rng      *rand.Rand
 	nextSeq  uint16
@@ -91,7 +96,10 @@ func (s *Sender) NextFrame(now float64) (seq uint16, body []byte, ok bool) {
 		s.framesSent++
 		s.retransmits++
 		s.Metrics.onTimeout()
-		return oldest, s.payloadFor(oldest), true
+		body := s.payloadFor(oldest)
+		s.Prof.Ops(1)
+		s.Prof.Bytes(int64(len(body)))
+		return oldest, body, true
 	}
 	if len(s.inflight) >= s.Window {
 		s.Metrics.onStall()
@@ -102,7 +110,10 @@ func (s *Sender) NextFrame(now float64) (seq uint16, body []byte, ok bool) {
 	s.inflight[seq] = now
 	s.firstTx[seq] = now
 	s.framesSent++
-	return seq, s.payloadFor(seq), true
+	body = s.payloadFor(seq)
+	s.Prof.Ops(1)
+	s.Prof.Bytes(int64(len(body)))
+	return seq, body, true
 }
 
 // OnAck processes an acknowledgement without a timestamp: bookkeeping

@@ -28,9 +28,9 @@ const MaxStreamN = maxFastN
 
 var (
 	binomOnce sync.Once
-	binomMu   sync.Mutex                // guards binomBig only
-	binomBig  = map[uint64]*big.Int{}   // key: N<<32 | K
-	binomFast [maxFastN + 1][]uint64    // Pascal triangle rows 0..maxFastN
+	binomMu   sync.Mutex              // guards binomBig only
+	binomBig  = map[uint64]*big.Int{} // key: N<<32 | K
+	binomFast [maxFastN + 1][]uint64  // Pascal triangle rows 0..maxFastN
 )
 
 func buildFast() {

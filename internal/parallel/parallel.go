@@ -20,11 +20,32 @@
 package parallel
 
 import (
+	"context"
 	"math/rand/v2"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
+
+// Do runs fn under pprof goroutine labels (k1, v1, k2, v2, ...), so
+// wall-clock CPU profiles attribute the work to the same dimensions the
+// deterministic stage profiler uses (session, stage, scheme, level).
+// Callers on a profiling-off fast path should guard the call themselves:
+// building the label set allocates.
+func Do(fn func(), labelPairs ...string) {
+	pprof.Do(context.Background(), pprof.Labels(labelPairs...), func(context.Context) { fn() })
+}
+
+// LabelContext pre-builds a goroutine-label context for SetLabels. Hot
+// loops that switch labels per phase build one context per label set up
+// front and switch with SetLabels, which allocates nothing.
+func LabelContext(labelPairs ...string) context.Context {
+	return pprof.WithLabels(context.Background(), pprof.Labels(labelPairs...))
+}
+
+// SetLabels applies a pre-built label context to the calling goroutine.
+func SetLabels(ctx context.Context) { pprof.SetGoroutineLabels(ctx) }
 
 // Workers resolves a requested worker count: values below 1 select
 // GOMAXPROCS, everything else passes through.
@@ -176,11 +197,21 @@ type poolJob struct {
 
 // NewPool starts a pool with the resolved worker count (requested < 1
 // selects GOMAXPROCS).
-func NewPool(requested int) *Pool {
+func NewPool(requested int) *Pool { return NewPoolLabeled(requested) }
+
+// NewPoolLabeled is NewPool with pprof goroutine labels applied to every
+// worker for its lifetime, so CPU profiles attribute pooled work (e.g.
+// broadcast PHY shards) to the owning session instead of an anonymous
+// goroutine. Labels are set once at spawn — the per-job hot path is
+// untouched.
+func NewPoolLabeled(requested int, labelPairs ...string) *Pool {
 	w := Workers(requested)
 	p := &Pool{workers: w, jobs: make(chan poolJob, w)}
 	for i := 0; i < w; i++ {
 		go func() {
+			if len(labelPairs) > 0 {
+				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels(labelPairs...)))
+			}
 			for j := range p.jobs {
 				err := j.run(j.idx)
 				if j.errs != nil {

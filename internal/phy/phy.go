@@ -28,6 +28,7 @@ import (
 	"smartvlc/internal/frame"
 	"smartvlc/internal/hw"
 	"smartvlc/internal/photon"
+	"smartvlc/internal/telemetry/prof"
 	"smartvlc/internal/telemetry/span"
 )
 
@@ -55,6 +56,9 @@ type Link struct {
 	// Metrics, when non-nil, counts fast-path vs exact windows per sample
 	// and frames/samples per Transmit. Nil (the default) is a no-op.
 	Metrics *TxMetrics
+	// Prof, when non-nil, attributes transmit cost (frames, samples,
+	// slots) to the owning stage profiler series. Nil is a no-op.
+	Prof *prof.Stage
 }
 
 // DefaultLink assembles the paper's prototype parameters around a channel.
@@ -112,7 +116,7 @@ func (l Link) Transmit(rng *rand.Rand, slots []bool) []int {
 		l.ADC.QuantizeAll(chunk)
 		idx += len(chunk)
 	}
-	l.finishTransmit(plan, nSamples)
+	l.finishTransmit(plan, nSamples, len(slots))
 	return out
 }
 
@@ -143,7 +147,7 @@ func (l Link) TransmitPCG(pcg *rand.PCG, slots []bool) []int {
 		l.ADC.QuantizeAll(chunk)
 		idx += len(chunk)
 	}
-	l.finishTransmit(plan, nSamples)
+	l.finishTransmit(plan, nSamples, len(slots))
 	return out
 }
 
@@ -155,10 +159,14 @@ func (l Link) settledSamplers() (on, off *photon.Sampler) {
 		photon.SamplerFor(l.Channel.MeanFor(0, fracWin))
 }
 
-// finishTransmit records the per-Transmit metrics and recycles the plan.
-func (l Link) finishTransmit(plan *txPlan, nSamples int) {
+// finishTransmit records the per-Transmit metrics and stage costs and
+// recycles the plan.
+func (l Link) finishTransmit(plan *txPlan, nSamples, nSlots int) {
 	l.Metrics.onWindows(nSamples-len(plan.lambdas), len(plan.lambdas))
 	l.Metrics.onTransmit(nSamples)
+	l.Prof.Ops(1)
+	l.Prof.Samples(int64(nSamples))
+	l.Prof.Slots(int64(nSlots))
 	releaseTxPlan(plan)
 }
 
@@ -298,6 +306,14 @@ type Receiver struct {
 	spanAt float64 // sim time of samples[0]
 	spanDt float64 // seconds per sample
 
+	// profHunt/profDecode, when non-nil, attribute receive cost to the
+	// owning stage profiler series: hunt counts Process invocations,
+	// samples scanned and scratch growth; decode counts parse attempts,
+	// slots consumed, payload bytes and decode-scratch growth. Nil (the
+	// default) is a no-op. Set via SetProf.
+	profHunt   *prof.Stage
+	profDecode *prof.Stage
+
 	// ambient estimate state: an EMA over the per-block medians of
 	// OFF-classified window sums.
 	ambientEMA float64
@@ -370,7 +386,16 @@ func (r *Receiver) Reset(ch photon.Channel, factory frame.CodecFactory) {
 	r.Metrics = nil
 	r.spans = nil
 	r.spanAt, r.spanDt = 0, 0
+	r.profHunt, r.profDecode = nil, nil
 	r.ambientEMA, r.ambientSet = 0, false
+}
+
+// SetProf attaches stage profiler series for subsequent Process calls:
+// hunt receives the scan cost, decode the parse cost. Pass nils to
+// detach.
+func (r *Receiver) SetProf(hunt, decode *prof.Stage) {
+	r.profHunt = hunt
+	r.profDecode = decode
 }
 
 // Threshold returns the three-sample detection threshold in counts.
@@ -465,6 +490,7 @@ func (r *Receiver) phaseScore(win3 []int, offset, fromSlot, nSlots int) int {
 func (r *Receiver) foldSlots(win3 []int, offset, maxSlots int) []bool {
 	if cap(r.slotScratch) < maxSlots {
 		r.slotScratch = make([]bool, 0, maxSlots)
+		r.profDecode.Allocs(1)
 	}
 	out := r.slotScratch[:0]
 	cur := offset
@@ -592,11 +618,16 @@ func (r *Receiver) updateAmbientFromFrame(samples []int, offset int, slots []boo
 func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 	results := r.batch.results[:0]
 	var stats Stats
+	r.profHunt.Ops(1)
+	r.profHunt.Samples(int64(len(samples)))
 	var win3 []int
 	if n := len(samples) - 3; n > 0 {
 		// win3[i] is the prefix-sum difference pre[i+4]−pre[i+1], computed
 		// as one fused rolling pass so the column costs a single sweep
 		// over the samples instead of materializing pre separately.
+		if cap(r.batch.win3) < n {
+			r.profHunt.Allocs(1)
+		}
 		r.batch.win3 = grownInts(r.batch.win3, n)
 		win3 = r.batch.win3
 		w := samples[1] + samples[2] + samples[3]
@@ -643,7 +674,9 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 		k := len(results)
 		if k == len(r.batch.payloads) {
 			r.batch.payloads = append(r.batch.payloads, nil)
+			r.profDecode.Allocs(1)
 		}
+		r.profDecode.Ops(1)
 		res, pbuf, err := frame.ParseInto(slots, r.factory, r.batch.payloads[k])
 		r.batch.payloads[k] = pbuf
 		if err != nil {
@@ -665,6 +698,8 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 		stats.FramesOK++
 		stats.SymbolErrors += res.SymbolErrors
 		r.Metrics.onFrameOK(res.SymbolErrors)
+		r.profDecode.Slots(int64(res.SlotsConsumed))
+		r.profDecode.Bytes(int64(len(res.Payload)))
 		if r.spans != nil {
 			r.spans.Record(span.Span{
 				Name: "phy/decode", Seq: -1,

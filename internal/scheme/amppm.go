@@ -170,6 +170,14 @@ func (c *amppmCodec) PayloadSlots(nbytes int) int {
 	return c.sc.SlotsForBits(nbytes * 8)
 }
 
+// PayloadSymbols returns the constituent symbols a payload of nbytes
+// walks through the schedule — the optional interface the stage profiler
+// probes to count symbols encoded/decoded. Codecs are shared and cached
+// across sessions, so this is pure metadata with no per-session state.
+func (c *amppmCodec) PayloadSymbols(nbytes int) int {
+	return c.sc.SymbolsForBits(nbytes * 8)
+}
+
 func (c *amppmCodec) AppendPayload(dst []bool, data []byte) ([]bool, error) {
 	return c.sc.AppendStream(dst, bitio.NewReader(data))
 }

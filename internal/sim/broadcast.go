@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"smartvlc/internal/stats"
 	"smartvlc/internal/telemetry"
 	"smartvlc/internal/telemetry/health"
+	"smartvlc/internal/telemetry/prof"
 	"smartvlc/internal/telemetry/span"
 )
 
@@ -95,13 +97,31 @@ type BroadcastResult struct {
 	// sequential merge phase, so the series are byte-identical for every
 	// Workers value.
 	Health *health.Snapshot
+	// Prof is the session's stage-cost snapshot when Config.Prof was set;
+	// nil otherwise. Receiver-side stages carry shard "rx<i>", so the
+	// profile attributes PHY cost per receiver; the commuting atomic adds
+	// keep it byte-identical for every Workers value.
+	Prof *prof.Snapshot
 }
 
 // RunBroadcast simulates a multi-receiver session. The dimming controller
 // follows the *minimum* ambient reported across receivers, so every desk
 // reaches at least the target illumination; frames are retransmitted
-// until all receivers acknowledge them.
+// until all receivers acknowledge them. When the stage profiler is armed
+// the session body executes under pprof goroutine labels, like Run.
 func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error) {
+	if cfg.Prof == nil || cfg.Scheme == nil {
+		return runBroadcast(cfg, duration)
+	}
+	var res BroadcastResult
+	var err error
+	parallel.Do(func() { res, err = runBroadcast(cfg, duration) },
+		"session", strconv.FormatUint(cfg.Seed, 10),
+		"scheme", cfg.Scheme.Name())
+	return res, err
+}
+
+func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error) {
 	if len(cfg.Receivers) == 0 {
 		return BroadcastResult{}, fmt.Errorf("sim: broadcast needs at least one receiver")
 	}
@@ -185,6 +205,10 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		sumAcc   float64
 		sumN     int
 		out      rxOutbox
+		// Per-receiver stage-profiler handles (shard "rx<i>"), switched in
+		// the sequential phase on dimming-level changes. Nil when the
+		// profiler is unarmed; all adders no-op on nil.
+		profTx, profHunt, profDecode *prof.Stage
 		// spanBuf accumulates this shard's channel/hunt/decode spans for
 		// one frame; the merge loop splices it in receiver order.
 		spanBuf span.Buffer
@@ -227,6 +251,26 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	smoothed, smoothedSet := 0.0, false
 	lastT := 0.0
 
+	// Stage-profiler handles, cached per dimming level. The frame/mac
+	// stages carry shard "" (they run once per frame on the sequential
+	// path); the PHY stages carry shard "rx<i>" so the profile attributes
+	// receiver-side cost per desk. The pprof label context is pre-built per
+	// level and switched with SetLabels, which allocates nothing per frame.
+	schemeName := cfg.Scheme.Name()
+	seedStr := strconv.FormatUint(cfg.Seed, 10)
+	type bcRxProf struct{ tx, hunt, decode *prof.Stage }
+	type bcLevelProf struct {
+		frame, mac *prof.Stage
+		rx         []bcRxProf
+		symbols    int64 // modulation symbols per frame body at this level
+		labels     context.Context
+	}
+	// Keyed by the raw float level, like the codecs map: rendering the
+	// level label per frame would allocate in the armed hot loop.
+	bcProfCache := map[float64]*bcLevelProf{}
+	var curProf *bcLevelProf
+	var profSymbols int64 // read by processRx; written only between fan-outs
+
 	// One persistent pool per session when parallel receivers are asked
 	// for: Workers 0 and 1 stay on the caller's goroutine, negative picks
 	// GOMAXPROCS, and the count never exceeds the receiver fan-out.
@@ -239,7 +283,14 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	}
 	var pool *parallel.Pool
 	if workers > 1 {
-		pool = parallel.NewPool(workers)
+		if cfg.Prof != nil {
+			// Label the pooled workers once at spawn so wall-clock CPU
+			// profiles attribute broadcast PHY shards to this session.
+			pool = parallel.NewPoolLabeled(workers,
+				"session", seedStr, "scheme", schemeName, "stage", "phy.rx")
+		} else {
+			pool = parallel.NewPool(workers)
+		}
 		defer pool.Close()
 	}
 
@@ -338,7 +389,11 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 					complete[m.Seq] = true
 					delete(acked, m.Seq)
 					reliableBytes += int64(cfg.PayloadBytes)
-					sender.OnAckAt(m.Seq, m.At)
+					if lat, known := sender.OnAckAt(m.Seq, m.At); known && macm != nil {
+						macm.AckLatency.AttachExemplar(lat, telemetry.Exemplar{
+							At: m.At, Seq: int64(m.Seq), Span: int64(roots[m.Seq]),
+						})
+					}
 					// Every receiver has delivered (and been observed) by
 					// the time the last ACK lands; the latency origin can go.
 					delete(firstTx, m.Seq)
@@ -370,12 +425,56 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			}
 			codecs[level] = codec
 		}
+		if cfg.Prof != nil {
+			lp := bcProfCache[level]
+			if lp == nil {
+				ll := prof.LevelLabel(level)
+				lp = &bcLevelProf{
+					frame: cfg.Prof.Stage("sim.frame", schemeName, ll, ""),
+					mac:   cfg.Prof.Stage("mac.frame", schemeName, ll, ""),
+					rx:    make([]bcRxProf, nRx),
+					labels: parallel.LabelContext("session", seedStr,
+						"scheme", schemeName, "level", ll, "stage", "sim.frame"),
+				}
+				for i := range lp.rx {
+					shard := "rx" + strconv.Itoa(i)
+					lp.rx[i] = bcRxProf{
+						tx:     cfg.Prof.Stage("phy.tx", schemeName, ll, shard),
+						hunt:   cfg.Prof.Stage("phy.hunt", schemeName, ll, shard),
+						decode: cfg.Prof.Stage("phy.decode", schemeName, ll, shard),
+					}
+				}
+				if ps, okS := codec.(interface{ PayloadSymbols(int) int }); okS {
+					lp.symbols = int64(ps.PayloadSymbols(mac.SeqBytes + cfg.PayloadBytes))
+				}
+				bcProfCache[level] = lp
+			}
+			if lp != curProf {
+				curProf = lp
+				parallel.SetLabels(lp.labels)
+				sender.Prof = lp.mac
+				profSymbols = lp.symbols
+				for i, st := range rxs {
+					st.profTx, st.profHunt, st.profDecode = lp.rx[i].tx, lp.rx[i].hunt, lp.rx[i].decode
+				}
+			}
+		}
+		buildCap := cap(slotBuf)
 		slots, err := frame.BuildAppend(slotBuf[:0], codec, body)
 		if err != nil {
 			return BroadcastResult{}, err
 		}
 		slots = frame.AppendIdle(slots, codec.Level(), cfg.IdleGapSlots)
 		slotBuf = slots
+		if curProf != nil {
+			curProf.frame.Ops(1)
+			curProf.frame.Slots(int64(len(slots)))
+			curProf.frame.Bytes(int64(len(body)))
+			curProf.frame.Symbols(curProf.symbols)
+			if cap(slots) != buildCap {
+				curProf.frame.Allocs(1)
+			}
+		}
 		airtime := float64(len(slots)) * 8e-6
 		framesTx.Inc()
 		airtimeH.Observe(float64(len(slots)))
@@ -413,6 +512,8 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			}
 			col.Record(span.Span{Name: "frame/tx", Parent: root, Seq: int64(seq), Start: now, End: now + airtime})
 		}
+		airtimeH.AttachExemplar(float64(len(slots)),
+			telemetry.Exemplar{At: now, Seq: int64(seq), Span: int64(root)})
 
 		// Per-receiver PHY + decode: each receiver owns its rng, link,
 		// receiver state and outbox, so the bodies are independent. The
@@ -423,6 +524,12 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		processRx := func(i int) {
 			st := rxs[i]
 			st.out = rxOutbox{ackSeqs: st.out.ackSeqs[:0], newSeqs: st.out.newSeqs[:0]}
+			// Stage-cost attribution: all prof adds are commuting atomics, so
+			// they may run inside the concurrent fan-out without affecting
+			// snapshot bytes. ensure() rebuilds link/rx on lux moves, so the
+			// handles are (re)attached per frame. Nil handles no-op.
+			st.link.Prof = st.profTx
+			st.rx.SetProf(st.profHunt, st.profDecode)
 			st.link.StartPhase = st.rng.Float64()
 			samples := st.link.TransmitPCG(st.pcg, slots)
 			if col != nil {
@@ -438,6 +545,9 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			}
 			results, st2 := st.rx.Process(samples)
 			st.out.stats = st2
+			if n := int64(len(results)); n > 0 {
+				st.profDecode.Symbols(profSymbols * n)
+			}
 			phy.RecycleSamples(samples)
 			for _, r := range results {
 				before := st.macRx.DeliveredPayload()
@@ -534,6 +644,12 @@ func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			perRx = append(perRx, o.Health)
 		}
 		res.Health = health.Merge(perRx...)
+	}
+	if cfg.Prof != nil {
+		// Mirror stage totals into the registry before the snapshot, so
+		// telemetry.Merge carries the profile fleet-wide.
+		cfg.Prof.Publish(reg)
+		res.Prof = cfg.Prof.Snapshot()
 	}
 	if reg != nil {
 		reg.Gauge("sim_reliable_goodput_bps").Set(res.ReliableGoodputBps)

@@ -8,6 +8,7 @@ import (
 	"smartvlc/internal/parallel"
 	"smartvlc/internal/telemetry"
 	"smartvlc/internal/telemetry/health"
+	"smartvlc/internal/telemetry/prof"
 	"smartvlc/internal/telemetry/span"
 )
 
@@ -32,6 +33,13 @@ type FleetResult struct {
 	// config order, so the fleet health snapshot is byte-identical for
 	// every worker count.
 	Health *health.Snapshot
+	// Prof merges the per-session stage-cost snapshots (counts summed per
+	// series key) for the sessions that carried a profiler; nil when none
+	// did. Each session's Result keeps its own Prof snapshot. The merge
+	// folds in config order, so the fleet profile is byte-identical for
+	// every worker count. Stage totals also ride the Telemetry merge as
+	// prof_*_total counters — this field keeps the structured view.
+	Prof *prof.Snapshot
 }
 
 // WriteSessionTraces exports each session's span snapshot into dir
@@ -88,12 +96,21 @@ func RunFleet(cfgs []Config, duration float64, workers int) (FleetResult, error)
 	}
 	seen := make(map[*telemetry.Registry]int, len(cfgs))
 	seenSpans := make(map[*span.Collector]int, len(cfgs))
+	seenProf := make(map[*prof.Profiler]int, len(cfgs))
 	for i, cfg := range cfgs {
 		if cfg.Spans != nil {
 			if j, dup := seenSpans[cfg.Spans]; dup {
 				return FleetResult{}, fmt.Errorf("sim: fleet configs %d and %d share a span collector", j, i)
 			}
 			seenSpans[cfg.Spans] = i
+		}
+		if cfg.Prof != nil {
+			// A shared profiler would double-count concurrent sessions and
+			// make the per-session snapshots depend on completion order.
+			if j, dup := seenProf[cfg.Prof]; dup {
+				return FleetResult{}, fmt.Errorf("sim: fleet configs %d and %d share a stage profiler", j, i)
+			}
+			seenProf[cfg.Prof] = i
 		}
 		if cfg.Telemetry == nil {
 			continue
@@ -133,6 +150,15 @@ func RunFleet(cfgs []Config, duration float64, workers int) (FleetResult, error)
 	}
 	if len(healths) > 0 {
 		out.Health = health.Merge(healths...)
+	}
+	profs := make([]*prof.Snapshot, 0, len(results))
+	for _, r := range results {
+		if r.Prof != nil {
+			profs = append(profs, r.Prof)
+		}
+	}
+	if len(profs) > 0 {
+		out.Prof = prof.Merge(profs...)
 	}
 	return out, nil
 }

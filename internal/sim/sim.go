@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 	"smartvlc/internal/light"
 	"smartvlc/internal/mac"
 	"smartvlc/internal/optics"
+	"smartvlc/internal/parallel"
 	"smartvlc/internal/photon"
 	"smartvlc/internal/phy"
 	"smartvlc/internal/scheme"
@@ -25,6 +27,7 @@ import (
 	"smartvlc/internal/telemetry"
 	"smartvlc/internal/telemetry/flight"
 	"smartvlc/internal/telemetry/health"
+	"smartvlc/internal/telemetry/prof"
 	"smartvlc/internal/telemetry/span"
 )
 
@@ -96,6 +99,20 @@ type Config struct {
 	// internal span collector so bundles still carry the frame trees.
 	Flight *flight.Recorder
 
+	// Prof, when non-nil, arms the deterministic stage profiler: sim-domain
+	// cost counters (frames, samples, slots, symbols, bytes, scratch
+	// growth) accumulate per stage×scheme×level, Run leaves a snapshot in
+	// Result.Prof, and the totals are mirrored into Config.Telemetry as
+	// prof_*_total counters just before the registry snapshot, so fleet
+	// aggregation inherits stage costs through telemetry.Merge. When armed,
+	// the session loop also runs under pprof goroutine labels
+	// (session/scheme/level) so wall-clock CPU profiles attribute to the
+	// same dimensions. All costs are commuting integer adds, so snapshots
+	// are byte-identical per (seed, config) for any worker count. Nil (the
+	// default) costs one nil check per instrumentation point and zero
+	// allocations.
+	Prof *prof.Profiler
+
 	// Health, when non-nil, attaches a link-health monitor: windowed
 	// time-series buckets on the simulation clock plus SLO burn-rate
 	// alerting; Run leaves the final snapshot in Result.Health. The config
@@ -162,10 +179,42 @@ type Result struct {
 	// attainment, alert transitions) when Config.Health was set, nil
 	// otherwise.
 	Health *health.Snapshot
+	// Prof is the session's stage-cost snapshot when Config.Prof was set,
+	// nil otherwise.
+	Prof *prof.Snapshot
 }
 
-// Run simulates a session for the given air-time duration.
+// Run simulates a session for the given air-time duration. When the
+// stage profiler is armed the session body executes under pprof
+// goroutine labels (session = seed, scheme) so wall-clock CPU profiles
+// line up with the deterministic stage profile; the profiling-off path
+// adds nothing.
 func Run(cfg Config, duration float64) (Result, error) {
+	if cfg.Prof == nil || cfg.Scheme == nil {
+		return run(cfg, duration)
+	}
+	var res Result
+	var err error
+	parallel.Do(func() { res, err = run(cfg, duration) },
+		"session", strconv.FormatUint(cfg.Seed, 10),
+		"scheme", cfg.Scheme.Name())
+	return res, err
+}
+
+// profStages caches the per-level stage handles and pprof label context
+// of one quantized dimming level, so the frame loop switches attribution
+// with field reads instead of map lookups and label allocations.
+type profStages struct {
+	frame, tx, hunt, decode, mac *prof.Stage
+	symbolsPerFrame              int64
+	labels                       context.Context
+}
+
+// noProf is the all-nil stage set the profiling-off path shares: every
+// handle no-ops, so the frame loop reads fields unconditionally.
+var noProf profStages
+
+func run(cfg Config, duration float64) (Result, error) {
 	if cfg.Scheme == nil {
 		return Result{}, fmt.Errorf("sim: nil scheme")
 	}
@@ -253,6 +302,41 @@ func Run(cfg Config, duration float64) (Result, error) {
 		codecs[l] = c
 		return c, nil
 	}
+
+	// Stage profiler handles, cached per quantized level like the codecs,
+	// so the frame loop attributes cost with field reads. Symbol counts
+	// come from codec metadata (codecs are shared and cached across
+	// sessions, so no per-session state may live on them).
+	// The cache keys by the raw float level (like the codecs map), not the
+	// rendered label: prof.LevelLabel allocates a string, which would cost
+	// the armed hot loop an allocation per frame.
+	schemeName := cfg.Scheme.Name()
+	profCache := map[float64]*profStages{}
+	stagesFor := func(l float64, codec frame.PayloadCodec) *profStages {
+		if cfg.Prof == nil {
+			return &noProf
+		}
+		if st, ok := profCache[l]; ok {
+			return st
+		}
+		ll := prof.LevelLabel(l)
+		st := &profStages{
+			frame:  cfg.Prof.Stage("sim.frame", schemeName, ll, ""),
+			tx:     cfg.Prof.Stage("phy.tx", schemeName, ll, ""),
+			hunt:   cfg.Prof.Stage("phy.hunt", schemeName, ll, ""),
+			decode: cfg.Prof.Stage("phy.decode", schemeName, ll, ""),
+			mac:    cfg.Prof.Stage("mac.frame", schemeName, ll, ""),
+			labels: parallel.LabelContext(
+				"session", strconv.FormatUint(cfg.Seed, 10),
+				"scheme", schemeName, "level", ll, "stage", "sim.frame"),
+		}
+		if ps, ok := codec.(interface{ PayloadSymbols(int) int }); ok {
+			st.symbolsPerFrame = int64(ps.PayloadSymbols(mac.SeqBytes + cfg.PayloadBytes))
+		}
+		profCache[l] = st
+		return st
+	}
+	var curStages *profStages
 
 	// Channel state, rebuilt when ambient moves by >2 %.
 	var link phy.Link
@@ -378,6 +462,14 @@ func Run(cfg Config, duration float64) (Result, error) {
 			case mac.KindAck:
 				if lat, known := sender.OnAckAt(m.Seq, m.At); known {
 					mon.ObserveAck(m.At, lat)
+					// Exemplar: the tail of the ack-latency histogram links
+					// back to the frame that caused it (root span when spans
+					// are armed, frame seq and sim time always).
+					if macm != nil {
+						macm.AckLatency.AttachExemplar(lat, telemetry.Exemplar{
+							At: m.At, Seq: int64(m.Seq), Span: int64(roots[m.Seq]),
+						})
+					}
 				}
 				reg.Emit(m.At, "frame/ack", int64(m.Seq))
 				if col != nil {
@@ -403,13 +495,34 @@ func Run(cfg Config, duration float64) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: level %v: %w", level, err)
 		}
+		// Switch cost attribution (and the wall-clock profile labels) to
+		// this frame's quantized level. The handles feed commuting atomic
+		// adds, so totals stay worker-count invariant.
+		st := stagesFor(level, codec)
+		if st != curStages {
+			curStages = st
+			if cfg.Prof != nil {
+				parallel.SetLabels(st.labels)
+			}
+			sender.Prof = st.mac
+		}
+		link.Prof = st.tx
+		rx.SetProf(st.hunt, st.decode)
 		reg.Emit(now, "frame/build", int64(seq))
+		buildCap := cap(slotBuf)
 		slots, err := frame.BuildAppend(slotBuf[:0], codec, body)
 		if err != nil {
 			return Result{}, err
 		}
 		slots = frame.AppendIdle(slots, codec.Level(), cfg.IdleGapSlots)
 		slotBuf = slots
+		st.frame.Ops(1)
+		st.frame.Slots(int64(len(slots)))
+		st.frame.Bytes(int64(len(body)))
+		st.frame.Symbols(st.symbolsPerFrame)
+		if cap(slots) != buildCap {
+			st.frame.Allocs(1)
+		}
 		airtime := float64(len(slots)) * tslot
 		framesTx.Inc()
 		airtimeH.Observe(float64(len(slots)))
@@ -442,6 +555,10 @@ func Run(cfg Config, duration float64) (Result, error) {
 			}
 			col.Record(span.Span{Name: "frame/tx", Parent: root, Seq: int64(seq), Start: now, End: now + airtime})
 		}
+		// Exemplar: an airtime outlier bucket jumps to the frame's root span.
+		airtimeH.AttachExemplar(float64(len(slots)), telemetry.Exemplar{
+			At: now, Seq: int64(seq), Span: int64(root),
+		})
 
 		link.StartPhase = chanRng.Float64()
 		samples := link.TransmitPCG(chanPCG, slots)
@@ -453,7 +570,10 @@ func Run(cfg Config, duration float64) (Result, error) {
 			rxSpanBuf.Reset()
 			rx.SetSpanWindow(&rxSpanBuf, now, tsamp)
 		}
-		results, st := rx.Process(samples)
+		results, rxStats := rx.Process(samples)
+		if n := int64(len(results)); n > 0 {
+			st.decode.Symbols(st.symbolsPerFrame * n)
+		}
 		decodeClass := ""
 		if col != nil {
 			// Extract the decode outcome before Splice consumes the buffer;
@@ -473,11 +593,11 @@ func Run(cfg Config, duration float64) (Result, error) {
 				// rarer event and names the objective that burned.
 				reason = "slo_" + pendingSLO[0].Objective
 				pendingSLO = pendingSLO[:0]
-			case st.FramesBad > 0:
+			case rxStats.FramesBad > 0:
 				reason = "decode"
 			case len(results) == 0:
 				reason = "hunt"
-			case cfg.Flight.Config().SERThreshold > 0 && st.SymbolErrors >= cfg.Flight.Config().SERThreshold:
+			case cfg.Flight.Config().SERThreshold > 0 && rxStats.SymbolErrors >= cfg.Flight.Config().SERThreshold:
 				reason = "ser"
 			case retx:
 				reason = "ack_timeout"
@@ -499,13 +619,13 @@ func Run(cfg Config, duration float64) (Result, error) {
 			}
 		}
 		phy.RecycleSamples(samples)
-		res.FramesOK += st.FramesOK
-		res.FramesBad += st.FramesBad
-		res.SymbolErrors += st.SymbolErrors
+		res.FramesOK += rxStats.FramesOK
+		res.FramesBad += rxStats.FramesBad
+		res.SymbolErrors += rxStats.SymbolErrors
 		// Symbol count proxy: decoded payload bytes of accepted frames —
 		// the denominator the paper's Eq. 3 SER bound is stated against.
-		mon.ObserveRx(now+airtime, st.FramesOK, st.FramesBad, st.SymbolErrors, st.FramesOK*cfg.PayloadBytes)
-		for i := 0; i < st.FramesBad; i++ {
+		mon.ObserveRx(now+airtime, rxStats.FramesOK, rxStats.FramesBad, rxStats.SymbolErrors, rxStats.FramesOK*cfg.PayloadBytes)
+		for i := 0; i < rxStats.FramesBad; i++ {
 			reg.Emit(now+airtime, "frame/bad", -1)
 		}
 		for _, r := range results {
@@ -540,6 +660,11 @@ func Run(cfg Config, duration float64) (Result, error) {
 		if m.Kind == mac.KindAck {
 			if lat, known := sender.OnAckAt(m.Seq, m.At); known {
 				mon.ObserveAck(m.At, lat)
+				if macm != nil {
+					macm.AckLatency.AttachExemplar(lat, telemetry.Exemplar{
+						At: m.At, Seq: int64(m.Seq), Span: int64(roots[m.Seq]),
+					})
+				}
 			}
 			reg.Emit(m.At, "frame/ack", int64(m.Seq))
 			if col != nil {
@@ -578,6 +703,12 @@ func Run(cfg Config, duration float64) (Result, error) {
 				return Result{}, err
 			}
 		}
+	}
+	if cfg.Prof != nil {
+		// Mirror stage costs into the registry before its snapshot so fleet
+		// aggregation carries them through telemetry.Merge.
+		cfg.Prof.Publish(reg)
+		res.Prof = cfg.Prof.Snapshot()
 	}
 	if reg != nil {
 		reg.Gauge("sim_goodput_bps").Set(res.GoodputBps)

@@ -34,13 +34,21 @@ type Bucket struct {
 	Count int64 `json:"n"`
 }
 
+// BucketExemplars is the exemplar reservoir of one occupied bucket,
+// sorted by exemplarLess (largest value first).
+type BucketExemplars struct {
+	Bucket    int        `json:"i"`
+	Exemplars []Exemplar `json:"ex"`
+}
+
 // HistogramSnapshot is one histogram series at snapshot time.
 type HistogramSnapshot struct {
-	Name    string   `json:"name"`
-	Labels  []Label  `json:"labels,omitempty"`
-	Count   int64    `json:"count"`
-	Sum     float64  `json:"sum"`
-	Buckets []Bucket `json:"buckets,omitempty"`
+	Name      string            `json:"name"`
+	Labels    []Label           `json:"labels,omitempty"`
+	Count     int64             `json:"count"`
+	Sum       float64           `json:"sum"`
+	Buckets   []Bucket          `json:"buckets,omitempty"`
+	Exemplars []BucketExemplars `json:"exemplars,omitempty"`
 }
 
 // HistogramBucketBound returns the inclusive upper bound of log2 bucket i,
@@ -60,6 +68,20 @@ type Snapshot struct {
 	Events        []Event             `json:"events,omitempty"`
 	EventsTotal   int64               `json:"events_total"`
 	EventsDropped int64               `json:"events_dropped"`
+}
+
+// exemplarSnapshot flattens per-bucket reservoirs into the canonical
+// sorted-by-bucket form used in snapshots. Returns nil when empty.
+func exemplarSnapshot(ex map[int][]Exemplar) []BucketExemplars {
+	if len(ex) == 0 {
+		return nil
+	}
+	out := make([]BucketExemplars, 0, len(ex))
+	for i, list := range ex {
+		out = append(out, BucketExemplars{Bucket: i, Exemplars: list})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Bucket < out[b].Bucket })
+	return out
 }
 
 // labelSig renders labels for sorting and Prometheus label blocks.
@@ -115,6 +137,7 @@ func (r *Registry) Snapshot() *Snapshot {
 				hs.Buckets = append(hs.Buckets, Bucket{Index: i, Count: n})
 			}
 		}
+		hs.Exemplars = exemplarSnapshot(h.exemplars())
 		s.Histograms = append(s.Histograms, hs)
 	}
 	s.sortCanonical()
@@ -191,16 +214,26 @@ func promLabels(labels []Label, extra ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, `%s=%q`, l.Key, escapeLabel(l.Value))
+		writeLabelPair(&b, l.Key, l.Value)
 	}
 	for i := 0; i+1 < len(extra); i += 2 {
 		if b.Len() > 1 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, `%s=%q`, extra[i], escapeLabel(extra[i+1]))
+		writeLabelPair(&b, extra[i], extra[i+1])
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// writeLabelPair emits k="escaped-v". The quotes are written manually:
+// escapeLabel already produces exposition-format escapes, so feeding its
+// output through %q would escape the escapes (\ → \\\\, " → \\").
+func writeLabelPair(b *strings.Builder, k, v string) {
+	b.WriteString(k)
+	b.WriteString(`="`)
+	b.WriteString(escapeLabel(v))
+	b.WriteByte('"')
 }
 
 // WritePrometheus writes the snapshot in the Prometheus text exposition
@@ -264,6 +297,125 @@ func (s *Snapshot) WritePrometheus(w io.Writer, help map[string]string) error {
 	return nil
 }
 
+// omFamily strips the _total suffix counters carry by convention: in
+// OpenMetrics the family is named without it and the sample re-adds it.
+func omFamily(name string) string { return strings.TrimSuffix(name, "_total") }
+
+// omExemplar renders the OpenMetrics exemplar suffix for a bucket line:
+// " # {seq=\"..\",span=\"..\",shard=\"..\"} value timestamp". Span and
+// shard labels are omitted when zero. The timestamp is the exemplar's
+// simulation time, which keeps the exposition deterministic.
+func omExemplar(ex Exemplar) string {
+	var b strings.Builder
+	b.WriteString(" # {")
+	writeLabelPair(&b, "seq", strconv.FormatInt(ex.Seq, 10))
+	if ex.Span != 0 {
+		b.WriteByte(',')
+		writeLabelPair(&b, "span", strconv.FormatInt(ex.Span, 10))
+	}
+	if ex.Shard != 0 {
+		b.WriteByte(',')
+		writeLabelPair(&b, "shard", strconv.Itoa(ex.Shard))
+	}
+	b.WriteString("} ")
+	b.WriteString(promFloat(ex.Value))
+	b.WriteByte(' ')
+	b.WriteString(promFloat(ex.At))
+	return b.String()
+}
+
+// WriteOpenMetrics writes the snapshot in the OpenMetrics text format:
+// like the Prometheus 0.0.4 exposition but with counter families named
+// without their _total suffix, histogram bucket lines carrying exemplars
+// (each occupied bucket's top reservoir entry), and a terminating # EOF.
+// Classic WritePrometheus stays exemplar-free because the 0.0.4 format
+// has no exemplar syntax.
+func (s *Snapshot) WriteOpenMetrics(w io.Writer, help map[string]string) error {
+	seen := map[string]bool{}
+	header := func(family, typ string) error {
+		if seen[family] {
+			return nil
+		}
+		seen[family] = true
+		if h, ok := help[family]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, h); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, typ)
+		return err
+	}
+	for _, c := range s.Counters {
+		fam := omFamily(c.Name)
+		if err := header(fam, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_total%s %d\n", fam, promLabels(c.Labels), c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := header(g.Name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", g.Name, promLabels(g.Labels), promFloat(g.Value)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := header(h.Name, "histogram"); err != nil {
+			return err
+		}
+		exByBucket := make(map[int]Exemplar, len(h.Exemplars))
+		for _, be := range h.Exemplars {
+			if len(be.Exemplars) > 0 {
+				exByBucket[be.Bucket] = be.Exemplars[0]
+			}
+		}
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := promFloat(HistogramBucketBound(b.Index))
+			suffix := ""
+			if ex, ok := exByBucket[b.Index]; ok {
+				suffix = omExemplar(ex)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", h.Name, promLabels(h.Labels, "le", le), cum, suffix); err != nil {
+				return err
+			}
+		}
+		if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].Index != histBuckets-1 {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, promLabels(h.Labels, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", h.Name, promLabels(h.Labels), promFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", h.Name, promLabels(h.Labels), h.Count); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// WriteOpenMetrics snapshots the registry and writes the OpenMetrics
+// exposition. On a nil registry it writes only the # EOF terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# EOF\n")
+		return err
+	}
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+	return r.Snapshot().WriteOpenMetrics(w, help)
+}
+
 // WritePrometheus snapshots the registry and writes the text exposition.
 // On a nil registry it writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -277,4 +429,67 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	r.mu.Unlock()
 	return r.Snapshot().WritePrometheus(w, help)
+}
+
+// ParseSnapshot loads a snapshot written as canonical JSON (Snapshot.JSON,
+// a -metrics-out file or the /metrics.json endpoint).
+func ParseSnapshot(b []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("telemetry snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// WriteExemplars renders the snapshot's histogram exemplars as a
+// drill-down table: one block per exemplar-bearing histogram series, one
+// row per reservoir entry with the observation value, the sim-clock
+// timestamp and the frame breadcrumbs — sequence number, root span ID
+// (jump into vlctrace) and merge shard — that identify the frame behind
+// a bucket's tail. Series and rows keep the snapshot's canonical order,
+// so the report is deterministic.
+func (s *Snapshot) WriteExemplars(w io.Writer) error {
+	any := false
+	for _, h := range s.Histograms {
+		if len(h.Exemplars) == 0 {
+			continue
+		}
+		name := h.Name
+		if sig := labelSig(h.Labels); sig != "" {
+			name += "{" + sig + "}"
+		}
+		if any {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		any = true
+		if _, err := fmt.Fprintf(w, "%s\n", name); err != nil {
+			return err
+		}
+		for _, be := range h.Exemplars {
+			bound := "+Inf"
+			if b := HistogramBucketBound(be.Bucket); !math.IsInf(b, 1) {
+				bound = strconv.FormatFloat(b, 'g', -1, 64)
+			}
+			for _, ex := range be.Exemplars {
+				line := fmt.Sprintf("  le %-10s value=%s at=%s seq=%d",
+					bound, promFloat(ex.Value), promFloat(ex.At), ex.Seq)
+				if ex.Span != 0 {
+					line += fmt.Sprintf(" span=%d", ex.Span)
+				}
+				if ex.Shard != 0 {
+					line += fmt.Sprintf(" shard=%d", ex.Shard)
+				}
+				if _, err := fmt.Fprintln(w, line); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if !any {
+		_, err := fmt.Fprintln(w, "no exemplars recorded (arm telemetry and rerun)")
+		return err
+	}
+	return nil
 }

@@ -12,7 +12,11 @@ import "sort"
 //
 //   - Counters sum per (name, labels) series — a fleet-wide event count.
 //   - Histograms sum bucket occupancies, counts and sums — the fleet
-//     distribution is the union of the session distributions.
+//     distribution is the union of the session distributions. Exemplar
+//     reservoirs re-merge under the same deterministic total order the
+//     sessions used; ties resolve to the exemplar from the
+//     lowest-indexed snapshot (each merged exemplar's Shard records that
+//     index).
 //   - Gauges take the arithmetic mean over the snapshots that carry the
 //     series: a gauge is a level, not a flow, and the mean is the one
 //     aggregate that is meaningful for both rates (mean session goodput)
@@ -44,10 +48,11 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 	type histAcc struct {
 		snap    HistogramSnapshot
 		buckets map[int]int64
+		ex      map[int][]Exemplar
 	}
 	hists := map[string]*histAcc{}
 
-	for _, s := range snaps {
+	for si, s := range snaps {
 		if s == nil {
 			continue
 		}
@@ -84,6 +89,18 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 			for _, b := range h.Buckets {
 				acc.buckets[b.Index] += b.Count
 			}
+			// Exemplar reservoirs re-merge under the same total order the
+			// sessions used, with each exemplar stamped with its source
+			// snapshot's position so ties resolve lowest-shard-wins.
+			for _, be := range h.Exemplars {
+				if acc.ex == nil {
+					acc.ex = map[int][]Exemplar{}
+				}
+				for _, e := range be.Exemplars {
+					e.Shard = si
+					acc.ex[be.Bucket] = insertExemplar(acc.ex[be.Bucket], e)
+				}
+			}
 		}
 		out.EventsTotal += s.EventsTotal
 		out.EventsDropped += s.EventsDropped
@@ -107,6 +124,7 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 		for _, i := range idxs {
 			hs.Buckets = append(hs.Buckets, Bucket{Index: i, Count: h.buckets[i]})
 		}
+		hs.Exemplars = exemplarSnapshot(h.ex)
 		out.Histograms = append(out.Histograms, hs)
 	}
 	out.sortCanonical()

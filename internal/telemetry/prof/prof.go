@@ -1,0 +1,342 @@
+// Package prof is SmartVLC's deterministic stage profiler: a bounded set
+// of cost counters accumulated per (stage, scheme, level, shard) that
+// attributes *simulated work* — samples processed, slots scanned, symbols
+// decoded, payload bytes, scratch-buffer growth events — to the pipeline
+// stage that spent it.
+//
+// It is the sim-domain twin of a CPU profile. Wall-clock profiles (pprof,
+// enabled by -pprof-addr) answer "where did the host CPU go"; the stage
+// profiler answers "where did the *simulated* work go", in units that are
+// byte-identical per (seed, config) across worker counts and machines.
+// The two are joined by pprof goroutine labels carrying the same
+// stage/scheme/level dimensions, so a flame graph and a stage profile
+// line up frame for frame.
+//
+// Determinism has one load-bearing property: every cost is an atomic
+// integer add, and integer adds commute. Workers hammering the same Stage
+// handle concurrently therefore produce the same totals as a serial run,
+// with no sharding needed for correctness — the Shard dimension exists
+// for *attribution* (e.g. broadcast receiver index), not for avoiding
+// contention.
+//
+// Cardinality is bounded: a Profiler admits at most its configured number
+// of distinct series; past the limit, new keys collapse into a shared
+// overflow series (stage "_overflow") so a runaway label can never OOM
+// the profiler — it shows up as overflow volume instead.
+//
+// Like the telemetry package, nil is the no-op default: every method on a
+// nil *Profiler or nil *Stage does nothing and allocates nothing, so hot
+// paths carry Stage handles unconditionally.
+package prof
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one profiled series. Stage names the pipeline stage
+// ("phy.tx", "phy.hunt", "phy.decode", "mac.frame", "stream.chunk", ...);
+// Scheme and Level are the modulation scheme and quantized dimming level
+// (LevelLabel); Shard attributes work to a sub-unit such as a broadcast
+// receiver ("rx3") and is empty for single-receiver sessions.
+type Key struct {
+	Stage  string `json:"stage"`
+	Scheme string `json:"scheme,omitempty"`
+	Level  string `json:"level,omitempty"`
+	Shard  string `json:"shard,omitempty"`
+}
+
+// OverflowStage is the stage name of the shared series that absorbs
+// every key past the profiler's cardinality limit.
+const OverflowStage = "_overflow"
+
+// DefaultMaxSeries bounds a New()-constructed profiler. stages × schemes
+// × quantized levels in a realistic sweep stays well under this; the
+// limit exists to make the worst case (a label built from unbounded
+// input) overflow visibly instead of growing without bound.
+const DefaultMaxSeries = 512
+
+// LevelLabel quantizes a dimming level to two decimals for use as the
+// Level key dimension, giving at most 101 distinct values over [0,1] —
+// the cardinality budget that keeps stage×scheme×level bounded.
+func LevelLabel(level float64) string {
+	return strconv.FormatFloat(float64(int(level*100+0.5))/100, 'f', 2, 64)
+}
+
+// Counts is the cost vector of one series. All units are sim-domain:
+//
+//   - Ops: stage invocations (frames transmitted, hunts run, parses
+//     attempted, chunks cut).
+//   - Samples: PHY samples produced or scanned.
+//   - Slots: modulation slots built or consumed.
+//   - Symbols: modulation symbols encoded or decoded.
+//   - Bytes: payload bytes through the stage.
+//   - Allocs: deterministic allocation events (scratch-buffer growth),
+//     not Go allocator calls — the sim-domain proxy that is identical
+//     across runs where runtime.MemStats is not.
+type Counts struct {
+	Ops     int64 `json:"ops,omitempty"`
+	Samples int64 `json:"samples,omitempty"`
+	Slots   int64 `json:"slots,omitempty"`
+	Symbols int64 `json:"symbols,omitempty"`
+	Bytes   int64 `json:"bytes,omitempty"`
+	Allocs  int64 `json:"allocs,omitempty"`
+}
+
+// Metric names one Counts dimension for folded export and diffing.
+type Metric string
+
+// The six cost dimensions.
+const (
+	MetricOps     Metric = "ops"
+	MetricSamples Metric = "samples"
+	MetricSlots   Metric = "slots"
+	MetricSymbols Metric = "symbols"
+	MetricBytes   Metric = "bytes"
+	MetricAllocs  Metric = "allocs"
+)
+
+// Metrics lists all cost dimensions in canonical order.
+func Metrics() []Metric {
+	return []Metric{MetricOps, MetricSamples, MetricSlots, MetricSymbols, MetricBytes, MetricAllocs}
+}
+
+// Get returns the named dimension (0 for an unknown metric).
+func (c Counts) Get(m Metric) int64 {
+	switch m {
+	case MetricOps:
+		return c.Ops
+	case MetricSamples:
+		return c.Samples
+	case MetricSlots:
+		return c.Slots
+	case MetricSymbols:
+		return c.Symbols
+	case MetricBytes:
+		return c.Bytes
+	case MetricAllocs:
+		return c.Allocs
+	}
+	return 0
+}
+
+// add accumulates o into c.
+func (c *Counts) add(o Counts) {
+	c.Ops += o.Ops
+	c.Samples += o.Samples
+	c.Slots += o.Slots
+	c.Symbols += o.Symbols
+	c.Bytes += o.Bytes
+	c.Allocs += o.Allocs
+}
+
+// IsZero reports whether every dimension is zero.
+func (c Counts) IsZero() bool { return c == Counts{} }
+
+// Stage is the per-series accumulator handed to hot paths. All adders
+// are lock-free atomic adds; the nil Stage is a no-op, so instrumented
+// code carries handles unconditionally and pays one nil check (zero
+// allocations) when profiling is off.
+type Stage struct {
+	key     Key
+	ops     atomic.Int64
+	samples atomic.Int64
+	slots   atomic.Int64
+	symbols atomic.Int64
+	bytes   atomic.Int64
+	allocs  atomic.Int64
+}
+
+// Ops records n stage invocations. No-op on nil.
+func (s *Stage) Ops(n int64) {
+	if s != nil {
+		s.ops.Add(n)
+	}
+}
+
+// Samples records n PHY samples. No-op on nil.
+func (s *Stage) Samples(n int64) {
+	if s != nil {
+		s.samples.Add(n)
+	}
+}
+
+// Slots records n modulation slots. No-op on nil.
+func (s *Stage) Slots(n int64) {
+	if s != nil {
+		s.slots.Add(n)
+	}
+}
+
+// Symbols records n modulation symbols. No-op on nil.
+func (s *Stage) Symbols(n int64) {
+	if s != nil {
+		s.symbols.Add(n)
+	}
+}
+
+// Bytes records n payload bytes. No-op on nil.
+func (s *Stage) Bytes(n int64) {
+	if s != nil {
+		s.bytes.Add(n)
+	}
+}
+
+// Allocs records n deterministic allocation events. No-op on nil.
+func (s *Stage) Allocs(n int64) {
+	if s != nil {
+		s.allocs.Add(n)
+	}
+}
+
+// counts reads the current cost vector.
+func (s *Stage) counts() Counts {
+	return Counts{
+		Ops:     s.ops.Load(),
+		Samples: s.samples.Load(),
+		Slots:   s.slots.Load(),
+		Symbols: s.symbols.Load(),
+		Bytes:   s.bytes.Load(),
+		Allocs:  s.allocs.Load(),
+	}
+}
+
+// Profiler owns a bounded set of Stage series. The nil Profiler is the
+// no-op default: Stage() on it returns a nil *Stage.
+type Profiler struct {
+	mu       sync.Mutex
+	series   map[Key]*Stage
+	limit    int
+	overflow *Stage
+}
+
+// New returns a profiler bounded at DefaultMaxSeries.
+func New() *Profiler { return NewLimited(DefaultMaxSeries) }
+
+// NewLimited returns a profiler admitting at most limit distinct series
+// (minimum 1) before collapsing new keys into the overflow series.
+func NewLimited(limit int) *Profiler {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Profiler{series: map[Key]*Stage{}, limit: limit}
+}
+
+// Stage returns the accumulator for (stage, scheme, level, shard),
+// creating it on first use. Past the cardinality limit it returns the
+// shared overflow stage. Handles are cached by callers at session setup,
+// not fetched per frame — this method takes a mutex. Returns nil on a
+// nil profiler.
+func (p *Profiler) Stage(stage, scheme, level, shard string) *Stage {
+	if p == nil {
+		return nil
+	}
+	k := Key{Stage: stage, Scheme: scheme, Level: level, Shard: shard}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.series[k]; ok {
+		return s
+	}
+	if len(p.series) >= p.limit {
+		if p.overflow == nil {
+			p.overflow = &Stage{key: Key{Stage: OverflowStage}}
+		}
+		return p.overflow
+	}
+	s := &Stage{key: k}
+	p.series[k] = s
+	return s
+}
+
+// keyLess orders keys canonically: stage, then scheme, level, shard.
+func keyLess(a, b Key) bool {
+	if a.Stage != b.Stage {
+		return a.Stage < b.Stage
+	}
+	if a.Scheme != b.Scheme {
+		return a.Scheme < b.Scheme
+	}
+	if a.Level != b.Level {
+		return a.Level < b.Level
+	}
+	return a.Shard < b.Shard
+}
+
+// Series is one (key, cost vector) row of a snapshot.
+type Series struct {
+	Key
+	Counts
+}
+
+// Snapshot is a point-in-time copy of a profiler: every non-zero series
+// in canonical key order. Identically seeded sessions produce
+// byte-identical snapshots regardless of worker count, because every
+// accumulator is a commuting atomic add and the export order is total.
+type Snapshot struct {
+	Series []Series `json:"series"`
+}
+
+// Snapshot captures the profiler's current state. Returns an empty
+// snapshot on a nil profiler. Zero-cost series (created but never added
+// to) are elided so handle pre-registration does not change exports.
+func (p *Profiler) Snapshot() *Snapshot {
+	s := &Snapshot{Series: []Series{}}
+	if p == nil {
+		return s
+	}
+	p.mu.Lock()
+	stages := make([]*Stage, 0, len(p.series)+1)
+	for _, st := range p.series {
+		stages = append(stages, st)
+	}
+	if p.overflow != nil {
+		stages = append(stages, p.overflow)
+	}
+	p.mu.Unlock()
+	for _, st := range stages {
+		c := st.counts()
+		if c.IsZero() {
+			continue
+		}
+		s.Series = append(s.Series, Series{Key: st.key, Counts: c})
+	}
+	s.sortCanonical()
+	return s
+}
+
+// sortCanonical imposes the canonical key order.
+func (s *Snapshot) sortCanonical() {
+	sort.Slice(s.Series, func(i, j int) bool { return keyLess(s.Series[i].Key, s.Series[j].Key) })
+}
+
+// frames renders the folded stack of a key, root to leaf:
+// scheme;level;stage with shard appended when present. Separator and
+// semicolon characters inside names are replaced with '_' to keep the
+// folded format parseable.
+func (k Key) frames() string {
+	var b strings.Builder
+	writeFrame := func(f, fallback string) {
+		if f == "" {
+			f = fallback
+		}
+		b.WriteString(strings.Map(func(r rune) rune {
+			if r == ';' || r == ' ' || r == '\n' {
+				return '_'
+			}
+			return r
+		}, f))
+	}
+	writeFrame(k.Scheme, "(scheme)")
+	b.WriteByte(';')
+	writeFrame(k.Level, "(level)")
+	b.WriteByte(';')
+	writeFrame(k.Stage, "(stage)")
+	if k.Shard != "" {
+		b.WriteByte(';')
+		writeFrame(k.Shard, "")
+	}
+	return b.String()
+}

@@ -204,14 +204,81 @@ func histBound(i int) float64 {
 	return math.Ldexp(1, i-31)
 }
 
+// Exemplar links one histogram observation back to the frame that caused
+// it: the span ID of the frame's root span (0 when spans are off), the
+// frame sequence number, and the simulation timestamp. A p99 bucket's
+// exemplar is the jump-off point into the span tree or flight bundle of
+// the offending frame. Shard is assigned by Merge (the position of the
+// source snapshot in the merge order); per-session snapshots carry 0.
+type Exemplar struct {
+	Value float64 `json:"value"`
+	At    float64 `json:"at"`
+	Seq   int64   `json:"seq"`
+	Span  int64   `json:"span,omitempty"`
+	Shard int     `json:"shard,omitempty"`
+}
+
+// ExemplarsPerBucket bounds each bucket's exemplar reservoir. The
+// reservoir keeps the top entries under exemplarLess's total order, so
+// its final contents are independent of insertion order — the property
+// that keeps snapshots byte-identical across worker counts.
+const ExemplarsPerBucket = 2
+
+// exemplarLess is the total order of exemplar reservoirs: larger values
+// first (the tail of a bucket is what a drill-down wants), then earlier
+// simulation time, then lower sequence, then lower shard — the
+// lowest-shard-wins tiebreak of Merge.
+func exemplarLess(a, b Exemplar) bool {
+	if a.Value != b.Value {
+		return a.Value > b.Value
+	}
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	return a.Shard < b.Shard
+}
+
+// insertExemplar merges ex into a sorted reservoir, keeping at most
+// ExemplarsPerBucket entries. Because the reservoir is the top-K of a
+// multiset under a total order, the result does not depend on the order
+// in which exemplars arrive.
+func insertExemplar(list []Exemplar, ex Exemplar) []Exemplar {
+	pos := len(list)
+	for i, e := range list {
+		if exemplarLess(ex, e) {
+			pos = i
+			break
+		}
+	}
+	if pos >= ExemplarsPerBucket {
+		return list
+	}
+	list = append(list, Exemplar{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = ex
+	if len(list) > ExemplarsPerBucket {
+		list = list[:ExemplarsPerBucket]
+	}
+	return list
+}
+
 // Histogram is a log2-bucketed distribution with atomic buckets, count
-// and sum. The nil Histogram is a no-op.
+// and sum, plus an optional deterministic exemplar reservoir per bucket.
+// The nil Histogram is a no-op.
 type Histogram struct {
 	buckets [histBuckets]atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64
 	name    string
 	labels  []Label
+
+	// exemplar reservoirs, lazily allocated on the first attach; Observe
+	// never touches them, so the exemplar-free hot path stays lock-free.
+	exMu sync.Mutex
+	ex   map[int][]Exemplar
 }
 
 // Histogram returns the histogram series for name and optional label
@@ -266,6 +333,52 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and attaches an exemplar for it in
+// the same bucket. No-op on nil.
+func (h *Histogram) ObserveExemplar(v float64, ex Exemplar) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	h.AttachExemplar(v, ex)
+}
+
+// AttachExemplar files ex into the reservoir of the bucket that v maps
+// to, without recording an observation — for call sites where the value
+// was already Observed elsewhere (e.g. inside the MAC) and only the
+// caller knows the span/seq context. ex.Value is forced to v so the
+// exemplar always matches its bucket. No-op on nil.
+func (h *Histogram) AttachExemplar(v float64, ex Exemplar) {
+	if h == nil {
+		return
+	}
+	ex.Value = v
+	i := bucketIndex(v)
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = map[int][]Exemplar{}
+	}
+	h.ex[i] = insertExemplar(h.ex[i], ex)
+	h.exMu.Unlock()
+}
+
+// exemplars returns a copy of the per-bucket reservoirs (nil when none).
+func (h *Histogram) exemplars() map[int][]Exemplar {
+	if h == nil {
+		return nil
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if len(h.ex) == 0 {
+		return nil
+	}
+	out := make(map[int][]Exemplar, len(h.ex))
+	for i, list := range h.ex {
+		out[i] = append([]Exemplar(nil), list...)
+	}
+	return out
 }
 
 // Count returns the number of observations (0 on nil).

@@ -1,0 +1,60 @@
+package smartvlc
+
+import "smartvlc/internal/telemetry/prof"
+
+// Stage-profiler re-exports, so applications never import internal
+// packages. The profiler is the deterministic, sim-domain twin of a CPU
+// profile: per-stage cost counters (samples, slots, symbols, bytes,
+// deterministic scratch-growth events) keyed by stage × scheme × dimming
+// level × shard, byte-identical per seed for every worker count.
+type (
+	// Profiler accumulates stage costs for one session; arm it via
+	// SessionConfig.Prof. A nil profiler everywhere is a no-op and keeps
+	// the hot paths allocation-free.
+	Profiler = prof.Profiler
+	// ProfStage is one series' recording handle; all adders no-op on nil.
+	ProfStage = prof.Stage
+	// ProfSnapshot is a canonical point-in-time export of a profiler,
+	// serializable as JSON or folded-stack text (flame-graph input).
+	ProfSnapshot = prof.Snapshot
+	// ProfSeries is one labeled series of a snapshot: its key plus counts.
+	ProfSeries = prof.Series
+	// ProfKey identifies a series: stage, scheme, dimming level, shard.
+	ProfKey = prof.Key
+	// ProfCounts holds one series' six cost counters.
+	ProfCounts = prof.Counts
+	// ProfMetric names one cost dimension (ops, samples, slots, symbols,
+	// bytes, allocs) for folded export and diffing.
+	ProfMetric = prof.Metric
+	// ProfDelta is one series' before/after counts from DiffProf.
+	ProfDelta = prof.Delta
+)
+
+// Cost dimensions of a profile series.
+const (
+	ProfOps     = prof.MetricOps
+	ProfSamples = prof.MetricSamples
+	ProfSlots   = prof.MetricSlots
+	ProfSymbols = prof.MetricSymbols
+	ProfBytes   = prof.MetricBytes
+	ProfAllocs  = prof.MetricAllocs
+)
+
+// NewProfiler returns an empty stage profiler (series cardinality bounded
+// at prof.DefaultMaxSeries; excess series fold into an overflow bucket)
+// to pass to SessionConfig.Prof.
+func NewProfiler() *Profiler { return prof.New() }
+
+// MergeProf combines per-session profile snapshots into one aggregate:
+// counts sum per series key. The fold is deterministic in argument order;
+// nil snapshots are skipped. RunFleet applies this to its sessions
+// already.
+func MergeProf(snaps ...*ProfSnapshot) *ProfSnapshot { return prof.Merge(snaps...) }
+
+// DiffProf compares two profiles series-by-series (union of keys, in
+// canonical order) for regression hunting; see ProfDelta.
+func DiffProf(a, b *ProfSnapshot) []ProfDelta { return prof.Diff(a, b) }
+
+// ParseProfSnapshot loads a profile snapshot written as canonical JSON
+// (ProfSnapshot.JSON), e.g. the smartvlc-sim -prof-out artifact.
+func ParseProfSnapshot(b []byte) (*ProfSnapshot, error) { return prof.ParseSnapshot(b) }

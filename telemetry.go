@@ -106,6 +106,14 @@ func MergeTelemetry(snaps ...*TelemetrySnapshot) *TelemetrySnapshot {
 	return telemetry.Merge(snaps...)
 }
 
+// ParseTelemetrySnapshot loads a snapshot written as canonical JSON
+// (TelemetrySnapshot.JSON), e.g. the smartvlc-sim -metrics-out artifact
+// or its /metrics.json endpoint. Use Snapshot.WriteExemplars for the
+// exemplar drill-down vlctop and vlctrace render.
+func ParseTelemetrySnapshot(b []byte) (*TelemetrySnapshot, error) {
+	return telemetry.ParseSnapshot(b)
+}
+
 // DefaultHealthObjectives returns the paper-derived SLO set: symbol error
 // rate against the Eq. 3 design bound, frame loss, goodput against the
 // tent-shaped per-dimming-level envelope rate, ACK latency p95 and
