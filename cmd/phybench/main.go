@@ -62,9 +62,10 @@ var baselinesNs = map[string]float64{
 // machine (so it only exceeds 1 on multi-core hosts — see NumCPU in the
 // report header).
 var serialPeer = map[string]string{
-	"fleet_sessions_parallel":   "fleet_sessions",
-	"fig4_montecarlo_parallel":  "fig4_montecarlo",
-	"broadcast_fanout_parallel": "broadcast_fanout",
+	"fleet_sessions_parallel":       "fleet_sessions",
+	"fleet_sessions_arena_parallel": "fleet_sessions_arena",
+	"fig4_montecarlo_parallel":      "fig4_montecarlo",
+	"broadcast_fanout_parallel":     "broadcast_fanout",
 }
 
 // nilPeer maps each instrumented benchmark to its observability-off twin;
@@ -74,6 +75,18 @@ var nilPeer = map[string]string{
 	"end_to_end_frame_spans":  "end_to_end_frame",
 	"end_to_end_frame_health": "session_frames",
 	"end_to_end_frame_prof":   "session_frames",
+}
+
+// arenaPeer maps each warm-arena benchmark to its fresh-allocation twin;
+// the recorded ArenaSpeedup is fresh ns/op over warm ns/op. The twins run
+// the exact same session workload — the arena contract guarantees
+// byte-identical results — so the ratio isolates what session setup
+// allocation actually costs (and shows honestly how compute-bound the
+// sessions are: most of a session is physics, not allocation).
+var arenaPeer = map[string]string{
+	"session_frames_arena":          "session_frames",
+	"fleet_sessions_arena":          "fleet_sessions",
+	"fleet_sessions_arena_parallel": "fleet_sessions_parallel",
 }
 
 type entry struct {
@@ -100,7 +113,14 @@ type entry struct {
 	// SessionsPerSec is whole simulated ARQ sessions per wall-clock second
 	// (sessions per op × 1e9 / ns/op), recorded on the session-loop twins.
 	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
-	Iterations     int     `json:"iterations"`
+	// SessionsPerSecPerCore normalizes SessionsPerSec by the cores the body
+	// used — the per-core session throughput benchguard trends across
+	// commits, comparable between serial and parallel twins.
+	SessionsPerSecPerCore float64 `json:"sessions_per_sec_per_core,omitempty"`
+	// ArenaSpeedup is the fresh-allocation twin's ns/op over this entry's,
+	// recorded on the *_arena entries (see arenaPeer).
+	ArenaSpeedup float64 `json:"arena_speedup,omitempty"`
+	Iterations   int     `json:"iterations"`
 }
 
 // curvePoint is one (workers, ns/op) measurement of a parallel twin.
@@ -240,6 +260,24 @@ func main() {
 			}
 		}
 	}
+	// Warm-arena twin: one persistent pool serves every iteration, so each
+	// op after the first rents warm per-worker arenas and session setup
+	// stops allocating. Byte-identical results to fleetBody by the arena
+	// contract — only where state lives differs.
+	fleetArenaBody := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			arenas := smartvlc.NewFleetArenas()
+			for i := 0; i < b.N; i++ {
+				fl, err := smartvlc.RunFleetArenas(arenas, fleetCfgs(), 0.1, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(fl.Results) != 8 {
+					b.Fatalf("fleet returned %d sessions", len(fl.Results))
+				}
+			}
+		}
+	}
 	mcBody := func(workers int) func(b *testing.B) {
 		return func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -305,6 +343,23 @@ func main() {
 				if withProf && res.Prof == nil {
 					b.Fatal("missing profile snapshot")
 				}
+			}
+		}
+	}
+	// Warm-arena twin of session_frames: one arena serves every iteration,
+	// so ops after the first reuse the rented link/receiver/codec/MAC state.
+	arenaSessionBody := func(b *testing.B) {
+		a := smartvlc.NewArena()
+		for i := 0; i < b.N; i++ {
+			cfg := smartvlc.DefaultSessionConfig(sys.Scheme())
+			cfg.FixedLevel = 0.5
+			cfg.Seed = uint64(i + 1)
+			res, err := a.Run(cfg, 0.1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.FramesOK == 0 {
+				b.Fatal("no frames delivered")
 			}
 		}
 	}
@@ -415,10 +470,13 @@ func main() {
 			}
 		}},
 		{name: "session_frames", sessions: 1, body: sessionBody(false, false)},
+		{name: "session_frames_arena", sessions: 1, body: arenaSessionBody},
 		{name: "end_to_end_frame_health", sessions: 1, body: sessionBody(true, false)},
 		{name: "end_to_end_frame_prof", sessions: 1, body: sessionBody(false, true)},
 		{name: "fleet_sessions", workers: 1, sessions: 8, body: fleetBody(1)},
 		{name: "fleet_sessions_parallel", workers: ncpu, sessions: 8, body: fleetBody(ncpu)},
+		{name: "fleet_sessions_arena", workers: 1, sessions: 8, body: fleetArenaBody(1)},
+		{name: "fleet_sessions_arena_parallel", workers: ncpu, sessions: 8, body: fleetArenaBody(ncpu)},
 		{name: "fig4_montecarlo", workers: 1, body: mcBody(1)},
 		{name: "fig4_montecarlo_parallel", workers: ncpu, body: mcBody(ncpu)},
 		{name: "broadcast_fanout", workers: 1, sessions: 1, body: bcastBody(1)},
@@ -434,6 +492,7 @@ func main() {
 		Quick:       *quick,
 	}
 	nsByName := map[string]float64{}
+	sessByName := map[string]float64{}
 	for _, bm := range benches {
 		r := measure(*benchtime, bm.body)
 		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
@@ -469,9 +528,16 @@ func main() {
 		}
 		if bm.sessions > 0 {
 			e.SessionsPerSec = bm.sessions * 1e9 / nsPerOp
+			e.SessionsPerSecPerCore = e.SessionsPerSec / float64(cores)
+			sessByName[bm.name] = e.SessionsPerSec
+		}
+		if peer, ok := arenaPeer[bm.name]; ok {
+			if fresh := nsByName[peer]; fresh > 0 {
+				e.ArenaSpeedup = fresh / nsPerOp
+			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, e)
-		fmt.Printf("%-26s %12.0f ns/op  %8d B/op  %5d allocs/op", bm.name, nsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		fmt.Printf("%-29s %12.0f ns/op  %8d B/op  %5d allocs/op", bm.name, nsPerOp, e.BytesPerOp, e.AllocsPerOp)
 		if e.SpeedupVsSeed > 0 {
 			fmt.Printf("  %.2fx vs baseline", e.SpeedupVsSeed)
 		}
@@ -480,6 +546,9 @@ func main() {
 		}
 		if _, ok := nilPeer[bm.name]; ok {
 			fmt.Printf("  %+.1f%% vs nil twin", e.OverheadVsNil*100)
+		}
+		if e.ArenaSpeedup > 0 {
+			fmt.Printf("  %.2fx vs fresh twin", e.ArenaSpeedup)
 		}
 		fmt.Println()
 	}
@@ -493,6 +562,7 @@ func main() {
 		body func(workers int) func(b *testing.B)
 	}{
 		{"fleet_sessions", fleetBody},
+		{"fleet_sessions_arena", fleetArenaBody},
 		{"fig4_montecarlo", mcBody},
 		{"broadcast_fanout", bcastBody},
 	}
@@ -514,7 +584,7 @@ func main() {
 			c.Points = append(c.Points, curvePoint{Workers: w, NsPerOp: ns, Speedup: serial / ns})
 		}
 		rep.SpeedupCurves = append(rep.SpeedupCurves, c)
-		fmt.Printf("%-26s curve:", fam.name)
+		fmt.Printf("%-29s curve:", fam.name)
 		for _, p := range c.Points {
 			fmt.Printf("  %dw %.2fx", p.Workers, p.Speedup)
 		}
@@ -535,12 +605,13 @@ func main() {
 
 	if *history != "" {
 		rec := bench.Record{
-			SHA:       *sha,
-			Stamp:     *stamp,
-			GoVersion: runtime.Version(),
-			NumCPU:    ncpu,
-			Quick:     *quick,
-			NsPerOp:   nsByName,
+			SHA:            *sha,
+			Stamp:          *stamp,
+			GoVersion:      runtime.Version(),
+			NumCPU:         ncpu,
+			Quick:          *quick,
+			NsPerOp:        nsByName,
+			SessionsPerSec: sessByName,
 		}
 		if err := bench.Append(*history, rec); err != nil {
 			fatal(err)

@@ -81,6 +81,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed (fleet sessions use seed, seed+1, ...)")
 	sessions := flag.Int("sessions", 1, "number of independent sessions to run as a fleet")
 	workers := flag.Int("workers", 0, "goroutines for the fleet (0 = GOMAXPROCS)")
+	fleetRepeat := flag.Int("fleet-repeat", 1, "run the fleet N times on a persistent session-arena pool and report cold vs warm sessions/sec (outputs come from the final repeat)")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry snapshot to FILE (\"-\" for stdout; .prom suffix selects Prometheus text format)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the snapshot over HTTP at this address after the run (/metrics, /metrics.json, /trace)")
 	traceOut := flag.String("trace-out", "", "write the session's frame spans to FILE as a Chrome trace_event JSON (Perfetto-loadable)")
@@ -140,7 +141,7 @@ func main() {
 	}
 
 	if *sessions > 1 {
-		runFleet(cfg, sch, *sessions, *workers, *seconds, fleetOut{
+		runFleet(cfg, sch, *sessions, *workers, *fleetRepeat, *seconds, fleetOut{
 			wantMetrics:    wantMetrics,
 			wantProf:       wantProf,
 			metricsOut:     *metricsOut,
@@ -323,29 +324,51 @@ type fleetOut struct {
 
 // runFleet runs the multi-session mode: n sessions with seeds seed,
 // seed+1, ..., each on its own registry when metrics were requested, and
-// reports the aggregate plus the wall-clock sessions/sec rate.
-func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers int, seconds float64, out fleetOut) {
-	cfgs := make([]smartvlc.SessionConfig, n)
-	for i := range cfgs {
-		cfg := base
-		cfg.Seed = base.Seed + uint64(i)
-		if out.wantMetrics {
-			cfg.Telemetry = smartvlc.NewTelemetry()
-		}
-		if out.traceDir != "" {
-			cfg.Spans = smartvlc.NewSpanCollector()
-		}
-		if out.wantProf {
-			cfg.Prof = smartvlc.NewProfiler()
-		}
-		cfgs[i] = cfg
+// reports the aggregate plus the wall-clock sessions/sec rate. With
+// repeat > 1 the fleet runs that many times against one persistent
+// session-arena pool — later repeats rent warm per-worker arenas, so the
+// cold/warm rate split isolates the allocation cost of session setup.
+// Registries are stateful, so each repeat builds fresh configs; results
+// are byte-identical across repeats by the arena contract, and the
+// printed aggregates come from the final (warmest) repeat.
+func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers, repeat int, seconds float64, out fleetOut) {
+	if repeat < 1 {
+		repeat = 1
 	}
-	start := time.Now()
-	fl, err := smartvlc.RunFleet(cfgs, seconds, workers)
-	if err != nil {
-		fatal(err)
+	mkCfgs := func() []smartvlc.SessionConfig {
+		cfgs := make([]smartvlc.SessionConfig, n)
+		for i := range cfgs {
+			cfg := base
+			cfg.Seed = base.Seed + uint64(i)
+			if out.wantMetrics {
+				cfg.Telemetry = smartvlc.NewTelemetry()
+			}
+			if out.traceDir != "" {
+				cfg.Spans = smartvlc.NewSpanCollector()
+			}
+			if out.wantProf {
+				cfg.Prof = smartvlc.NewProfiler()
+			}
+			cfgs[i] = cfg
+		}
+		return cfgs
 	}
-	wall := time.Since(start)
+
+	arenas := smartvlc.NewFleetArenas()
+	var fl smartvlc.FleetResult
+	var err error
+	var coldWall, wall time.Duration
+	for r := 0; r < repeat; r++ {
+		start := time.Now()
+		fl, err = smartvlc.RunFleetArenas(arenas, mkCfgs(), seconds, workers)
+		if err != nil {
+			fatal(err)
+		}
+		wall = time.Since(start)
+		if r == 0 {
+			coldWall = wall
+		}
+	}
 
 	var goodput float64
 	var sent, ok, bad int
@@ -357,7 +380,13 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers int, 
 	}
 	fmt.Printf("scheme      : %s\n", sch.Name())
 	fmt.Printf("fleet       : %d sessions x %.2f s simulated, %d workers\n", n, seconds, fl.Workers)
-	fmt.Printf("wall clock  : %.3f s (%.2f sessions/sec)\n", wall.Seconds(), float64(n)/wall.Seconds())
+	rate := float64(n) / wall.Seconds()
+	fmt.Printf("wall clock  : %.3f s (%.2f sessions/sec, %.2f sessions/sec/core)\n",
+		wall.Seconds(), rate, rate/float64(fl.Workers))
+	if repeat > 1 {
+		fmt.Printf("arena warmup: cold %.2f sessions/sec -> warm %.2f sessions/sec over %d repeats\n",
+			float64(n)/coldWall.Seconds(), rate, repeat)
+	}
 	fmt.Printf("goodput     : %.1f kbps mean per session (%.1f kbps aggregate)\n",
 		goodput/float64(n)/1000, goodput/1000)
 	fmt.Printf("frames      : sent=%d ok=%d bad=%d\n", sent, ok, bad)

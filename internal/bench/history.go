@@ -32,6 +32,10 @@ type Record struct {
 	Quick bool `json:"quick,omitempty"`
 	// NsPerOp maps benchmark name to its measured ns/op.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// SessionsPerSec maps each session-loop benchmark to its whole-session
+	// throughput — the headline rate the arena work optimizes, trended
+	// alongside ns/op so warm-vs-fresh progress survives in the log.
+	SessionsPerSec map[string]float64 `json:"sessions_per_sec,omitempty"`
 }
 
 // Append writes rec as one JSON line at the end of path, creating the
@@ -143,7 +147,9 @@ func StageFor(bench string) string {
 	case "receiver_process":
 		return "phy.decode"
 	case "end_to_end_frame", "end_to_end_frame_spans", "end_to_end_frame_health", "end_to_end_frame_prof",
-		"session_frames", "fleet_sessions", "fleet_sessions_parallel",
+		"session_frames", "session_frames_arena",
+		"fleet_sessions", "fleet_sessions_parallel",
+		"fleet_sessions_arena", "fleet_sessions_arena_parallel",
 		"broadcast_fanout", "broadcast_fanout_parallel":
 		return "sim.frame"
 	case "table_construction":

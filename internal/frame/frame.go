@@ -3,6 +3,7 @@ package frame
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // PayloadCodec modulates payload bytes into slots at a fixed dimming level.
@@ -93,11 +94,22 @@ func BuildAppend(dst []bool, codec PayloadCodec, payload []byte) ([]bool, error)
 
 	hf := headerFields(h)
 	crc := CRC16(hf[:], payload)
-	body := make([]byte, 0, len(payload)+CRCBytes)
-	body = append(body, payload...)
+	// The payload+CRC concatenation is transient: AppendPayload reads it
+	// into slot symbols and does not retain it, so a pooled scratch makes
+	// frame building allocation-free on the per-frame session path.
+	bp := bodyPool.Get().(*[]byte)
+	body := append((*bp)[:0], payload...)
 	body = append(body, byte(crc>>8), byte(crc))
-	return codec.AppendPayload(dst, body)
+	dst, err = codec.AppendPayload(dst, body)
+	*bp = body
+	bodyPool.Put(bp)
+	return dst, err
 }
+
+// bodyPool recycles the payload+CRC scratch BuildAppend hands to the
+// codec. Pointer-to-slice elements keep Get/Put themselves from
+// allocating.
+var bodyPool = sync.Pool{New: func() any { s := make([]byte, 0, 256); return &s }}
 
 // headerFields returns the CRC-covered header bytes as a fixed array so
 // the checksum call never heap-allocates.

@@ -302,3 +302,62 @@ func TestVLCUplinkIdleGapResetsClock(t *testing.T) {
 		t.Fatalf("second delivery at %v", got[1].At)
 	}
 }
+
+// TestLongSessionWindowedBookkeeping drives a sender/receiver pair
+// through more cycles than the 16-bit sequence space holds. The windowed
+// ring/bitmap bookkeeping must keep goodput accounting exact across the
+// wrap (each reissued sequence number is a new incarnation and earns
+// payload credit again) — the regime where the old map-based bookkeeping
+// both grew without bound and undercounted goodput after seq reuse.
+func TestLongSessionWindowedBookkeeping(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	s, err := NewSender(8, 4, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReceiverSide(4)
+	const cycles = 70000 // > 65536: wraps the sequence space
+	now := 0.0
+	for i := 0; i < cycles; i++ {
+		seq, body, ok := s.NextFrame(now)
+		if !ok {
+			t.Fatalf("cycle %d: window closed with no frames in flight", i)
+		}
+		gotSeq, ackIt := r.OnFrame(body)
+		if !ackIt || gotSeq != seq {
+			t.Fatalf("cycle %d: receiver seq=%d ackIt=%v, want seq=%d", i, gotSeq, ackIt, seq)
+		}
+		s.OnAck(seq)
+		now += 0.001
+	}
+	if s.UniqueAcked() != cycles {
+		t.Fatalf("unique acked %d, want %d", s.UniqueAcked(), cycles)
+	}
+	if s.AckedPayload() != int64(cycles)*4 {
+		t.Fatalf("acked payload %d, want %d", s.AckedPayload(), int64(cycles)*4)
+	}
+	if r.DeliveredPayload() != int64(cycles)*4 {
+		t.Fatalf("delivered payload %d, want %d", r.DeliveredPayload(), int64(cycles)*4)
+	}
+	if r.Duplicates() != 0 || s.Retransmits() != 0 {
+		t.Fatalf("dups %d retransmits %d on a clean pipe", r.Duplicates(), s.Retransmits())
+	}
+
+	// Steady state is allocation-free: the flight ring, payload scratch
+	// and seq bitmaps are all fixed-size, so the heap stops growing with
+	// traffic once the pair is warm.
+	allocs := testing.AllocsPerRun(1000, func() {
+		seq, body, ok := s.NextFrame(now)
+		if !ok {
+			t.Fatal("window closed")
+		}
+		if _, ackIt := r.OnFrame(body); !ackIt {
+			t.Fatal("frame rejected")
+		}
+		s.OnAck(seq)
+		now += 0.001
+	})
+	if allocs != 0 {
+		t.Fatalf("send/deliver/ack cycle allocates %v times, want 0", allocs)
+	}
+}

@@ -7,7 +7,6 @@ package mac
 
 import (
 	"math/rand/v2"
-	"sort"
 
 	"smartvlc/internal/telemetry/span"
 )
@@ -62,11 +61,26 @@ type SideChannel struct {
 
 	rng   *rand.Rand
 	queue []Message
+	out   []Message
 }
 
 // NewSideChannel builds a channel with its own deterministic RNG stream.
 func NewSideChannel(latency, jitter, loss float64, rng *rand.Rand) *SideChannel {
 	return &SideChannel{LatencySeconds: latency, JitterSeconds: jitter, LossProb: loss, rng: rng}
+}
+
+// Reset returns the channel to its just-constructed state for the given
+// parameters, keeping the queue and receive scratch capacity so a renting
+// arena pays no per-session allocations. Metrics and Spans are cleared,
+// matching a fresh channel.
+func (s *SideChannel) Reset(latency, jitter, loss float64, rng *rand.Rand) {
+	s.LatencySeconds = latency
+	s.JitterSeconds = jitter
+	s.LossProb = loss
+	s.Metrics = nil
+	s.Spans = nil
+	s.rng = rng
+	s.queue = s.queue[:0]
 }
 
 // Send enqueues a message at time now; it may silently drop it.
@@ -118,16 +132,40 @@ func kindName(k MessageKind) string {
 }
 
 // Receive removes and returns all messages delivered by time now, in
-// delivery order.
+// delivery order. The returned slice aliases the channel's scratch buffer
+// and is valid until the next Receive call.
 func (s *SideChannel) Receive(now float64) []Message {
-	sort.SliceStable(s.queue, func(i, j int) bool { return s.queue[i].At < s.queue[j].At })
+	sortByAt(s.queue)
 	n := 0
 	for n < len(s.queue) && s.queue[n].At <= now {
 		n++
 	}
-	out := append([]Message(nil), s.queue[:n]...)
-	s.queue = s.queue[n:]
-	return out
+	s.out = append(s.out[:0], s.queue[:n]...)
+	s.queue = s.queue[:copy(s.queue, s.queue[n:])]
+	return s.out
+}
+
+// sortByAt stable-sorts messages by delivery time. It is a binary
+// insertion sort — stable, so ties keep enqueue order exactly as
+// sort.SliceStable with an At-less comparator would — chosen because the
+// queue is nearly sorted (jitter only reorders neighbors) and because it
+// avoids the comparator closure the sort package would allocate on a path
+// Receive hits every simulated frame.
+func sortByAt(q []Message) {
+	for i := 1; i < len(q); i++ {
+		m := q[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if q[mid].At <= m.At {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		copy(q[lo+1:i+1], q[lo:i])
+		q[lo] = m
+	}
 }
 
 // Pending returns the number of undelivered messages.

@@ -41,12 +41,25 @@ type VLCUplink struct {
 
 	lastFree float64
 	queue    []Message
+	out      []Message
 }
 
 // NewVLCUplink returns an uplink with the given PHY rate and range at the
 // current distance. Typical values: 10 kbps, 96-bit messages, 2.0 m range.
 func NewVLCUplink(bitRate float64, messageBits int, rangeM, distanceM float64) *VLCUplink {
 	return &VLCUplink{BitRate: bitRate, MessageBits: messageBits, RangeM: rangeM, DistanceM: distanceM}
+}
+
+// Reset returns the uplink to its just-constructed state for the given
+// parameters, keeping queue and scratch capacity for a renting arena.
+func (u *VLCUplink) Reset(bitRate float64, messageBits int, rangeM, distanceM float64) {
+	u.BitRate = bitRate
+	u.MessageBits = messageBits
+	u.RangeM = rangeM
+	u.DistanceM = distanceM
+	u.Metrics = nil
+	u.lastFree = 0
+	u.queue = u.queue[:0]
 }
 
 // Send implements Uplink.
@@ -64,15 +77,16 @@ func (u *VLCUplink) Send(now float64, m Message) {
 }
 
 // Receive implements Uplink. Messages are already in delivery order
-// because the channel is serial.
+// because the channel is serial. The returned slice aliases the uplink's
+// scratch buffer and is valid until the next Receive call.
 func (u *VLCUplink) Receive(now float64) []Message {
 	n := 0
 	for n < len(u.queue) && u.queue[n].At <= now {
 		n++
 	}
-	out := append([]Message(nil), u.queue[:n]...)
-	u.queue = u.queue[n:]
-	return out
+	u.out = append(u.out[:0], u.queue[:n]...)
+	u.queue = u.queue[:copy(u.queue, u.queue[n:])]
+	return u.out
 }
 
 // Pending implements Uplink.

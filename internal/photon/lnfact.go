@@ -1,0 +1,33 @@
+package photon
+
+import "math"
+
+// lnFactTableN bounds the precomputed ln k! table. PTRS rejection tests
+// evaluate ln k! for k within a few standard deviations of lambda, and
+// the session workloads keep lambda well below this bound; larger k fall
+// back to math.Lgamma.
+const lnFactTableN = 4096
+
+// lnFactTable[k] = ln k! = math.Lgamma(k+1), precomputed once. Each entry
+// IS the math.Lgamma result for that integer argument — not a different
+// approximation — so replacing the call with a table read leaves every
+// sampler's accept/reject decisions, and therefore every drawn stream,
+// bit-identical.
+var lnFactTable = func() []float64 {
+	t := make([]float64, lnFactTableN)
+	for k := range t {
+		lg, _ := math.Lgamma(float64(k) + 1)
+		t[k] = lg
+	}
+	return t
+}()
+
+// lnFact returns ln(kf!) for a non-negative integer-valued kf,
+// bit-identical to math.Lgamma(kf+1).
+func lnFact(kf float64) float64 {
+	if k := int(kf); k >= 0 && k < lnFactTableN {
+		return lnFactTable[k]
+	}
+	lg, _ := math.Lgamma(kf + 1)
+	return lg
+}

@@ -72,7 +72,7 @@ func samplePTRSPCG(p *rand.PCG, lambda float64) int {
 			continue
 		}
 		k := int(kf)
-		lg, _ := math.Lgamma(kf + 1)
+		lg := lnFact(kf)
 		if !haveLog {
 			logLambda, haveLog = math.Log(lambda), true
 		}

@@ -142,7 +142,7 @@ func samplePTRS(rng *rand.Rand, lambda float64) int {
 			continue
 		}
 		k := int(kf)
-		lg, _ := math.Lgamma(kf + 1)
+		lg := lnFact(kf)
 		if !haveLog {
 			logLambda, haveLog = math.Log(lambda), true
 		}

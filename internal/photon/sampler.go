@@ -157,8 +157,7 @@ func (s *Sampler) tailDraw(u float64) int {
 // acceptAt computes the PTRS acceptance bound exp(k·lnλ − λ − ln k!) with
 // the exact expression Sample uses, keeping the two bit-identical.
 func (s *Sampler) acceptAt(kf float64) float64 {
-	lg, _ := math.Lgamma(kf + 1)
-	return math.Exp(kf*s.logLambda - s.lambda - lg)
+	return math.Exp(kf*s.logLambda - s.lambda - lnFact(kf))
 }
 
 // Lambda returns the mean the sampler was built for.

@@ -327,6 +327,19 @@ type Receiver struct {
 	// columns, the reusable results slice and the payload buffers the
 	// decoded frames land in. See batch.go for the recycling contract.
 	batch Batch
+
+	// vWin3/vSlot/vPayloads are the VIRTUAL scratch high-water marks that
+	// drive the prof alloc counters. A fresh receiver allocates exactly
+	// when a column outgrows its scratch (grownInts and foldSlots size
+	// capacity exactly, the payload spine grows one slot at a time), so
+	// "needed size exceeded the high-water" reproduces the fresh alloc
+	// pattern bit-for-bit even when the receiver is rented warm from an
+	// arena and the real buffers already fit. Reset zeroes them so a
+	// rented receiver's prof snapshot stays byte-identical to a
+	// NewReceiver-per-rebuild run.
+	vWin3     int
+	vSlot     int
+	vPayloads int
 }
 
 // thrCache memoizes the tuned detection threshold per channel operating
@@ -388,6 +401,7 @@ func (r *Receiver) Reset(ch photon.Channel, factory frame.CodecFactory) {
 	r.spanAt, r.spanDt = 0, 0
 	r.profHunt, r.profDecode = nil, nil
 	r.ambientEMA, r.ambientSet = 0, false
+	r.vWin3, r.vSlot, r.vPayloads = 0, 0, 0
 }
 
 // SetProf attaches stage profiler series for subsequent Process calls:
@@ -488,9 +502,12 @@ func (r *Receiver) phaseScore(win3 []int, offset, fromSlot, nSlots int) int {
 // within long frames. The returned slice aliases the receiver's scratch
 // buffer and is valid until the next foldSlots call.
 func (r *Receiver) foldSlots(win3 []int, offset, maxSlots int) []bool {
+	if maxSlots > r.vSlot {
+		r.profDecode.Allocs(1)
+		r.vSlot = maxSlots
+	}
 	if cap(r.slotScratch) < maxSlots {
 		r.slotScratch = make([]bool, 0, maxSlots)
-		r.profDecode.Allocs(1)
 	}
 	out := r.slotScratch[:0]
 	cur := offset
@@ -625,8 +642,9 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 		// win3[i] is the prefix-sum difference pre[i+4]−pre[i+1], computed
 		// as one fused rolling pass so the column costs a single sweep
 		// over the samples instead of materializing pre separately.
-		if cap(r.batch.win3) < n {
+		if n > r.vWin3 {
 			r.profHunt.Allocs(1)
+			r.vWin3 = n
 		}
 		r.batch.win3 = grownInts(r.batch.win3, n)
 		win3 = r.batch.win3
@@ -672,9 +690,12 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 		// result slot, growing the batch when a stream carries more frames
 		// than any before it.
 		k := len(results)
+		if k == r.vPayloads {
+			r.profDecode.Allocs(1)
+			r.vPayloads++
+		}
 		if k == len(r.batch.payloads) {
 			r.batch.payloads = append(r.batch.payloads, nil)
-			r.profDecode.Allocs(1)
 		}
 		r.profDecode.Ops(1)
 		res, pbuf, err := frame.ParseInto(slots, r.factory, r.batch.payloads[k])

@@ -1,0 +1,517 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"strconv"
+	"sync"
+
+	"smartvlc/internal/hw"
+	"smartvlc/internal/mac"
+	"smartvlc/internal/parallel"
+	"smartvlc/internal/phy"
+	"smartvlc/internal/telemetry/prof"
+	"smartvlc/internal/telemetry/span"
+)
+
+// This file holds the session arena: a reusable bundle of everything a
+// session allocates, plus the ring/bitmap structures that replace the
+// seq-keyed maps of the session loops. Byte-identity with fresh runs is
+// the design invariant throughout — an arena may only change WHERE state
+// lives, never what any session observes. The reset discipline that
+// guarantees it (DESIGN.md §14):
+//
+//   - Every rented component is reset to its just-constructed state at
+//     session start: RNG streams reseeded onto the exact (seed, salt)
+//     streams a fresh run derives, MAC/PHY state cleared via the
+//     components' own Reset methods, caches cleared (buckets kept).
+//   - Scratch capacity is the ONLY thing that survives: retained buffers
+//     make warm sessions allocation-free, and the sim/phy prof alloc
+//     counters run on virtual high-water marks (reset per session) so
+//     even the profiler's scratch-growth accounting matches a fresh run
+//     bit for bit.
+//   - Ring entries are validated by (generation, seq) tags instead of
+//     being cleared: reset is O(1), and a stale entry can never be read
+//     because the sequence window guarantees seq and seq±seqRingSize are
+//     never live at once (the ARQ window blocks issue of seq+k until
+//     seq's fate is settled, k ≤ Window « seqRingSize).
+
+// seqRingSize is the span of the seq-keyed rings. It needs only to
+// exceed the maximum number of sequence numbers that can be "live"
+// (unacked, or awaiting a trailing duplicate ACK) at once — bounded by
+// the ARQ window plus the ACK round trip (timeout + side-channel
+// latency, a few dozen frames), two orders of magnitude below 1024.
+const seqRingSize = 1 << 10
+
+// rootRing replaces the per-session map[uint16]span.ID of frame root
+// spans. Entries are tagged with (generation, seq); a lookup that misses
+// returns the zero span ID, exactly like the map it replaces.
+type rootRing struct {
+	gen uint32
+	ent [seqRingSize]struct {
+		gen uint32
+		seq uint16
+		id  span.ID
+	}
+}
+
+func (r *rootRing) reset() { r.gen++ }
+
+func (r *rootRing) set(seq uint16, id span.ID) {
+	e := &r.ent[seq&(seqRingSize-1)]
+	e.gen, e.seq, e.id = r.gen, seq, id
+}
+
+// get returns seq's root span, or zero — matching the empty-map read of
+// unarmed sessions, for which the ring is nil.
+func (r *rootRing) get(seq uint16) span.ID {
+	if r == nil {
+		return 0
+	}
+	e := &r.ent[seq&(seqRingSize-1)]
+	if e.gen == r.gen && e.seq == seq {
+		return e.id
+	}
+	return 0
+}
+
+// timeRing replaces the broadcast loop's map[uint16]float64 of first
+// transmission times.
+type timeRing struct {
+	gen uint32
+	ent [seqRingSize]struct {
+		gen uint32
+		seq uint16
+		at  float64
+	}
+}
+
+func (r *timeRing) reset() { r.gen++ }
+
+func (r *timeRing) set(seq uint16, at float64) {
+	e := &r.ent[seq&(seqRingSize-1)]
+	e.gen, e.seq, e.at = r.gen, seq, at
+}
+
+func (r *timeRing) get(seq uint16) (float64, bool) {
+	e := &r.ent[seq&(seqRingSize-1)]
+	if e.gen == r.gen && e.seq == seq {
+		return e.at, true
+	}
+	return 0, false
+}
+
+func (r *timeRing) drop(seq uint16) {
+	e := &r.ent[seq&(seqRingSize-1)]
+	if e.gen == r.gen && e.seq == seq {
+		e.gen = 0
+	}
+}
+
+// ackRing replaces the broadcast loop's map[uint16]map[int]bool of
+// per-frame receiver acknowledgment sets: one per-receiver bitmask per
+// in-window sequence number.
+type ackRing struct {
+	gen    uint32
+	nWords int
+	ent    [seqRingSize]struct {
+		gen   uint32
+		seq   uint16
+		count int
+		words []uint64
+	}
+}
+
+func (r *ackRing) reset(nRx int) {
+	r.gen++
+	r.nWords = (nRx + 63) / 64
+}
+
+// add marks receiver i as having acked seq and returns the number of
+// distinct receivers recorded for it so far.
+func (r *ackRing) add(seq uint16, i int) int {
+	e := &r.ent[seq&(seqRingSize-1)]
+	if e.gen != r.gen || e.seq != seq {
+		e.gen, e.seq, e.count = r.gen, seq, 0
+		if cap(e.words) < r.nWords {
+			e.words = make([]uint64, r.nWords)
+		} else {
+			e.words = e.words[:r.nWords]
+			clear(e.words)
+		}
+	}
+	w, b := i>>6, uint64(1)<<(i&63)
+	if e.words[w]&b == 0 {
+		e.words[w] |= b
+		e.count++
+	}
+	return e.count
+}
+
+// drop forgets seq's acknowledgment set (the map's delete).
+func (r *ackRing) drop(seq uint16) {
+	e := &r.ent[seq&(seqRingSize-1)]
+	if e.gen == r.gen && e.seq == seq {
+		e.gen = 0
+	}
+}
+
+// seqBits is a set over the full 16-bit sequence space (8 KB), replacing
+// the broadcast loop's completed-frame map. Unlike the rings it is
+// cleared wholesale per session — one 8 KB memclr.
+type seqBits [1 << 16 / 64]uint64
+
+func (b *seqBits) has(seq uint16) bool { return b[seq>>6]&(1<<(seq&63)) != 0 }
+func (b *seqBits) set(seq uint16)      { b[seq>>6] |= 1 << (seq & 63) }
+func (b *seqBits) clear(seq uint16)    { b[seq>>6] &^= 1 << (seq & 63) }
+func (b *seqBits) resetAll()           { *b = seqBits{} }
+
+// rxOutbox buffers one frame window's side-channel traffic for one
+// broadcast receiver. The PHY work of a window runs concurrently per
+// receiver, but side.Send consumes the shared sideRng (loss and jitter
+// draws), so the sends are recorded here and replayed sequentially in
+// receiver order — exactly the sequence the serial loop produces.
+type rxOutbox struct {
+	ackSeqs []uint16
+	// newSeqs are the sequences newly delivered this window (ackSeqs
+	// minus re-acked duplicates) — what the health monitor counts as
+	// delivered payload and an ACK latency sample.
+	newSeqs    []uint16
+	stats      phy.Stats
+	ambient    float64
+	hasAmbient bool
+}
+
+// bcRxState is one broadcast receiver's session state; the arena retains
+// these across sessions and resets them per run.
+type bcRxState struct {
+	rng      *rand.Rand
+	pcg      *rand.PCG // rng's generator, for the PHY fast path
+	link     phy.Link
+	rx       *phy.Receiver
+	macRx    *mac.Receiver
+	lastLux  float64
+	remote   float64 // last reported ambient lux
+	reported bool
+	sumAcc   float64
+	sumN     int
+	out      rxOutbox
+	// Per-receiver stage-profiler handles (shard "rx<i>"), switched in
+	// the sequential phase on dimming-level changes. Nil when the
+	// profiler is unarmed; all adders no-op on nil.
+	profTx, profHunt, profDecode *prof.Stage
+	// spanBuf accumulates this shard's channel/hunt/decode spans for
+	// one frame; the merge loop splices it in receiver order.
+	spanBuf span.Buffer
+}
+
+// bcRxProf is one receiver shard's stage-profiler handle set at one
+// dimming level.
+type bcRxProf struct{ tx, hunt, decode *prof.Stage }
+
+// bcLevelProf is the broadcast loop's per-dimming-level profiler state:
+// shared frame/mac handles, per-receiver shard handles, and the pre-built
+// pprof label context for the level.
+type bcLevelProf struct {
+	frame, mac *prof.Stage
+	rx         []bcRxProf
+	symbols    int64 // modulation symbols per frame body at this level
+	labels     context.Context
+}
+
+// Arena owns everything a session allocates — PHY link/receiver pairs,
+// MAC sender/receiver/side-channel state, codec and prof-handle caches,
+// span and slot buffers, broadcast receiver shards and their outboxes —
+// so repeated sessions rent warm state instead of reallocating it.
+// Results, telemetry, spans, health and prof snapshots are byte-identical
+// to fresh-allocated runs for the same (config, duration).
+//
+// An Arena serves one session at a time and is not safe for concurrent
+// use; fleets thread one arena per worker (see RunFleet). The zero value
+// is ready to use.
+type Arena struct {
+	chanPCG, sidePCG, macPCG *rand.PCG
+	chanRng, sideRng, macRng *rand.Rand
+
+	sender *mac.Sender
+	rxSide *mac.Receiver
+	sideCh *mac.SideChannel
+	vlcUp  *mac.VLCUplink
+	sensor *hw.Filter
+	rx     *phy.Receiver
+
+	codecs    codecCache
+	profCache map[float64]*profStages
+
+	slotBuf     []bool
+	vSlotLen    int // virtual slot-buffer high-water; drives the frame-stage alloc counter
+	deliveredAt []float64
+	rxSpanBuf   span.Buffer
+	roots       *rootRing // lazily built: only span-armed sessions write it
+
+	// Broadcast-session state, lazily built on the first broadcast rent.
+	bcRxs    []*bcRxState
+	acked    *ackRing
+	complete *seqBits
+	firstTx  *timeRing
+	bcProf   map[float64]*bcLevelProf
+}
+
+// NewArena returns an empty arena. Allocation happens lazily as the
+// first session rents components; every later session with compatible
+// shapes reuses them.
+func NewArena() *Arena { return &Arena{} }
+
+// Run is sim.Run executing out of the arena: identical results and
+// snapshots, with the session's working state rented from a instead of
+// freshly allocated. See Run for the profiling-label behavior.
+func (a *Arena) Run(cfg Config, duration float64) (Result, error) {
+	if cfg.Prof == nil || cfg.Scheme == nil {
+		return run(cfg, duration, a)
+	}
+	var res Result
+	var err error
+	parallel.Do(func() { res, err = run(cfg, duration, a) },
+		"session", strconv.FormatUint(cfg.Seed, 10),
+		"scheme", cfg.Scheme.Name())
+	return res, err
+}
+
+// RunBroadcast is sim.RunBroadcast executing out of the arena.
+func (a *Arena) RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error) {
+	if cfg.Prof == nil || cfg.Scheme == nil {
+		return runBroadcast(cfg, duration, a)
+	}
+	var res BroadcastResult
+	var err error
+	parallel.Do(func() { res, err = runBroadcast(cfg, duration, a) },
+		"session", strconv.FormatUint(cfg.Seed, 10),
+		"scheme", cfg.Scheme.Name())
+	return res, err
+}
+
+// reseed rewinds the arena's three generator pairs onto the session's
+// streams, creating them on first use. The salts match the fresh-run
+// derivations exactly, so rented and fresh sessions consume identical
+// randomness.
+func (a *Arena) reseed(seed, chanSalt, sideSalt, macSalt uint64) {
+	if a.chanPCG == nil {
+		a.chanPCG = rand.NewPCG(seed, chanSalt)
+		a.chanRng = rand.New(a.chanPCG)
+		a.sidePCG = rand.NewPCG(seed, sideSalt)
+		a.sideRng = rand.New(a.sidePCG)
+		a.macPCG = rand.NewPCG(seed, macSalt)
+		a.macRng = rand.New(a.macPCG)
+		return
+	}
+	a.chanPCG.Seed(seed, chanSalt)
+	a.sidePCG.Seed(seed, sideSalt)
+	a.macPCG.Seed(seed, macSalt)
+}
+
+// rentSender resets the arena's ARQ sender for the session (building it
+// on first use), on the arena's MAC stream.
+func (a *Arena) rentSender(window, payloadBytes int, timeout float64) (*mac.Sender, error) {
+	if a.sender == nil {
+		s, err := mac.NewSender(window, payloadBytes, timeout, a.macRng)
+		if err != nil {
+			return nil, err
+		}
+		a.sender = s
+		return s, nil
+	}
+	if err := a.sender.Reset(window, payloadBytes, timeout, a.macRng); err != nil {
+		return nil, err
+	}
+	return a.sender, nil
+}
+
+// rentReceiverSide resets the arena's ARQ receiver for the session.
+func (a *Arena) rentReceiverSide(payloadBytes int) *mac.Receiver {
+	if a.rxSide == nil {
+		a.rxSide = mac.NewReceiverSide(payloadBytes)
+		return a.rxSide
+	}
+	a.rxSide.Reset(payloadBytes)
+	return a.rxSide
+}
+
+// rentSideChannel resets the arena's Wi-Fi side channel on the arena's
+// side stream.
+func (a *Arena) rentSideChannel(latency, jitter, loss float64) *mac.SideChannel {
+	if a.sideCh == nil {
+		a.sideCh = mac.NewSideChannel(latency, jitter, loss, a.sideRng)
+		return a.sideCh
+	}
+	a.sideCh.Reset(latency, jitter, loss, a.sideRng)
+	return a.sideCh
+}
+
+// rentVLCUplink resets the arena's VLC return link.
+func (a *Arena) rentVLCUplink(bitRate float64, messageBits int, rangeM, distanceM float64) *mac.VLCUplink {
+	if a.vlcUp == nil {
+		a.vlcUp = mac.NewVLCUplink(bitRate, messageBits, rangeM, distanceM)
+		return a.vlcUp
+	}
+	a.vlcUp.Reset(bitRate, messageBits, rangeM, distanceM)
+	return a.vlcUp
+}
+
+// rentSensor resets the arena's ambient-light filter.
+func (a *Arena) rentSensor(pd hw.Photodiode) *hw.Filter {
+	if a.sensor == nil {
+		a.sensor = hw.NewFilter(pd)
+		return a.sensor
+	}
+	a.sensor.Reset(pd)
+	return a.sensor
+}
+
+// rentReceiver returns the arena's PHY receiver shell; the session's
+// channel-rebuild path configures it via Reset, which also rewinds the
+// virtual alloc counters so prof snapshots match a receiver-per-rebuild
+// fresh run.
+func (a *Arena) rentReceiver() *phy.Receiver {
+	if a.rx == nil {
+		a.rx = new(phy.Receiver)
+	}
+	return a.rx
+}
+
+// rentProfCache clears and returns the per-level stage-handle cache.
+// Cleared per session (not reused across them) because the handles
+// belong to the session's profiler and the label contexts embed its
+// seed; the map's buckets survive, so steady-state sessions insert
+// without allocating.
+func (a *Arena) rentProfCache() map[float64]*profStages {
+	if a.profCache == nil {
+		a.profCache = make(map[float64]*profStages, 4)
+	} else {
+		clear(a.profCache)
+	}
+	return a.profCache
+}
+
+// rentBcProfCache is rentProfCache for the broadcast stage handles.
+func (a *Arena) rentBcProfCache() map[float64]*bcLevelProf {
+	if a.bcProf == nil {
+		a.bcProf = make(map[float64]*bcLevelProf, 4)
+	} else {
+		clear(a.bcProf)
+	}
+	return a.bcProf
+}
+
+// rentBcReceivers resets the first n broadcast receiver shards for the
+// session, growing the shard list on first use. Each shard's RNG is
+// reseeded onto the stream parallel.PCG derives for its index, so shard
+// i's draws are identical to a fresh run's.
+func (a *Arena) rentBcReceivers(n int, seed uint64, payloadBytes int) []*bcRxState {
+	for len(a.bcRxs) < n {
+		a.bcRxs = append(a.bcRxs, &bcRxState{})
+	}
+	rxs := a.bcRxs[:n]
+	for i, st := range rxs {
+		if st.pcg == nil {
+			st.pcg = parallel.PCG(seed, 0xBEEF00, i)
+			st.rng = rand.New(st.pcg)
+		} else {
+			parallel.ReseedPCG(st.pcg, seed, 0xBEEF00, i)
+		}
+		if st.macRx == nil {
+			st.macRx = mac.NewReceiverSide(payloadBytes)
+		} else {
+			st.macRx.Reset(payloadBytes)
+		}
+		if st.rx == nil {
+			st.rx = new(phy.Receiver)
+		}
+		st.link = phy.Link{}
+		st.lastLux = math.Inf(-1)
+		st.remote, st.reported = 0, false
+		st.sumAcc, st.sumN = 0, 0
+		st.out.ackSeqs = st.out.ackSeqs[:0]
+		st.out.newSeqs = st.out.newSeqs[:0]
+		st.out.stats = phy.Stats{}
+		st.out.ambient, st.out.hasAmbient = 0, false
+		st.profTx, st.profHunt, st.profDecode = nil, nil, nil
+		st.spanBuf.Reset()
+	}
+	return rxs
+}
+
+// rentRoots returns the reset frame-root ring when spans are armed, and
+// nil otherwise — rootRing.get is nil-safe and returns the zero span ID,
+// exactly like the empty map unarmed sessions used to read.
+func (a *Arena) rentRoots(armed bool) *rootRing {
+	if !armed {
+		return nil
+	}
+	if a.roots == nil {
+		a.roots = new(rootRing)
+	}
+	a.roots.reset()
+	return a.roots
+}
+
+// rentBcBookkeeping resets the broadcast loop's reliable-delivery
+// structures: the per-seq receiver-ack sets, the completed-seq bitmap and
+// the first-transmission time ring.
+func (a *Arena) rentBcBookkeeping(nRx int) (*ackRing, *seqBits, *timeRing) {
+	if a.acked == nil {
+		a.acked = new(ackRing)
+		a.complete = new(seqBits)
+		a.firstTx = new(timeRing)
+	}
+	a.acked.reset(nRx)
+	a.complete.resetAll()
+	a.firstTx.reset()
+	return a.acked, a.complete, a.firstTx
+}
+
+// frameAlloc applies the frame-stage scratch-growth rule: one virtual
+// allocation whenever a frame's slot waveform exceeds the session's
+// high-water length. The rule is a pure function of the (deterministic)
+// waveform lengths, so warm and fresh sessions account identically —
+// unlike the retained buffer's real reallocations, which warm sessions
+// skip.
+func (a *Arena) frameAlloc(slotLen int) bool {
+	if slotLen > a.vSlotLen {
+		a.vSlotLen = slotLen
+		return true
+	}
+	return false
+}
+
+// FleetArenas is a concurrency-safe pool of session arenas for fleet
+// runs: RunFleet rents one arena per worker per call, and a persistent
+// FleetArenas keeps those arenas warm across calls — the steady-state
+// regime of a long-lived session service, where per-session allocation
+// approaches zero.
+type FleetArenas struct {
+	mu   sync.Mutex
+	free []*Arena
+}
+
+// NewFleetArenas returns an empty arena pool.
+func NewFleetArenas() *FleetArenas { return &FleetArenas{} }
+
+// rent pops a warm arena or builds a fresh one.
+func (f *FleetArenas) rent() *Arena {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n := len(f.free); n > 0 {
+		a := f.free[n-1]
+		f.free = f.free[:n-1]
+		return a
+	}
+	return NewArena()
+}
+
+// release returns an arena to the pool.
+func (f *FleetArenas) release(a *Arena) {
+	f.mu.Lock()
+	f.free = append(f.free, a)
+	f.mu.Unlock()
+}

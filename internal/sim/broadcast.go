@@ -1,11 +1,9 @@
 package sim
 
 import (
-	"context"
 	"encoding/hex"
 	"fmt"
 	"math"
-	"math/rand/v2"
 	"strconv"
 
 	"smartvlc/internal/frame"
@@ -109,19 +107,13 @@ type BroadcastResult struct {
 // reaches at least the target illumination; frames are retransmitted
 // until all receivers acknowledge them. When the stage profiler is armed
 // the session body executes under pprof goroutine labels, like Run.
+// RunBroadcast allocates the session's working state fresh; Arena.
+// RunBroadcast rents it from a warm arena instead, byte-identically.
 func RunBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error) {
-	if cfg.Prof == nil || cfg.Scheme == nil {
-		return runBroadcast(cfg, duration)
-	}
-	var res BroadcastResult
-	var err error
-	parallel.Do(func() { res, err = runBroadcast(cfg, duration) },
-		"session", strconv.FormatUint(cfg.Seed, 10),
-		"scheme", cfg.Scheme.Name())
-	return res, err
+	return NewArena().RunBroadcast(cfg, duration)
 }
 
-func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error) {
+func runBroadcast(cfg BroadcastConfig, duration float64, a *Arena) (BroadcastResult, error) {
 	if len(cfg.Receivers) == 0 {
 		return BroadcastResult{}, fmt.Errorf("sim: broadcast needs at least one receiver")
 	}
@@ -135,13 +127,12 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	}
 
 	nRx := len(cfg.Receivers)
-	macRng := rand.New(rand.NewPCG(cfg.Seed, 0xACED2))
-	sideRng := rand.New(rand.NewPCG(cfg.Seed, 0x51DE2))
-	sender, err := mac.NewSender(cfg.Window, cfg.PayloadBytes, cfg.AckTimeoutSeconds, macRng)
+	a.reseed(cfg.Seed, 0xC0FFEE, 0x51DE2, 0xACED2)
+	sender, err := a.rentSender(cfg.Window, cfg.PayloadBytes, cfg.AckTimeoutSeconds)
 	if err != nil {
 		return BroadcastResult{}, err
 	}
-	side := mac.NewSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb, sideRng)
+	side := a.rentSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb)
 
 	// Span collection. The flight recorder is a single-receiver facility
 	// (Config.Flight is ignored here); spans cover the broadcast fan-out
@@ -178,51 +169,9 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		controller.Metrics = light.NewMetrics(reg)
 	}
 
-	// rxOutbox buffers one frame window's side-channel traffic for one
-	// receiver. The PHY work of a window runs concurrently per receiver,
-	// but side.Send consumes the shared sideRng (loss and jitter draws), so
-	// the sends are recorded here and replayed sequentially in receiver
-	// order — exactly the sequence the serial loop produces.
-	type rxOutbox struct {
-		ackSeqs []uint16
-		// newSeqs are the sequences newly delivered this window (ackSeqs
-		// minus re-acked duplicates) — what the health monitor counts as
-		// delivered payload and an ACK latency sample.
-		newSeqs    []uint16
-		stats      phy.Stats
-		ambient    float64
-		hasAmbient bool
-	}
-	type rxState struct {
-		rng      *rand.Rand
-		pcg      *rand.PCG // rng's generator, for the PHY fast path
-		link     phy.Link
-		rx       *phy.Receiver
-		macRx    *mac.Receiver
-		lastLux  float64
-		remote   float64 // last reported ambient lux
-		reported bool
-		sumAcc   float64
-		sumN     int
-		out      rxOutbox
-		// Per-receiver stage-profiler handles (shard "rx<i>"), switched in
-		// the sequential phase on dimming-level changes. Nil when the
-		// profiler is unarmed; all adders no-op on nil.
-		profTx, profHunt, profDecode *prof.Stage
-		// spanBuf accumulates this shard's channel/hunt/decode spans for
-		// one frame; the merge loop splices it in receiver order.
-		spanBuf span.Buffer
-	}
-	rxs := make([]*rxState, nRx)
-	for i := range rxs {
-		pcg := parallel.PCG(cfg.Seed, 0xBEEF00, i)
-		rxs[i] = &rxState{
-			rng:     rand.New(pcg),
-			pcg:     pcg,
-			macRx:   mac.NewReceiverSide(cfg.PayloadBytes),
-			lastLux: math.Inf(-1),
-		}
-	}
+	// Per-receiver shards (see bcRxState): each owns its rng, link,
+	// receiver and outbox, rented warm from the arena.
+	rxs := a.rentBcReceivers(nRx, cfg.Seed, cfg.PayloadBytes)
 	ensure := func(i int, lux float64) error {
 		st := rxs[i]
 		if st.lastLux > 0 && math.Abs(lux-st.lastLux) <= 0.02*st.lastLux {
@@ -234,20 +183,23 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		}
 		st.link = phy.DefaultLink(ch)
 		st.link.Metrics = txm
-		st.rx = phy.NewReceiver(ch, cfg.Scheme.Factory())
+		st.rx.Reset(ch, cfg.Scheme.Factory())
 		st.rx.Metrics = rxm
 		rxm.OnChannel(st.rx.Threshold())
 		st.lastLux = lux
 		return nil
 	}
 
-	// Reliable multicast bookkeeping: which receivers acked each frame.
-	acked := map[uint16]map[int]bool{}
-	complete := map[uint16]bool{}
+	// Reliable multicast bookkeeping: which receivers acked each frame,
+	// which frames every receiver has acked, and each sequence number's
+	// first transmission time — ring/bitmap-backed over the 16-bit
+	// sequence space instead of the maps they replace, so steady-state
+	// sessions stop growing the heap with traffic.
+	acked, complete, firstTx := a.rentBcBookkeeping(nRx)
 	reliableBytes := int64(0)
 
 	level := cfg.FixedLevel
-	codecs := map[float64]frame.PayloadCodec{}
+	a.codecs.reset(cfg.Scheme)
 	smoothed, smoothedSet := 0.0, false
 	lastT := 0.0
 
@@ -258,16 +210,9 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	// level and switched with SetLabels, which allocates nothing per frame.
 	schemeName := cfg.Scheme.Name()
 	seedStr := strconv.FormatUint(cfg.Seed, 10)
-	type bcRxProf struct{ tx, hunt, decode *prof.Stage }
-	type bcLevelProf struct {
-		frame, mac *prof.Stage
-		rx         []bcRxProf
-		symbols    int64 // modulation symbols per frame body at this level
-		labels     context.Context
-	}
-	// Keyed by the raw float level, like the codecs map: rendering the
+	// Keyed by the raw float level, like the codec cache: rendering the
 	// level label per frame would allocate in the armed hot loop.
-	bcProfCache := map[float64]*bcLevelProf{}
+	bcProfCache := a.rentBcProfCache()
 	var curProf *bcLevelProf
 	var profSymbols int64 // read by processRx; written only between fan-outs
 
@@ -295,14 +240,15 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 	}
 
 	var res BroadcastResult
-	var slotBuf []bool // frame slot waveform, reused across frames
+	slotBuf := a.slotBuf // frame slot waveform, reused across frames
+	a.vSlotLen = 0
 	now := 0.0
 	lastRecord := -1.0
 
 	// Span state (see Config.Spans): per-sequence roots for retransmit
 	// chaining and the sample duration for receiver-side span times.
 	tsamp := 8e-6 / float64(phy.Oversample)
-	roots := map[uint16]span.ID{}
+	roots := a.rentRoots(col != nil)
 	prevRetx := 0
 
 	// Per-receiver health monitors (nil entries are no-ops). Every
@@ -324,7 +270,6 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			mons[i] = health.NewMonitor(hc)
 		}
 	}
-	firstTx := map[uint16]float64{}
 
 	for now < duration {
 		for _, m := range mons {
@@ -376,31 +321,25 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		for _, m := range side.Receive(now) {
 			switch m.Kind {
 			case mac.KindAck:
-				if complete[m.Seq] {
+				if complete.has(m.Seq) {
 					continue
 				}
-				set := acked[m.Seq]
-				if set == nil {
-					set = map[int]bool{}
-					acked[m.Seq] = set
-				}
-				set[m.From] = true
-				if len(set) == nRx {
-					complete[m.Seq] = true
-					delete(acked, m.Seq)
+				if acked.add(m.Seq, m.From) == nRx {
+					complete.set(m.Seq)
+					acked.drop(m.Seq)
 					reliableBytes += int64(cfg.PayloadBytes)
 					if lat, known := sender.OnAckAt(m.Seq, m.At); known && macm != nil {
 						macm.AckLatency.AttachExemplar(lat, telemetry.Exemplar{
-							At: m.At, Seq: int64(m.Seq), Span: int64(roots[m.Seq]),
+							At: m.At, Seq: int64(m.Seq), Span: int64(roots.get(m.Seq)),
 						})
 					}
 					// Every receiver has delivered (and been observed) by
 					// the time the last ACK lands; the latency origin can go.
-					delete(firstTx, m.Seq)
+					firstTx.drop(m.Seq)
 					reg.Emit(m.At, "frame/ack", int64(m.Seq))
 					if col != nil {
 						col.Record(span.Span{
-							Name: "mac/ack", Parent: roots[m.Seq], Seq: int64(m.Seq),
+							Name: "mac/ack", Parent: roots.get(m.Seq), Seq: int64(m.Seq),
 							Start: m.At, End: m.At,
 						})
 					}
@@ -416,14 +355,9 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 			continue
 		}
 		reg.Emit(now, "frame/build", int64(seq))
-		codec, ok2 := codecs[level]
-		if !ok2 {
-			var err error
-			codec, err = cfg.Scheme.CodecFor(level)
-			if err != nil {
-				return BroadcastResult{}, err
-			}
-			codecs[level] = codec
+		codec, err := a.codecs.codecFor(level)
+		if err != nil {
+			return BroadcastResult{}, err
 		}
 		if cfg.Prof != nil {
 			lp := bcProfCache[level]
@@ -459,19 +393,19 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 				}
 			}
 		}
-		buildCap := cap(slotBuf)
 		slots, err := frame.BuildAppend(slotBuf[:0], codec, body)
 		if err != nil {
 			return BroadcastResult{}, err
 		}
 		slots = frame.AppendIdle(slots, codec.Level(), cfg.IdleGapSlots)
 		slotBuf = slots
+		grew := a.frameAlloc(len(slots))
 		if curProf != nil {
 			curProf.frame.Ops(1)
 			curProf.frame.Slots(int64(len(slots)))
 			curProf.frame.Bytes(int64(len(body)))
 			curProf.frame.Symbols(curProf.symbols)
-			if cap(slots) != buildCap {
+			if grew {
 				curProf.frame.Allocs(1)
 			}
 		}
@@ -483,7 +417,13 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		retx := sender.Retransmits() > prevRetx
 		prevRetx = sender.Retransmits()
 		if !retx {
-			firstTx[seq] = now
+			// A fresh sequence number supersedes any prior incarnation
+			// (post-wrap reuse): forget its completed/acked state so late
+			// bookkeeping from the old incarnation can't leak into the new
+			// one. Before the seq space wraps these are no-ops.
+			complete.clear(seq)
+			acked.drop(seq)
+			firstTx.set(seq, now)
 		}
 		for _, m := range mons {
 			m.ObserveTx(now, len(slots), retx)
@@ -492,7 +432,7 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		if col != nil {
 			parent := span.ID(0)
 			if retx {
-				parent = roots[seq]
+				parent = roots.get(seq)
 			}
 			desc := codec.Descriptor()
 			root = col.Record(span.Span{
@@ -505,7 +445,7 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 					{Key: "slots", Value: strconv.Itoa(len(slots))},
 				},
 			})
-			roots[seq] = root
+			roots.set(seq, root)
 			col.Record(span.Span{Name: "frame/build", Parent: root, Seq: int64(seq), Start: now, End: now})
 			if retx {
 				col.Record(span.Span{Name: "mac/retx", Parent: root, Seq: int64(seq), Start: now, End: now})
@@ -585,7 +525,7 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 				out.stats.SymbolErrors, out.stats.FramesOK*cfg.PayloadBytes)
 			for _, newSeq := range out.newSeqs {
 				mons[i].ObserveDelivered(now+airtime, int64(cfg.PayloadBytes)*8)
-				if ft, known := firstTx[newSeq]; known {
+				if ft, known := firstTx.get(newSeq); known {
 					// Latency to this receiver's acknowledgment, from the
 					// sequence number's first transmission.
 					mons[i].ObserveAck(now+airtime, now+airtime-ft)
@@ -606,20 +546,17 @@ func runBroadcast(cfg BroadcastConfig, duration float64) (BroadcastResult, error
 		now += airtime
 	}
 	for _, m := range side.Receive(now + 1) {
-		if m.Kind != mac.KindAck || complete[m.Seq] {
+		if m.Kind != mac.KindAck || complete.has(m.Seq) {
 			continue
 		}
-		set := acked[m.Seq]
-		if set == nil {
-			set = map[int]bool{}
-			acked[m.Seq] = set
-		}
-		set[m.From] = true
-		if len(set) == nRx {
-			complete[m.Seq] = true
+		if acked.add(m.Seq, m.From) == nRx {
+			complete.set(m.Seq)
 			reliableBytes += int64(cfg.PayloadBytes)
 		}
 	}
+
+	// Hand the grown slot scratch back to the arena for the next session.
+	a.slotBuf = slotBuf
 
 	res.Duration = now
 	res.FramesSent = sender.FramesSent()

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count pins skip under it (instrumentation allocates).
+const raceEnabled = false

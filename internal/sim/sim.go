@@ -11,7 +11,6 @@ import (
 	"encoding/hex"
 	"fmt"
 	"math"
-	"math/rand/v2"
 	"strconv"
 
 	"smartvlc/internal/frame"
@@ -189,16 +188,13 @@ type Result struct {
 // goroutine labels (session = seed, scheme) so wall-clock CPU profiles
 // line up with the deterministic stage profile; the profiling-off path
 // adds nothing.
+//
+// Run allocates the session's working state fresh; Arena.Run rents it
+// from a warm arena instead, with byte-identical results. Both paths
+// share one implementation — a fresh run is simply a run out of an empty
+// arena.
 func Run(cfg Config, duration float64) (Result, error) {
-	if cfg.Prof == nil || cfg.Scheme == nil {
-		return run(cfg, duration)
-	}
-	var res Result
-	var err error
-	parallel.Do(func() { res, err = run(cfg, duration) },
-		"session", strconv.FormatUint(cfg.Seed, 10),
-		"scheme", cfg.Scheme.Name())
-	return res, err
+	return NewArena().Run(cfg, duration)
 }
 
 // profStages caches the per-level stage handles and pprof label context
@@ -214,7 +210,7 @@ type profStages struct {
 // handle no-ops, so the frame loop reads fields unconditionally.
 var noProf profStages
 
-func run(cfg Config, duration float64) (Result, error) {
+func run(cfg Config, duration float64, a *Arena) (Result, error) {
 	if cfg.Scheme == nil {
 		return Result{}, fmt.Errorf("sim: nil scheme")
 	}
@@ -228,10 +224,8 @@ func run(cfg Config, duration float64) (Result, error) {
 		return Result{}, err
 	}
 
-	chanPCG := rand.NewPCG(cfg.Seed, 0xC0FFEE)
-	chanRng := rand.New(chanPCG)
-	sideRng := rand.New(rand.NewPCG(cfg.Seed, 0x51DE))
-	macRng := rand.New(rand.NewPCG(cfg.Seed, 0xACED))
+	a.reseed(cfg.Seed, 0xC0FFEE, 0x51DE, 0xACED)
+	chanPCG, chanRng := a.chanPCG, a.chanRng
 
 	// Instrument handles: every constructor returns nil on a nil registry
 	// and every nil handle is a no-op, so the loop below carries them
@@ -254,13 +248,13 @@ func run(cfg Config, duration float64) (Result, error) {
 		col = span.NewCollector()
 	}
 
-	sender, err := mac.NewSender(cfg.Window, cfg.PayloadBytes, cfg.AckTimeoutSeconds, macRng)
+	sender, err := a.rentSender(cfg.Window, cfg.PayloadBytes, cfg.AckTimeoutSeconds)
 	if err != nil {
 		return Result{}, err
 	}
 	sender.Metrics = macm
-	rxSide := mac.NewReceiverSide(cfg.PayloadBytes)
-	sideCh := mac.NewSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb, sideRng)
+	rxSide := a.rentReceiverSide(cfg.PayloadBytes)
+	sideCh := a.rentSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb)
 	sideCh.Metrics = macm
 	sideCh.Spans = col
 	var side mac.Uplink = sideCh
@@ -269,7 +263,7 @@ func run(cfg Config, duration float64) (Result, error) {
 		if rangeM <= 0 {
 			rangeM = 2.5
 		}
-		vlc := mac.NewVLCUplink(cfg.UplinkVLCBitRate, 96, rangeM, cfg.Geometry.DistanceM)
+		vlc := a.rentVLCUplink(cfg.UplinkVLCBitRate, 96, rangeM, cfg.Geometry.DistanceM)
 		vlc.Metrics = macm
 		side = vlc
 	}
@@ -286,22 +280,11 @@ func run(cfg Config, duration float64) (Result, error) {
 		}
 		controller.Metrics = light.NewMetrics(reg)
 	}
-	sensor := hw.NewFilter(hw.OPT101())
+	sensor := a.rentSensor(hw.OPT101())
 
 	tslot := 8e-6
 	level := cfg.FixedLevel
-	codecs := map[float64]frame.PayloadCodec{}
-	codecFor := func(l float64) (frame.PayloadCodec, error) {
-		if c, ok := codecs[l]; ok {
-			return c, nil
-		}
-		c, err := cfg.Scheme.CodecFor(l)
-		if err != nil {
-			return nil, err
-		}
-		codecs[l] = c
-		return c, nil
-	}
+	a.codecs.reset(cfg.Scheme)
 
 	// Stage profiler handles, cached per quantized level like the codecs,
 	// so the frame loop attributes cost with field reads. Symbol counts
@@ -311,7 +294,7 @@ func run(cfg Config, duration float64) (Result, error) {
 	// rendered label: prof.LevelLabel allocates a string, which would cost
 	// the armed hot loop an allocation per frame.
 	schemeName := cfg.Scheme.Name()
-	profCache := map[float64]*profStages{}
+	profCache := a.rentProfCache()
 	stagesFor := func(l float64, codec frame.PayloadCodec) *profStages {
 		if cfg.Prof == nil {
 			return &noProf
@@ -338,9 +321,11 @@ func run(cfg Config, duration float64) (Result, error) {
 	}
 	var curStages *profStages
 
-	// Channel state, rebuilt when ambient moves by >2 %.
+	// Channel state, rebuilt when ambient moves by >2 %. The arena's
+	// receiver shell is reconfigured via Reset on each rebuild — exactly
+	// NewReceiver's state, with the scratch columns retained.
 	var link phy.Link
-	var rx *phy.Receiver
+	rx := a.rentReceiver()
 	lastLux := math.Inf(-1)
 	ensureChannel := func(lux float64) error {
 		if lastLux > 0 && math.Abs(lux-lastLux) <= 0.02*lastLux {
@@ -352,7 +337,7 @@ func run(cfg Config, duration float64) (Result, error) {
 		}
 		link = phy.DefaultLink(ch)
 		link.Metrics = txm
-		rx = phy.NewReceiver(ch, cfg.Scheme.Factory())
+		rx.Reset(ch, cfg.Scheme.Factory())
 		rx.Metrics = rxm
 		rxm.OnChannel(rx.Threshold())
 		lastLux = lux
@@ -360,15 +345,16 @@ func run(cfg Config, duration float64) (Result, error) {
 	}
 
 	var res Result
-	deliveredAt := []float64{} // ack times for the per-second series
-	var slotBuf []bool         // frame slot waveform, reused across frames
+	deliveredAt := a.deliveredAt[:0] // ack times for the per-second series
+	slotBuf := a.slotBuf             // frame slot waveform, reused across frames
+	a.vSlotLen = 0
 
 	// Span state: per-sequence root IDs (retransmit chains link onto
 	// them), the receiver-side shard buffer, and the sample duration for
 	// converting receiver sample indices to simulation time.
 	tsamp := tslot / float64(phy.Oversample)
-	roots := map[uint16]span.ID{}
-	var rxSpanBuf span.Buffer
+	roots := a.rentRoots(col != nil)
+	rxSpanBuf := &a.rxSpanBuf
 	prevRetx := 0
 
 	// Link-health monitor. The config is copied so a fleet can share one
@@ -467,14 +453,14 @@ func run(cfg Config, duration float64) (Result, error) {
 					// are armed, frame seq and sim time always).
 					if macm != nil {
 						macm.AckLatency.AttachExemplar(lat, telemetry.Exemplar{
-							At: m.At, Seq: int64(m.Seq), Span: int64(roots[m.Seq]),
+							At: m.At, Seq: int64(m.Seq), Span: int64(roots.get(m.Seq)),
 						})
 					}
 				}
 				reg.Emit(m.At, "frame/ack", int64(m.Seq))
 				if col != nil {
 					col.Record(span.Span{
-						Name: "mac/ack", Parent: roots[m.Seq], Seq: int64(m.Seq),
+						Name: "mac/ack", Parent: roots.get(m.Seq), Seq: int64(m.Seq),
 						Start: m.At, End: m.At,
 					})
 				}
@@ -491,7 +477,7 @@ func run(cfg Config, duration float64) (Result, error) {
 		}
 		retx := sender.Retransmits() > prevRetx
 		prevRetx = sender.Retransmits()
-		codec, err := codecFor(level)
+		codec, err := a.codecs.codecFor(level)
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: level %v: %w", level, err)
 		}
@@ -509,7 +495,6 @@ func run(cfg Config, duration float64) (Result, error) {
 		link.Prof = st.tx
 		rx.SetProf(st.hunt, st.decode)
 		reg.Emit(now, "frame/build", int64(seq))
-		buildCap := cap(slotBuf)
 		slots, err := frame.BuildAppend(slotBuf[:0], codec, body)
 		if err != nil {
 			return Result{}, err
@@ -520,7 +505,7 @@ func run(cfg Config, duration float64) (Result, error) {
 		st.frame.Slots(int64(len(slots)))
 		st.frame.Bytes(int64(len(body)))
 		st.frame.Symbols(st.symbolsPerFrame)
-		if cap(slots) != buildCap {
+		if a.frameAlloc(len(slots)) {
 			st.frame.Allocs(1)
 		}
 		airtime := float64(len(slots)) * tslot
@@ -535,7 +520,7 @@ func run(cfg Config, duration float64) (Result, error) {
 		if col != nil {
 			parent := span.ID(0)
 			if retx {
-				parent = roots[seq]
+				parent = roots.get(seq)
 			}
 			desc := codec.Descriptor()
 			root = col.Record(span.Span{
@@ -548,7 +533,7 @@ func run(cfg Config, duration float64) (Result, error) {
 					{Key: "slots", Value: strconv.Itoa(len(slots))},
 				},
 			})
-			roots[seq] = root
+			roots.set(seq, root)
 			col.Record(span.Span{Name: "frame/build", Parent: root, Seq: int64(seq), Start: now, End: now})
 			if retx {
 				col.Record(span.Span{Name: "mac/retx", Parent: root, Seq: int64(seq), Start: now, End: now})
@@ -568,7 +553,7 @@ func run(cfg Config, duration float64) (Result, error) {
 				Start: now, End: now + float64(len(samples))*tsamp,
 			})
 			rxSpanBuf.Reset()
-			rx.SetSpanWindow(&rxSpanBuf, now, tsamp)
+			rx.SetSpanWindow(rxSpanBuf, now, tsamp)
 		}
 		results, rxStats := rx.Process(samples)
 		if n := int64(len(results)); n > 0 {
@@ -579,7 +564,7 @@ func run(cfg Config, duration float64) (Result, error) {
 			// Extract the decode outcome before Splice consumes the buffer;
 			// the flight recorder keys its trigger on it.
 			decodeClass = flight.DecodeClass(rxSpanBuf.Spans())
-			col.Splice(&rxSpanBuf, root, int64(seq))
+			col.Splice(rxSpanBuf, root, int64(seq))
 		}
 		if cfg.Flight != nil {
 			cfg.Flight.Observe(flight.Capture{
@@ -662,19 +647,23 @@ func run(cfg Config, duration float64) (Result, error) {
 				mon.ObserveAck(m.At, lat)
 				if macm != nil {
 					macm.AckLatency.AttachExemplar(lat, telemetry.Exemplar{
-						At: m.At, Seq: int64(m.Seq), Span: int64(roots[m.Seq]),
+						At: m.At, Seq: int64(m.Seq), Span: int64(roots.get(m.Seq)),
 					})
 				}
 			}
 			reg.Emit(m.At, "frame/ack", int64(m.Seq))
 			if col != nil {
 				col.Record(span.Span{
-					Name: "mac/ack", Parent: roots[m.Seq], Seq: int64(m.Seq),
+					Name: "mac/ack", Parent: roots.get(m.Seq), Seq: int64(m.Seq),
 					Start: m.At, End: m.At,
 				})
 			}
 		}
 	}
+
+	// Hand the grown scratch back to the arena for the next session.
+	a.slotBuf = slotBuf
+	a.deliveredAt = deliveredAt
 
 	res.Duration = now
 	res.FramesSent = sender.FramesSent()

@@ -241,6 +241,17 @@ func ReportHistory(w io.Writer, recs []bench.Record, window int, tolerance float
 		}
 		fmt.Fprintf(w, "  %-28s %12.0f ns/op  median %12.0f  %+6.1f%%%s\n", name, cur, med, ratio*100, mark)
 	}
+	if len(last.SessionsPerSec) > 0 {
+		names := make([]string, 0, len(last.SessionsPerSec))
+		for n := range last.SessionsPerSec {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "session throughput (newest run):")
+		for _, n := range names {
+			fmt.Fprintf(w, "  %-28s %12.1f sessions/sec\n", n, last.SessionsPerSec[n])
+		}
+	}
 	if regressed {
 		stage := bench.StageFor(worstName)
 		if stage == "" {
