@@ -14,7 +14,7 @@
 // Re-run mode also gates the session-arena contract (-verify-arena,
 // default on): the same fully instrumented workload runs fresh-allocated
 // and out of a warm, dirtied arena — single-receiver and broadcast — and
-// the telemetry, health and prof snapshots must match byte for byte.
+// the telemetry, health, prof and log snapshots must match byte for byte.
 //
 // Besides the re-run gate, benchguard can statically audit a freshly
 // generated phybench report (-results) against the recorded baseline:
@@ -38,8 +38,9 @@
 // The static audit also holds the armed observability twins to their
 // paired price: each -gate-overhead entry's overhead_vs_nil (its ns/op
 // over its nil twin's, minus one, as recorded by phybench) must stay
-// within -overhead-limit. The default pins the stage profiler's session
-// twin (end_to_end_frame_prof) to 3%.
+// within -overhead-limit. The default pins the stage profiler's and the
+// structured logger's session twins (end_to_end_frame_prof,
+// end_to_end_frame_vlog) to 3%.
 //
 // Usage:
 //
@@ -119,9 +120,9 @@ func main() {
 	gateBytes := flag.String("gate-bytes", "end_to_end_frame,receiver_process,phy_transmit,session_frames_arena", "comma-separated zero-alloc entries whose bytes/op must not creep past the baseline (small slack absorbs runtime accounting noise)")
 	gateThroughput := flag.String("gate-throughput", "end_to_end_frame,receiver_process,fleet_sessions,session_frames", "comma-separated entries whose per-core frame / session throughput must hold within the tolerance")
 	gateCurves := flag.Bool("gate-curves", true, "with -results: require every speedup curve to reach 1.0x at workers=4 (skipped on single-core hosts)")
-	gateOverhead := flag.String("gate-overhead", "end_to_end_frame_prof", "with -results: comma-separated entries whose overhead_vs_nil must stay within -overhead-limit")
+	gateOverhead := flag.String("gate-overhead", "end_to_end_frame_prof,end_to_end_frame_vlog", "with -results: comma-separated entries whose overhead_vs_nil must stay within -overhead-limit")
 	overheadLimit := flag.Float64("overhead-limit", 0.03, "allowed fractional overhead over the nil twin for -gate-overhead entries")
-	verifyArena := flag.Bool("verify-arena", true, "in re-run mode: run fresh vs warm-arena session twins and require byte-identical telemetry, health and prof snapshots")
+	verifyArena := flag.Bool("verify-arena", true, "in re-run mode: run fresh vs warm-arena session twins and require byte-identical telemetry, health, prof and log snapshots")
 	trendPath := flag.String("trend", "", "bench history log (BENCH_history.jsonl) to gate the newest run against its rolling median")
 	trendWindow := flag.Int("trend-window", 5, "with -trend: rolling-median window in runs (0 = all)")
 	trendTolerance := flag.Float64("trend-tolerance", 0.10, "with -trend: allowed fractional slowdown over the rolling median")
@@ -170,9 +171,10 @@ func main() {
 	bodies := map[string]func() func(b *testing.B){
 		"end_to_end_frame":        func() func(b *testing.B) { return endToEndBody(sys) },
 		"fleet_sessions":          func() func(b *testing.B) { return fleetBody(sys) },
-		"session_frames":          func() func(b *testing.B) { return sessionBody(sys, false, false) },
-		"end_to_end_frame_health": func() func(b *testing.B) { return sessionBody(sys, true, false) },
-		"end_to_end_frame_prof":   func() func(b *testing.B) { return sessionBody(sys, false, true) },
+		"session_frames":          func() func(b *testing.B) { return sessionBody(sys, false, false, false) },
+		"end_to_end_frame_health": func() func(b *testing.B) { return sessionBody(sys, true, false, false) },
+		"end_to_end_frame_prof":   func() func(b *testing.B) { return sessionBody(sys, false, true, false) },
+		"end_to_end_frame_vlog":   func() func(b *testing.B) { return sessionBody(sys, false, false, true) },
 	}
 
 	failed := false
@@ -183,7 +185,7 @@ func main() {
 		}
 		mk, ok := bodies[name]
 		if !ok {
-			fatal(fmt.Errorf("no benchmark body for %q (known: end_to_end_frame, fleet_sessions, session_frames, end_to_end_frame_health, end_to_end_frame_prof)", name))
+			fatal(fmt.Errorf("no benchmark body for %q (known: end_to_end_frame, fleet_sessions, session_frames, end_to_end_frame_health, end_to_end_frame_prof, end_to_end_frame_vlog)", name))
 		}
 		base, err := loadBaseline(*baselinePath, name)
 		if err != nil {
@@ -256,12 +258,13 @@ func fleetBody(sys *smartvlc.System) func(b *testing.B) {
 	}
 }
 
-// sessionBody runs one simulated 0.1 s ARQ session per op, with both
-// observability layers off (session_frames), the link-health monitor
-// armed (end_to_end_frame_health), or the stage profiler armed
-// (end_to_end_frame_prof) — the same twins cmd/phybench records, so the
+// sessionBody runs one simulated 0.1 s ARQ session per op, with every
+// observability layer off (session_frames), the link-health monitor
+// armed (end_to_end_frame_health), the stage profiler armed
+// (end_to_end_frame_prof), or the structured logger armed
+// (end_to_end_frame_vlog) — the same twins cmd/phybench records, so the
 // gate holds each layer to its recorded hot-path price.
-func sessionBody(sys *smartvlc.System, withHealth, withProf bool) func(b *testing.B) {
+func sessionBody(sys *smartvlc.System, withHealth, withProf, withLog bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cfg := smartvlc.DefaultSessionConfig(sys.Scheme())
@@ -272,6 +275,9 @@ func sessionBody(sys *smartvlc.System, withHealth, withProf bool) func(b *testin
 			}
 			if withProf {
 				cfg.Prof = smartvlc.NewProfiler()
+			}
+			if withLog {
+				cfg.Logs = smartvlc.NewLogger(smartvlc.LogDebug)
 			}
 			res, err := smartvlc.RunSession(cfg, 0.1)
 			if err != nil {
@@ -285,6 +291,9 @@ func sessionBody(sys *smartvlc.System, withHealth, withProf bool) func(b *testin
 			}
 			if withProf && res.Prof == nil {
 				b.Fatal("missing profile snapshot")
+			}
+			if withLog && res.Logs == nil {
+				b.Fatal("missing log snapshot")
 			}
 		}
 	}
@@ -304,10 +313,11 @@ func verifyArenaTwins(sys *smartvlc.System) error {
 		cfg.Telemetry = smartvlc.NewTelemetry()
 		cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
 		cfg.Prof = smartvlc.NewProfiler()
+		cfg.Logs = smartvlc.NewLogger(smartvlc.LogDebug)
 		return cfg
 	}
 	compare := func(kind string, fresh, warm []interface{ JSON() ([]byte, error) }) error {
-		labels := []string{"telemetry", "health", "prof"}
+		labels := []string{"telemetry", "health", "prof", "logs"}
 		for i := range fresh {
 			fb, err := fresh[i].JSON()
 			if err != nil {
@@ -342,8 +352,8 @@ func verifyArenaTwins(sys *smartvlc.System) error {
 		return err
 	}
 	if err := compare("session",
-		[]interface{ JSON() ([]byte, error) }{fresh.Telemetry, fresh.Health, fresh.Prof},
-		[]interface{ JSON() ([]byte, error) }{warm.Telemetry, warm.Health, warm.Prof}); err != nil {
+		[]interface{ JSON() ([]byte, error) }{fresh.Telemetry, fresh.Health, fresh.Prof, fresh.Logs},
+		[]interface{ JSON() ([]byte, error) }{warm.Telemetry, warm.Health, warm.Prof, warm.Logs}); err != nil {
 		return err
 	}
 
@@ -366,8 +376,8 @@ func verifyArenaTwins(sys *smartvlc.System) error {
 		return err
 	}
 	return compare("broadcast",
-		[]interface{ JSON() ([]byte, error) }{freshB.Telemetry, freshB.Health, freshB.Prof},
-		[]interface{ JSON() ([]byte, error) }{warmB.Telemetry, warmB.Health, warmB.Prof})
+		[]interface{ JSON() ([]byte, error) }{freshB.Telemetry, freshB.Health, freshB.Prof, freshB.Logs},
+		[]interface{ JSON() ([]byte, error) }{warmB.Telemetry, warmB.Health, warmB.Prof, warmB.Logs})
 }
 
 func loadFile(path string) (*baselineFile, error) {

@@ -75,6 +75,7 @@ var nilPeer = map[string]string{
 	"end_to_end_frame_spans":  "end_to_end_frame",
 	"end_to_end_frame_health": "session_frames",
 	"end_to_end_frame_prof":   "session_frames",
+	"end_to_end_frame_vlog":   "session_frames",
 }
 
 // arenaPeer maps each warm-arena benchmark to its fresh-allocation twin;
@@ -315,10 +316,11 @@ func main() {
 		}
 	}
 	// Session-loop twins: one simulated 0.1 s ARQ session per op, with the
-	// link-health monitor and the stage profiler off and then each armed in
-	// turn, so the recorded pairs price the observability hot paths
-	// (OverheadVsNil on the health and prof entries).
-	sessionBody := func(withHealth, withProf bool) func(b *testing.B) {
+	// link-health monitor, the stage profiler and the structured logger off
+	// and then each armed in turn, so the recorded pairs price the
+	// observability hot paths (OverheadVsNil on the health, prof and vlog
+	// entries).
+	sessionBody := func(withHealth, withProf, withLog bool) func(b *testing.B) {
 		return func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := smartvlc.DefaultSessionConfig(sys.Scheme())
@@ -329,6 +331,9 @@ func main() {
 				}
 				if withProf {
 					cfg.Prof = smartvlc.NewProfiler()
+				}
+				if withLog {
+					cfg.Logs = smartvlc.NewLogger(smartvlc.LogDebug)
 				}
 				res, err := smartvlc.RunSession(cfg, 0.1)
 				if err != nil {
@@ -342,6 +347,9 @@ func main() {
 				}
 				if withProf && res.Prof == nil {
 					b.Fatal("missing profile snapshot")
+				}
+				if withLog && res.Logs == nil {
+					b.Fatal("missing log snapshot")
 				}
 			}
 		}
@@ -469,10 +477,11 @@ func main() {
 				b.Fatalf("%d/%d frames lost", misses, b.N)
 			}
 		}},
-		{name: "session_frames", sessions: 1, body: sessionBody(false, false)},
+		{name: "session_frames", sessions: 1, body: sessionBody(false, false, false)},
 		{name: "session_frames_arena", sessions: 1, body: arenaSessionBody},
-		{name: "end_to_end_frame_health", sessions: 1, body: sessionBody(true, false)},
-		{name: "end_to_end_frame_prof", sessions: 1, body: sessionBody(false, true)},
+		{name: "end_to_end_frame_health", sessions: 1, body: sessionBody(true, false, false)},
+		{name: "end_to_end_frame_prof", sessions: 1, body: sessionBody(false, true, false)},
+		{name: "end_to_end_frame_vlog", sessions: 1, body: sessionBody(false, false, true)},
 		{name: "fleet_sessions", workers: 1, sessions: 8, body: fleetBody(1)},
 		{name: "fleet_sessions_parallel", workers: ncpu, sessions: 8, body: fleetBody(ncpu)},
 		{name: "fleet_sessions_arena", workers: 1, sessions: 8, body: fleetArenaBody(1)},

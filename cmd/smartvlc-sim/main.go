@@ -48,6 +48,15 @@
 // /metrics.om serves the OpenMetrics exposition where histogram
 // exemplars ride along.
 //
+// Structured logs: -log-out FILE writes the run's deterministic log
+// snapshot as NDJSON, one span-correlated record per line ("-" for
+// stdout); tail, filter and join it with vlclog. -log-level sets the
+// minimum severity recorded (default info). With -metrics-addr the same
+// snapshot is served at /logs (JSON) and /logs/stream (NDJSON). In fleet
+// mode the per-session logs concatenate in config order. A flight bundle
+// (see -flight-dir) additionally keeps the log tail leading up to its
+// trigger as logs.ndjson.
+//
 // Profiling: -pprof-addr HOST:PORT serves /debug/pprof on its own
 // address (never on the metrics port); the simulation runs under pprof
 // labels (session/stage/scheme/level), so CPU profiles slice by the same
@@ -91,6 +100,8 @@ func main() {
 	profOut := flag.String("prof-out", "", "write the stage profile to FILE as canonical JSON (\"-\" for stdout; analyze with vlcprof)")
 	profFolded := flag.String("prof-folded", "", "write the stage profile to FILE as folded stacks (flame-graph input)")
 	profMetric := flag.String("prof-metric", "samples", "cost dimension for -prof-folded: ops, samples, slots, symbols, bytes, allocs")
+	logOut := flag.String("log-out", "", "write the structured log snapshot to FILE as NDJSON (\"-\" for stdout; analyze with vlclog)")
+	logLevel := flag.String("log-level", "info", "minimum severity recorded: debug, info, warn, error")
 	pprofAddr := flag.String("pprof-addr", "", "serve /debug/pprof on this address (separate from -metrics-addr)")
 	runtimeMetrics := flag.Bool("runtime-metrics", false, "append Go runtime gauges to the /metrics exposition (scrape-time only)")
 	flag.Parse()
@@ -132,9 +143,14 @@ func main() {
 	wantSpans := *traceOut != "" || *metricsAddr != ""
 	wantHealth := *healthOut != "" || *metricsAddr != ""
 	wantProf := *profOut != "" || *profFolded != "" || *metricsAddr != ""
+	wantLogs := *logOut != "" || *metricsAddr != "" || *flightDir != ""
 	foldMetric, err := parseProfMetric(*profMetric)
 	if err != nil {
 		fatal(err)
+	}
+	minLevel, levelOK := smartvlc.ParseLogLevel(*logLevel)
+	if !levelOK {
+		fatal(fmt.Errorf("unknown log level %q (want debug, info, warn or error)", *logLevel))
 	}
 	if wantHealth {
 		cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
@@ -144,6 +160,9 @@ func main() {
 		runFleet(cfg, sch, *sessions, *workers, *fleetRepeat, *seconds, fleetOut{
 			wantMetrics:    wantMetrics,
 			wantProf:       wantProf,
+			wantLogs:       wantLogs,
+			logLevel:       minLevel,
+			logOut:         *logOut,
 			metricsOut:     *metricsOut,
 			metricsAddr:    *metricsAddr,
 			traceDir:       *traceDir,
@@ -163,6 +182,9 @@ func main() {
 	}
 	if wantSpans {
 		cfg.Spans = smartvlc.NewSpanCollector()
+	}
+	if wantLogs {
+		cfg.Logs = smartvlc.NewLogger(minLevel)
 	}
 	var flightRec *smartvlc.FlightRecorder
 	if *flightDir != "" {
@@ -226,10 +248,16 @@ func main() {
 	if err := writeProf(*profOut, *profFolded, foldMetric, res.Prof); err != nil {
 		fatal(err)
 	}
+	if *logOut != "" {
+		if err := writeLogs(*logOut, res.Logs); err != nil {
+			fatal(err)
+		}
+	}
 	if *metricsAddr != "" {
 		serve(*metricsAddr, serveOpts{
 			reg: cfg.Telemetry, snap: res.Telemetry, spans: res.Spans,
-			health: res.Health, prof: res.Prof, runtimeMetrics: *runtimeMetrics,
+			health: res.Health, prof: res.Prof, logs: res.Logs,
+			runtimeMetrics: *runtimeMetrics,
 		})
 	}
 }
@@ -312,6 +340,9 @@ func writeTrace(path string, snap *smartvlc.SpanSnapshot) error {
 type fleetOut struct {
 	wantMetrics    bool
 	wantProf       bool
+	wantLogs       bool
+	logLevel       smartvlc.LogLevel
+	logOut         string
 	metricsOut     string
 	metricsAddr    string
 	traceDir       string
@@ -348,6 +379,9 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers, repe
 			}
 			if out.wantProf {
 				cfg.Prof = smartvlc.NewProfiler()
+			}
+			if out.wantLogs {
+				cfg.Logs = smartvlc.NewLogger(out.logLevel)
 			}
 			cfgs[i] = cfg
 		}
@@ -414,9 +448,14 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers, repe
 	if err := writeProf(out.profOut, out.profFolded, out.profMetric, fl.Prof); err != nil {
 		fatal(err)
 	}
+	if out.logOut != "" {
+		if err := writeLogs(out.logOut, fl.Logs); err != nil {
+			fatal(err)
+		}
+	}
 	if out.metricsAddr != "" {
 		serve(out.metricsAddr, serveOpts{
-			snap: fl.Telemetry, health: fl.Health, prof: fl.Prof,
+			snap: fl.Telemetry, health: fl.Health, prof: fl.Prof, logs: fl.Logs,
 			runtimeMetrics: out.runtimeMetrics,
 		})
 	}
@@ -452,6 +491,25 @@ func writeMetrics(path string, reg *smartvlc.Telemetry, snap *smartvlc.Telemetry
 	return os.WriteFile(path, out, 0o644)
 }
 
+// writeLogs exports a log snapshot as NDJSON ("-" for stdout), the
+// format vlclog tail consumes. A nil snapshot (logger never armed)
+// writes an empty snapshot's lines — i.e. nothing — so piping stays
+// safe either way.
+func writeLogs(path string, snap *smartvlc.LogSnapshot) error {
+	if snap == nil {
+		snap = &smartvlc.LogSnapshot{}
+	}
+	out, err := snap.NDJSON()
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
 // writeHealth exports a health snapshot as canonical JSON ("-" for
 // stdout). A nil snapshot writes an empty object so downstream tooling
 // sees valid JSON either way.
@@ -478,6 +536,9 @@ func serve(addr string, o serveOpts) {
 	fmt.Printf("metrics     : serving on http://%s/metrics (ctrl-c to stop)\n", addr)
 	if o.health != nil {
 		fmt.Printf("health      : http://%s/health and /health/stream\n", addr)
+	}
+	if o.logs != nil {
+		fmt.Printf("logs        : http://%s/logs and /logs/stream\n", addr)
 	}
 	if err := http.ListenAndServe(addr, buildMux(o)); err != nil {
 		fatal(err)

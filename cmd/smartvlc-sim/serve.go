@@ -32,6 +32,9 @@ type serveOpts struct {
 	// JSON, vlcprof's input) and /prof/folded (folded stacks for flame
 	// graphs; ?metric= selects the cost dimension, default samples).
 	prof *smartvlc.ProfSnapshot
+	// logs, when non-nil, is served at /logs (canonical JSON) and
+	// /logs/stream (NDJSON, one record per line — vlclog tail's input).
+	logs *smartvlc.LogSnapshot
 	// runtimeMetrics appends Go runtime gauges (goroutines, heap) to the
 	// Prometheus exposition at scrape time. They reflect the serving
 	// process, not the simulation, so they never enter the canonical
@@ -42,7 +45,8 @@ type serveOpts struct {
 // buildMux registers the report endpoints for the artifacts in opts.
 // Always present: /metrics, /metrics.json, /metrics.om (OpenMetrics,
 // where histogram exemplars ride the exposition). Flag-gated: /trace,
-// /health, /health/stream, /prof, /prof/folded. pprof is deliberately
+// /health, /health/stream, /prof, /prof/folded, /logs, /logs/stream.
+// pprof is deliberately
 // NOT here — it serves on its own address (see servePprof) so debug
 // handlers never leak onto the metrics port.
 func buildMux(o serveOpts) *http.ServeMux {
@@ -130,6 +134,23 @@ func buildMux(o serveOpts) *http.ServeMux {
 			}
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			if err := o.prof.WriteFolded(w, m); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	if o.logs != nil {
+		mux.HandleFunc("/logs", func(w http.ResponseWriter, _ *http.Request) {
+			j, err := o.logs.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(j)
+		})
+		mux.HandleFunc("/logs/stream", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			if err := o.logs.WriteNDJSON(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})

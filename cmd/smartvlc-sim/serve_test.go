@@ -22,13 +22,14 @@ func fullOpts(t *testing.T) serveOpts {
 	cfg.Spans = smartvlc.NewSpanCollector()
 	cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
 	cfg.Prof = smartvlc.NewProfiler()
+	cfg.Logs = smartvlc.NewLogger(smartvlc.LogDebug)
 	res, err := smartvlc.RunSession(cfg, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return serveOpts{
 		reg: cfg.Telemetry, snap: res.Telemetry, spans: res.Spans,
-		health: res.Health, prof: res.Prof, runtimeMetrics: true,
+		health: res.Health, prof: res.Prof, logs: res.Logs, runtimeMetrics: true,
 	}
 }
 
@@ -52,6 +53,8 @@ func TestBuildMuxFullRoutes(t *testing.T) {
 		"/health/stream": "\n",
 		"/prof":          "\"stage\"",
 		"/prof/folded":   ";",
+		"/logs":          "\"records\"",
+		"/logs/stream":   "\"stage\":\"sim/session\"",
 	} {
 		code, body := get(t, o, path)
 		if code != 200 {
@@ -73,8 +76,9 @@ func TestBuildMuxGatedRoutes(t *testing.T) {
 	o.spans = nil
 	o.health = nil
 	o.prof = nil
+	o.logs = nil
 	o.runtimeMetrics = false
-	for _, path := range []string{"/trace", "/health", "/health/stream", "/prof", "/prof/folded"} {
+	for _, path := range []string{"/trace", "/health", "/health/stream", "/prof", "/prof/folded", "/logs", "/logs/stream"} {
 		if code, _ := get(t, o, path); code != 404 {
 			t.Errorf("%s: status %d, want 404", path, code)
 		}

@@ -1,0 +1,102 @@
+// Command vlclog analyzes SmartVLC structured log exports: filtered
+// tails of NDJSON log snapshots (the smartvlc-sim -log-out artifact or a
+// flight bundle's logs.ndjson), and the joined incident timeline that
+// interleaves a bundle's log tail with its span tree and its histogram
+// exemplars on the shared simulation clock — the blind-pull view of an
+// SLO burn.
+//
+// The rendering lives in internal/telemetry/vlog/analyze (tested against
+// golden outputs); this command only loads inputs and picks the mode.
+//
+// Usage:
+//
+//	vlclog tail logs.ndjson     filtered tail of one log export
+//	vlclog join BUNDLE_DIR      joined timeline of a flight bundle's
+//	                            logs.ndjson, spans.json and metrics.json
+//
+// Flags:
+//
+//	-n N       keep only the last N records after filtering (tail mode;
+//	           0 keeps all)
+//	-level L   minimum level: debug, info, warn, error (default debug)
+//	-stage S   keep records of stage S or below it ("phy" keeps
+//	           "phy/decode" and "phy/hunt")
+//	-seq N     keep records of frame sequence N only (-1 keeps all)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartvlc/internal/telemetry/flight"
+	"smartvlc/internal/telemetry/vlog"
+	"smartvlc/internal/telemetry/vlog/analyze"
+)
+
+func main() {
+	n := flag.Int("n", 0, "keep only the last N records after filtering (0 = all)")
+	level := flag.String("level", "debug", "minimum level: debug, info, warn, error")
+	stage := flag.String("stage", "", "keep records of this stage or below it")
+	seq := flag.Int64("seq", -1, "keep records of this frame sequence only (-1 = all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: vlclog [flags] tail|join PATH\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	min, ok := vlog.ParseLevel(*level)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "vlclog: unknown level %q\n", *level)
+		os.Exit(2)
+	}
+	opt := analyze.Options{MinLevel: min, Stage: *stage, Tail: *n}
+	if *seq >= 0 {
+		opt.Seq, opt.FilterSeq = *seq, true
+	}
+	var err error
+	switch flag.Arg(0) {
+	case "tail":
+		err = tailLogs(flag.Arg(1), opt)
+	case "join":
+		err = joinBundle(flag.Arg(1), opt)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vlclog: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func tailLogs(path string, opt analyze.Options) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap, err := vlog.ParseNDJSON(f)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	analyze.Report(os.Stdout, snap, opt)
+	return nil
+}
+
+func joinBundle(dir string, opt analyze.Options) error {
+	b, err := flight.ReadBundle(dir)
+	if err != nil {
+		return err
+	}
+	if b.Logs == nil && b.Spans == nil && b.Metrics == nil {
+		return fmt.Errorf("bundle %s has no logs, spans or metrics to join", dir)
+	}
+	fmt.Printf("bundle: %s\ntrigger: %s (class %q) at seq %d, t=%s\n\n",
+		dir, b.Meta.Reason, b.Meta.Class, b.Meta.Seq, analyze.Dur(b.Meta.At))
+	analyze.Join(os.Stdout, analyze.JoinInput{Logs: b.Logs, Spans: b.Spans, Metrics: b.Metrics}, opt)
+	return nil
+}

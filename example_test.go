@@ -2,24 +2,27 @@ package smartvlc_test
 
 import (
 	"fmt"
-	"log"
 
 	"smartvlc"
 )
+
+// errlog renders example failures in the house structured-log console
+// format (stderr only, so Example outputs are unaffected).
+var errlog = smartvlc.NewLogConsole(nil, smartvlc.LogError)
 
 // Example shows the minimal plan → frame → channel → parse path.
 func Example() {
 	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example", "%v", err)
 	}
 	slots, err := sys.BuildFrame(0.37, []byte("hello, visible light"))
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example", "%v", err)
 	}
 	payloads, err := sys.Deliver(smartvlc.Aligned(3.0, 0), 8000, 42, slots)
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example", "%v", err)
 	}
 	fmt.Printf("%s\n", payloads[0])
 	// Output: hello, visible light
@@ -31,11 +34,11 @@ func Example() {
 func ExampleSystem_PlanFor() {
 	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/planfor", "%v", err)
 	}
 	plan, err := sys.PlanFor(0.15)
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/planfor", "%v", err)
 	}
 	fmt.Printf("level %.4f, %d slots, %d bits\n", plan.Level(), plan.Slots(), plan.Bits())
 	// Output: level 0.1503, 386 slots, 215 bits
@@ -46,20 +49,20 @@ func ExampleSystem_PlanFor() {
 func ExampleSystem_OpenStream() {
 	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/stream", "%v", err)
 	}
 	st, err := sys.OpenStream(smartvlc.Aligned(2.5, 0), 5000, 0.8, 7)
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/stream", "%v", err)
 	}
 	if _, err := st.Write([]byte("dim the lights, ")); err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/stream", "%v", err)
 	}
 	if err := st.SetLevel(0.2); err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/stream", "%v", err)
 	}
 	if _, err := st.Write([]byte("keep the bits")); err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/stream", "%v", err)
 	}
 	buf := make([]byte, 64)
 	n, _ := st.Read(buf)

@@ -7,15 +7,17 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"smartvlc"
 )
 
+// errlog renders fatal errors in the house structured-log console format.
+var errlog = smartvlc.NewLogConsole(nil, smartvlc.LogError)
+
 func main() {
 	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/classroom", "%v", err)
 	}
 
 	cfg := smartvlc.BroadcastConfig{
@@ -34,7 +36,7 @@ func main() {
 
 	res, err := smartvlc.RunBroadcast(cfg, duration)
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/classroom", "%v", err)
 	}
 
 	fmt.Printf("broadcast over %.0f s of cloudy sky, %d frames on air\n\n", res.Duration, res.FramesSent)

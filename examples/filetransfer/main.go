@@ -10,7 +10,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
-	"log"
 	"math/rand/v2"
 
 	"smartvlc"
@@ -21,10 +20,13 @@ const (
 	fileSize  = 16 * 1024
 )
 
+// errlog renders fatal errors in the house structured-log console format.
+var errlog = smartvlc.NewLogConsole(nil, smartvlc.LogError)
+
 func main() {
 	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/filetransfer", "%v", err)
 	}
 
 	// A deterministic pseudo-random "file".
@@ -64,7 +66,7 @@ func transfer(sys *smartvlc.System, file []byte, level float64) {
 			copy(body[2:], file[lo:hi])
 			fs, err := sys.BuildFrame(level, body)
 			if err != nil {
-				log.Fatal(err)
+				errlog.Fatalf("example/filetransfer", "%v", err)
 			}
 			burst = append(burst, fs...)
 		}
@@ -72,7 +74,7 @@ func transfer(sys *smartvlc.System, file []byte, level float64) {
 
 		payloads, err := sys.Deliver(geometry, 8000, uint64(rounds)*7919, burst)
 		if err != nil {
-			log.Fatal(err)
+			errlog.Fatalf("example/filetransfer", "%v", err)
 		}
 		for _, p := range payloads {
 			if len(p) < 2 {
@@ -87,7 +89,7 @@ func transfer(sys *smartvlc.System, file []byte, level float64) {
 	}
 
 	if missing > 0 {
-		log.Fatalf("level %.1f: transfer failed, %d chunks missing", level, missing)
+		errlog.Fatalf("example/filetransfer", "level %.1f: transfer failed, %d chunks missing", level, missing)
 	}
 	got := bytes.Join(received, nil)
 	okStr := "corrupted!"

@@ -9,16 +9,18 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"smartvlc"
 	"smartvlc/internal/stats"
 )
 
+// errlog renders fatal errors in the house structured-log console format.
+var errlog = smartvlc.NewLogConsole(nil, smartvlc.LogError)
+
 func main() {
 	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/officeday", "%v", err)
 	}
 
 	// One simulated minute stands in for the whole day.
@@ -31,7 +33,7 @@ func main() {
 
 	res, err := smartvlc.RunSession(cfg, day)
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/officeday", "%v", err)
 	}
 
 	led := stats.Summarize(res.LED.Values())

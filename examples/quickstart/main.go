@@ -5,22 +5,24 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"smartvlc"
 )
+
+// errlog renders fatal errors in the house structured-log console format.
+var errlog = smartvlc.NewLogConsole(nil, smartvlc.LogError)
 
 func main() {
 	// 1. Derive the AMPPM planning table from the paper's link constants.
 	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/quickstart", "%v", err)
 	}
 
 	// 2. Ask the planner what it would transmit at 37 % brightness.
 	plan, err := sys.PlanFor(0.37)
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/quickstart", "%v", err)
 	}
 	fmt.Printf("plan for l=0.37: %v → %.3f bits/slot, %.1f kbps raw\n",
 		plan, plan.NormalizedRate(), sys.Throughput(0.37)/1000)
@@ -30,13 +32,13 @@ func main() {
 	msg := []byte("hello, visible light!")
 	slots, err := sys.BuildFrame(0.37, msg)
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/quickstart", "%v", err)
 	}
 	fmt.Printf("frame: %d slots (%.2f ms on air)\n", len(slots), float64(len(slots))*8e-6*1000)
 
 	payloads, err := sys.Deliver(smartvlc.Aligned(3.0, 0), 8000, 42, slots)
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/quickstart", "%v", err)
 	}
 	for _, p := range payloads {
 		fmt.Printf("received: %q\n", p)
@@ -48,7 +50,7 @@ func main() {
 	cfg.FixedLevel = 0.37
 	res, err := smartvlc.RunSession(cfg, 0.5)
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/quickstart", "%v", err)
 	}
 	fmt.Printf("session: %.1f kbps goodput, %d/%d frames delivered\n",
 		res.GoodputBps/1000, res.FramesOK, res.FramesSent)

@@ -9,16 +9,18 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"smartvlc"
 	"smartvlc/internal/stats"
 )
 
+// errlog renders fatal errors in the house structured-log console format.
+var errlog = smartvlc.NewLogConsole(nil, smartvlc.LogError)
+
 func main() {
 	sys, err := smartvlc.New(smartvlc.DefaultConstraints())
 	if err != nil {
-		log.Fatal(err)
+		errlog.Fatalf("example/smartlighting", "%v", err)
 	}
 
 	const duration = 30.0
@@ -32,7 +34,7 @@ func main() {
 		cfg.Stepper = st
 		res, err := smartvlc.RunSession(cfg, duration)
 		if err != nil {
-			log.Fatal(err)
+			errlog.Fatalf("example/smartlighting", "%v", err)
 		}
 		fmt.Printf("%-22s: %.1f kbps goodput, %4d brightness adjustments\n",
 			name, res.GoodputBps/1000, res.Adjustments)

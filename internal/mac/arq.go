@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand/v2"
+	"strconv"
 
 	"smartvlc/internal/telemetry/prof"
+	"smartvlc/internal/telemetry/vlog"
 )
 
 // SeqBytes is the per-frame MAC overhead: a 2-byte sequence number
@@ -89,6 +91,13 @@ type Sender struct {
 	// Prof, when non-nil, attributes MAC framing cost (frames emitted,
 	// payload bytes) to the owning stage profiler series. Nil is a no-op.
 	Prof *prof.Stage
+	// Log, when non-nil, receives structured records for the ARQ
+	// decisions: a Warn per timeout retransmission, a Debug per
+	// window-full stall and per accepted ACK. The sender runs on the
+	// session's main goroutine, so it writes the logger directly —
+	// records interleave deterministically with the spliced shard logs.
+	// Nil (the default) is a no-op.
+	Log *vlog.Logger
 
 	rng      *rand.Rand
 	nextSeq  uint16
@@ -133,6 +142,7 @@ func (s *Sender) Reset(window, payloadBytes int, timeout float64, rng *rand.Rand
 	s.PayloadBytes = payloadBytes
 	s.Metrics = nil
 	s.Prof = nil
+	s.Log = nil
 	s.rng = rng
 	s.nextSeq = 0
 	s.inflight = s.inflight[:0]
@@ -169,10 +179,21 @@ func (s *Sender) NextFrame(now float64) (seq uint16, body []byte, ok bool) {
 	}
 	if found {
 		f := &s.inflight[oldest]
+		age := now - f.lastTx
 		f.lastTx = now
 		s.framesSent++
 		s.retransmits++
 		s.Metrics.onTimeout()
+		if s.Log.Enabled(vlog.Warn) {
+			s.Log.Record(vlog.Record{
+				At: now, Level: vlog.Warn, Stage: "mac/retx",
+				Msg: "ack timeout, retransmitting", Seq: int64(f.seq),
+				Attrs: []vlog.Attr{
+					{Key: "age_s", Value: strconv.FormatFloat(age, 'g', -1, 64)},
+					{Key: "in_flight", Value: strconv.Itoa(len(s.inflight))},
+				},
+			})
+		}
 		body := s.payloadFor(f.seq)
 		s.Prof.Ops(1)
 		s.Prof.Bytes(int64(len(body)))
@@ -180,6 +201,13 @@ func (s *Sender) NextFrame(now float64) (seq uint16, body []byte, ok bool) {
 	}
 	if len(s.inflight) >= s.Window {
 		s.Metrics.onStall()
+		if s.Log.Enabled(vlog.Debug) {
+			s.Log.Record(vlog.Record{
+				At: now, Level: vlog.Debug, Stage: "mac/window",
+				Msg: "window full, sender idle", Seq: -1,
+				Attrs: []vlog.Attr{{Key: "in_flight", Value: strconv.Itoa(len(s.inflight))}},
+			})
+		}
 		return 0, nil, false
 	}
 	seq = s.nextSeq
@@ -237,6 +265,13 @@ func (s *Sender) OnAckAt(seq uint16, at float64) (latency float64, ok bool) {
 	if f, found := s.takeFlight(seq); found {
 		latency, ok = at-f.firstTx, true
 		s.Metrics.observeAckLatency(latency)
+		if s.Log.Enabled(vlog.Debug) {
+			s.Log.Record(vlog.Record{
+				At: at, Level: vlog.Debug, Stage: "mac/ack",
+				Msg: "ack accepted", Seq: int64(seq),
+				Attrs: []vlog.Attr{{Key: "latency_s", Value: strconv.FormatFloat(latency, 'g', -1, 64)}},
+			})
+		}
 	}
 	s.recordAck(seq)
 	return latency, ok

@@ -30,6 +30,7 @@ import (
 	"smartvlc/internal/photon"
 	"smartvlc/internal/telemetry/prof"
 	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/vlog"
 )
 
 // Oversample is the RX samples per TX slot (500 kHz / 125 kHz).
@@ -306,6 +307,13 @@ type Receiver struct {
 	spanAt float64 // sim time of samples[0]
 	spanDt float64 // seconds per sample
 
+	// logs, when non-nil, receives structured log records for hunt and
+	// decode outcomes, timed on its own sample clock set by SetLogWindow
+	// (logs arm independently of spans).
+	logs  *vlog.Buffer
+	logAt float64 // sim time of samples[0]
+	logDt float64 // seconds per sample
+
 	// profHunt/profDecode, when non-nil, attribute receive cost to the
 	// owning stage profiler series: hunt counts Process invocations,
 	// samples scanned and scratch growth; decode counts parse attempts,
@@ -399,6 +407,8 @@ func (r *Receiver) Reset(ch photon.Channel, factory frame.CodecFactory) {
 	r.Metrics = nil
 	r.spans = nil
 	r.spanAt, r.spanDt = 0, 0
+	r.logs = nil
+	r.logAt, r.logDt = 0, 0
 	r.profHunt, r.profDecode = nil, nil
 	r.ambientEMA, r.ambientSet = 0, false
 	r.vWin3, r.vSlot, r.vPayloads = 0, 0, 0
@@ -573,6 +583,26 @@ func (r *Receiver) spanTime(sample int) float64 {
 	return r.spanAt + float64(sample)*r.spanDt
 }
 
+// SetLogWindow attaches a vlog shard buffer for subsequent Process calls
+// and sets the clock that maps sample index i to simulation time
+// baseSeconds + i·sampleSeconds. Process records a Debug line per
+// accepted preamble lock and per clean decode, and a Warn line per
+// failed parse carrying the decode error class — the narrative twin of
+// the phy/hunt and phy/decode spans, armable independently of them.
+// Pass nil to detach. The buffer is filled on the caller's goroutine;
+// concurrent shards each keep their own and splice in shard order for
+// deterministic logs.
+func (r *Receiver) SetLogWindow(b *vlog.Buffer, baseSeconds, sampleSeconds float64) {
+	r.logs = b
+	r.logAt = baseSeconds
+	r.logDt = sampleSeconds
+}
+
+// logTime maps a sample index onto the log clock.
+func (r *Receiver) logTime(sample int) float64 {
+	return r.logAt + float64(sample)*r.logDt
+}
+
 // AmbientWindowFraction is the slot share of the ambient-measurement
 // window (samples 1 and 2 only). Narrower than the detection window, it
 // stays inside its slot for phase errors up to a full sample in either
@@ -684,6 +714,13 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 				Attrs: []span.Attr{{Key: "offset", Value: strconv.Itoa(locked)}},
 			})
 		}
+		if r.logs.Enabled(vlog.Debug) {
+			r.logs.Record(vlog.Record{
+				At: r.logTime(locked), Level: vlog.Debug, Stage: "phy/hunt",
+				Msg: "preamble locked", Seq: -1,
+				Attrs: []vlog.Attr{{Key: "offset", Value: strconv.Itoa(locked)}},
+			})
+		}
 		maxSlots := (len(samples) - locked) / Oversample
 		slots := r.foldSlots(win3, locked, maxSlots)
 		// Decode the frame body into the payload buffer reserved for this
@@ -712,6 +749,13 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 					Attrs: []span.Attr{{Key: "class", Value: ClassifyDecodeError(err)}},
 				})
 			}
+			if r.logs.Enabled(vlog.Warn) {
+				r.logs.Record(vlog.Record{
+					At: r.logTime(locked), Level: vlog.Warn, Stage: "phy/decode",
+					Msg: err.Error(), Seq: -1,
+					Attrs: []vlog.Attr{{Key: "class", Value: ClassifyDecodeError(err)}},
+				})
+			}
 			i++ // resume hunting just past this false/failed lock
 			huntFrom = i
 			continue
@@ -728,6 +772,16 @@ func (r *Receiver) Process(samples []int) ([]frame.Result, Stats) {
 				End:   r.spanTime(locked + res.SlotsConsumed*Oversample),
 				Attrs: []span.Attr{
 					{Key: "class", Value: "ok"},
+					{Key: "slots", Value: strconv.Itoa(res.SlotsConsumed)},
+					{Key: "sym_errs", Value: strconv.Itoa(res.SymbolErrors)},
+				},
+			})
+		}
+		if r.logs.Enabled(vlog.Debug) {
+			r.logs.Record(vlog.Record{
+				At: r.logTime(locked), Level: vlog.Debug, Stage: "phy/decode",
+				Msg: "frame decoded", Seq: -1,
+				Attrs: []vlog.Attr{
 					{Key: "slots", Value: strconv.Itoa(res.SlotsConsumed)},
 					{Key: "sym_errs", Value: strconv.Itoa(res.SymbolErrors)},
 				},

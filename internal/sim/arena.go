@@ -13,6 +13,7 @@ import (
 	"smartvlc/internal/phy"
 	"smartvlc/internal/telemetry/prof"
 	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/vlog"
 )
 
 // This file holds the session arena: a reusable bundle of everything a
@@ -204,6 +205,10 @@ type bcRxState struct {
 	// spanBuf accumulates this shard's channel/hunt/decode spans for
 	// one frame; the merge loop splices it in receiver order.
 	spanBuf span.Buffer
+	// logBuf accumulates this shard's log records for one frame, spliced
+	// in receiver order like spanBuf so log snapshots stay byte-identical
+	// for any worker count.
+	logBuf vlog.Buffer
 }
 
 // bcRxProf is one receiver shard's stage-profiler handle set at one
@@ -248,6 +253,7 @@ type Arena struct {
 	vSlotLen    int // virtual slot-buffer high-water; drives the frame-stage alloc counter
 	deliveredAt []float64
 	rxSpanBuf   span.Buffer
+	rxLogBuf    vlog.Buffer
 	roots       *rootRing // lazily built: only span-armed sessions write it
 
 	// Broadcast-session state, lazily built on the first broadcast rent.
@@ -437,6 +443,7 @@ func (a *Arena) rentBcReceivers(n int, seed uint64, payloadBytes int) []*bcRxSta
 		st.out.ambient, st.out.hasAmbient = 0, false
 		st.profTx, st.profHunt, st.profDecode = nil, nil, nil
 		st.spanBuf.Reset()
+		st.logBuf.Reset()
 	}
 	return rxs
 }

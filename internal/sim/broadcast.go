@@ -17,6 +17,7 @@ import (
 	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/prof"
 	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/vlog"
 )
 
 // ReceiverPose places one receiver of a broadcast session.
@@ -100,6 +101,12 @@ type BroadcastResult struct {
 	// profile attributes PHY cost per receiver; the commuting atomic adds
 	// keep it byte-identical for every Workers value.
 	Prof *prof.Snapshot
+	// Logs is the session's structured log snapshot when Config.Logs was
+	// set; nil otherwise. Receiver-side records carry shard "rx<i>" and
+	// are byte-identical for every Workers value: each receiver's records
+	// buffer on its shard (vlog.Buffer) and are spliced in receiver order,
+	// exactly like the span shards and the side-channel outbox replay.
+	Logs *vlog.Snapshot
 }
 
 // RunBroadcast simulates a multi-receiver session. The dimming controller
@@ -150,6 +157,13 @@ func runBroadcast(cfg BroadcastConfig, duration float64, a *Arena) (BroadcastRes
 	macm := mac.NewMetrics(reg)
 	sender.Metrics = macm
 	side.Metrics = macm
+
+	// Structured log handle: the sender and the sequential phases of the
+	// loop write the logger directly (program order is deterministic);
+	// receiver-side records buffer on each shard and splice in receiver
+	// order below.
+	lg := cfg.Logs
+	sender.Log = lg
 	reg.Help("sim_frame_airtime_slots", "Per-frame on-air length in slots, idle gap included.")
 	reg.Help("sim_reliable_goodput_bps", "Payload rate acknowledged by every receiver.")
 	framesTx := reg.Counter("sim_frames_tx_total")
@@ -172,6 +186,11 @@ func runBroadcast(cfg BroadcastConfig, duration float64, a *Arena) (BroadcastRes
 	// Per-receiver shards (see bcRxState): each owns its rng, link,
 	// receiver and outbox, rented warm from the arena.
 	rxs := a.rentBcReceivers(nRx, cfg.Seed, cfg.PayloadBytes)
+	if lg != nil {
+		for _, st := range rxs {
+			st.logBuf.Arm(lg.Min())
+		}
+	}
 	ensure := func(i int, lux float64) error {
 		st := rxs[i]
 		if st.lastLux > 0 && math.Abs(lux-st.lastLux) <= 0.02*st.lastLux {
@@ -210,6 +229,18 @@ func runBroadcast(cfg BroadcastConfig, duration float64, a *Arena) (BroadcastRes
 	// level and switched with SetLabels, which allocates nothing per frame.
 	schemeName := cfg.Scheme.Name()
 	seedStr := strconv.FormatUint(cfg.Seed, 10)
+	if lg.Enabled(vlog.Info) {
+		lg.Record(vlog.Record{
+			At: 0, Level: vlog.Info, Stage: "sim/session", Msg: "session start", Seq: -1,
+			Scheme: schemeName, Dim: fmtAttr(level),
+			Attrs: []vlog.Attr{
+				{Key: "seed", Value: seedStr},
+				{Key: "window", Value: strconv.Itoa(cfg.Window)},
+				{Key: "payload_bytes", Value: strconv.Itoa(cfg.PayloadBytes)},
+				{Key: "receivers", Value: strconv.Itoa(nRx)},
+			},
+		})
+	}
 	// Keyed by the raw float level, like the codec cache: rendering the
 	// level label per frame would allocate in the armed hot loop.
 	bcProfCache := a.rentBcProfCache()
@@ -267,6 +298,30 @@ func runBroadcast(cfg BroadcastConfig, duration float64, a *Arena) (BroadcastRes
 				hc.Registry = reg
 			}
 			hc.Link = "rx" + strconv.Itoa(i)
+			if lg != nil {
+				userAlert := hc.OnAlert
+				hc.OnAlert = func(t health.Transition) {
+					if userAlert != nil {
+						userAlert(t)
+					}
+					// All health observations run on the sequential phases of
+					// the loop, so these records land in deterministic order
+					// like the single-receiver path's.
+					if lv := sloLogLevel(t.To); lg.Enabled(lv) {
+						lg.Record(vlog.Record{
+							At: t.At, Level: lv, Stage: "sim/slo",
+							Msg: "slo " + t.Objective + ": " + t.From.String() + " -> " + t.To.String(),
+							Seq: -1, Shard: t.Link, Scheme: schemeName, Dim: fmtAttr(level),
+							Attrs: []vlog.Attr{
+								{Key: "burn_fast", Value: fmtAttr(t.BurnFast)},
+								{Key: "burn_slow", Value: fmtAttr(t.BurnSlow)},
+								{Key: "value", Value: fmtAttr(t.Value)},
+								{Key: "target", Value: fmtAttr(t.Target)},
+							},
+						})
+					}
+				}
+			}
 			mons[i] = health.NewMonitor(hc)
 		}
 	}
@@ -301,7 +356,16 @@ func runBroadcast(cfg BroadcastConfig, duration float64, a *Arena) (BroadcastRes
 		}
 		lastT = now
 		if controller != nil {
+			prevLevel := level
 			level, _ = controller.StepToward(smoothed)
+			if level != prevLevel && lg.Enabled(vlog.Debug) {
+				lg.Record(vlog.Record{
+					At: now, Level: vlog.Debug, Stage: "sim/dim",
+					Msg: "dimming level adjusted", Seq: -1,
+					Scheme: schemeName, Dim: fmtAttr(level),
+					Attrs: []vlog.Attr{{Key: "from", Value: fmtAttr(prevLevel)}},
+				})
+			}
 		}
 		levelG.Set(level)
 		for _, m := range mons {
@@ -400,6 +464,15 @@ func runBroadcast(cfg BroadcastConfig, duration float64, a *Arena) (BroadcastRes
 		slots = frame.AppendIdle(slots, codec.Level(), cfg.IdleGapSlots)
 		slotBuf = slots
 		grew := a.frameAlloc(len(slots))
+		if grew && lg.Enabled(vlog.Debug) {
+			// Keyed on the virtual high-water mark, so warm arena runs log
+			// the same growth events a fresh run would.
+			lg.Record(vlog.Record{
+				At: now, Level: vlog.Debug, Stage: "sim/arena",
+				Msg: "frame slot scratch grew", Seq: int64(seq),
+				Attrs: []vlog.Attr{{Key: "slots", Value: strconv.Itoa(len(slots))}},
+			})
+		}
 		if curProf != nil {
 			curProf.frame.Ops(1)
 			curProf.frame.Slots(int64(len(slots)))
@@ -483,6 +556,13 @@ func runBroadcast(cfg BroadcastConfig, duration float64, a *Arena) (BroadcastRes
 				})
 				st.rx.SetSpanWindow(&st.spanBuf, now, tsamp)
 			}
+			if lg != nil {
+				// Shard-local log records: Span 0, Seq -1 and Shard ""
+				// resolve to this frame's root / seq / "rx<i>" at splice
+				// time, in the sequential merge below.
+				st.logBuf.Reset()
+				st.rx.SetLogWindow(&st.logBuf, now, tsamp)
+			}
 			results, st2 := st.rx.Process(samples)
 			st.out.stats = st2
 			if n := int64(len(results)); n > 0 {
@@ -520,6 +600,9 @@ func runBroadcast(cfg BroadcastConfig, duration float64, a *Arena) (BroadcastRes
 			out := &rxs[i].out
 			if col != nil {
 				col.Splice(&rxs[i].spanBuf, root, int64(seq), span.Attr{Key: "rx", Value: strconv.Itoa(i)})
+			}
+			if lg != nil {
+				lg.Splice(&rxs[i].logBuf, int64(root), int64(seq), "rx"+strconv.Itoa(i))
 			}
 			mons[i].ObserveRx(now+airtime, out.stats.FramesOK, out.stats.FramesBad,
 				out.stats.SymbolErrors, out.stats.FramesOK*cfg.PayloadBytes)
@@ -595,6 +678,20 @@ func runBroadcast(cfg BroadcastConfig, duration float64, a *Arena) (BroadcastRes
 	}
 	if col != nil {
 		res.Spans = col.Snapshot()
+	}
+	if lg != nil {
+		if lg.Enabled(vlog.Info) {
+			lg.Record(vlog.Record{
+				At: now, Level: vlog.Info, Stage: "sim/session", Msg: "session end", Seq: -1,
+				Scheme: schemeName, Dim: fmtAttr(level),
+				Attrs: []vlog.Attr{
+					{Key: "reliable_goodput_bps", Value: fmtAttr(res.ReliableGoodputBps)},
+					{Key: "frames_sent", Value: strconv.Itoa(res.FramesSent)},
+					{Key: "receivers", Value: strconv.Itoa(nRx)},
+				},
+			})
+		}
+		res.Logs = lg.Snapshot()
 	}
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/prof"
 	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/vlog"
 )
 
 // FleetResult aggregates a fleet of independent sessions.
@@ -40,6 +41,16 @@ type FleetResult struct {
 	// every worker count. Stage totals also ride the Telemetry merge as
 	// prof_*_total counters — this field keeps the structured view.
 	Prof *prof.Snapshot
+	// Logs concatenates the per-session log snapshots in config order,
+	// reassigning record IDs fleet-wide, for the sessions that carried a
+	// logger; nil when none did. The elision contract (see vlog.Merge):
+	// the merge does NOT re-apply any ring capacity — per-session drops
+	// already happened — and the session boundary is elided from the
+	// records themselves; recover it from the "sim/session" start/end
+	// records or from each Result's own Logs snapshot, which is retained.
+	// The fold runs in config order, so the fleet log is byte-identical
+	// for every worker count.
+	Logs *vlog.Snapshot
 }
 
 // WriteSessionTraces exports each session's span snapshot into dir
@@ -111,6 +122,7 @@ func RunFleetArenas(arenas *FleetArenas, cfgs []Config, duration float64, worker
 	seen := make(map[*telemetry.Registry]int, len(cfgs))
 	seenSpans := make(map[*span.Collector]int, len(cfgs))
 	seenProf := make(map[*prof.Profiler]int, len(cfgs))
+	seenLogs := make(map[*vlog.Logger]int, len(cfgs))
 	for i, cfg := range cfgs {
 		if cfg.Spans != nil {
 			if j, dup := seenSpans[cfg.Spans]; dup {
@@ -125,6 +137,14 @@ func RunFleetArenas(arenas *FleetArenas, cfgs []Config, duration float64, worker
 				return FleetResult{}, fmt.Errorf("sim: fleet configs %d and %d share a stage profiler", j, i)
 			}
 			seenProf[cfg.Prof] = i
+		}
+		if cfg.Logs != nil {
+			// A shared logger would interleave concurrent sessions' records
+			// nondeterministically in one ring.
+			if j, dup := seenLogs[cfg.Logs]; dup {
+				return FleetResult{}, fmt.Errorf("sim: fleet configs %d and %d share a structured logger", j, i)
+			}
+			seenLogs[cfg.Logs] = i
 		}
 		if cfg.Telemetry == nil {
 			continue
@@ -174,6 +194,15 @@ func RunFleetArenas(arenas *FleetArenas, cfgs []Config, duration float64, worker
 	}
 	if len(profs) > 0 {
 		out.Prof = prof.Merge(profs...)
+	}
+	logs := make([]*vlog.Snapshot, 0, len(results))
+	for _, r := range results {
+		if r.Logs != nil {
+			logs = append(logs, r.Logs)
+		}
+	}
+	if len(logs) > 0 {
+		out.Logs = vlog.Merge(logs...)
 	}
 	return out, nil
 }

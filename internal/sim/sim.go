@@ -28,6 +28,7 @@ import (
 	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/prof"
 	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/vlog"
 )
 
 // Config describes one session.
@@ -112,6 +113,17 @@ type Config struct {
 	// allocations.
 	Prof *prof.Profiler
 
+	// Logs, when non-nil, collects the session's structured log records —
+	// the narrative of what the link decided: phy hunt/decode outcomes,
+	// mac ACK/retransmit/window events, dimming adjustments, SLO
+	// transitions with burn-rate context, flight-recorder triggers and
+	// arena scratch growth. Run leaves a snapshot in Result.Logs. Like
+	// every other pillar, all record times are simulation time, receiver-
+	// side records are shard-buffered and spliced in deterministic order,
+	// and nil is the zero-cost default (one branch per call site, zero
+	// allocations).
+	Logs *vlog.Logger
+
 	// Health, when non-nil, attaches a link-health monitor: windowed
 	// time-series buckets on the simulation clock plus SLO burn-rate
 	// alerting; Run leaves the final snapshot in Result.Health. The config
@@ -181,6 +193,9 @@ type Result struct {
 	// Prof is the session's stage-cost snapshot when Config.Prof was set,
 	// nil otherwise.
 	Prof *prof.Snapshot
+	// Logs is the session's structured log snapshot when Config.Logs was
+	// set, nil otherwise.
+	Logs *vlog.Snapshot
 }
 
 // Run simulates a session for the given air-time duration. When the
@@ -248,11 +263,18 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 		col = span.NewCollector()
 	}
 
+	// Structured log handle: nil-safe like every other pillar. The
+	// receiver's records go through the arena's shard buffer (spliced per
+	// frame); the sender and the session loop write the logger directly —
+	// everything runs on this goroutine, so record order is program order.
+	lg := cfg.Logs
+
 	sender, err := a.rentSender(cfg.Window, cfg.PayloadBytes, cfg.AckTimeoutSeconds)
 	if err != nil {
 		return Result{}, err
 	}
 	sender.Metrics = macm
+	sender.Log = lg
 	rxSide := a.rentReceiverSide(cfg.PayloadBytes)
 	sideCh := a.rentSideChannel(cfg.SideLatencySeconds, cfg.SideJitterSeconds, cfg.SideLossProb)
 	sideCh.Metrics = macm
@@ -294,6 +316,17 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 	// rendered label: prof.LevelLabel allocates a string, which would cost
 	// the armed hot loop an allocation per frame.
 	schemeName := cfg.Scheme.Name()
+	if lg.Enabled(vlog.Info) {
+		lg.Record(vlog.Record{
+			At: 0, Level: vlog.Info, Stage: "sim/session", Msg: "session start", Seq: -1,
+			Scheme: schemeName, Dim: fmtAttr(level),
+			Attrs: []vlog.Attr{
+				{Key: "seed", Value: strconv.FormatUint(cfg.Seed, 10)},
+				{Key: "window", Value: strconv.Itoa(cfg.Window)},
+				{Key: "payload_bytes", Value: strconv.Itoa(cfg.PayloadBytes)},
+			},
+		})
+	}
 	profCache := a.rentProfCache()
 	stagesFor := func(l float64, codec frame.PayloadCodec) *profStages {
 		if cfg.Prof == nil {
@@ -355,6 +388,10 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 	tsamp := tslot / float64(phy.Oversample)
 	roots := a.rentRoots(col != nil)
 	rxSpanBuf := &a.rxSpanBuf
+	rxLogBuf := &a.rxLogBuf
+	if lg != nil {
+		rxLogBuf.Arm(lg.Min())
+	}
 	prevRetx := 0
 
 	// Link-health monitor. The config is copied so a fleet can share one
@@ -372,13 +409,28 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 		if hc.Registry == nil {
 			hc.Registry = reg
 		}
-		if cfg.Flight != nil {
+		if cfg.Flight != nil || lg != nil {
 			userAlert := hc.OnAlert
 			hc.OnAlert = func(t health.Transition) {
 				if userAlert != nil {
 					userAlert(t)
 				}
-				if t.To == health.StateCritical {
+				// Every state change logs at the severity of the state it
+				// enters, carrying the burn-rate context that justified it.
+				if lv := sloLogLevel(t.To); lg.Enabled(lv) {
+					lg.Record(vlog.Record{
+						At: t.At, Level: lv, Stage: "sim/slo",
+						Msg: "slo " + t.Objective + ": " + t.From.String() + " -> " + t.To.String(),
+						Seq: -1, Shard: t.Link, Scheme: schemeName, Dim: fmtAttr(level),
+						Attrs: []vlog.Attr{
+							{Key: "burn_fast", Value: fmtAttr(t.BurnFast)},
+							{Key: "burn_slow", Value: fmtAttr(t.BurnSlow)},
+							{Key: "value", Value: fmtAttr(t.Value)},
+							{Key: "target", Value: fmtAttr(t.Target)},
+						},
+					})
+				}
+				if cfg.Flight != nil && t.To == health.StateCritical {
 					pendingSLO = append(pendingSLO, t)
 				}
 			}
@@ -424,7 +476,16 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 		}
 		lastStep = now
 		if controller != nil {
+			prevLevel := level
 			level, _ = controller.StepToward(smoothed)
+			if level != prevLevel && lg.Enabled(vlog.Debug) {
+				lg.Record(vlog.Record{
+					At: now, Level: vlog.Debug, Stage: "sim/dim",
+					Msg: "dimming level adjusted", Seq: -1,
+					Scheme: schemeName, Dim: fmtAttr(level),
+					Attrs: []vlog.Attr{{Key: "from", Value: fmtAttr(prevLevel)}},
+				})
+			}
 		}
 		levelG.Set(level)
 		mon.ObserveLevel(now, level)
@@ -507,6 +568,15 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 		st.frame.Symbols(st.symbolsPerFrame)
 		if a.frameAlloc(len(slots)) {
 			st.frame.Allocs(1)
+			// Scratch growth keys on the virtual high-water mark, so warm
+			// arena runs log the same growth events a fresh run would.
+			if lg.Enabled(vlog.Debug) {
+				lg.Record(vlog.Record{
+					At: now, Level: vlog.Debug, Stage: "sim/arena",
+					Msg: "frame slot scratch grew", Seq: int64(seq),
+					Attrs: []vlog.Attr{{Key: "slots", Value: strconv.Itoa(len(slots))}},
+				})
+			}
 		}
 		airtime := float64(len(slots)) * tslot
 		framesTx.Inc()
@@ -555,6 +625,10 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 			rxSpanBuf.Reset()
 			rx.SetSpanWindow(rxSpanBuf, now, tsamp)
 		}
+		if lg != nil {
+			rxLogBuf.Reset()
+			rx.SetLogWindow(rxLogBuf, now, tsamp)
+		}
 		results, rxStats := rx.Process(samples)
 		if n := int64(len(results)); n > 0 {
 			st.decode.Symbols(st.symbolsPerFrame * n)
@@ -565,6 +639,9 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 			// the flight recorder keys its trigger on it.
 			decodeClass = flight.DecodeClass(rxSpanBuf.Spans())
 			col.Splice(rxSpanBuf, root, int64(seq))
+		}
+		if lg != nil {
+			lg.Splice(rxLogBuf, int64(root), int64(seq), "")
 		}
 		if cfg.Flight != nil {
 			cfg.Flight.Observe(flight.Capture{
@@ -588,6 +665,16 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 				reason = "ack_timeout"
 			}
 			if reason != "" {
+				// Log the trigger BEFORE taking the snapshot, so the bundle's
+				// own logs.ndjson tail ends with the record explaining it.
+				if lg.Enabled(vlog.Warn) {
+					lg.Record(vlog.Record{
+						At: now + airtime, Level: vlog.Warn, Stage: "sim/flight",
+						Msg: "flight bundle triggered: " + reason, Seq: int64(seq),
+						Span: int64(root), Scheme: schemeName, Dim: fmtAttr(level),
+						Attrs: []vlog.Attr{{Key: "class", Value: decodeClass}},
+					})
+				}
 				var msnap *telemetry.Snapshot
 				if reg != nil {
 					msnap = reg.Snapshot()
@@ -598,7 +685,7 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 					Level: level, Threshold: rx.Threshold(),
 					TSlotSeconds: tslot, PayloadBytes: cfg.PayloadBytes,
 				}
-				if _, err := cfg.Flight.Trigger(meta, col.Snapshot(), msnap); err != nil {
+				if _, err := cfg.Flight.Trigger(meta, col.Snapshot(), msnap, logSnap(lg)); err != nil {
 					return Result{}, err
 				}
 			}
@@ -688,7 +775,14 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 				Level: level, Threshold: rx.Threshold(),
 				TSlotSeconds: tslot, PayloadBytes: cfg.PayloadBytes,
 			}
-			if _, err := cfg.Flight.Trigger(meta, col.Snapshot(), msnap); err != nil {
+			if lg.Enabled(vlog.Warn) {
+				lg.Record(vlog.Record{
+					At: now, Level: vlog.Warn, Stage: "sim/flight",
+					Msg: "flight bundle triggered: " + meta.Reason, Seq: -1,
+					Scheme: schemeName, Dim: fmtAttr(level),
+				})
+			}
+			if _, err := cfg.Flight.Trigger(meta, col.Snapshot(), msnap, logSnap(lg)); err != nil {
 				return Result{}, err
 			}
 		}
@@ -707,7 +801,48 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 	if cfg.Spans != nil {
 		res.Spans = cfg.Spans.Snapshot()
 	}
+	if lg != nil {
+		if lg.Enabled(vlog.Info) {
+			lg.Record(vlog.Record{
+				At: now, Level: vlog.Info, Stage: "sim/session", Msg: "session end", Seq: -1,
+				Scheme: schemeName, Dim: fmtAttr(level),
+				Attrs: []vlog.Attr{
+					{Key: "goodput_bps", Value: fmtAttr(res.GoodputBps)},
+					{Key: "frames_ok", Value: strconv.Itoa(res.FramesOK)},
+					{Key: "frames_bad", Value: strconv.Itoa(res.FramesBad)},
+					{Key: "retransmits", Value: strconv.Itoa(res.Retransmits)},
+				},
+			})
+		}
+		res.Logs = lg.Snapshot()
+	}
 	return res, nil
+}
+
+// fmtAttr formats a float attribute value deterministically (shortest
+// form that round-trips, like the trace exports).
+func fmtAttr(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// sloLogLevel maps the SLO state a transition enters to the severity its
+// log record carries.
+func sloLogLevel(s health.State) vlog.Level {
+	switch s {
+	case health.StateCritical:
+		return vlog.Error
+	case health.StateWarning:
+		return vlog.Warn
+	}
+	return vlog.Info
+}
+
+// logSnap snapshots a logger for a flight bundle, keeping the nil-omits-
+// the-file contract (a nil logger yields a nil snapshot, not an empty
+// one).
+func logSnap(lg *vlog.Logger) *vlog.Snapshot {
+	if lg == nil {
+		return nil
+	}
+	return lg.Snapshot()
 }
 
 // throughputSeries buckets delivery events into one-second bins, the way

@@ -174,6 +174,59 @@ lat_count 1
 	}
 }
 
+// TestHostileLabelExemplarExposition runs a label value containing every
+// character the exposition format escapes — backslash, double quote,
+// newline — through the histogram paths of BOTH expositions: the classic
+// 0.0.4 bucket/sum/count lines and the OpenMetrics bucket line that also
+// carries the `# {...}` exemplar suffix. The golden pins each escape
+// exactly once and the suffix landing after the escaped label block, so a
+// hostile label can never break a bucket line into two scrape lines or
+// swallow the exemplar.
+func TestHostileLabelExemplarExposition(t *testing.T) {
+	hostile := `a\b"c` + "\n" + `d`
+	r := New()
+	h := r.Histogram("lat", "path", hostile)
+	h.ObserveExemplar(1.5, Exemplar{At: 2.25, Seq: 11, Span: 5})
+
+	var om bytes.Buffer
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	wantOM := `# TYPE lat histogram
+lat_bucket{path="a\\b\"c\nd",le="2"} 1 # {seq="11",span="5"} 1.5 2.25
+lat_bucket{path="a\\b\"c\nd",le="+Inf"} 1
+lat_sum{path="a\\b\"c\nd"} 1.5
+lat_count{path="a\\b\"c\nd"} 1
+# EOF
+`
+	if got := om.String(); got != wantOM {
+		t.Fatalf("openmetrics hostile-label mismatch:\n--- got ---\n%s--- want ---\n%s", got, wantOM)
+	}
+
+	var classic bytes.Buffer
+	if err := r.WritePrometheus(&classic); err != nil {
+		t.Fatal(err)
+	}
+	wantClassic := `# TYPE lat histogram
+lat_bucket{path="a\\b\"c\nd",le="2"} 1
+lat_bucket{path="a\\b\"c\nd",le="+Inf"} 1
+lat_sum{path="a\\b\"c\nd"} 1.5
+lat_count{path="a\\b\"c\nd"} 1
+`
+	if got := classic.String(); got != wantClassic {
+		t.Fatalf("classic hostile-label mismatch:\n--- got ---\n%s--- want ---\n%s", got, wantClassic)
+	}
+	// Every non-comment exposition line must be a single line: a raw
+	// newline leaking through a label value would split one.
+	for _, body := range []string{om.String(), classic.String()} {
+		for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+			if line == "" {
+				t.Fatalf("hostile label split an exposition line:\n%s", body)
+			}
+		}
+	}
+}
+
 // TestClassicExpositionHasNoExemplars keeps the 0.0.4 exposition pure:
 // exemplar syntax is OpenMetrics-only.
 func TestClassicExpositionHasNoExemplars(t *testing.T) {

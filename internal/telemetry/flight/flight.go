@@ -11,6 +11,7 @@
 //	  meta.json     trigger reason + class, seed, scheme, level, threshold
 //	  spans.json    span snapshot at trigger time (causal frame trees)
 //	  metrics.json  telemetry snapshot at trigger time
+//	  logs.ndjson   tail of the structured log ring before the trigger
 //	  capture.vlcd  ring of recent frames (vlcdump: note + slots + samples)
 //
 // ReadBundle and (*Bundle).Replay push the recorded samples back through
@@ -28,6 +29,7 @@ import (
 
 	"smartvlc/internal/telemetry"
 	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/vlog"
 	"smartvlc/internal/vlcdump"
 )
 
@@ -39,6 +41,9 @@ const (
 	// DefaultMaxBundles caps how many bundles one recorder writes, so a
 	// systematically failing link cannot fill the disk.
 	DefaultMaxBundles = 4
+	// DefaultLogTail is how many log records a bundle's logs.ndjson keeps
+	// (the last N before the trigger).
+	DefaultLogTail = 256
 )
 
 // Config parameterizes a Recorder.
@@ -56,6 +61,9 @@ type Config struct {
 	// that decodes with at least this many symbol errors — the "almost
 	// lost it" case worth a post-mortem even though CRC passed.
 	SERThreshold int
+	// LogTail bounds how many trailing log records a bundle's logs.ndjson
+	// retains. Zero means DefaultLogTail.
+	LogTail int
 }
 
 // Capture is one frame's raw I/O as seen by the session loop: the slot
@@ -138,6 +146,9 @@ func New(cfg Config) (*Recorder, error) {
 	if cfg.MaxBundles <= 0 {
 		cfg.MaxBundles = DefaultMaxBundles
 	}
+	if cfg.LogTail <= 0 {
+		cfg.LogTail = DefaultLogTail
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("flight: %w", err)
 	}
@@ -184,9 +195,11 @@ func (r *Recorder) captures() []Capture {
 
 // Trigger writes a diagnostic bundle for an observed anomaly and returns
 // the bundle directory. Once MaxBundles bundles exist the trigger is
-// still counted but no bundle is written (dir == ""). spans and metrics
-// may be nil; the corresponding files are then omitted.
-func (r *Recorder) Trigger(meta Meta, spans *span.Snapshot, metrics *telemetry.Snapshot) (string, error) {
+// still counted but no bundle is written (dir == ""). spans, metrics and
+// logs may be nil; the corresponding files are then omitted. Only the
+// last Config.LogTail records of logs land in logs.ndjson — the tail of
+// the story leading up to the trigger.
+func (r *Recorder) Trigger(meta Meta, spans *span.Snapshot, metrics *telemetry.Snapshot, logs *vlog.Snapshot) (string, error) {
 	if r == nil {
 		return "", nil
 	}
@@ -222,6 +235,15 @@ func (r *Recorder) Trigger(meta Meta, spans *span.Snapshot, metrics *telemetry.S
 			return "", fmt.Errorf("flight: %w", err)
 		}
 		if err := os.WriteFile(filepath.Join(dir, "metrics.json"), tb, 0o644); err != nil {
+			return "", fmt.Errorf("flight: %w", err)
+		}
+	}
+	if logs != nil {
+		lb, err := logs.Tail(r.cfg.LogTail).NDJSON()
+		if err != nil {
+			return "", fmt.Errorf("flight: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "logs.ndjson"), lb, 0o644); err != nil {
 			return "", fmt.Errorf("flight: %w", err)
 		}
 	}

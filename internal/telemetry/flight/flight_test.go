@@ -13,12 +13,13 @@ import (
 	"smartvlc/internal/phy"
 	"smartvlc/internal/scheme"
 	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/vlog"
 )
 
 func TestNilRecorderNoOps(t *testing.T) {
 	var r *Recorder
 	r.Observe(Capture{Seq: 1})
-	dir, err := r.Trigger(Meta{Reason: "decode"}, nil, nil)
+	dir, err := r.Trigger(Meta{Reason: "decode"}, nil, nil, nil)
 	if err != nil || dir != "" {
 		t.Fatalf("nil Trigger = (%q, %v), want no-op", dir, err)
 	}
@@ -66,7 +67,12 @@ func TestRingAndBundleRoundTrip(t *testing.T) {
 	meta := Meta{Reason: "decode", Class: "crc", Seq: 4, At: 4, Seed: 9,
 		Scheme: "AMPPM", Level: 0.5, Threshold: 2, TSlotSeconds: 8e-6, PayloadBytes: 64}
 	spans := &span.Snapshot{Spans: []span.Span{{ID: 1, Seq: 4, Name: "frame"}}, Total: 1}
-	bdir, err := r.Trigger(meta, spans, nil)
+	lg := vlog.New(vlog.Debug)
+	for i := 0; i < 4; i++ {
+		lg.Record(vlog.Record{At: float64(i), Level: vlog.Warn, Stage: "phy/decode",
+			Msg: "crc mismatch", Seq: int64(i + 1)})
+	}
+	bdir, err := r.Trigger(meta, spans, nil, lg.Snapshot())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,6 +93,12 @@ func TestRingAndBundleRoundTrip(t *testing.T) {
 	if b.Metrics != nil {
 		t.Fatal("metrics.json was omitted but read back non-nil")
 	}
+	if b.Logs == nil || len(b.Logs.Records) != 4 {
+		t.Fatalf("logs round trip: %+v", b.Logs)
+	}
+	if got := b.Logs.Records[3]; got.Msg != "crc mismatch" || got.Seq != 4 || got.Level != vlog.Warn {
+		t.Fatalf("last log record %+v", got)
+	}
 	if len(b.Captures) != 3 {
 		t.Fatalf("ring kept %d captures, want depth 3", len(b.Captures))
 	}
@@ -103,6 +115,39 @@ func TestRingAndBundleRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLogTailTruncation pins the bundle log tail: only the last
+// Config.LogTail records land in logs.ndjson, and the trailing record —
+// the one explaining the trigger — survives.
+func TestLogTailTruncation(t *testing.T) {
+	r, err := New(Config{Dir: t.TempDir(), LogTail: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Observe(Capture{Seq: 0})
+	lg := vlog.New(vlog.Debug)
+	for i := 0; i < 10; i++ {
+		lg.Record(vlog.Record{At: float64(i), Level: vlog.Info, Stage: "sim/session",
+			Msg: "tick", Seq: int64(i)})
+	}
+	lg.Record(vlog.Record{At: 10, Level: vlog.Warn, Stage: "sim/flight",
+		Msg: "flight bundle triggered: decode", Seq: 10})
+	bdir, err := r.Trigger(Meta{Reason: "decode"}, nil, nil, lg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBundle(bdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Logs == nil || len(b.Logs.Records) != 3 {
+		t.Fatalf("tail kept %d records, want 3", len(b.Logs.Records))
+	}
+	last := b.Logs.Records[2]
+	if last.Stage != "sim/flight" || last.Seq != 10 {
+		t.Fatalf("tail does not end with the trigger record: %+v", last)
+	}
+}
+
 // TestMaxBundlesCap pins that triggers past the cap are counted but write
 // nothing.
 func TestMaxBundlesCap(t *testing.T) {
@@ -113,7 +158,7 @@ func TestMaxBundlesCap(t *testing.T) {
 	}
 	r.Observe(Capture{Seq: 0})
 	for i := 0; i < 5; i++ {
-		if _, err := r.Trigger(Meta{Reason: "hunt"}, nil, nil); err != nil {
+		if _, err := r.Trigger(Meta{Reason: "hunt"}, nil, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -167,7 +212,7 @@ func TestReplayClasses(t *testing.T) {
 	}
 	r.Observe(Capture{Seq: 0, Level: 0.5, Threshold: rx.Threshold(), Slots: slots, Samples: samples})
 	bdir, err := r.Trigger(Meta{Reason: "ser", Class: "ok", Scheme: "AMPPM",
-		Level: 0.5, Threshold: rx.Threshold(), TSlotSeconds: 8e-6}, nil, nil)
+		Level: 0.5, Threshold: rx.Threshold(), TSlotSeconds: 8e-6}, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

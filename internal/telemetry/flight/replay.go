@@ -12,6 +12,7 @@ import (
 	"smartvlc/internal/scheme"
 	"smartvlc/internal/telemetry"
 	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/vlog"
 	"smartvlc/internal/vlcdump"
 )
 
@@ -25,6 +26,8 @@ type Bundle struct {
 	Spans *span.Snapshot
 	// Metrics is the telemetry snapshot at trigger time (nil if absent).
 	Metrics *telemetry.Snapshot
+	// Logs is the structured log tail before the trigger (nil if absent).
+	Logs *vlog.Snapshot
 	// Captures is the frame ring, oldest first; the last capture is the
 	// frame that fired the trigger.
 	Captures []Capture
@@ -55,6 +58,14 @@ func ReadBundle(dir string) (*Bundle, error) {
 			return nil, fmt.Errorf("flight: parse metrics.json: %w", err)
 		}
 		b.Metrics = &snap
+	}
+	if lf, err := os.Open(filepath.Join(dir, "logs.ndjson")); err == nil {
+		snap, err := vlog.ParseNDJSON(lf)
+		lf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("flight: parse logs.ndjson: %w", err)
+		}
+		b.Logs = snap
 	}
 	f, err := os.Open(filepath.Join(dir, "capture.vlcd"))
 	if err != nil {

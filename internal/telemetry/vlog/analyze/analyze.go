@@ -1,0 +1,233 @@
+// Package analyze renders the human-readable log reports behind
+// cmd/vlclog: filtered tails of NDJSON log snapshots, per-level/per-stage
+// summaries, and the joined incident timeline that interleaves a flight
+// bundle's log tail with its span tree and histogram-exemplar
+// breadcrumbs on the shared simulation clock. Extracting the rendering
+// from the command makes the output testable against golden files; the
+// command stays a thin loader around this package.
+//
+// All output is deterministic given the inputs: events sort by simulated
+// time with a fixed kind order on ties (span roots first, then log
+// records, then exemplars) and record order within a kind.
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/vlog"
+)
+
+// Options parameterizes a filtered tail.
+type Options struct {
+	// MinLevel drops records below this severity.
+	MinLevel vlog.Level
+	// Stage, when non-empty, keeps only records whose stage matches
+	// exactly or lives under it ("phy" keeps "phy/decode" and "phy/hunt").
+	Stage string
+	// Seq, when FilterSeq is set, keeps only records of this sequence
+	// number.
+	Seq int64
+	// FilterSeq enables the Seq filter (Seq 0 and -1 are both meaningful
+	// record values, so presence needs its own bit).
+	FilterSeq bool
+	// Tail, when positive, keeps only the last Tail records after
+	// filtering.
+	Tail int
+}
+
+// matches reports whether one record passes the filter.
+func (o Options) matches(r vlog.Record) bool {
+	if r.Level < o.MinLevel {
+		return false
+	}
+	if o.Stage != "" && r.Stage != o.Stage && !strings.HasPrefix(r.Stage, o.Stage+"/") {
+		return false
+	}
+	if o.FilterSeq && r.Seq != o.Seq {
+		return false
+	}
+	return true
+}
+
+// Filter returns the records passing the filter, in record order,
+// truncated to the trailing Options.Tail when set.
+func Filter(recs []vlog.Record, opt Options) []vlog.Record {
+	var out []vlog.Record
+	for _, r := range recs {
+		if opt.matches(r) {
+			out = append(out, r)
+		}
+	}
+	if opt.Tail > 0 && len(out) > opt.Tail {
+		out = out[len(out)-opt.Tail:]
+	}
+	return out
+}
+
+// Report writes the filtered tail of one log snapshot: a header with the
+// ring totals and the per-level census of the records shown, then the
+// matching records in console format.
+func Report(w io.Writer, snap *vlog.Snapshot, opt Options) {
+	recs := Filter(snap.Records, opt)
+	fmt.Fprintf(w, "logs: %d buffered, %d total, %d dropped; showing %d\n",
+		len(snap.Records), snap.Total, snap.Dropped, len(recs))
+	counts := map[vlog.Level]int{}
+	for _, r := range recs {
+		counts[r.Level]++
+	}
+	parts := make([]string, 0, 4)
+	for lv := vlog.Debug; lv <= vlog.Error; lv++ {
+		if counts[lv] > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", lv, counts[lv]))
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(w, "levels: %s\n", strings.Join(parts, ", "))
+	}
+	fmt.Fprintln(w)
+	c := vlog.NewConsole(w, vlog.Debug)
+	for _, r := range recs {
+		c.Emit(r)
+	}
+}
+
+// JoinInput is the material of one joined incident timeline — typically
+// the three correlated files of one flight bundle. Any field may be nil;
+// its events are then simply absent.
+type JoinInput struct {
+	// Logs is the structured log tail (bundle logs.ndjson).
+	Logs *vlog.Snapshot
+	// Spans is the span snapshot (bundle spans.json).
+	Spans *span.Snapshot
+	// Metrics is the telemetry snapshot whose histogram exemplars become
+	// breadcrumbs (bundle metrics.json).
+	Metrics *telemetry.Snapshot
+}
+
+// event is one timeline entry. Ties at equal time sort by kind (span
+// roots open the frame before its log records narrate it, exemplars
+// trail as breadcrumbs), then by source order within a kind.
+type event struct {
+	at   float64
+	kind int // 0 span root, 1 log record, 2 exemplar
+	idx  int
+	text string
+}
+
+// Join writes the merged incident timeline of logs, span trees and
+// exemplar breadcrumbs, sorted on the shared simulation clock. The log
+// filter applies to log records only; spans and exemplars always show.
+func Join(w io.Writer, in JoinInput, opt Options) {
+	var events []event
+
+	if in.Spans != nil {
+		tree := span.NewTree(in.Spans.Spans)
+		for _, id := range tree.Roots() {
+			s, _ := tree.Span(id)
+			var b strings.Builder
+			renderSpan(&b, tree, id, 0)
+			events = append(events, event{at: s.Start, kind: 0, idx: len(events), text: b.String()})
+		}
+	}
+	if in.Logs != nil {
+		var b strings.Builder
+		c := vlog.NewConsole(&b, vlog.Debug)
+		for _, r := range Filter(in.Logs.Records, Options{MinLevel: opt.MinLevel, Stage: opt.Stage, Seq: opt.Seq, FilterSeq: opt.FilterSeq}) {
+			b.Reset()
+			c.Emit(r)
+			events = append(events, event{at: r.At, kind: 1, idx: len(events), text: b.String()})
+		}
+	}
+	if in.Metrics != nil {
+		for _, h := range in.Metrics.Histograms {
+			name := seriesName(h)
+			for _, be := range h.Exemplars {
+				for _, e := range be.Exemplars {
+					text := fmt.Sprintf("[%11.6fs] EXEMPLAR %s = %g seq=%d", e.At, name, e.Value, e.Seq)
+					if e.Span != 0 {
+						text += fmt.Sprintf(" span=%d", e.Span)
+					}
+					events = append(events, event{at: e.At, kind: 2, idx: len(events), text: text + "\n"})
+				}
+			}
+		}
+	}
+
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		if events[i].kind != events[j].kind {
+			return events[i].kind < events[j].kind
+		}
+		return events[i].idx < events[j].idx
+	})
+
+	fmt.Fprintf(w, "joined timeline: %d events\n\n", len(events))
+	for _, e := range events {
+		io.WriteString(w, e.text)
+	}
+}
+
+// renderSpan writes one span subtree, depth-first in record order.
+func renderSpan(b *strings.Builder, tree *span.Tree, id span.ID, depth int) {
+	s, ok := tree.Span(id)
+	if !ok {
+		return
+	}
+	if depth == 0 {
+		fmt.Fprintf(b, "[%11.6fs] SPAN  %s id=%d seq=%d dur=%s%s\n",
+			s.Start, s.Name, s.ID, s.Seq, Dur(s.Duration()), attrSummary(s))
+	} else {
+		fmt.Fprintf(b, "%*s%s id=%d dur=%s%s\n",
+			14+2*depth, "", s.Name, s.ID, Dur(s.Duration()), attrSummary(s))
+	}
+	for _, c := range tree.Children(id) {
+		renderSpan(b, tree, c, depth+1)
+	}
+}
+
+// seriesName renders a histogram's identity with its labels, matching
+// the exposition formats' series naming.
+func seriesName(h telemetry.HistogramSnapshot) string {
+	if len(h.Labels) == 0 {
+		return h.Name
+	}
+	parts := make([]string, len(h.Labels))
+	for i, l := range h.Labels {
+		parts[i] = l.Key + "=" + l.Value
+	}
+	return h.Name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// Dur renders seconds with a sensible unit for link-scale times.
+func Dur(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-3 && s > -1e-3:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1 && s > -1:
+		return fmt.Sprintf("%.3fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}
+
+// attrSummary renders a span's attributes compactly, leading space
+// included.
+func attrSummary(s span.Span) string {
+	if len(s.Attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		parts[i] = a.Key + "=" + a.Value
+	}
+	return " " + strings.Join(parts, " ")
+}

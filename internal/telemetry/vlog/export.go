@@ -1,0 +1,151 @@
+package vlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshot is a point-in-time copy of a logger: the buffered records
+// oldest-first plus volume accounting. Record order and IDs are record
+// order and every timestamp is simulation time, so snapshots of
+// identically seeded sessions marshal to byte-identical JSON and NDJSON.
+type Snapshot struct {
+	Records []Record `json:"records"`
+	Total   int64    `json:"total"`
+	Dropped int64    `json:"dropped"`
+}
+
+// Snapshot captures the logger's current state. Returns an empty
+// snapshot on a nil logger.
+func (l *Logger) Snapshot() *Snapshot {
+	s := &Snapshot{Records: []Record{}}
+	if l == nil {
+		return s
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) < l.cap || l.next == 0 {
+		s.Records = append(s.Records, l.buf...)
+	} else {
+		s.Records = append(s.Records, l.buf[l.next:]...)
+		s.Records = append(s.Records, l.buf[:l.next]...)
+	}
+	s.Total = l.total
+	s.Dropped = l.dropped
+	return s
+}
+
+// JSON marshals the snapshot as canonical indented JSON: fixed field
+// order, records in record order — the byte-identical export the
+// determinism tests pin.
+func (s *Snapshot) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteNDJSON writes the records one JSON object per line, in record
+// order — the canonical stream form served by /logs/stream and stored
+// in flight bundles as logs.ndjson. Field order is the Record struct
+// order, so identical snapshots produce byte-identical output.
+func (s *Snapshot) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range s.Records {
+		b, err := json.Marshal(&s.Records[i])
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// NDJSON returns WriteNDJSON's output as a byte slice.
+func (s *Snapshot) NDJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.WriteNDJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// MaxNDJSONRecords bounds how many records ParseNDJSON accepts, so a
+// corrupt or hostile file cannot exhaust memory downstream.
+const MaxNDJSONRecords = 1 << 20
+
+// ParseNDJSON reads an NDJSON record stream (as written by WriteNDJSON)
+// back into a snapshot. Blank lines are skipped; Total is the record
+// count (per-ring drop accounting does not survive the stream form).
+func ParseNDJSON(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Records: []Record{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if len(snap.Records) >= MaxNDJSONRecords {
+			return nil, fmt.Errorf("vlog: stream has more than %d records", MaxNDJSONRecords)
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("vlog: parse ndjson line %d: %w", len(snap.Records)+1, err)
+		}
+		snap.Records = append(snap.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vlog: read ndjson: %w", err)
+	}
+	snap.Total = int64(len(snap.Records))
+	return snap, nil
+}
+
+// Tail returns a snapshot holding the last n records (all of them when
+// n <= 0 or n >= len). Total and Dropped carry over unchanged, so a
+// flight-bundle tail still reports how much the session ring saw and
+// shed before the trigger.
+func (s *Snapshot) Tail(n int) *Snapshot {
+	out := &Snapshot{Records: []Record{}, Total: s.Total, Dropped: s.Dropped}
+	recs := s.Records
+	if n > 0 && n < len(recs) {
+		recs = recs[len(recs)-n:]
+	}
+	out.Records = append(out.Records, recs...)
+	return out
+}
+
+// Merge folds per-session snapshots into one, concatenating records in
+// argument (config) order and reassigning IDs sequentially so the
+// merged stream reads like one session's. The elision contract matches
+// the other pillars: per-session ring capacity is NOT re-applied — each
+// session already shed its own overflow (summed into Dropped) — and the
+// session boundary itself is elided, so joins against a specific
+// session's spans should use that session's own retained snapshot, not
+// the merge. Nil snapshots are skipped; merging nothing returns an
+// empty snapshot.
+func Merge(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{Records: []Record{}}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		out.Records = append(out.Records, s.Records...)
+		out.Total += s.Total
+		out.Dropped += s.Dropped
+	}
+	for i := range out.Records {
+		out.Records[i].ID = int64(i + 1)
+	}
+	return out
+}

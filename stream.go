@@ -11,6 +11,7 @@ import (
 	"smartvlc/internal/telemetry"
 	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/vlog"
 )
 
 // Stream is a reliable, ordered byte pipe over a simulated SmartVLC link,
@@ -67,6 +68,10 @@ type Stream struct {
 	// Health (nil by default — no-op): a link-health monitor sampled on
 	// the stream's airtime clock. See SetHealth.
 	mon *health.Monitor
+
+	// Logs (nil by default — no-op): structured chunk-lifecycle records on
+	// the stream's airtime clock. See SetLog.
+	log *vlog.Logger
 }
 
 // OpenStream returns a byte pipe over the given link operating point at
@@ -121,6 +126,27 @@ func (st *Stream) Telemetry() *TelemetrySnapshot {
 		return nil
 	}
 	return st.reg.Snapshot()
+}
+
+// SetLog attaches a structured logger to the stream: each chunk records
+// its transmission attempts (Debug), its delivery (Debug, with attempt
+// count and payload bytes) or its exhaustion (Error), stamped on the
+// stream's airtime clock — so identically-seeded streams log
+// byte-identically. The stream is single-threaded, so records go to the
+// logger directly in program order. Call before the first Write; nil
+// restores the no-op default.
+func (st *Stream) SetLog(l *vlog.Logger) {
+	st.log = l
+	st.clock = telemetry.SlotClock{TSlotSeconds: tslotSeconds}
+}
+
+// Logs returns the snapshot of the attached logger, or nil when none was
+// attached.
+func (st *Stream) Logs() *vlog.Snapshot {
+	if st.log == nil {
+		return nil
+	}
+	return st.log.Snapshot()
 }
 
 // SetHealth attaches a link-health monitor to the stream. Time-series
@@ -234,6 +260,14 @@ func (st *Stream) sendChunk(data []byte) error {
 				Attrs: []span.Attr{{Key: "attempt", Value: strconv.Itoa(attempt + 1)}},
 			})
 		}
+		if attempt > 0 && st.log.Enabled(vlog.Debug) {
+			st.log.Record(vlog.Record{
+				At: st.clock.At(st.airtimeSlots), Level: vlog.Debug, Stage: "stream/chunk",
+				Msg: "chunk retransmitted", Seq: int64(st.chunk - 1),
+				Dim:   strconv.FormatFloat(st.level, 'g', -1, 64),
+				Attrs: []vlog.Attr{{Key: "attempt", Value: strconv.Itoa(attempt + 1)}},
+			})
+		}
 		st.airtimeSlots += len(slots)
 		st.seed++
 		payloads, err := st.sys.Deliver(st.geometry, st.ambient, st.seed, slots)
@@ -255,6 +289,17 @@ func (st *Stream) sendChunk(data []byte) error {
 					st.attemptCounts = append(st.attemptCounts, 0)
 				}
 				st.attemptCounts[attempt]++
+				if st.log.Enabled(vlog.Debug) {
+					st.log.Record(vlog.Record{
+						At: deliverAt, Level: vlog.Debug, Stage: "stream/chunk",
+						Msg: "chunk delivered", Seq: int64(st.chunk - 1),
+						Dim: strconv.FormatFloat(st.level, 'g', -1, 64),
+						Attrs: []vlog.Attr{
+							{Key: "attempts", Value: strconv.Itoa(attempt + 1)},
+							{Key: "bytes", Value: strconv.Itoa(len(pl) - 4)},
+						},
+					})
+				}
 				st.recordChunkSpan(chunkStart, attempt+1, len(pl)-4, "ok")
 				return nil
 			}
@@ -262,6 +307,14 @@ func (st *Stream) sendChunk(data []byte) error {
 		st.retries++
 		st.retriesC.Inc()
 		st.mon.ObserveRx(st.clock.At(st.airtimeSlots), 0, 1, 0, 0)
+	}
+	if st.log.Enabled(vlog.Error) {
+		st.log.Record(vlog.Record{
+			At: st.clock.At(st.airtimeSlots), Level: vlog.Error, Stage: "stream/chunk",
+			Msg: "chunk undeliverable, attempts exhausted", Seq: int64(st.chunk - 1),
+			Dim:   strconv.FormatFloat(st.level, 'g', -1, 64),
+			Attrs: []vlog.Attr{{Key: "attempts", Value: strconv.Itoa(st.MaxAttempts)}},
+		})
 	}
 	st.recordChunkSpan(chunkStart, st.MaxAttempts, 0, "failed")
 	return fmt.Errorf("smartvlc: chunk %d undeliverable after %d attempts", st.chunk-1, st.MaxAttempts)

@@ -8,6 +8,7 @@ import (
 	"smartvlc/internal/telemetry/flight"
 	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/span"
+	"smartvlc/internal/telemetry/vlog"
 )
 
 // Telemetry re-exports, so applications never import internal packages.
@@ -71,6 +72,26 @@ type (
 	HealthSeries = health.Series
 	// HealthState is an SLO state: HealthOK, HealthWarning, HealthCritical.
 	HealthState = health.State
+
+	// Logger is a deterministic structured logger: leveled records on the
+	// simulation clock in a bounded ring, each carrying the correlation
+	// keys (seq, span, stage, scheme, dim, shard) that join it against the
+	// other telemetry pillars. Attach one via SessionConfig.Logs or
+	// Stream.SetLog; nil is the zero-cost no-op default.
+	Logger = vlog.Logger
+	// LogLevel orders record severity: LogDebug, LogInfo, LogWarn, LogError.
+	LogLevel = vlog.Level
+	// LogRecord is one structured log line.
+	LogRecord = vlog.Record
+	// LogAttr is one key/value annotation on a log record.
+	LogAttr = vlog.Attr
+	// LogSnapshot is a canonical export of a logger, serializable as
+	// indented JSON or NDJSON (one record per line).
+	LogSnapshot = vlog.Snapshot
+	// LogConsole renders log records or snapshots human-readably to a
+	// writer — the vlog-native replacement for the stdlib log package in
+	// the examples.
+	LogConsole = vlog.Console
 )
 
 // Health states, ordered by severity.
@@ -79,6 +100,37 @@ const (
 	HealthWarning  = health.StateWarning
 	HealthCritical = health.StateCritical
 )
+
+// Log levels, ordered by severity.
+const (
+	LogDebug = vlog.Debug
+	LogInfo  = vlog.Info
+	LogWarn  = vlog.Warn
+	LogError = vlog.Error
+)
+
+// NewLogger returns an empty structured logger keeping records at or
+// above min, for SessionConfig.Logs or Stream.SetLog.
+func NewLogger(min LogLevel) *Logger { return vlog.New(min) }
+
+// NewLogConsole returns a console renderer for log records writing to w
+// (os.Stderr when nil), emitting records at or above min.
+func NewLogConsole(w io.Writer, min LogLevel) *LogConsole { return vlog.NewConsole(w, min) }
+
+// MergeLogs concatenates per-session log snapshots in argument order,
+// reassigning record IDs; nil snapshots are skipped. Ring capacity is NOT
+// re-applied and the session boundary is elided — recover it from the
+// "sim/session" records. RunFleet applies this to its sessions already.
+func MergeLogs(snaps ...*LogSnapshot) *LogSnapshot { return vlog.Merge(snaps...) }
+
+// ParseLogNDJSON loads a log snapshot written as NDJSON
+// (LogSnapshot.NDJSON), e.g. a flight bundle's logs.ndjson or the
+// smartvlc-sim -log-out artifact.
+func ParseLogNDJSON(r io.Reader) (*LogSnapshot, error) { return vlog.ParseNDJSON(r) }
+
+// ParseLogLevel maps a canonical level name ("debug", "info", "warn",
+// "error") to its LogLevel.
+func ParseLogLevel(s string) (LogLevel, bool) { return vlog.ParseLevel(s) }
 
 // NewSpanCollector returns an empty span collector for SessionConfig.Spans,
 // System.SetSpans or Stream.SetSpans.
