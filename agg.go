@@ -1,0 +1,63 @@
+package smartvlc
+
+import (
+	"io"
+
+	"smartvlc/internal/telemetry/agg"
+)
+
+// Streaming fleet-aggregation re-exports, so applications never import
+// internal packages. The aggregator is the live counterpart of
+// MergeTelemetry: sessions stream delta snapshots into it at sim-clock
+// window boundaries while the fleet runs, and its Snapshot — fleet
+// window rollups plus the worst-sessions tables — is byte-identical for
+// every worker count and GOMAXPROCS.
+type (
+	// FleetAggregator folds per-session telemetry deltas into fleet-wide
+	// windowed rollups and deterministic top-K worst-session tables while
+	// the fleet is still running. Create one with NewFleetAggregator,
+	// register each session via Feed, and pass the feeds through
+	// SessionConfig.Watch; RunFleet leaves the final snapshot in
+	// FleetResult.Agg, and Snapshot may be called live at any time.
+	FleetAggregator = agg.Aggregator
+	// FleetAggConfig parameterizes a FleetAggregator: window width on the
+	// sim clock, rollup pyramid depth/factor, retention capacity and the
+	// worst-sessions table bound K.
+	FleetAggConfig = agg.Config
+	// FleetAggSnapshot is a canonical point-in-time export of a
+	// FleetAggregator: the rollup pyramid plus the worst-SER, worst-burn
+	// and slowest-ACK tables. Serves as JSON (smartvlc-sim -agg-out,
+	// GET /fleet) or NDJSON (GET /fleet/stream).
+	FleetAggSnapshot = agg.Snapshot
+	// FleetAggPoint is one sealed fleet window (or coarser rollup): exact
+	// summed counts plus the rates derived from them.
+	FleetAggPoint = agg.Point
+	// FleetAggSeries is one rollup resolution's retained points.
+	FleetAggSeries = agg.Series
+	// FleetSessionMeta identifies one session to the aggregator: its
+	// config-order index (the fold order and top-K tie-break), seed,
+	// scheme and payload size.
+	FleetSessionMeta = agg.SessionMeta
+	// FleetFeed is one session's delta channel into the aggregator; pass
+	// it via SessionConfig.Watch. Nil is the zero-cost no-op default.
+	FleetFeed = agg.Feed
+	// FleetSessionStat is one worst-sessions table row: a session's
+	// cumulative counts and the SER / burn-rate / ACK-p95 / goodput
+	// derived from them.
+	FleetSessionStat = agg.SessionStat
+)
+
+// NewFleetAggregator returns a streaming aggregator for a fleet of n
+// sessions. Register every session with Feed and wire each feed into its
+// SessionConfig.Watch — a fleet window only seals once all n sessions
+// have reported it (or finished).
+func NewFleetAggregator(cfg FleetAggConfig, n int) (*FleetAggregator, error) {
+	return agg.New(cfg, n)
+}
+
+// ReadFleetAggSnapshot loads an aggregator snapshot written as canonical
+// JSON (FleetAggSnapshot.JSON), e.g. the smartvlc-sim -agg-out artifact
+// or its /fleet endpoint.
+func ReadFleetAggSnapshot(r io.Reader) (*FleetAggSnapshot, error) {
+	return agg.ReadSnapshot(r)
+}

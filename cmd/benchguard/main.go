@@ -40,7 +40,8 @@
 // over its nil twin's, minus one, as recorded by phybench) must stay
 // within -overhead-limit. The default pins the stage profiler's and the
 // structured logger's session twins (end_to_end_frame_prof,
-// end_to_end_frame_vlog) to 3%.
+// end_to_end_frame_vlog) and the streaming fleet aggregation's
+// (fleet_sessions_agg over fleet_sessions_telemetry) to 3%.
 //
 // Usage:
 //
@@ -120,7 +121,7 @@ func main() {
 	gateBytes := flag.String("gate-bytes", "end_to_end_frame,receiver_process,phy_transmit,session_frames_arena", "comma-separated zero-alloc entries whose bytes/op must not creep past the baseline (small slack absorbs runtime accounting noise)")
 	gateThroughput := flag.String("gate-throughput", "end_to_end_frame,receiver_process,fleet_sessions,session_frames", "comma-separated entries whose per-core frame / session throughput must hold within the tolerance")
 	gateCurves := flag.Bool("gate-curves", true, "with -results: require every speedup curve to reach 1.0x at workers=4 (skipped on single-core hosts)")
-	gateOverhead := flag.String("gate-overhead", "end_to_end_frame_prof,end_to_end_frame_vlog", "with -results: comma-separated entries whose overhead_vs_nil must stay within -overhead-limit")
+	gateOverhead := flag.String("gate-overhead", "end_to_end_frame_prof,end_to_end_frame_vlog,fleet_sessions_agg", "with -results: comma-separated entries whose overhead_vs_nil must stay within -overhead-limit")
 	overheadLimit := flag.Float64("overhead-limit", 0.03, "allowed fractional overhead over the nil twin for -gate-overhead entries")
 	verifyArena := flag.Bool("verify-arena", true, "in re-run mode: run fresh vs warm-arena session twins and require byte-identical telemetry, health, prof and log snapshots")
 	trendPath := flag.String("trend", "", "bench history log (BENCH_history.jsonl) to gate the newest run against its rolling median")
@@ -169,12 +170,14 @@ func main() {
 	}
 
 	bodies := map[string]func() func(b *testing.B){
-		"end_to_end_frame":        func() func(b *testing.B) { return endToEndBody(sys) },
-		"fleet_sessions":          func() func(b *testing.B) { return fleetBody(sys) },
-		"session_frames":          func() func(b *testing.B) { return sessionBody(sys, false, false, false) },
-		"end_to_end_frame_health": func() func(b *testing.B) { return sessionBody(sys, true, false, false) },
-		"end_to_end_frame_prof":   func() func(b *testing.B) { return sessionBody(sys, false, true, false) },
-		"end_to_end_frame_vlog":   func() func(b *testing.B) { return sessionBody(sys, false, false, true) },
+		"end_to_end_frame":         func() func(b *testing.B) { return endToEndBody(sys) },
+		"fleet_sessions":           func() func(b *testing.B) { return fleetBody(sys, false, false) },
+		"fleet_sessions_telemetry": func() func(b *testing.B) { return fleetBody(sys, true, false) },
+		"fleet_sessions_agg":       func() func(b *testing.B) { return fleetBody(sys, true, true) },
+		"session_frames":           func() func(b *testing.B) { return sessionBody(sys, false, false, false) },
+		"end_to_end_frame_health":  func() func(b *testing.B) { return sessionBody(sys, true, false, false) },
+		"end_to_end_frame_prof":    func() func(b *testing.B) { return sessionBody(sys, false, true, false) },
+		"end_to_end_frame_vlog":    func() func(b *testing.B) { return sessionBody(sys, false, false, true) },
 	}
 
 	failed := false
@@ -185,7 +188,7 @@ func main() {
 		}
 		mk, ok := bodies[name]
 		if !ok {
-			fatal(fmt.Errorf("no benchmark body for %q (known: end_to_end_frame, fleet_sessions, session_frames, end_to_end_frame_health, end_to_end_frame_prof, end_to_end_frame_vlog)", name))
+			fatal(fmt.Errorf("no benchmark body for %q (known: end_to_end_frame, fleet_sessions, fleet_sessions_telemetry, fleet_sessions_agg, session_frames, end_to_end_frame_health, end_to_end_frame_prof, end_to_end_frame_vlog)", name))
 		}
 		base, err := loadBaseline(*baselinePath, name)
 		if err != nil {
@@ -234,10 +237,13 @@ func endToEndBody(sys *smartvlc.System) func(b *testing.B) {
 	}
 }
 
-// fleetBody mirrors cmd/phybench's fleet_sessions workload: 8 independent
-// sessions on the single-worker path, guarding the serial baseline that
-// every recorded parallel speedup divides by.
-func fleetBody(sys *smartvlc.System) func(b *testing.B) {
+// fleetBody mirrors cmd/phybench's fleet_sessions workload family: 8
+// independent sessions on the single-worker path, guarding the serial
+// baseline that every recorded parallel speedup divides by. withTelemetry
+// arms a registry per session (fleet_sessions_telemetry) and withAgg
+// additionally wires every session into a streaming fleet aggregator
+// (fleet_sessions_agg) — the pair behind the aggregation overhead gate.
+func fleetBody(sys *smartvlc.System, withTelemetry, withAgg bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cfgs := make([]smartvlc.SessionConfig, 8)
@@ -245,7 +251,26 @@ func fleetBody(sys *smartvlc.System) func(b *testing.B) {
 				cfg := smartvlc.DefaultSessionConfig(sys.Scheme())
 				cfg.FixedLevel = 0.5
 				cfg.Seed = uint64(j + 1)
+				if withTelemetry {
+					cfg.Telemetry = smartvlc.NewTelemetry()
+				}
 				cfgs[j] = cfg
+			}
+			if withAgg {
+				fa, err := smartvlc.NewFleetAggregator(smartvlc.FleetAggConfig{WindowSeconds: 0.02}, len(cfgs))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range cfgs {
+					feed, err := fa.Feed(smartvlc.FleetSessionMeta{
+						Index: j, Seed: cfgs[j].Seed,
+						Scheme: sys.Scheme().Name(), PayloadBytes: cfgs[j].PayloadBytes,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfgs[j].Watch = feed
+				}
 			}
 			fl, err := smartvlc.RunFleet(cfgs, 0.1, 1)
 			if err != nil {
@@ -253,6 +278,9 @@ func fleetBody(sys *smartvlc.System) func(b *testing.B) {
 			}
 			if len(fl.Results) != 8 {
 				b.Fatalf("fleet returned %d sessions", len(fl.Results))
+			}
+			if withAgg && (fl.Agg == nil || fl.Agg.SealedWindows == 0) {
+				b.Fatal("fleet aggregation sealed no windows")
 			}
 		}
 	}

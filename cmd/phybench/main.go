@@ -72,10 +72,12 @@ var serialPeer = map[string]string{
 // the recorded OverheadVsNil is the fractional cost of turning the layer
 // on, backing the "a few % at most" claim the benchguard gate enforces.
 var nilPeer = map[string]string{
-	"end_to_end_frame_spans":  "end_to_end_frame",
-	"end_to_end_frame_health": "session_frames",
-	"end_to_end_frame_prof":   "session_frames",
-	"end_to_end_frame_vlog":   "session_frames",
+	"end_to_end_frame_spans":   "end_to_end_frame",
+	"end_to_end_frame_health":  "session_frames",
+	"end_to_end_frame_prof":    "session_frames",
+	"end_to_end_frame_vlog":    "session_frames",
+	"fleet_sessions_telemetry": "fleet_sessions",
+	"fleet_sessions_agg":       "fleet_sessions_telemetry",
 }
 
 // arenaPeer maps each warm-arena benchmark to its fresh-allocation twin;
@@ -276,6 +278,58 @@ func main() {
 				if len(fl.Results) != 8 {
 					b.Fatalf("fleet returned %d sessions", len(fl.Results))
 				}
+			}
+		}
+	}
+	// Telemetry-armed twin of fleet_sessions: every session carries a
+	// registry but no watch feed, splitting the instrumented cost in two —
+	// this entry prices the metrics layer against the bare fleet, and
+	// fleet_sessions_agg below prices the streaming aggregation (delta
+	// extraction + window folds) against this one.
+	fleetTelemetryCfgs := func() []smartvlc.SessionConfig {
+		cfgs := fleetCfgs()
+		for j := range cfgs {
+			cfgs[j].Telemetry = smartvlc.NewTelemetry()
+		}
+		return cfgs
+	}
+	fleetTelemetryBody := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fl, err := smartvlc.RunFleet(fleetTelemetryCfgs(), 0.1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(fl.Results) != 8 {
+				b.Fatalf("fleet returned %d sessions", len(fl.Results))
+			}
+		}
+	}
+	fleetAggBody := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfgs := fleetTelemetryCfgs()
+			fa, err := smartvlc.NewFleetAggregator(smartvlc.FleetAggConfig{WindowSeconds: 0.02}, len(cfgs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range cfgs {
+				feed, err := fa.Feed(smartvlc.FleetSessionMeta{
+					Index: j, Seed: cfgs[j].Seed,
+					Scheme: sys.Scheme().Name(), PayloadBytes: cfgs[j].PayloadBytes,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfgs[j].Watch = feed
+			}
+			fl, err := smartvlc.RunFleet(cfgs, 0.1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(fl.Results) != 8 {
+				b.Fatalf("fleet returned %d sessions", len(fl.Results))
+			}
+			if fl.Agg == nil || fl.Agg.SealedWindows == 0 {
+				b.Fatal("fleet aggregation sealed no windows")
 			}
 		}
 	}
@@ -483,6 +537,8 @@ func main() {
 		{name: "end_to_end_frame_prof", sessions: 1, body: sessionBody(false, true, false)},
 		{name: "end_to_end_frame_vlog", sessions: 1, body: sessionBody(false, false, true)},
 		{name: "fleet_sessions", workers: 1, sessions: 8, body: fleetBody(1)},
+		{name: "fleet_sessions_telemetry", workers: 1, sessions: 8, body: fleetTelemetryBody},
+		{name: "fleet_sessions_agg", workers: 1, sessions: 8, body: fleetAggBody},
 		{name: "fleet_sessions_parallel", workers: ncpu, sessions: 8, body: fleetBody(ncpu)},
 		{name: "fleet_sessions_arena", workers: 1, sessions: 8, body: fleetArenaBody(1)},
 		{name: "fleet_sessions_arena_parallel", workers: ncpu, sessions: 8, body: fleetArenaBody(ncpu)},

@@ -57,6 +57,16 @@
 // (see -flight-dir) additionally keeps the log tail leading up to its
 // trigger as logs.ndjson.
 //
+// Fleet watch: with -sessions N > 1, -fleet-watch streams fleet
+// aggregation while the sessions run — per-session telemetry deltas fold
+// into windowed rollups (-fleet-window sets the sim-clock window width)
+// and deterministic worst-sessions tables (worst SER, worst ARQ burn
+// rate, slowest ACK p95). With -metrics-addr, /fleet (JSON) and
+// /fleet/stream (NDJSON) serve the live view mid-run and keep serving
+// the final state after the run; vlctop -fleet renders either. -agg-out
+// FILE writes the final snapshot ("-" for stdout). Live or final, the
+// aggregate is byte-identical for every -workers value.
+//
 // Profiling: -pprof-addr HOST:PORT serves /debug/pprof on its own
 // address (never on the metrics port); the simulation runs under pprof
 // labels (session/stage/scheme/level), so CPU profiles slice by the same
@@ -69,9 +79,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"smartvlc"
@@ -91,6 +103,9 @@ func main() {
 	sessions := flag.Int("sessions", 1, "number of independent sessions to run as a fleet")
 	workers := flag.Int("workers", 0, "goroutines for the fleet (0 = GOMAXPROCS)")
 	fleetRepeat := flag.Int("fleet-repeat", 1, "run the fleet N times on a persistent session-arena pool and report cold vs warm sessions/sec (outputs come from the final repeat)")
+	fleetWatch := flag.Bool("fleet-watch", false, "stream fleet aggregation while the fleet runs: with -metrics-addr, /fleet and /fleet/stream serve live rollups and worst-sessions tables mid-run")
+	fleetWindow := flag.Float64("fleet-window", 0.1, "fleet aggregation window width in simulated seconds")
+	aggOut := flag.String("agg-out", "", "write the final fleet aggregation snapshot to FILE as canonical JSON (\"-\" for stdout; render with vlctop -fleet)")
 	metricsOut := flag.String("metrics-out", "", "write the telemetry snapshot to FILE (\"-\" for stdout; .prom suffix selects Prometheus text format)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the snapshot over HTTP at this address after the run (/metrics, /metrics.json, /trace)")
 	traceOut := flag.String("trace-out", "", "write the session's frame spans to FILE as a Chrome trace_event JSON (Perfetto-loadable)")
@@ -155,6 +170,9 @@ func main() {
 	if wantHealth {
 		cfg.Health = &smartvlc.HealthConfig{Objectives: smartvlc.DefaultHealthObjectives()}
 	}
+	if (*fleetWatch || *aggOut != "") && *sessions <= 1 {
+		fatal(fmt.Errorf("-fleet-watch and -agg-out aggregate a fleet; run with -sessions N > 1"))
+	}
 
 	if *sessions > 1 {
 		runFleet(cfg, sch, *sessions, *workers, *fleetRepeat, *seconds, fleetOut{
@@ -170,6 +188,9 @@ func main() {
 			profOut:        *profOut,
 			profFolded:     *profFolded,
 			profMetric:     foldMetric,
+			watch:          *fleetWatch,
+			window:         *fleetWindow,
+			aggOut:         *aggOut,
 			runtimeMetrics: *runtimeMetrics,
 		})
 		return
@@ -350,6 +371,9 @@ type fleetOut struct {
 	profOut        string
 	profFolded     string
 	profMetric     smartvlc.ProfMetric
+	watch          bool
+	window         float64
+	aggOut         string
 	runtimeMetrics bool
 }
 
@@ -366,12 +390,24 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers, repe
 	if repeat < 1 {
 		repeat = 1
 	}
-	mkCfgs := func() []smartvlc.SessionConfig {
+	wantAgg := out.watch || out.aggOut != ""
+	// Registries and aggregators are stateful, so each repeat builds both
+	// fresh; the aggregator comes back so the repeat loop can publish it
+	// to the live endpoints.
+	mkCfgs := func() ([]smartvlc.SessionConfig, *smartvlc.FleetAggregator) {
+		var fa *smartvlc.FleetAggregator
+		if wantAgg {
+			var err error
+			fa, err = smartvlc.NewFleetAggregator(smartvlc.FleetAggConfig{WindowSeconds: out.window}, n)
+			if err != nil {
+				fatal(err)
+			}
+		}
 		cfgs := make([]smartvlc.SessionConfig, n)
 		for i := range cfgs {
 			cfg := base
 			cfg.Seed = base.Seed + uint64(i)
-			if out.wantMetrics {
+			if out.wantMetrics || wantAgg { // the watch feed streams registry deltas
 				cfg.Telemetry = smartvlc.NewTelemetry()
 			}
 			if out.traceDir != "" {
@@ -383,9 +419,43 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers, repe
 			if out.wantLogs {
 				cfg.Logs = smartvlc.NewLogger(out.logLevel)
 			}
+			if fa != nil {
+				feed, err := fa.Feed(smartvlc.FleetSessionMeta{
+					Index: i, Seed: cfg.Seed, Scheme: sch.Name(), PayloadBytes: cfg.PayloadBytes,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				cfg.Watch = feed
+			}
 			cfgs[i] = cfg
 		}
-		return cfgs
+		return cfgs, fa
+	}
+
+	// Live watch server: /fleet and /fleet/stream go up before the first
+	// session starts, answering from whichever repeat's aggregator is
+	// current; the remaining report routes join the same mux after the run.
+	var liveAgg atomic.Pointer[smartvlc.FleetAggregator]
+	var liveMux *http.ServeMux
+	if out.watch && out.metricsAddr != "" {
+		liveMux = http.NewServeMux()
+		addFleetRoutes(liveMux, func() *smartvlc.FleetAggSnapshot {
+			if a := liveAgg.Load(); a != nil {
+				return a.Snapshot()
+			}
+			return nil
+		})
+		ln, err := net.Listen("tcp", out.metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fleet watch : serving live on http://%s/fleet and /fleet/stream\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, liveMux); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	arenas := smartvlc.NewFleetArenas()
@@ -393,8 +463,12 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers, repe
 	var err error
 	var coldWall, wall time.Duration
 	for r := 0; r < repeat; r++ {
+		cfgs, fa := mkCfgs()
+		if fa != nil {
+			liveAgg.Store(fa)
+		}
 		start := time.Now()
-		fl, err = smartvlc.RunFleetArenas(arenas, mkCfgs(), seconds, workers)
+		fl, err = smartvlc.RunFleetArenas(arenas, cfgs, seconds, workers)
 		if err != nil {
 			fatal(err)
 		}
@@ -428,6 +502,21 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers, repe
 		fmt.Printf("health      : %s across %d sessions (%d transitions)\n",
 			fl.Health.State, fl.Health.Sessions, len(fl.Health.Transitions))
 	}
+	if fl.Agg != nil {
+		fmt.Printf("fleet agg   : %d windows of %.3f s sealed\n", fl.Agg.SealedWindows, fl.Agg.WindowSeconds)
+		if len(fl.Agg.TopSER) > 0 {
+			w := fl.Agg.TopSER[0]
+			fmt.Printf("worst ser   : session %d (seed %d) %.3g\n", w.Session, w.Seed, w.SER)
+		}
+		if len(fl.Agg.TopBurn) > 0 {
+			w := fl.Agg.TopBurn[0]
+			fmt.Printf("worst burn  : session %d (seed %d) %.3f timeouts/frame\n", w.Session, w.Seed, w.BurnRate)
+		}
+		if len(fl.Agg.TopAck) > 0 {
+			w := fl.Agg.TopAck[0]
+			fmt.Printf("slowest ack : session %d (seed %d) p95 %.1f ms\n", w.Session, w.Seed, w.AckP95*1000)
+		}
+	}
 
 	if out.traceDir != "" {
 		if err := fl.WriteSessionTraces(out.traceDir); err != nil {
@@ -453,12 +542,50 @@ func runFleet(base smartvlc.SessionConfig, sch smartvlc.Scheme, n, workers, repe
 			fatal(err)
 		}
 	}
-	if out.metricsAddr != "" {
-		serve(out.metricsAddr, serveOpts{
-			snap: fl.Telemetry, health: fl.Health, prof: fl.Prof, logs: fl.Logs,
-			runtimeMetrics: out.runtimeMetrics,
-		})
+	if out.aggOut != "" {
+		if err := writeAgg(out.aggOut, fl.Agg); err != nil {
+			fatal(err)
+		}
 	}
+	if out.metricsAddr == "" {
+		return
+	}
+	final := serveOpts{
+		snap: fl.Telemetry, health: fl.Health, prof: fl.Prof, logs: fl.Logs,
+		runtimeMetrics: out.runtimeMetrics,
+	}
+	if liveMux != nil {
+		// The live mux already owns /fleet and /fleet/stream (still backed
+		// by the final repeat's aggregator); add the post-run report routes
+		// to it and keep serving.
+		addRoutes(liveMux, final)
+		fmt.Printf("metrics     : serving on http://%s/metrics (ctrl-c to stop)\n", out.metricsAddr)
+		select {}
+	}
+	if fl.Agg != nil {
+		snap := fl.Agg
+		final.agg = func() *smartvlc.FleetAggSnapshot { return snap }
+	}
+	serve(out.metricsAddr, final)
+}
+
+// writeAgg exports the fleet aggregation snapshot as canonical JSON
+// ("-" for stdout) — vlctop -fleet's input. A nil snapshot writes an
+// empty object so downstream tooling sees valid JSON either way.
+func writeAgg(path string, snap *smartvlc.FleetAggSnapshot) error {
+	out := []byte("{}\n")
+	if snap != nil {
+		var err error
+		out, err = snap.JSON()
+		if err != nil {
+			return err
+		}
+	}
+	if path == "-" {
+		_, err := os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 // writeMetrics exports a snapshot: Prometheus exposition when the path
@@ -539,6 +666,9 @@ func serve(addr string, o serveOpts) {
 	}
 	if o.logs != nil {
 		fmt.Printf("logs        : http://%s/logs and /logs/stream\n", addr)
+	}
+	if o.agg != nil {
+		fmt.Printf("fleet       : http://%s/fleet and /fleet/stream\n", addr)
 	}
 	if err := http.ListenAndServe(addr, buildMux(o)); err != nil {
 		fatal(err)

@@ -35,6 +35,13 @@ type serveOpts struct {
 	// logs, when non-nil, is served at /logs (canonical JSON) and
 	// /logs/stream (NDJSON, one record per line — vlclog tail's input).
 	logs *smartvlc.LogSnapshot
+	// agg, when non-nil, is called per request to serve the streaming
+	// fleet aggregation at /fleet (canonical JSON) and /fleet/stream
+	// (NDJSON). It is a getter rather than a snapshot because -fleet-watch
+	// serves these routes while the fleet is still running — each request
+	// sees the rollups and worst-sessions tables as of that moment. A nil
+	// return (aggregator not started yet) answers 503.
+	agg func() *smartvlc.FleetAggSnapshot
 	// runtimeMetrics appends Go runtime gauges (goroutines, heap) to the
 	// Prometheus exposition at scrape time. They reflect the serving
 	// process, not the simulation, so they never enter the canonical
@@ -45,12 +52,56 @@ type serveOpts struct {
 // buildMux registers the report endpoints for the artifacts in opts.
 // Always present: /metrics, /metrics.json, /metrics.om (OpenMetrics,
 // where histogram exemplars ride the exposition). Flag-gated: /trace,
-// /health, /health/stream, /prof, /prof/folded, /logs, /logs/stream.
-// pprof is deliberately
+// /health, /health/stream, /prof, /prof/folded, /logs, /logs/stream,
+// /fleet, /fleet/stream. pprof is deliberately
 // NOT here — it serves on its own address (see servePprof) so debug
 // handlers never leak onto the metrics port.
 func buildMux(o serveOpts) *http.ServeMux {
 	mux := http.NewServeMux()
+	addRoutes(mux, o)
+	return mux
+}
+
+// addFleetRoutes registers only /fleet and /fleet/stream, backed by the
+// getter. The -fleet-watch path calls this before the run starts (live
+// serving) and later adds the remaining report routes to the same mux
+// with addRoutes once the artifacts exist.
+func addFleetRoutes(mux *http.ServeMux, agg func() *smartvlc.FleetAggSnapshot) {
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, _ *http.Request) {
+		s := agg()
+		if s == nil {
+			http.Error(w, "fleet aggregation not started", http.StatusServiceUnavailable)
+			return
+		}
+		j, err := s.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(j)
+	})
+	mux.HandleFunc("/fleet/stream", func(w http.ResponseWriter, _ *http.Request) {
+		s := agg()
+		if s == nil {
+			http.Error(w, "fleet aggregation not started", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := s.WriteNDJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// addRoutes registers the report endpoints on an existing mux (see
+// buildMux). Split out so the live -fleet-watch server, whose mux starts
+// serving before the run finishes, can gain the post-run routes without
+// a second mux.
+func addRoutes(mux *http.ServeMux, o serveOpts) {
+	if o.agg != nil {
+		addFleetRoutes(mux, o.agg)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		var err error
@@ -155,7 +206,6 @@ func buildMux(o serveOpts) *http.ServeMux {
 			}
 		})
 	}
-	return mux
 }
 
 // runtimeSampleNames are the runtime/metrics series behind the

@@ -156,6 +156,75 @@ func TestBuildMuxTwice(t *testing.T) {
 	}
 }
 
+// aggOpts runs a small watched fleet and returns serveOpts exposing its
+// aggregation snapshot through the live getter.
+func aggOpts(t *testing.T) serveOpts {
+	t.Helper()
+	sch, err := smartvlc.NewAMPPMScheme(smartvlc.DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := smartvlc.NewFleetAggregator(smartvlc.FleetAggConfig{WindowSeconds: 0.05}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]smartvlc.SessionConfig, 2)
+	for i := range cfgs {
+		cfg := smartvlc.DefaultSessionConfig(sch)
+		cfg.Seed = uint64(i + 1)
+		cfg.Telemetry = smartvlc.NewTelemetry()
+		feed, err := fa.Feed(smartvlc.FleetSessionMeta{Index: i, Seed: cfg.Seed, Scheme: sch.Name(), PayloadBytes: cfg.PayloadBytes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Watch = feed
+		cfgs[i] = cfg
+	}
+	fl, err := smartvlc.RunFleet(cfgs, 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := fl.Agg
+	return serveOpts{
+		snap: fl.Telemetry,
+		agg:  func() *smartvlc.FleetAggSnapshot { return snap },
+	}
+}
+
+// TestFleetRoutes verifies /fleet serves the aggregation snapshot as
+// JSON and /fleet/stream as typed NDJSON, and that the routes 404 when
+// no aggregator was armed.
+func TestFleetRoutes(t *testing.T) {
+	o := aggOpts(t)
+	code, body := get(t, o, "/fleet")
+	if code != 200 || !strings.Contains(body, "\"sealed_windows\"") || !strings.Contains(body, "\"top_ser\"") {
+		t.Fatalf("/fleet: status %d body %s", code, truncate(body))
+	}
+	code, body = get(t, o, "/fleet/stream")
+	if code != 200 || !strings.Contains(body, "\"type\":\"fleet\"") || !strings.Contains(body, "\"type\":\"point\"") {
+		t.Fatalf("/fleet/stream: status %d body %s", code, truncate(body))
+	}
+	o.agg = nil
+	if code, _ := get(t, o, "/fleet"); code != 404 {
+		t.Errorf("/fleet without an aggregator: status %d, want 404", code)
+	}
+}
+
+// TestFleetRoutesBeforeStart pins the live-server startup window: the
+// getter returning nil (no repeat has begun) answers 503, not a crash or
+// an empty payload.
+func TestFleetRoutesBeforeStart(t *testing.T) {
+	o := serveOpts{
+		snap: &smartvlc.TelemetrySnapshot{},
+		agg:  func() *smartvlc.FleetAggSnapshot { return nil },
+	}
+	for _, path := range []string{"/fleet", "/fleet/stream"} {
+		if code, _ := get(t, o, path); code != 503 {
+			t.Errorf("%s before aggregation starts: status %d, want 503", path, code)
+		}
+	}
+}
+
 // TestPprofMuxIsolated verifies the debug routes live only on the pprof
 // mux — the metrics mux must not answer /debug/pprof/.
 func TestPprofMuxIsolated(t *testing.T) {

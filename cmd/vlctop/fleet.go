@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"smartvlc"
+)
+
+// renderFleet writes the fleet operator view of a streaming aggregation
+// snapshot (smartvlc-sim -agg-out or GET /fleet): fleet-wide KPI
+// timelines over the sealed windows and the worst-sessions tables.
+// Output is deterministic given the snapshot, so the view is testable
+// against golden files — and the snapshot itself is byte-identical per
+// seed, so two operators watching the same fleet see the same tables.
+func renderFleet(w io.Writer, s *smartvlc.FleetAggSnapshot, opt options) {
+	opt = opt.withDefaults()
+	fmt.Fprintf(w, "fleet: %d sessions (%d done), %d windows of %s sealed\n",
+		s.Sessions, s.Done, s.SealedWindows, dur(s.WindowSeconds))
+
+	// Open (partial) rollup groups would distort every rate next to their
+	// sealed peers, so timelines keep only sealed windows — the same
+	// choice the health view makes.
+	var finest []smartvlc.FleetAggPoint
+	if len(s.Series) > 0 {
+		for _, p := range s.Series[0].Points {
+			if !p.Partial {
+				finest = append(finest, p)
+			}
+		}
+	}
+	if len(finest) > 0 {
+		fmt.Fprintf(w, "\ntimeline (%s → %s, %d windows):\n",
+			dur(finest[0].Start), dur(finest[len(finest)-1].End), len(finest))
+		rows := []struct {
+			name string
+			get  func(p smartvlc.FleetAggPoint) float64
+		}{
+			{"goodput bps", func(p smartvlc.FleetAggPoint) float64 { return p.GoodputBps }},
+			{"ser", func(p smartvlc.FleetAggPoint) float64 { return p.SER }},
+			{"burn rate", func(p smartvlc.FleetAggPoint) float64 { return p.BurnRate }},
+			{"ack p95", func(p smartvlc.FleetAggPoint) float64 { return p.AckP95 }},
+			{"dim level", func(p smartvlc.FleetAggPoint) float64 { return p.MeanLevel }},
+		}
+		for _, r := range rows {
+			vals := downsample(finest, r.get, opt.width)
+			lo, hi := bounds(vals)
+			fmt.Fprintf(w, "  %-15s %s  [%.3g, %.3g]\n", r.name, sparkline(vals, lo, hi), lo, hi)
+		}
+	}
+	for _, sr := range s.Series {
+		if sr.Dropped > 0 {
+			fmt.Fprintf(w, "  resolution %d (%s windows): %d oldest points evicted\n",
+				sr.Resolution, dur(sr.WindowSeconds), sr.Dropped)
+		}
+	}
+
+	worstTable(w, "worst sessions by symbol error rate", "ser", s.TopSER, opt,
+		func(st smartvlc.FleetSessionStat) string { return fmt.Sprintf("%.2e", st.SER) })
+	worstTable(w, "worst sessions by ARQ burn rate", "burn", s.TopBurn, opt,
+		func(st smartvlc.FleetSessionStat) string { return fmt.Sprintf("%.3f", st.BurnRate) })
+	worstTable(w, "slowest sessions by ACK p95", "ack p95", s.TopAck, opt,
+		func(st smartvlc.FleetSessionStat) string { return dur(st.AckP95) })
+}
+
+// worstTable prints one ranked worst-sessions table. Rows arrive already
+// ranked worst-first from the aggregator; the view truncates to the
+// -top bound, never re-sorts.
+func worstTable(w io.Writer, title, metric string, rows []smartvlc.FleetSessionStat, opt options, fmtMetric func(smartvlc.FleetSessionStat) string) {
+	if len(rows) == 0 {
+		return
+	}
+	if len(rows) > opt.top {
+		rows = rows[:opt.top]
+	}
+	fmt.Fprintf(w, "\n%s:\n", title)
+	fmt.Fprintf(w, "  %-4s %-7s %-6s %-8s %8s %10s %10s %6s\n",
+		"rank", "session", "seed", "scheme", "windows", metric, "goodput", "done")
+	for i, st := range rows {
+		done := ""
+		if st.Done {
+			done = "yes"
+		}
+		fmt.Fprintf(w, "  %-4d %-7d %-6d %-8s %8d %10s %9.1fk %6s\n",
+			i+1, st.Session, st.Seed, st.Scheme, st.Windows,
+			fmtMetric(st), st.GoodputBps/1000, done)
+	}
+}

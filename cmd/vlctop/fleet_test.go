@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartvlc"
+)
+
+// fleetFixture builds a small aggregation snapshot by hand: two sealed
+// windows plus a partial one, an eviction at resolution 0, and ranked
+// worst-sessions tables — content for every section of the fleet view.
+func fleetFixture() *smartvlc.FleetAggSnapshot {
+	pt := func(i int64, tx, errs int64, goodput float64, partial bool) smartvlc.FleetAggPoint {
+		return smartvlc.FleetAggPoint{
+			Index: i, Start: float64(i) * 0.05, End: float64(i+1) * 0.05,
+			Partial: partial, Sessions: 3,
+			FramesTx: tx, FramesOK: tx, SymbolErrors: errs, Symbols: tx * 1024,
+			DeliveredBytes: int64(goodput * 0.05 / 8),
+			SER:            float64(errs) / float64(tx*1024),
+			GoodputBps:     goodput, MeanLevel: 0.5, AckP95: 0.012,
+		}
+	}
+	st := func(idx int, seed uint64, ser, burn, ack, goodput float64, done bool) smartvlc.FleetSessionStat {
+		return smartvlc.FleetSessionStat{
+			Session: idx, Seed: seed, Scheme: "AMPPM", Windows: 3, Done: done,
+			FramesTx: 30, FramesOK: 29, SymbolErrors: int64(ser * 29 * 1024), Symbols: 29 * 1024,
+			SER: ser, BurnRate: burn, AckP95: ack, GoodputBps: goodput,
+		}
+	}
+	return &smartvlc.FleetAggSnapshot{
+		WindowSeconds: 0.05, Factor: 10, Sessions: 3, Done: 2, SealedWindows: 3,
+		Series: []smartvlc.FleetAggSeries{{
+			Resolution: 0, WindowSeconds: 0.05, Dropped: 1,
+			Points: []smartvlc.FleetAggPoint{
+				pt(1, 30, 12, 96000, false),
+				pt(2, 28, 40, 88000, false),
+				pt(3, 5, 2, 14000, true),
+			},
+		}},
+		TopSER: []smartvlc.FleetSessionStat{
+			st(2, 3, 2.1e-3, 0.1, 0.015, 88000, true),
+			st(0, 1, 4.0e-4, 0.0, 0.011, 97000, true),
+		},
+		TopBurn: []smartvlc.FleetSessionStat{
+			st(1, 2, 1.0e-3, 0.25, 0.013, 91000, false),
+		},
+		TopAck: []smartvlc.FleetSessionStat{
+			st(2, 3, 2.1e-3, 0.1, 0.015, 88000, true),
+		},
+	}
+}
+
+func TestRenderFleetGolden(t *testing.T) {
+	var buf bytes.Buffer
+	renderFleet(&buf, fleetFixture(), options{top: 3, width: 4})
+	got := buf.Bytes()
+	path := filepath.Join("testdata", "fleet.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fleet render drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRenderFleetSections spot-checks content without pinning layout:
+// the header counts, the partial-window exclusion (3 points, 2 sealed →
+// a 2-window timeline), the eviction note and every worst table.
+func TestRenderFleetSections(t *testing.T) {
+	var buf bytes.Buffer
+	renderFleet(&buf, fleetFixture(), options{})
+	out := buf.String()
+	for _, want := range []string{
+		"fleet: 3 sessions (2 done), 3 windows",
+		"2 windows):", // partial point excluded from the timeline
+		"1 oldest points evicted",
+		"worst sessions by symbol error rate",
+		"worst sessions by ARQ burn rate",
+		"slowest sessions by ACK p95",
+		"2.10e-03",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "2.10e-03") > strings.Index(out, "4.00e-04") {
+		t.Error("worst-SER table not worst-first")
+	}
+}
+
+// TestRenderFleetEmpty must not panic on an empty snapshot.
+func TestRenderFleetEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	renderFleet(&buf, &smartvlc.FleetAggSnapshot{}, options{})
+	if !strings.Contains(buf.String(), "fleet: 0 sessions") {
+		t.Fatalf("header missing: %q", buf.String())
+	}
+}
+
+// TestFetchRetryTransient pins the satellite behavior: transient 503s
+// (a /fleet endpoint before aggregation starts) are retried with backoff
+// until the server answers.
+func TestFetchRetryTransient(t *testing.T) {
+	oldBackoff := fetchBackoff
+	fetchBackoff = time.Millisecond
+	defer func() { fetchBackoff = oldBackoff }()
+
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "fleet aggregation not started", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer srv.Close()
+
+	r, err := fetchRetry(srv.URL)
+	if err != nil {
+		t.Fatalf("fetchRetry gave up on transient errors: %v", err)
+	}
+	r.Close()
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two 503s then success)", got)
+	}
+}
+
+// TestFetchRetryPermanent: 4xx responses are permanent — one request,
+// immediate error.
+func TestFetchRetryPermanent(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, nil)
+	}))
+	defer srv.Close()
+
+	if _, err := fetchRetry(srv.URL); err == nil {
+		t.Fatal("404 did not fail")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests for a 404, want 1", got)
+	}
+}
+
+// TestFetchRetryExhausted: persistent connection failure fails after the
+// bounded attempt budget, not forever.
+func TestFetchRetryExhausted(t *testing.T) {
+	oldBackoff := fetchBackoff
+	fetchBackoff = time.Millisecond
+	defer func() { fetchBackoff = oldBackoff }()
+
+	srv := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	srv.Close() // nothing listens here anymore
+
+	start := time.Now()
+	if _, err := fetchRetry(srv.URL); err == nil {
+		t.Fatal("dead server did not fail")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry loop not bounded")
+	}
+}

@@ -9,15 +9,27 @@
 //	vlctop health.json                  read a -health-out file
 //	vlctop -                            read the snapshot from stdin
 //	vlctop http://localhost:9090/health scrape a serving simulation
+//	vlctop -fleet agg.json              render a fleet aggregation
+//	vlctop -fleet -poll 2 http://localhost:9090/fleet
+//	                                    watch a running fleet live
 //
 // Flags:
 //
-//	-top N          rows in the worst-window table (default 5)
+//	-top N          rows in the worst-window/worst-session tables (default 5)
 //	-width N        sparkline width in cells (default 60)
+//	-fleet          the source is a streaming fleet aggregation snapshot
+//	                (smartvlc-sim -agg-out or /fleet): render fleet-wide
+//	                rollup timelines and the worst-sessions tables
+//	-poll SECONDS   fleet mode with a URL source: re-fetch and re-render
+//	                every SECONDS, watching the fleet live (0 = once)
 //	-exemplar SRC   append the histogram-exemplar drill-down from a
 //	                telemetry snapshot (a -metrics-out file, "-", or a
 //	                /metrics.json URL): the frames behind each latency
 //	                bucket's tail, with span IDs for vlctrace
+//
+// URL fetches retry transient failures (connection errors, 5xx) with
+// bounded exponential backoff, so vlctop can attach to a long-lived
+// /fleet endpoint before or between fleet repeats without dying.
 package main
 
 import (
@@ -27,13 +39,16 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"smartvlc"
 )
 
 func main() {
-	top := flag.Int("top", 5, "rows in the worst-window table")
+	top := flag.Int("top", 5, "rows in the worst-window and worst-session tables")
 	width := flag.Int("width", 60, "sparkline width in cells")
+	fleet := flag.Bool("fleet", false, "render a streaming fleet aggregation snapshot (smartvlc-sim -agg-out or /fleet)")
+	poll := flag.Float64("poll", 0, "fleet mode with a URL: re-fetch and re-render every SECONDS (0 = once)")
 	exemplar := flag.String("exemplar", "", "telemetry snapshot (FILE|URL|-) for the histogram-exemplar drill-down")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: vlctop [flags] FILE|URL|-\n")
@@ -44,17 +59,53 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	snap, err := load(flag.Arg(0))
+	src := flag.Arg(0)
+	opt := options{top: *top, width: *width}
+	if *fleet {
+		if err := runFleetMode(src, opt, *poll); err != nil {
+			fmt.Fprintf(os.Stderr, "vlctop: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	snap, err := load(src)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vlctop: %v\n", err)
 		os.Exit(1)
 	}
-	render(os.Stdout, snap, options{top: *top, width: *width})
+	render(os.Stdout, snap, opt)
 	if *exemplar != "" {
 		if err := renderExemplars(os.Stdout, *exemplar); err != nil {
 			fmt.Fprintf(os.Stderr, "vlctop: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// runFleetMode renders a fleet aggregation snapshot once, or — with a
+// positive poll interval and a URL source — re-fetches and re-renders
+// until interrupted, the terminal fleet-watch loop.
+func runFleetMode(src string, opt options, poll float64) error {
+	isURL := strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://")
+	if poll > 0 && !isURL {
+		return fmt.Errorf("-poll needs a live URL source, got %q", src)
+	}
+	for {
+		r, err := open(src)
+		if err != nil {
+			return err
+		}
+		snap, err := smartvlc.ReadFleetAggSnapshot(r)
+		r.Close()
+		if err != nil {
+			return err
+		}
+		renderFleet(os.Stdout, snap, opt)
+		if poll <= 0 {
+			return nil
+		}
+		fmt.Println()
+		time.Sleep(time.Duration(poll * float64(time.Second)))
 	}
 }
 
@@ -98,16 +149,46 @@ func open(src string) (io.ReadCloser, error) {
 	case src == "-":
 		return os.Stdin, nil
 	case strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://"):
-		resp, err := http.Get(src)
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
-			return nil, fmt.Errorf("GET %s: %s", src, resp.Status)
-		}
-		return resp.Body, nil
+		return fetchRetry(src)
 	default:
 		return os.Open(src)
 	}
+}
+
+// fetchAttempts and fetchBackoff bound fetchRetry; package variables so
+// tests can shrink the waits.
+var (
+	fetchAttempts = 5
+	fetchBackoff  = 100 * time.Millisecond
+)
+
+// fetchRetry GETs src, retrying transient failures — connection errors
+// and 5xx responses — with bounded exponential backoff. A long-lived
+// /fleet endpoint answers 503 before aggregation starts and may refuse
+// connections while the server comes up; dying on the first such blip
+// would make watching a live fleet a race. Client errors (4xx) are
+// permanent and fail immediately.
+func fetchRetry(src string) (io.ReadCloser, error) {
+	backoff := fetchBackoff
+	var lastErr error
+	for attempt := 0; attempt < fetchAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		resp, err := http.Get(src)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			return resp.Body, nil
+		}
+		resp.Body.Close()
+		lastErr = fmt.Errorf("GET %s: %s", src, resp.Status)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, lastErr
+		}
+	}
+	return nil, fmt.Errorf("giving up after %d attempts: %w", fetchAttempts, lastErr)
 }

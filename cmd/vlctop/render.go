@@ -214,7 +214,7 @@ func renderWorst(w io.Writer, pts []smartvlc.HealthPoint, opt options) {
 
 // downsample reduces the point series to width cells by averaging equal
 // index ranges, so long runs still fit one terminal row.
-func downsample(pts []smartvlc.HealthPoint, get func(smartvlc.HealthPoint) float64, width int) []float64 {
+func downsample[P any](pts []P, get func(P) float64, width int) []float64 {
 	if len(pts) <= width {
 		out := make([]float64, len(pts))
 		for i, p := range pts {

@@ -7,6 +7,7 @@ import (
 
 	"smartvlc/internal/parallel"
 	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/agg"
 	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/prof"
 	"smartvlc/internal/telemetry/span"
@@ -51,6 +52,13 @@ type FleetResult struct {
 	// The fold runs in config order, so the fleet log is byte-identical
 	// for every worker count.
 	Logs *vlog.Snapshot
+	// Agg is the final streaming-aggregator snapshot (fleet window rollup
+	// pyramid plus worst-sessions tables) when the configs carried Watch
+	// feeds; nil when none did. The feeds fold deltas in config order at
+	// sim-clock window boundaries, so this too is byte-identical for every
+	// worker count — and unlike the merges above, the same state was
+	// observable live via Aggregator.Snapshot while the fleet ran.
+	Agg *agg.Snapshot
 }
 
 // WriteSessionTraces exports each session's span snapshot into dir
@@ -123,7 +131,23 @@ func RunFleetArenas(arenas *FleetArenas, cfgs []Config, duration float64, worker
 	seenSpans := make(map[*span.Collector]int, len(cfgs))
 	seenProf := make(map[*prof.Profiler]int, len(cfgs))
 	seenLogs := make(map[*vlog.Logger]int, len(cfgs))
+	seenFeeds := make(map[*agg.Feed]int, len(cfgs))
+	var fleetAgg *agg.Aggregator
 	for i, cfg := range cfgs {
+		if cfg.Watch != nil {
+			// A shared feed would interleave two sessions' deltas into one
+			// window cursor; feeds across different aggregators would leave
+			// no single fleet rollup to report.
+			if j, dup := seenFeeds[cfg.Watch]; dup {
+				return FleetResult{}, fmt.Errorf("sim: fleet configs %d and %d share a watch feed", j, i)
+			}
+			seenFeeds[cfg.Watch] = i
+			if a := cfg.Watch.Aggregator(); fleetAgg == nil {
+				fleetAgg = a
+			} else if a != fleetAgg {
+				return FleetResult{}, fmt.Errorf("sim: fleet config %d's watch feed belongs to a different aggregator", i)
+			}
+		}
 		if cfg.Spans != nil {
 			if j, dup := seenSpans[cfg.Spans]; dup {
 				return FleetResult{}, fmt.Errorf("sim: fleet configs %d and %d share a span collector", j, i)
@@ -203,6 +227,9 @@ func RunFleetArenas(arenas *FleetArenas, cfgs []Config, duration float64, worker
 	}
 	if len(logs) > 0 {
 		out.Logs = vlog.Merge(logs...)
+	}
+	if fleetAgg != nil {
+		out.Agg = fleetAgg.Snapshot()
 	}
 	return out, nil
 }

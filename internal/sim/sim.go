@@ -24,6 +24,7 @@ import (
 	"smartvlc/internal/scheme"
 	"smartvlc/internal/stats"
 	"smartvlc/internal/telemetry"
+	"smartvlc/internal/telemetry/agg"
 	"smartvlc/internal/telemetry/flight"
 	"smartvlc/internal/telemetry/health"
 	"smartvlc/internal/telemetry/prof"
@@ -133,6 +134,16 @@ type Config struct {
 	// critical triggers a flight-recorder bundle with reason
 	// "slo_<objective>". Nil (the default) costs nothing.
 	Health *health.Config
+
+	// Watch, when non-nil, streams the session's telemetry deltas into a
+	// fleet aggregator while the session runs: the run loop flushes
+	// Registry.Delta at every sim-clock window boundary and delivers the
+	// final partial window at session end. Requires Telemetry (Run errors
+	// otherwise). Flush times are pure functions of the sim clock, so the
+	// aggregator's sealed windows are byte-identical per (seed, config)
+	// for any worker count. Nil (the default) costs one nil check per
+	// frame boundary.
+	Watch *agg.Feed
 }
 
 // DefaultConfig returns the paper's evaluation settings for a scheme:
@@ -237,6 +248,9 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 	}
 	if err := cfg.Geometry.Validate(); err != nil {
 		return Result{}, err
+	}
+	if cfg.Watch != nil && cfg.Telemetry == nil {
+		return Result{}, fmt.Errorf("sim: Watch requires Telemetry (the feed streams registry deltas)")
 	}
 
 	a.reseed(cfg.Seed, 0xC0FFEE, 0x51DE, 0xACED)
@@ -455,6 +469,7 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 
 	for now < duration {
 		mon.Tick(now)
+		cfg.Watch.Tick(now, reg)
 		// Ambient and adaptation at this frame boundary.
 		lux := cfg.AmbientLux
 		if cfg.Trace != nil {
@@ -796,6 +811,9 @@ func run(cfg Config, duration float64, a *Arena) (Result, error) {
 	if reg != nil {
 		reg.Gauge("sim_goodput_bps").Set(res.GoodputBps)
 		reg.Gauge("sim_duration_seconds").Set(res.Duration)
+		// Final partial window after the session gauges, so the fleet
+		// aggregator's last delta carries the end-of-run levels.
+		cfg.Watch.Finish(now, reg)
 		res.Telemetry = reg.Snapshot()
 	}
 	if cfg.Spans != nil {

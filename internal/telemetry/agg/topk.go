@@ -1,0 +1,40 @@
+package agg
+
+// selectTop returns the K worst rows by the given score, ranked
+// score-descending with the session index ascending as the total-order
+// tie-break. score also reports whether the row is eligible (has the
+// relevant denominator); ineligible rows never appear. Selection is
+// bounded: one pass with an insertion-sorted K-slot buffer, so a 100k
+// session fleet costs O(n·K) with no per-snapshot allocation beyond the
+// result.
+func selectTop(stats []SessionStat, k int, score func(*SessionStat) (float64, bool)) []SessionStat {
+	out := make([]SessionStat, 0, k)
+	worse := func(a, b *SessionStat) bool {
+		sa, _ := score(a)
+		sb, _ := score(b)
+		if sa != sb {
+			return sa > sb
+		}
+		return a.Session < b.Session
+	}
+	for i := range stats {
+		st := &stats[i]
+		if _, ok := score(st); !ok {
+			continue
+		}
+		if len(out) == k {
+			if !worse(st, &out[k-1]) {
+				continue
+			}
+			out = out[:k-1]
+		}
+		pos := len(out)
+		for pos > 0 && worse(st, &out[pos-1]) {
+			pos--
+		}
+		out = append(out, SessionStat{})
+		copy(out[pos+1:], out[pos:])
+		out[pos] = *st
+	}
+	return out
+}

@@ -17,11 +17,16 @@ type CounterSnapshot struct {
 	Value  int64   `json:"value"`
 }
 
-// GaugeSnapshot is one gauge series at snapshot time.
+// GaugeSnapshot is one gauge series at snapshot time. Weight is the
+// number of session snapshots behind Value when the snapshot came out of
+// Merge (absent or 0 means 1, a single session): carrying it lets a
+// re-merge reconstruct each side's contribution and compute the true
+// per-session mean, which is what makes Merge associative.
 type GaugeSnapshot struct {
 	Name   string  `json:"name"`
 	Labels []Label `json:"labels,omitempty"`
 	Value  float64 `json:"value"`
+	Weight int64   `json:"weight,omitempty"`
 }
 
 // Bucket is one occupied histogram bucket: Index identifies the log2

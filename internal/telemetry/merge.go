@@ -17,10 +17,14 @@ import "sort"
 //     sessions used; ties resolve to the exemplar from the
 //     lowest-indexed snapshot (each merged exemplar's Shard records that
 //     index).
-//   - Gauges take the arithmetic mean over the snapshots that carry the
+//   - Gauges take the arithmetic mean over the sessions that carry the
 //     series: a gauge is a level, not a flow, and the mean is the one
 //     aggregate that is meaningful for both rates (mean session goodput)
-//     and settings (mean dimming level).
+//     and settings (mean dimming level). Merged gauges record how many
+//     sessions they average over in Weight, and re-merging weights each
+//     input by it — so Merge is associative: merging partial merges gives
+//     the same per-session mean (and the same canonical bytes, when the
+//     reconstructed sums regroup exactly) as one flat merge.
 //   - Events are elided: each session's trace runs on its own simulated
 //     clock, so interleaving them would juxtapose unrelated time axes.
 //     EventsTotal and EventsDropped still sum, recording the volume.
@@ -42,7 +46,8 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 	counters := map[string]*CounterSnapshot{}
 	type gaugeAcc struct {
 		snap GaugeSnapshot
-		n    int
+		sum  float64 // session-weighted value sum
+		n    int64   // sessions represented
 	}
 	gauges := map[string]*gaugeAcc{}
 	type histAcc struct {
@@ -67,11 +72,17 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 		}
 		for _, g := range s.Gauges {
 			k := g.Name + "\xff" + labelSig(g.Labels)
+			// An input that is itself a merge carries the session count it
+			// averaged over; reconstruct its contribution by weighting.
+			w := g.Weight
+			if w <= 0 {
+				w = 1
+			}
 			if acc, ok := gauges[k]; ok {
-				acc.snap.Value += g.Value
-				acc.n++
+				acc.sum += g.Value * float64(w)
+				acc.n += w
 			} else {
-				gauges[k] = &gaugeAcc{snap: g, n: 1}
+				gauges[k] = &gaugeAcc{snap: g, sum: g.Value * float64(w), n: w}
 			}
 		}
 		for _, h := range s.Histograms {
@@ -111,7 +122,11 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 	}
 	for _, g := range gauges {
 		gs := g.snap
-		gs.Value /= float64(g.n)
+		gs.Value = g.sum / float64(g.n)
+		gs.Weight = 0 // single-session mean serializes weightless
+		if g.n > 1 {
+			gs.Weight = g.n
+		}
 		out.Gauges = append(out.Gauges, gs)
 	}
 	for _, h := range hists {

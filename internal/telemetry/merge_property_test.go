@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// randomRegistry builds a registry from a seeded PCG: a random subset of
+// counter, gauge and histogram series with random integer-valued
+// observations. Integer values keep every float sum exact, so regrouping
+// a merge cannot differ by rounding — the property under test is the
+// merge algebra, not float associativity. Histograms use plain Observe
+// (no exemplars): exemplar Shard stamps record merge-argument positions,
+// which nested merges necessarily renumber.
+func randomRegistry(rng *rand.Rand) *Registry {
+	r := New()
+	counters := []string{"frames_total", "timeouts_total", "delivered_bytes_total"}
+	for _, name := range counters {
+		if rng.IntN(4) > 0 {
+			r.Counter(name).Add(rng.Int64N(10_000))
+		}
+		if rng.IntN(2) == 0 {
+			r.Counter(name, "outcome", "bad").Add(rng.Int64N(100))
+		}
+	}
+	for _, name := range []string{"goodput_bps", "dimming_level"} {
+		if rng.IntN(4) > 0 {
+			r.Gauge(name).Set(float64(rng.Int64N(100_000)))
+		}
+	}
+	for _, name := range []string{"ack_latency", "airtime_slots"} {
+		h := r.Histogram(name)
+		for i := rng.IntN(8); i > 0; i-- {
+			h.Observe(float64(rng.Int64N(1 << 20)))
+		}
+	}
+	return r
+}
+
+// TestMergePropertyAssociative: for randomized registries a, b, c the
+// canonical bytes of merge(a, merge(b, c)), merge(merge(a, b), c) and the
+// flat merge(a, b, c) all agree — the property that lets fleet runners
+// fold partial merges (per-worker, per-repeat) in any grouping without
+// changing the published aggregate.
+func TestMergePropertyAssociative(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		a := randomRegistry(rng).Snapshot()
+		b := randomRegistry(rng).Snapshot()
+		c := randomRegistry(rng).Snapshot()
+
+		left, err := Merge(a, Merge(b, c)).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := Merge(Merge(a, b), c).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(left, right) {
+			t.Fatalf("seed %d: merge(a, merge(b,c)) != merge(merge(a,b), c)\nleft  %s\nright %s", seed, left, right)
+		}
+		flat, err := Merge(a, b, c).JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(left, flat) {
+			t.Fatalf("seed %d: nested merge != flat merge(a,b,c)\nnested %s\nflat   %s", seed, left, flat)
+		}
+	}
+}
+
+// TestMergePropertyIdentity: merging one randomized snapshot reproduces
+// it byte for byte, and the empty snapshot is a unit on either side.
+func TestMergePropertyIdentity(t *testing.T) {
+	empty := New().Snapshot()
+	for seed := uint64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 23))
+		s := randomRegistry(rng).Snapshot()
+		want, err := s.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for label, m := range map[string]*Snapshot{
+			"merge(s)":        Merge(s),
+			"merge(s, empty)": Merge(s, empty),
+			"merge(empty, s)": Merge(empty, s),
+		} {
+			got, err := m.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seed %d: %s is not the identity\nwant %s\ngot  %s", seed, label, want, got)
+			}
+		}
+	}
+}
+
+// TestMergeWeightedReMerge pins the gauge weighting concretely: a
+// two-session merge re-merged with a third session must yield the true
+// three-session mean, not the mean of means, and record weight 3.
+func TestMergeWeightedReMerge(t *testing.T) {
+	snap := func(v float64) *Snapshot {
+		r := New()
+		r.Gauge("goodput_bps").Set(v)
+		return r.Snapshot()
+	}
+	m := Merge(Merge(snap(10), snap(20)), snap(100))
+	if len(m.Gauges) != 1 {
+		t.Fatalf("gauges: %+v", m.Gauges)
+	}
+	g := m.Gauges[0]
+	if want := (10.0 + 20 + 100) / 3; g.Value != want {
+		t.Errorf("re-merged mean %v, want %v (mean of means would be %v)", g.Value, want, (15.0+100)/2)
+	}
+	if g.Weight != 3 {
+		t.Errorf("weight %d, want 3", g.Weight)
+	}
+}

@@ -129,6 +129,21 @@ func (r *Registry) Counter(name string, labelPairs ...string) *Counter {
 	return c
 }
 
+// LookupCounter returns the counter series for name and label pairs only
+// if it already exists — nil otherwise, and on a nil registry. Unlike
+// Counter it never creates the series, so observers (the fleet
+// aggregation feed, tests) can poll for a series the session may not
+// have touched yet without perturbing the registry's canonical snapshot.
+func (r *Registry) LookupCounter(name string, labelPairs ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey(name, makeLabels(labelPairs))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[k]
+}
+
 // Add increments the counter by n. No-op on nil.
 func (c *Counter) Add(n int64) {
 	if c == nil {
@@ -172,6 +187,18 @@ func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge {
 		r.gauges[k] = g
 	}
 	return g
+}
+
+// LookupGauge returns the gauge series only if it already exists — nil
+// otherwise, and on a nil registry. Never creates the series.
+func (r *Registry) LookupGauge(name string, labelPairs ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey(name, makeLabels(labelPairs))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[k]
 }
 
 // Set stores v as the gauge's current value. No-op on nil.
@@ -299,6 +326,18 @@ func (r *Registry) Histogram(name string, labelPairs ...string) *Histogram {
 	return h
 }
 
+// LookupHistogram returns the histogram series only if it already exists
+// — nil otherwise, and on a nil registry. Never creates the series.
+func (r *Registry) LookupHistogram(name string, labelPairs ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := seriesKey(name, makeLabels(labelPairs))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hists[k]
+}
+
 // bucketIndex maps a value to its log2 bucket.
 func bucketIndex(v float64) int {
 	if v <= 0 || math.IsNaN(v) {
@@ -395,4 +434,20 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return math.Float64frombits(h.sumBits.Load())
+}
+
+// NumHistogramBuckets is the fixed bucket count of every histogram,
+// exported for callers that mirror the dense bucket grid (e.g. the fleet
+// aggregation fold).
+const NumHistogramBuckets = histBuckets
+
+// BucketCounts copies the current bucket occupancies into dst, one slot
+// per log2 bucket. No-op on nil (dst is left untouched).
+func (h *Histogram) BucketCounts(dst *[NumHistogramBuckets]int64) {
+	if h == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = h.buckets[i].Load()
+	}
 }
